@@ -1,0 +1,264 @@
+//! A replicated bank-account module.
+//!
+//! Each account is one atomic object holding a `u64` balance. Cross-group
+//! transfers are built as client transactions (a `withdraw` call on one
+//! group plus a `deposit` call on another) and committed atomically by
+//! two-phase commit — the scenario the paper's distributed-transaction
+//! machinery exists for.
+//!
+//! Procedures:
+//!
+//! | procedure  | args | result |
+//! |------------|------|--------|
+//! | `open`     | account, initial | empty (error if account exists) |
+//! | `balance`  | account | balance |
+//! | `deposit`  | account, amount | new balance |
+//! | `withdraw` | account, amount | new balance (error if insufficient) |
+//! | `audit`    | account list length, accounts… | sum of balances |
+
+use crate::codec::{Decoder, Encoder};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::Value;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::types::{GroupId, ObjectId};
+
+/// The bank module, optionally pre-populated with accounts at group
+/// creation.
+#[derive(Debug, Clone, Default)]
+pub struct BankModule {
+    initial_accounts: Vec<(u64, u64)>,
+}
+
+impl BankModule {
+    /// A bank with no initial accounts.
+    pub fn new() -> Self {
+        BankModule::default()
+    }
+
+    /// A bank whose group state starts with the given `(account,
+    /// balance)` pairs.
+    pub fn with_accounts(accounts: Vec<(u64, u64)>) -> Self {
+        BankModule { initial_accounts: accounts }
+    }
+}
+
+fn encode_balance(balance: u64) -> Value {
+    Value(Encoder::new().u64(balance).finish())
+}
+
+fn decode_balance_value(v: &Value) -> Result<u64, ModuleError> {
+    Decoder::new(v.as_bytes())
+        .u64("balance")
+        .map_err(|e| ModuleError::App(e.to_string()))
+}
+
+impl Module for BankModule {
+    fn execute(
+        &self,
+        proc: &str,
+        args: &[u8],
+        ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        let mut dec = Decoder::new(args);
+        let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
+        match proc {
+            "open" => {
+                let account = dec.u64("open.account").map_err(bad)?;
+                let initial = dec.u64("open.initial").map_err(bad)?;
+                if ctx.read(ObjectId(account))?.is_some() {
+                    return Err(ModuleError::App(format!("account {account} already exists")));
+                }
+                ctx.write(ObjectId(account), encode_balance(initial))?;
+                Ok(Value::empty())
+            }
+            "balance" => {
+                let account = dec.u64("balance.account").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(account))?
+                    .ok_or_else(|| ModuleError::App(format!("no account {account}")))?;
+                Ok(v)
+            }
+            "deposit" => {
+                let account = dec.u64("deposit.account").map_err(bad)?;
+                let amount = dec.u64("deposit.amount").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(account))?
+                    .ok_or_else(|| ModuleError::App(format!("no account {account}")))?;
+                let balance = decode_balance_value(&v)?;
+                let new = balance
+                    .checked_add(amount)
+                    .ok_or_else(|| ModuleError::App("balance overflow".into()))?;
+                ctx.write(ObjectId(account), encode_balance(new))?;
+                Ok(encode_balance(new).clone())
+            }
+            "withdraw" => {
+                let account = dec.u64("withdraw.account").map_err(bad)?;
+                let amount = dec.u64("withdraw.amount").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(account))?
+                    .ok_or_else(|| ModuleError::App(format!("no account {account}")))?;
+                let balance = decode_balance_value(&v)?;
+                let new = balance.checked_sub(amount).ok_or_else(|| {
+                    ModuleError::App(format!(
+                        "insufficient funds: balance {balance}, requested {amount}"
+                    ))
+                })?;
+                ctx.write(ObjectId(account), encode_balance(new))?;
+                Ok(encode_balance(new))
+            }
+            "audit" => {
+                let count = dec.u64("audit.count").map_err(bad)?;
+                let mut sum: u64 = 0;
+                for _ in 0..count {
+                    let account = dec.u64("audit.account").map_err(bad)?;
+                    if let Some(v) = ctx.read(ObjectId(account))? {
+                        sum = sum
+                            .checked_add(decode_balance_value(&v)?)
+                            .ok_or_else(|| ModuleError::App("audit overflow".into()))?;
+                    }
+                }
+                Ok(encode_balance(sum))
+            }
+            other => Err(ModuleError::UnknownProcedure(other.to_string())),
+        }
+    }
+
+    fn initial_objects(&self) -> Vec<(ObjectId, Value)> {
+        self.initial_accounts
+            .iter()
+            .map(|&(account, balance)| (ObjectId(account), encode_balance(balance)))
+            .collect()
+    }
+}
+
+/// Build an `open` call op.
+pub fn open(group: GroupId, account: u64, initial: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "open".into(),
+        args: Encoder::new().u64(account).u64(initial).finish(),
+    }
+}
+
+/// Build a `balance` call op.
+pub fn balance(group: GroupId, account: u64) -> CallOp {
+    CallOp { group, proc: "balance".into(), args: Encoder::new().u64(account).finish() }
+}
+
+/// Build a `deposit` call op.
+pub fn deposit(group: GroupId, account: u64, amount: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "deposit".into(),
+        args: Encoder::new().u64(account).u64(amount).finish(),
+    }
+}
+
+/// Build a `withdraw` call op.
+pub fn withdraw(group: GroupId, account: u64, amount: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "withdraw".into(),
+        args: Encoder::new().u64(account).u64(amount).finish(),
+    }
+}
+
+/// Build an `audit` call op summing the given accounts.
+pub fn audit(group: GroupId, accounts: &[u64]) -> CallOp {
+    let mut enc = Encoder::new().u64(accounts.len() as u64);
+    for &a in accounts {
+        enc = enc.u64(a);
+    }
+    CallOp { group, proc: "audit".into(), args: enc.finish() }
+}
+
+/// Decode a balance reply.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_balance(reply: &[u8]) -> Result<u64, String> {
+    Decoder::new(reply).u64("balance").map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::gstate::GroupState;
+    use vsr_core::locks::LockTable;
+    use vsr_core::types::{Aid, Mid, ViewId};
+
+    fn aid() -> Aid {
+        Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq: 0 }
+    }
+
+    fn bank_state(accounts: Vec<(u64, u64)>) -> GroupState {
+        GroupState::with_objects(BankModule::with_accounts(accounts).initial_objects())
+    }
+
+    fn run(g: &GroupState, op: &CallOp) -> Result<Value, ModuleError> {
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(g, &locks, aid());
+        BankModule::new().execute(&op.proc, &op.args, &mut ctx)
+    }
+
+    const G: GroupId = GroupId(1);
+
+    #[test]
+    fn deposit_and_withdraw() {
+        let g = bank_state(vec![(1, 100)]);
+        let r = run(&g, &deposit(G, 1, 50)).unwrap();
+        assert_eq!(decode_balance(r.as_bytes()).unwrap(), 150);
+        let r = run(&g, &withdraw(G, 1, 30)).unwrap();
+        // Each run is an independent transaction context over the same
+        // committed state.
+        assert_eq!(decode_balance(r.as_bytes()).unwrap(), 70);
+    }
+
+    #[test]
+    fn insufficient_funds_refused() {
+        let g = bank_state(vec![(1, 10)]);
+        let err = run(&g, &withdraw(G, 1, 11)).unwrap_err();
+        assert!(matches!(err, ModuleError::App(msg) if msg.contains("insufficient")));
+    }
+
+    #[test]
+    fn missing_account_refused() {
+        let g = bank_state(vec![]);
+        assert!(run(&g, &balance(G, 9)).is_err());
+        assert!(run(&g, &deposit(G, 9, 1)).is_err());
+        assert!(run(&g, &withdraw(G, 9, 1)).is_err());
+    }
+
+    #[test]
+    fn open_then_reopen_refused() {
+        let g = bank_state(vec![(1, 5)]);
+        let err = run(&g, &open(G, 1, 99)).unwrap_err();
+        assert!(matches!(err, ModuleError::App(msg) if msg.contains("already exists")));
+    }
+
+    #[test]
+    fn audit_sums() {
+        let g = bank_state(vec![(1, 10), (2, 20), (3, 30)]);
+        let r = run(&g, &audit(G, &[1, 2, 3])).unwrap();
+        assert_eq!(decode_balance(r.as_bytes()).unwrap(), 60);
+        // Missing accounts contribute zero.
+        let r = run(&g, &audit(G, &[1, 99])).unwrap();
+        assert_eq!(decode_balance(r.as_bytes()).unwrap(), 10);
+    }
+
+    #[test]
+    fn overflow_guarded() {
+        let g = bank_state(vec![(1, u64::MAX)]);
+        assert!(run(&g, &deposit(G, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn initial_objects_encode_balances() {
+        let module = BankModule::with_accounts(vec![(7, 42)]);
+        let objs = module.initial_objects();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].0, ObjectId(7));
+        assert_eq!(decode_balance(objs[0].1.as_bytes()).unwrap(), 42);
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal, dependency-free binary codec for procedure arguments and
+//! results.
+//!
+//! Values are sequences of length-prefixed fields; integers are
+//! little-endian `u64`. Deliberately tiny: application modules must be
+//! deterministic, and a hand-rolled codec keeps the encoding stable and
+//! auditable.
+
+use std::fmt;
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was being decoded.
+    pub context: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed encoding while decoding {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor-based decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Read a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError { context })?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeError { context })?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        let len = self.u64(context)? as usize;
+        let end = self.pos.checked_add(len).ok_or(DecodeError { context })?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeError { context })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or invalid UTF-8.
+    pub fn str(&mut self, context: &'static str) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes(context)?).map_err(|_| DecodeError { context })
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let enc = Encoder::new().u64(42).bytes(b"hello").str("world").u64(7).finish();
+        let mut dec = Decoder::new(&enc);
+        assert_eq!(dec.u64("a").unwrap(), 42);
+        assert_eq!(dec.bytes("b").unwrap(), b"hello");
+        assert_eq!(dec.str("c").unwrap(), "world");
+        assert_eq!(dec.u64("d").unwrap(), 7);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = Encoder::new().u64(1).finish();
+        let mut dec = Decoder::new(&enc[..4]);
+        assert!(dec.u64("x").is_err());
+    }
+
+    #[test]
+    fn bad_length_prefix_detected() {
+        let mut raw = (1000u64).to_le_bytes().to_vec();
+        raw.extend_from_slice(b"short");
+        let mut dec = Decoder::new(&raw);
+        assert!(dec.bytes("x").is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_detected() {
+        let enc = Encoder::new().bytes(&[0xff, 0xfe]).finish();
+        let mut dec = Decoder::new(&enc);
+        assert!(dec.str("x").is_err());
+    }
+
+    #[test]
+    fn empty_bytes_roundtrip() {
+        let enc = Encoder::new().bytes(b"").finish();
+        let mut dec = Decoder::new(&enc);
+        assert_eq!(dec.bytes("x").unwrap(), b"");
+        assert!(dec.is_exhausted());
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal counter module used by the quickstart example and the
+//! benchmark workloads.
+//!
+//! Procedures:
+//!
+//! | procedure | args | result |
+//! |-----------|------|--------|
+//! | `incr`    | counter, delta | new value |
+//! | `read`    | counter | value (0 if never written) |
+
+use crate::codec::{Decoder, Encoder};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::Value;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::types::{GroupId, ObjectId};
+
+/// The counter module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterModule;
+
+impl CounterModule {
+    /// Create the module.
+    pub fn new() -> Self {
+        CounterModule
+    }
+}
+
+impl Module for CounterModule {
+    fn execute(
+        &self,
+        proc: &str,
+        args: &[u8],
+        ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        let mut dec = Decoder::new(args);
+        let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
+        match proc {
+            "incr" => {
+                let counter = dec.u64("incr.counter").map_err(bad)?;
+                let delta = dec.u64("incr.delta").map_err(bad)?;
+                let current = match ctx.read(ObjectId(counter))? {
+                    Some(v) => Decoder::new(v.as_bytes())
+                        .u64("counter")
+                        .map_err(|e| ModuleError::App(e.to_string()))?,
+                    None => 0,
+                };
+                let new = current.wrapping_add(delta);
+                ctx.write(ObjectId(counter), Value(Encoder::new().u64(new).finish()))?;
+                Ok(Value(Encoder::new().u64(new).finish()))
+            }
+            "read" => {
+                let counter = dec.u64("read.counter").map_err(bad)?;
+                let value = match ctx.read(ObjectId(counter))? {
+                    Some(v) => Decoder::new(v.as_bytes())
+                        .u64("counter")
+                        .map_err(|e| ModuleError::App(e.to_string()))?,
+                    None => 0,
+                };
+                Ok(Value(Encoder::new().u64(value).finish()))
+            }
+            other => Err(ModuleError::UnknownProcedure(other.to_string())),
+        }
+    }
+}
+
+/// Build an `incr` call op.
+pub fn incr(group: GroupId, counter: u64, delta: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "incr".into(),
+        args: Encoder::new().u64(counter).u64(delta).finish(),
+    }
+}
+
+/// Build a `read` call op.
+pub fn read(group: GroupId, counter: u64) -> CallOp {
+    CallOp { group, proc: "read".into(), args: Encoder::new().u64(counter).finish() }
+}
+
+/// Decode a counter value reply.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_value(reply: &[u8]) -> Result<u64, String> {
+    Decoder::new(reply).u64("counter").map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::gstate::GroupState;
+    use vsr_core::locks::LockTable;
+    use vsr_core::types::{Aid, Mid, ViewId};
+
+    const G: GroupId = GroupId(1);
+
+    fn run(g: &GroupState, op: &CallOp) -> Result<Value, ModuleError> {
+        let locks = LockTable::new();
+        let aid = Aid { group: G, view: ViewId::initial(Mid(0)), seq: 0 };
+        let mut ctx = TxnCtx::new(g, &locks, aid);
+        CounterModule::new().execute(&op.proc, &op.args, &mut ctx)
+    }
+
+    #[test]
+    fn read_missing_is_zero() {
+        let g = GroupState::new();
+        let r = run(&g, &read(G, 1)).unwrap();
+        assert_eq!(decode_value(r.as_bytes()).unwrap(), 0);
+    }
+
+    #[test]
+    fn incr_from_zero() {
+        let g = GroupState::new();
+        let r = run(&g, &incr(G, 1, 5)).unwrap();
+        assert_eq!(decode_value(r.as_bytes()).unwrap(), 5);
+    }
+
+    #[test]
+    fn incr_from_existing() {
+        let g = GroupState::with_objects([(
+            ObjectId(1),
+            Value(Encoder::new().u64(10).finish()),
+        )]);
+        let r = run(&g, &incr(G, 1, 7)).unwrap();
+        assert_eq!(decode_value(r.as_bytes()).unwrap(), 17);
+    }
+
+    #[test]
+    fn incr_wraps() {
+        let g = GroupState::with_objects([(
+            ObjectId(1),
+            Value(Encoder::new().u64(u64::MAX).finish()),
+        )]);
+        let r = run(&g, &incr(G, 1, 1)).unwrap();
+        assert_eq!(decode_value(r.as_bytes()).unwrap(), 0);
+    }
+}

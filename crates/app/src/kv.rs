@@ -1,0 +1,205 @@
+//! A replicated key-value store module.
+//!
+//! Keys are `u64` and map directly onto object ids, so each key is an
+//! independently lockable atomic object. Values are opaque byte strings.
+//!
+//! Procedures:
+//!
+//! | procedure | args | result |
+//! |-----------|------|--------|
+//! | `get`     | key  | `1, value` or `0` if absent |
+//! | `put`     | key, value | empty |
+//! | `delete`  | key  | empty (tombstone: empty value) |
+//! | `append`  | key, suffix | new value |
+
+use crate::codec::{Decoder, Encoder};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::Value;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::types::{GroupId, ObjectId};
+
+/// The key-value module (stateless: all state lives in the group state).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvModule;
+
+impl KvModule {
+    /// Create the module.
+    pub fn new() -> Self {
+        KvModule
+    }
+}
+
+impl Module for KvModule {
+    fn execute(
+        &self,
+        proc: &str,
+        args: &[u8],
+        ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        let mut dec = Decoder::new(args);
+        let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
+        match proc {
+            "get" => {
+                let key = dec.u64("get.key").map_err(bad)?;
+                match ctx.read(ObjectId(key))? {
+                    Some(v) if !v.is_empty() => {
+                        Ok(Value(Encoder::new().u64(1).bytes(v.as_bytes()).finish()))
+                    }
+                    _ => Ok(Value(Encoder::new().u64(0).finish())),
+                }
+            }
+            "put" => {
+                let key = dec.u64("put.key").map_err(bad)?;
+                let value = dec.bytes("put.value").map_err(bad)?;
+                if value.is_empty() {
+                    return Err(ModuleError::App("put of empty value (use delete)".into()));
+                }
+                ctx.write(ObjectId(key), Value::from(value))?;
+                Ok(Value::empty())
+            }
+            "delete" => {
+                let key = dec.u64("delete.key").map_err(bad)?;
+                ctx.write(ObjectId(key), Value::empty())?;
+                Ok(Value::empty())
+            }
+            "append" => {
+                let key = dec.u64("append.key").map_err(bad)?;
+                let suffix = dec.bytes("append.suffix").map_err(bad)?;
+                let mut current = ctx.read(ObjectId(key))?.unwrap_or_default().0;
+                current.extend_from_slice(suffix);
+                ctx.write(ObjectId(key), Value(current.clone()))?;
+                Ok(Value(current))
+            }
+            other => Err(ModuleError::UnknownProcedure(other.to_string())),
+        }
+    }
+}
+
+/// Build a `get` call op for a transaction script.
+pub fn get(group: GroupId, key: u64) -> CallOp {
+    CallOp { group, proc: "get".into(), args: Encoder::new().u64(key).finish() }
+}
+
+/// Build a `put` call op.
+pub fn put(group: GroupId, key: u64, value: &[u8]) -> CallOp {
+    CallOp { group, proc: "put".into(), args: Encoder::new().u64(key).bytes(value).finish() }
+}
+
+/// Build a `delete` call op.
+pub fn delete(group: GroupId, key: u64) -> CallOp {
+    CallOp { group, proc: "delete".into(), args: Encoder::new().u64(key).finish() }
+}
+
+/// Build an `append` call op.
+pub fn append(group: GroupId, key: u64, suffix: &[u8]) -> CallOp {
+    CallOp {
+        group,
+        proc: "append".into(),
+        args: Encoder::new().u64(key).bytes(suffix).finish(),
+    }
+}
+
+/// Decode a `get` result into `Option<Vec<u8>>`.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_get(reply: &[u8]) -> Result<Option<Vec<u8>>, String> {
+    let mut dec = Decoder::new(reply);
+    match dec.u64("get.present").map_err(|e| e.to_string())? {
+        0 => Ok(None),
+        1 => Ok(Some(dec.bytes("get.value").map_err(|e| e.to_string())?.to_vec())),
+        other => Err(format!("bad get discriminant {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::gstate::GroupState;
+    use vsr_core::locks::LockTable;
+    use vsr_core::types::{Aid, Mid, ViewId};
+
+    fn aid() -> Aid {
+        Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq: 0 }
+    }
+
+    fn run(
+        module: &KvModule,
+        gstate: &GroupState,
+        proc: &str,
+        args: &[u8],
+    ) -> Result<(Value, Vec<vsr_core::gstate::ObjectAccess>), ModuleError> {
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(gstate, &locks, aid());
+        let result = module.execute(proc, args, &mut ctx)?;
+        Ok((result, ctx.into_accesses()))
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let g = GroupState::new();
+        let (result, _) = run(&KvModule, &g, "get", &get(GroupId(1), 5).args).unwrap();
+        assert_eq!(decode_get(result.as_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn put_writes_value() {
+        let g = GroupState::new();
+        let (_, accesses) = run(&KvModule, &g, "put", &put(GroupId(1), 5, b"v").args).unwrap();
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].oid, ObjectId(5));
+        assert_eq!(accesses[0].written, Some(Value::from(&b"v"[..])));
+    }
+
+    #[test]
+    fn get_after_committed_put() {
+        let g = GroupState::with_objects([(ObjectId(5), Value::from(&b"stored"[..]))]);
+        let (result, _) = run(&KvModule, &g, "get", &get(GroupId(1), 5).args).unwrap();
+        assert_eq!(decode_get(result.as_bytes()).unwrap(), Some(b"stored".to_vec()));
+    }
+
+    #[test]
+    fn delete_writes_tombstone() {
+        let g = GroupState::with_objects([(ObjectId(5), Value::from(&b"x"[..]))]);
+        let (_, accesses) = run(&KvModule, &g, "delete", &delete(GroupId(1), 5).args).unwrap();
+        assert_eq!(accesses[0].written, Some(Value::empty()));
+    }
+
+    #[test]
+    fn deleted_key_reads_as_missing() {
+        let g = GroupState::with_objects([(ObjectId(5), Value::empty())]);
+        let (result, _) = run(&KvModule, &g, "get", &get(GroupId(1), 5).args).unwrap();
+        assert_eq!(decode_get(result.as_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let g = GroupState::with_objects([(ObjectId(9), Value::from(&b"ab"[..]))]);
+        let (result, accesses) =
+            run(&KvModule, &g, "append", &append(GroupId(1), 9, b"cd").args).unwrap();
+        assert_eq!(result, Value::from(&b"abcd"[..]));
+        assert_eq!(accesses[0].written, Some(Value::from(&b"abcd"[..])));
+    }
+
+    #[test]
+    fn empty_put_rejected() {
+        let g = GroupState::new();
+        let err = run(&KvModule, &g, "put", &put(GroupId(1), 5, b"").args).unwrap_err();
+        assert!(matches!(err, ModuleError::App(_)));
+    }
+
+    #[test]
+    fn unknown_procedure_rejected() {
+        let g = GroupState::new();
+        let err = run(&KvModule, &g, "nope", &[]).unwrap_err();
+        assert!(matches!(err, ModuleError::UnknownProcedure(_)));
+    }
+
+    #[test]
+    fn malformed_args_rejected() {
+        let g = GroupState::new();
+        let err = run(&KvModule, &g, "get", &[1, 2]).unwrap_err();
+        assert!(matches!(err, ModuleError::App(_)));
+    }
+}

@@ -1,0 +1,45 @@
+//! # Replicated application modules
+//!
+//! Application code for the Viewstamped Replication module model
+//! (Section 1 of the paper): deterministic procedures over atomic
+//! objects, replicated transparently by the protocol layer. "Ideally,
+//! programmers would write programs without concern for availability …
+//! the language implementation then uses our technique to replicate
+//! individual modules automatically."
+//!
+//! * [`kv`] — a key-value store.
+//! * [`bank`] — bank accounts with atomic cross-group transfers.
+//! * [`reservation`] — airline seat reservations (the paper's motivating
+//!   example).
+//! * [`counter`] — a minimal counter for quickstarts and benchmarks.
+//! * [`queue`] — a FIFO queue whose operations touch several atomic
+//!   objects per call.
+//! * [`codec`] — the tiny binary codec the modules share.
+//!
+//! Each module exports free functions that build
+//! [`CallOp`](vsr_core::cohort::CallOp)s for transaction scripts, e.g.:
+//!
+//! ```
+//! use vsr_app::{bank, kv};
+//! use vsr_core::types::GroupId;
+//!
+//! let accounts = GroupId(1);
+//! let ledger = GroupId(2);
+//! // A cross-group transfer: atomic via two-phase commit.
+//! let script = vec![
+//!     bank::withdraw(accounts, 7, 100),
+//!     bank::deposit(accounts, 9, 100),
+//!     kv::append(ledger, 0, b"transfer 7->9 100;"),
+//! ];
+//! assert_eq!(script.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod codec;
+pub mod counter;
+pub mod kv;
+pub mod queue;
+pub mod reservation;

@@ -1,0 +1,277 @@
+//! A replicated FIFO queue module.
+//!
+//! Unlike the key-value and counter modules, every operation touches
+//! *several* atomic objects (the head pointer, the tail pointer, and a
+//! slot), which exercises multi-object locking and multi-write
+//! completed-call records.
+//!
+//! Object layout: object 0 = head index, object 1 = tail index, object
+//! `2 + (i % capacity)` = slot `i`.
+//!
+//! Procedures:
+//!
+//! | procedure | args | result |
+//! |-----------|------|--------|
+//! | `enqueue` | item bytes | new length |
+//! | `dequeue` | —    | `1, item` or `0` if empty |
+//! | `peek`    | —    | `1, item` or `0` if empty (read-only) |
+//! | `len`     | —    | current length (read-only) |
+
+use crate::codec::{Decoder, Encoder};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::Value;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::types::{GroupId, ObjectId};
+
+const HEAD: ObjectId = ObjectId(0);
+const TAIL: ObjectId = ObjectId(1);
+const SLOT_BASE: u64 = 2;
+
+/// The queue module with a fixed slot capacity (a bound on *in-flight*
+/// items, not on total throughput: slots are reused cyclically).
+#[derive(Debug, Clone, Copy)]
+pub struct QueueModule {
+    capacity: u64,
+}
+
+impl QueueModule {
+    /// A queue able to hold up to `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        QueueModule { capacity }
+    }
+
+    fn slot(&self, index: u64) -> ObjectId {
+        ObjectId(SLOT_BASE + (index % self.capacity))
+    }
+}
+
+impl Default for QueueModule {
+    fn default() -> Self {
+        QueueModule::new(64)
+    }
+}
+
+fn read_index(ctx: &mut TxnCtx<'_>, oid: ObjectId) -> Result<u64, ModuleError> {
+    match ctx.read(oid)? {
+        Some(v) => Decoder::new(v.as_bytes())
+            .u64("queue.index")
+            .map_err(|e| ModuleError::App(e.to_string())),
+        None => Ok(0),
+    }
+}
+
+fn write_index(ctx: &mut TxnCtx<'_>, oid: ObjectId, value: u64) -> Result<(), ModuleError> {
+    ctx.write(oid, Value(Encoder::new().u64(value).finish()))
+}
+
+impl Module for QueueModule {
+    fn execute(
+        &self,
+        proc: &str,
+        args: &[u8],
+        ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        match proc {
+            "enqueue" => {
+                let head = read_index(ctx, HEAD)?;
+                let tail = read_index(ctx, TAIL)?;
+                let len = tail - head;
+                if len >= self.capacity {
+                    return Err(ModuleError::App(format!(
+                        "queue full ({len}/{} in flight)",
+                        self.capacity
+                    )));
+                }
+                ctx.write(self.slot(tail), Value::from(args))?;
+                write_index(ctx, TAIL, tail + 1)?;
+                Ok(Value(Encoder::new().u64(len + 1).finish()))
+            }
+            "dequeue" => {
+                let head = read_index(ctx, HEAD)?;
+                let tail = read_index(ctx, TAIL)?;
+                if head == tail {
+                    return Ok(Value(Encoder::new().u64(0).finish()));
+                }
+                let item = ctx
+                    .read(self.slot(head))?
+                    .ok_or_else(|| ModuleError::App("missing slot".into()))?;
+                write_index(ctx, HEAD, head + 1)?;
+                Ok(Value(Encoder::new().u64(1).bytes(item.as_bytes()).finish()))
+            }
+            "peek" => {
+                let head = read_index(ctx, HEAD)?;
+                let tail = read_index(ctx, TAIL)?;
+                if head == tail {
+                    return Ok(Value(Encoder::new().u64(0).finish()));
+                }
+                let item = ctx
+                    .read(self.slot(head))?
+                    .ok_or_else(|| ModuleError::App("missing slot".into()))?;
+                Ok(Value(Encoder::new().u64(1).bytes(item.as_bytes()).finish()))
+            }
+            "len" => {
+                let head = read_index(ctx, HEAD)?;
+                let tail = read_index(ctx, TAIL)?;
+                Ok(Value(Encoder::new().u64(tail - head).finish()))
+            }
+            other => Err(ModuleError::UnknownProcedure(other.to_string())),
+        }
+    }
+}
+
+/// Build an `enqueue` call op.
+pub fn enqueue(group: GroupId, item: &[u8]) -> CallOp {
+    CallOp { group, proc: "enqueue".into(), args: item.to_vec() }
+}
+
+/// Build a `dequeue` call op.
+pub fn dequeue(group: GroupId) -> CallOp {
+    CallOp { group, proc: "dequeue".into(), args: Vec::new() }
+}
+
+/// Build a `peek` call op.
+pub fn peek(group: GroupId) -> CallOp {
+    CallOp { group, proc: "peek".into(), args: Vec::new() }
+}
+
+/// Build a `len` call op.
+pub fn len(group: GroupId) -> CallOp {
+    CallOp { group, proc: "len".into(), args: Vec::new() }
+}
+
+/// Decode a `dequeue`/`peek` reply into `Option<Vec<u8>>`.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_item(reply: &[u8]) -> Result<Option<Vec<u8>>, String> {
+    let mut dec = Decoder::new(reply);
+    match dec.u64("queue.present").map_err(|e| e.to_string())? {
+        0 => Ok(None),
+        1 => Ok(Some(dec.bytes("queue.item").map_err(|e| e.to_string())?.to_vec())),
+        other => Err(format!("bad queue discriminant {other}")),
+    }
+}
+
+/// Decode a `len`/`enqueue` reply.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_len(reply: &[u8]) -> Result<u64, String> {
+    Decoder::new(reply).u64("queue.len").map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::gstate::GroupState;
+    use vsr_core::locks::LockTable;
+    use vsr_core::types::{Aid, Mid, ViewId};
+
+    const G: GroupId = GroupId(1);
+
+    /// Run a sequence of ops as committed transactions over an evolving
+    /// state (each op = one transaction, applied on success).
+    struct Harness {
+        gstate: GroupState,
+        module: QueueModule,
+        seq: u64,
+    }
+
+    impl Harness {
+        fn new(capacity: u64) -> Self {
+            Harness { gstate: GroupState::new(), module: QueueModule::new(capacity), seq: 0 }
+        }
+
+        fn run(&mut self, op: &CallOp) -> Result<Value, ModuleError> {
+            let locks = LockTable::new();
+            let aid = Aid { group: G, view: ViewId::initial(Mid(0)), seq: self.seq };
+            self.seq += 1;
+            let mut ctx = TxnCtx::new(&self.gstate, &locks, aid);
+            let result = self.module.execute(&op.proc, &op.args, &mut ctx)?;
+            // Apply as if committed.
+            let accesses = ctx.into_accesses();
+            let record = vsr_core::gstate::CompletedCall {
+                vs: Default::default(),
+                call_id: vsr_core::types::CallId { aid, seq: 0 },
+                accesses,
+                result: result.clone(),
+                nested: Vec::new(),
+            };
+            self.gstate.store_call(aid, record);
+            self.gstate.install_commit(aid);
+            Ok(result)
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut h = Harness::new(8);
+        for item in [b"a".as_slice(), b"b", b"c"] {
+            h.run(&enqueue(G, item)).unwrap();
+        }
+        for expected in [b"a".as_slice(), b"b", b"c"] {
+            let r = h.run(&dequeue(G)).unwrap();
+            assert_eq!(decode_item(r.as_bytes()).unwrap(), Some(expected.to_vec()));
+        }
+        let r = h.run(&dequeue(G)).unwrap();
+        assert_eq!(decode_item(r.as_bytes()).unwrap(), None, "drained");
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut h = Harness::new(8);
+        assert_eq!(decode_len(h.run(&len(G)).unwrap().as_bytes()).unwrap(), 0);
+        h.run(&enqueue(G, b"x")).unwrap();
+        h.run(&enqueue(G, b"y")).unwrap();
+        assert_eq!(decode_len(h.run(&len(G)).unwrap().as_bytes()).unwrap(), 2);
+        h.run(&dequeue(G)).unwrap();
+        assert_eq!(decode_len(h.run(&len(G)).unwrap().as_bytes()).unwrap(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut h = Harness::new(8);
+        h.run(&enqueue(G, b"front")).unwrap();
+        for _ in 0..3 {
+            let r = h.run(&peek(G)).unwrap();
+            assert_eq!(decode_item(r.as_bytes()).unwrap(), Some(b"front".to_vec()));
+        }
+        assert_eq!(decode_len(h.run(&len(G)).unwrap().as_bytes()).unwrap(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced_and_slots_reused() {
+        let mut h = Harness::new(2);
+        h.run(&enqueue(G, b"1")).unwrap();
+        h.run(&enqueue(G, b"2")).unwrap();
+        assert!(matches!(h.run(&enqueue(G, b"3")), Err(ModuleError::App(_))), "full");
+        h.run(&dequeue(G)).unwrap();
+        // Slot freed: a new enqueue reuses it.
+        h.run(&enqueue(G, b"3")).unwrap();
+        let r = h.run(&dequeue(G)).unwrap();
+        assert_eq!(decode_item(r.as_bytes()).unwrap(), Some(b"2".to_vec()));
+        let r = h.run(&dequeue(G)).unwrap();
+        assert_eq!(decode_item(r.as_bytes()).unwrap(), Some(b"3".to_vec()));
+    }
+
+    #[test]
+    fn long_run_wraps_indices() {
+        let mut h = Harness::new(3);
+        for i in 0..50u64 {
+            h.run(&enqueue(G, format!("{i}").as_bytes())).unwrap();
+            let r = h.run(&dequeue(G)).unwrap();
+            assert_eq!(
+                decode_item(r.as_bytes()).unwrap(),
+                Some(format!("{i}").into_bytes()),
+                "wraparound preserves FIFO"
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! An airline-reservation module — the paper's motivating example: "in
+//! airline reservation systems the failure of a single computer can
+//! prevent ticket sales for a considerable time" (Section 1).
+//!
+//! Each flight is one atomic object holding `(capacity, booked)`.
+//!
+//! Procedures:
+//!
+//! | procedure       | args | result |
+//! |-----------------|------|--------|
+//! | `create_flight` | flight, capacity | empty |
+//! | `reserve`       | flight, seats | seats remaining (error if full) |
+//! | `cancel`        | flight, seats | seats remaining |
+//! | `available`     | flight | seats remaining |
+
+use crate::codec::{Decoder, Encoder};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::Value;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::types::{GroupId, ObjectId};
+
+/// The reservation module, optionally pre-populated with flights.
+#[derive(Debug, Clone, Default)]
+pub struct ReservationModule {
+    initial_flights: Vec<(u64, u64)>,
+}
+
+impl ReservationModule {
+    /// No initial flights.
+    pub fn new() -> Self {
+        ReservationModule::default()
+    }
+
+    /// Start with the given `(flight, capacity)` pairs, all unbooked.
+    pub fn with_flights(flights: Vec<(u64, u64)>) -> Self {
+        ReservationModule { initial_flights: flights }
+    }
+}
+
+fn encode_flight(capacity: u64, booked: u64) -> Value {
+    Value(Encoder::new().u64(capacity).u64(booked).finish())
+}
+
+fn decode_flight(v: &Value) -> Result<(u64, u64), ModuleError> {
+    let mut dec = Decoder::new(v.as_bytes());
+    let capacity = dec.u64("flight.capacity").map_err(|e| ModuleError::App(e.to_string()))?;
+    let booked = dec.u64("flight.booked").map_err(|e| ModuleError::App(e.to_string()))?;
+    Ok((capacity, booked))
+}
+
+impl Module for ReservationModule {
+    fn execute(
+        &self,
+        proc: &str,
+        args: &[u8],
+        ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        let mut dec = Decoder::new(args);
+        let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
+        match proc {
+            "create_flight" => {
+                let flight = dec.u64("create.flight").map_err(bad)?;
+                let capacity = dec.u64("create.capacity").map_err(bad)?;
+                if ctx.read(ObjectId(flight))?.is_some() {
+                    return Err(ModuleError::App(format!("flight {flight} already exists")));
+                }
+                ctx.write(ObjectId(flight), encode_flight(capacity, 0))?;
+                Ok(Value::empty())
+            }
+            "reserve" => {
+                let flight = dec.u64("reserve.flight").map_err(bad)?;
+                let seats = dec.u64("reserve.seats").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(flight))?
+                    .ok_or_else(|| ModuleError::App(format!("no flight {flight}")))?;
+                let (capacity, booked) = decode_flight(&v)?;
+                let new_booked = booked
+                    .checked_add(seats)
+                    .filter(|&b| b <= capacity)
+                    .ok_or_else(|| {
+                        ModuleError::App(format!(
+                            "flight {flight} full: {booked}/{capacity} booked, {seats} requested"
+                        ))
+                    })?;
+                ctx.write(ObjectId(flight), encode_flight(capacity, new_booked))?;
+                Ok(Value(Encoder::new().u64(capacity - new_booked).finish()))
+            }
+            "cancel" => {
+                let flight = dec.u64("cancel.flight").map_err(bad)?;
+                let seats = dec.u64("cancel.seats").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(flight))?
+                    .ok_or_else(|| ModuleError::App(format!("no flight {flight}")))?;
+                let (capacity, booked) = decode_flight(&v)?;
+                let new_booked = booked.checked_sub(seats).ok_or_else(|| {
+                    ModuleError::App(format!("cancel of {seats} exceeds {booked} booked"))
+                })?;
+                ctx.write(ObjectId(flight), encode_flight(capacity, new_booked))?;
+                Ok(Value(Encoder::new().u64(capacity - new_booked).finish()))
+            }
+            "available" => {
+                let flight = dec.u64("available.flight").map_err(bad)?;
+                let v = ctx
+                    .read(ObjectId(flight))?
+                    .ok_or_else(|| ModuleError::App(format!("no flight {flight}")))?;
+                let (capacity, booked) = decode_flight(&v)?;
+                Ok(Value(Encoder::new().u64(capacity - booked).finish()))
+            }
+            other => Err(ModuleError::UnknownProcedure(other.to_string())),
+        }
+    }
+
+    fn initial_objects(&self) -> Vec<(ObjectId, Value)> {
+        self.initial_flights
+            .iter()
+            .map(|&(flight, capacity)| (ObjectId(flight), encode_flight(capacity, 0)))
+            .collect()
+    }
+}
+
+/// Build a `create_flight` call op.
+pub fn create_flight(group: GroupId, flight: u64, capacity: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "create_flight".into(),
+        args: Encoder::new().u64(flight).u64(capacity).finish(),
+    }
+}
+
+/// Build a `reserve` call op.
+pub fn reserve(group: GroupId, flight: u64, seats: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "reserve".into(),
+        args: Encoder::new().u64(flight).u64(seats).finish(),
+    }
+}
+
+/// Build a `cancel` call op.
+pub fn cancel(group: GroupId, flight: u64, seats: u64) -> CallOp {
+    CallOp {
+        group,
+        proc: "cancel".into(),
+        args: Encoder::new().u64(flight).u64(seats).finish(),
+    }
+}
+
+/// Build an `available` call op.
+pub fn available(group: GroupId, flight: u64) -> CallOp {
+    CallOp { group, proc: "available".into(), args: Encoder::new().u64(flight).finish() }
+}
+
+/// Decode a seats-remaining reply.
+///
+/// # Errors
+///
+/// Returns an error string if the reply is malformed.
+pub fn decode_seats(reply: &[u8]) -> Result<u64, String> {
+    Decoder::new(reply).u64("seats").map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::gstate::GroupState;
+    use vsr_core::locks::LockTable;
+    use vsr_core::types::{Aid, Mid, ViewId};
+
+    const G: GroupId = GroupId(1);
+
+    fn aid() -> Aid {
+        Aid { group: G, view: ViewId::initial(Mid(0)), seq: 0 }
+    }
+
+    fn state(flights: Vec<(u64, u64)>) -> GroupState {
+        GroupState::with_objects(ReservationModule::with_flights(flights).initial_objects())
+    }
+
+    fn run(g: &GroupState, op: &CallOp) -> Result<Value, ModuleError> {
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(g, &locks, aid());
+        ReservationModule::new().execute(&op.proc, &op.args, &mut ctx)
+    }
+
+    #[test]
+    fn reserve_decrements_availability() {
+        let g = state(vec![(1, 100)]);
+        let r = run(&g, &reserve(G, 1, 3)).unwrap();
+        assert_eq!(decode_seats(r.as_bytes()).unwrap(), 97);
+    }
+
+    #[test]
+    fn overbooking_refused() {
+        let g = state(vec![(1, 2)]);
+        let err = run(&g, &reserve(G, 1, 3)).unwrap_err();
+        assert!(matches!(err, ModuleError::App(msg) if msg.contains("full")));
+    }
+
+    #[test]
+    fn exact_capacity_allowed() {
+        let g = state(vec![(1, 2)]);
+        let r = run(&g, &reserve(G, 1, 2)).unwrap();
+        assert_eq!(decode_seats(r.as_bytes()).unwrap(), 0);
+    }
+
+    #[test]
+    fn cancel_restores_seats() {
+        let g = state(vec![(1, 10)]);
+        // Simulate a committed booking by constructing the state directly.
+        let g2 = GroupState::with_objects([(ObjectId(1), encode_flight(10, 4))]);
+        let r = run(&g2, &cancel(G, 1, 4)).unwrap();
+        assert_eq!(decode_seats(r.as_bytes()).unwrap(), 10);
+        let _ = g;
+    }
+
+    #[test]
+    fn cancel_more_than_booked_refused() {
+        let g = GroupState::with_objects([(ObjectId(1), encode_flight(10, 1))]);
+        assert!(run(&g, &cancel(G, 1, 2)).is_err());
+    }
+
+    #[test]
+    fn available_reads_without_write() {
+        let g = GroupState::with_objects([(ObjectId(1), encode_flight(10, 4))]);
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid());
+        let r = ReservationModule::new()
+            .execute("available", &available(G, 1).args, &mut ctx)
+            .unwrap();
+        assert_eq!(decode_seats(r.as_bytes()).unwrap(), 6);
+        let accesses = ctx.into_accesses();
+        assert!(accesses.iter().all(|a| a.written.is_none()), "read-only call");
+    }
+
+    #[test]
+    fn unknown_flight_refused() {
+        let g = state(vec![]);
+        assert!(run(&g, &reserve(G, 5, 1)).is_err());
+        assert!(run(&g, &available(G, 5)).is_err());
+    }
+
+    #[test]
+    fn duplicate_create_refused() {
+        let g = state(vec![(1, 10)]);
+        assert!(run(&g, &create_flight(G, 1, 5)).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the application modules against reference
+//! models.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use vsr_app::codec::{Decoder, Encoder};
+use vsr_app::queue::{self, QueueModule};
+use vsr_core::cohort::CallOp;
+use vsr_core::gstate::{CompletedCall, GroupState, Value};
+use vsr_core::module::{Module, ModuleError, TxnCtx};
+use vsr_core::locks::LockTable;
+use vsr_core::types::{Aid, CallId, GroupId, Mid, ObjectId, ViewId};
+
+const G: GroupId = GroupId(1);
+
+/// Run one op as a committed transaction over evolving state.
+fn run_committed(
+    gstate: &mut GroupState,
+    module: &dyn Module,
+    seq: &mut u64,
+    op: &CallOp,
+) -> Result<Value, ModuleError> {
+    let locks = LockTable::new();
+    let aid = Aid { group: G, view: ViewId::initial(Mid(0)), seq: *seq };
+    *seq += 1;
+    let mut ctx = TxnCtx::new(gstate, &locks, aid);
+    let result = module.execute(&op.proc, &op.args, &mut ctx)?;
+    let accesses = ctx.into_accesses();
+    gstate.store_call(
+        aid,
+        CompletedCall {
+            vs: Default::default(),
+            call_id: CallId { aid, seq: 0 },
+            accesses,
+            result: result.clone(),
+            nested: Vec::new(),
+        },
+    );
+    gstate.install_commit(aid);
+    Ok(result)
+}
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Enqueue(Vec<u8>),
+    Dequeue,
+    Peek,
+    Len,
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        3 => prop::collection::vec(any::<u8>(), 0..6).prop_map(QueueOp::Enqueue),
+        3 => Just(QueueOp::Dequeue),
+        1 => Just(QueueOp::Peek),
+        1 => Just(QueueOp::Len),
+    ]
+}
+
+proptest! {
+    /// The replicated queue behaves exactly like VecDeque under any
+    /// operation sequence (including wraparound and capacity refusals).
+    #[test]
+    fn queue_matches_vecdeque_model(
+        capacity in 1u64..6,
+        ops in prop::collection::vec(arb_queue_op(), 1..60),
+    ) {
+        let module = QueueModule::new(capacity);
+        let mut gstate = GroupState::new();
+        let mut seq = 0;
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        for op in ops {
+            match op {
+                QueueOp::Enqueue(item) => {
+                    let result =
+                        run_committed(&mut gstate, &module, &mut seq, &queue::enqueue(G, &item));
+                    if (model.len() as u64) < capacity {
+                        let r = result.expect("enqueue succeeds below capacity");
+                        model.push_back(item);
+                        prop_assert_eq!(
+                            queue::decode_len(r.as_bytes()).unwrap(),
+                            model.len() as u64
+                        );
+                    } else {
+                        prop_assert!(result.is_err(), "full queue refuses");
+                    }
+                }
+                QueueOp::Dequeue => {
+                    let r = run_committed(&mut gstate, &module, &mut seq, &queue::dequeue(G))
+                        .expect("dequeue never errors");
+                    let item = queue::decode_item(r.as_bytes()).unwrap();
+                    prop_assert_eq!(item, model.pop_front());
+                }
+                QueueOp::Peek => {
+                    let r = run_committed(&mut gstate, &module, &mut seq, &queue::peek(G))
+                        .expect("peek never errors");
+                    let item = queue::decode_item(r.as_bytes()).unwrap();
+                    prop_assert_eq!(item, model.front().cloned());
+                }
+                QueueOp::Len => {
+                    let r = run_committed(&mut gstate, &module, &mut seq, &queue::len(G))
+                        .expect("len never errors");
+                    prop_assert_eq!(
+                        queue::decode_len(r.as_bytes()).unwrap(),
+                        model.len() as u64
+                    );
+                }
+            }
+        }
+    }
+
+    /// Codec roundtrip: any sequence of u64/bytes/str fields decodes back
+    /// exactly.
+    #[test]
+    fn codec_roundtrip(
+        fields in prop::collection::vec(
+            prop_oneof![
+                any::<u64>().prop_map(|v| (0u8, v, Vec::new(), String::new())),
+                prop::collection::vec(any::<u8>(), 0..20)
+                    .prop_map(|b| (1u8, 0, b, String::new())),
+                "[a-z]{0,12}".prop_map(|s| (2u8, 0, Vec::new(), s)),
+            ],
+            0..10,
+        ),
+    ) {
+        let mut enc = Encoder::new();
+        for (tag, n, b, s) in &fields {
+            enc = match tag {
+                0 => enc.u64(*n),
+                1 => enc.bytes(b),
+                _ => enc.str(s),
+            };
+        }
+        let raw = enc.finish();
+        let mut dec = Decoder::new(&raw);
+        for (tag, n, b, s) in &fields {
+            match tag {
+                0 => prop_assert_eq!(dec.u64("f").unwrap(), *n),
+                1 => prop_assert_eq!(dec.bytes("f").unwrap(), b.as_slice()),
+                _ => prop_assert_eq!(dec.str("f").unwrap(), s.as_str()),
+            }
+        }
+        prop_assert!(dec.is_exhausted());
+    }
+
+    /// The bank's balance arithmetic matches a model ledger under any
+    /// committed deposit/withdraw sequence.
+    #[test]
+    fn bank_matches_model(
+        ops in prop::collection::vec((0u64..3, any::<bool>(), 0u64..200), 1..40),
+    ) {
+        use vsr_app::bank::{self, BankModule};
+        let module = BankModule::with_accounts(vec![(0, 500), (1, 500), (2, 500)]);
+        let mut gstate = GroupState::with_objects(
+            module.initial_objects().into_iter().collect::<Vec<(ObjectId, Value)>>(),
+        );
+        let mut seq = 0;
+        let mut model = [500u64, 500, 500];
+        for (acct, is_deposit, amount) in ops {
+            let op = if is_deposit {
+                bank::deposit(G, acct, amount)
+            } else {
+                bank::withdraw(G, acct, amount)
+            };
+            let result = run_committed(&mut gstate, &module, &mut seq, &op);
+            if is_deposit {
+                let r = result.expect("deposit in range succeeds");
+                model[acct as usize] += amount;
+                prop_assert_eq!(bank::decode_balance(r.as_bytes()).unwrap(), model[acct as usize]);
+            } else if amount <= model[acct as usize] {
+                let r = result.expect("covered withdrawal succeeds");
+                model[acct as usize] -= amount;
+                prop_assert_eq!(bank::decode_balance(r.as_bytes()).unwrap(), model[acct as usize]);
+            } else {
+                prop_assert!(result.is_err(), "overdraft refused");
+            }
+        }
+        // Final state agrees everywhere.
+        for (acct, expected) in model.iter().enumerate() {
+            let r = run_committed(&mut gstate, &module, &mut seq, &bank::balance(G, acct as u64))
+                .unwrap();
+            prop_assert_eq!(bank::decode_balance(r.as_bytes()).unwrap(), *expected);
+        }
+    }
+}

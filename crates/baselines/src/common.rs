@@ -1,0 +1,57 @@
+//! Shared plumbing for the baseline replication schemes.
+//!
+//! The baselines exist to reproduce the *comparative* claims of
+//! Section 5 of the paper (message counts, latency, availability,
+//! information flow), so they model each scheme's communication and
+//! blocking structure faithfully while keeping application semantics
+//! minimal (a register / versioned value per scheme).
+
+/// Statistics for one completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Ticks from submission to completion.
+    pub latency: u64,
+    /// Messages sent while the operation ran (scheme-wide).
+    pub messages: u64,
+    /// Bytes sent while the operation ran (scheme-wide).
+    pub bytes: u64,
+}
+
+/// The outcome of attempting one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The operation completed.
+    Done(OpStats),
+    /// The operation could not complete before the deadline (the scheme
+    /// was unavailable).
+    Unavailable,
+}
+
+impl OpOutcome {
+    /// The stats, if the operation completed.
+    pub fn stats(&self) -> Option<OpStats> {
+        match self {
+            OpOutcome::Done(s) => Some(*s),
+            OpOutcome::Unavailable => None,
+        }
+    }
+
+    /// Whether the operation completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, OpOutcome::Done(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let done = OpOutcome::Done(OpStats { latency: 5, messages: 3, bytes: 100 });
+        assert!(done.is_done());
+        assert_eq!(done.stats().unwrap().latency, 5);
+        assert!(!OpOutcome::Unavailable.is_done());
+        assert_eq!(OpOutcome::Unavailable.stats(), None);
+    }
+}

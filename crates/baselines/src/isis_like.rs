@@ -1,0 +1,240 @@
+//! Baseline: an Isis-style replication model (Birman & Joseph).
+//!
+//! In Isis (Section 5), calls go to a single cohort; writes acquire
+//! write locks at *all* cohorts (a two-phase lock acquisition round),
+//! and the effects of reads and writes are communicated "in background
+//! mode, and piggyback\[ed\] on reply messages. This piggybacked
+//! information accompanies all future client messages … Unlike our pset,
+//! however, piggybacked information in Isis cannot be discarded when
+//! transactions commit. A disadvantage of Isis is the large amount of
+//! extra information flowing on every message, and the difficulty in
+//! garbage collecting that information."
+//!
+//! The model tracks exactly that tradeoff for experiment E9: the
+//! client's piggyback set grows with every completed call and is
+//! attached to every subsequent message, whereas VR's pset holds only
+//! the current transaction's entries and is discarded at commit.
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+/// Bytes per piggybacked effect entry (event description + vector-clock
+/// metadata; deliberately the same order of magnitude as a VR pset
+/// entry so the comparison isolates *growth*, not constant factors).
+pub const EFFECT_ENTRY_BYTES: usize = 32;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// Acquire a write lock (sent to every cohort before a write).
+    LockReq { op: u64 },
+    LockAck { op: u64 },
+    /// The call itself, carrying the piggyback set.
+    Call { op: u64, piggyback_entries: u64 },
+    Reply { op: u64, piggyback_entries: u64 },
+}
+
+/// The Isis-like baseline: client node 0, cohorts `1..=n`.
+#[derive(Debug)]
+pub struct IsisLike {
+    net: SimNet<Msg, ()>,
+    n: u64,
+    next_op: u64,
+    op_timeout: u64,
+    /// The client's accumulated piggyback entries (never discarded).
+    pub piggyback_entries: u64,
+}
+
+const CLIENT: u64 = 0;
+
+impl IsisLike {
+    /// Create a cohort set of size `n`.
+    pub fn new(net_cfg: NetConfig, n: u64) -> Self {
+        IsisLike { net: SimNet::new(net_cfg), n, next_op: 0, op_timeout: 1_000, piggyback_entries: 0 }
+    }
+
+    fn msg_size(&self, base: usize) -> usize {
+        base + self.piggyback_entries as usize * EFFECT_ENTRY_BYTES
+    }
+
+    /// Perform a write call: lock acquisition at all cohorts, then the
+    /// call at one cohort. Every message carries the piggyback set; the
+    /// completed call adds `effects` new entries to it.
+    pub fn write_call(&mut self, effects: u64) -> OpOutcome {
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+
+        // Two-phase write-lock acquisition at all cohorts.
+        for r in 1..=self.n {
+            let size = self.msg_size(32);
+            self.net.send(CLIENT, r, Msg::LockReq { op }, size);
+        }
+        let mut acks = 0;
+        while acks < self.n {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::LockReq { op: o }, .. } if to != CLIENT => {
+                    self.net.send(to, CLIENT, Msg::LockAck { op: o }, 24);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::LockAck { op: o }, .. } if o == op => {
+                    acks += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // The call at one cohort.
+        let call_size = self.msg_size(96);
+        self.net.send(
+            CLIENT,
+            1,
+            Msg::Call { op, piggyback_entries: self.piggyback_entries },
+            call_size,
+        );
+        loop {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::Call { op: o, piggyback_entries }, .. }
+                    if to != CLIENT =>
+                {
+                    let size =
+                        96 + (piggyback_entries + effects) as usize * EFFECT_ENTRY_BYTES;
+                    self.net.send(
+                        to,
+                        CLIENT,
+                        Msg::Reply { op: o, piggyback_entries: piggyback_entries + effects },
+                        size,
+                    );
+                }
+                Event::Deliver {
+                    to: CLIENT,
+                    msg: Msg::Reply { op: o, piggyback_entries },
+                    ..
+                } if o == op => {
+                    // "This piggybacked information accompanies all
+                    // future client messages" — and is never discarded.
+                    self.piggyback_entries = piggyback_entries;
+                    return OpOutcome::Done(OpStats {
+                        latency: self.net.now() - start,
+                        messages: self.net.stats().sent - msgs_before,
+                        bytes: self.net.stats().bytes_sent - bytes_before,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Perform a read call: local locking at one cohort, single round
+    /// trip, still carrying the piggyback set.
+    pub fn read_call(&mut self) -> OpOutcome {
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+        let size = self.msg_size(64);
+        self.net
+            .send(CLIENT, 1, Msg::Call { op, piggyback_entries: self.piggyback_entries }, size);
+        loop {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::Call { op: o, piggyback_entries }, .. }
+                    if to != CLIENT =>
+                {
+                    // Reads acquire a local read lock; their effect ("a
+                    // read lock has been acquired", footnote 3) is also
+                    // piggybacked.
+                    let size = 64 + (piggyback_entries + 1) as usize * EFFECT_ENTRY_BYTES;
+                    self.net.send(
+                        to,
+                        CLIENT,
+                        Msg::Reply { op: o, piggyback_entries: piggyback_entries + 1 },
+                        size,
+                    );
+                }
+                Event::Deliver {
+                    to: CLIENT,
+                    msg: Msg::Reply { op: o, piggyback_entries },
+                    ..
+                } if o == op => {
+                    self.piggyback_entries = piggyback_entries;
+                    return OpOutcome::Done(OpStats {
+                        latency: self.net.now() - start,
+                        messages: self.net.stats().sent - msgs_before,
+                        bytes: self.net.stats().bytes_sent - bytes_before,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The current size in bytes of the piggyback attached to every
+    /// outgoing client message.
+    pub fn piggyback_bytes(&self) -> usize {
+        self.piggyback_entries as usize * EFFECT_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piggyback_grows_without_bound() {
+        let mut sim = IsisLike::new(NetConfig::reliable(1), 3);
+        let mut last = 0;
+        for _ in 0..10 {
+            sim.write_call(2).stats().unwrap();
+            assert!(sim.piggyback_bytes() > last, "piggyback only grows");
+            last = sim.piggyback_bytes();
+        }
+        assert_eq!(sim.piggyback_entries, 20);
+    }
+
+    #[test]
+    fn message_bytes_grow_with_history() {
+        let mut sim = IsisLike::new(NetConfig::reliable(1), 3);
+        let first = sim.write_call(2).stats().unwrap();
+        for _ in 0..20 {
+            sim.write_call(2);
+        }
+        let late = sim.write_call(2).stats().unwrap();
+        assert!(
+            late.bytes > first.bytes * 2,
+            "per-op bytes grow with history: {} -> {}",
+            first.bytes,
+            late.bytes
+        );
+    }
+
+    #[test]
+    fn write_lock_round_costs_two_n_messages() {
+        let mut sim = IsisLike::new(NetConfig::reliable(1), 5);
+        let stats = sim.write_call(1).stats().unwrap();
+        // 5 lock reqs + 5 acks + call + reply.
+        assert_eq!(stats.messages, 12);
+    }
+
+    #[test]
+    fn reads_are_single_round_trip() {
+        let mut sim = IsisLike::new(NetConfig::reliable(1), 5);
+        let stats = sim.read_call().stats().unwrap();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(sim.piggyback_entries, 1, "read-lock effect piggybacked");
+    }
+}

@@ -1,0 +1,36 @@
+//! # Baseline replication schemes
+//!
+//! Implementations of the systems Section 5 of the Viewstamped
+//! Replication paper compares against, each modeled at the fidelity the
+//! comparison requires (message structure, blocking behavior,
+//! information flow):
+//!
+//! * [`voting`] — weighted voting / quorum consensus (Gifford, Herlihy):
+//!   message-count and availability comparisons (E2, E6).
+//! * [`replicated_rpc`] — Cooper's replicated remote procedure calls:
+//!   every troupe member executes every call (E2).
+//! * [`isis_like`] — an Isis-style model with unbounded piggybacked
+//!   effect information (E9).
+//! * [`primary_pair`] — a Tandem/Auragen-style process pair: efficient
+//!   but survives only a single failure (E6).
+//! * [`unreplicated`] — a single server with simulated stable storage,
+//!   the conventional-system correspondence of Section 3.7 (E1, E3).
+//! * [`virtual_partitions`] — the three-phase view change protocol that
+//!   VR's one-round algorithm improves on (E4).
+//!
+//! All baselines run on the same deterministic network simulator as the
+//! VR implementation itself, so latency and message comparisons share a
+//! fault model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod isis_like;
+pub mod primary_pair;
+pub mod replicated_rpc;
+pub mod unreplicated;
+pub mod virtual_partitions;
+pub mod voting;
+
+pub use common::{OpOutcome, OpStats};

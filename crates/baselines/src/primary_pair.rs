@@ -1,0 +1,163 @@
+//! Baseline: a Tandem/Auragen-style primary/backup pair (Section 5).
+//!
+//! "Tandem's Nonstop system and the Auragen system are primary copy
+//! methods but there is just one backup, so they can survive only a
+//! single failure. Furthermore, the primary/backup pair must reside at a
+//! single node … If these constraints are acceptable, these methods are
+//! efficient. Ours is more general."
+//!
+//! Model: a primary (node 1) and one backup (node 2). A write executes
+//! at the primary and is checkpointed synchronously to the backup before
+//! the reply. If the primary fails, the backup takes over instantly
+//! (they share a node/fast interconnect); if both fail, the service is
+//! down until one recovers — and unlike VR there is no third cohort to
+//! re-form around.
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    Write { op: u64 },
+    Checkpoint { op: u64 },
+    CheckpointAck { op: u64 },
+    Reply { op: u64 },
+}
+
+/// The primary/backup pair baseline: client node 0, pair nodes 1 and 2.
+#[derive(Debug)]
+pub struct PrimaryPair {
+    net: SimNet<Msg, ()>,
+    crashed: [bool; 2],
+    next_op: u64,
+    op_timeout: u64,
+}
+
+const CLIENT: u64 = 0;
+
+impl PrimaryPair {
+    /// Create the pair.
+    pub fn new(net_cfg: NetConfig) -> Self {
+        PrimaryPair { net: SimNet::new(net_cfg), crashed: [false, false], next_op: 0, op_timeout: 1_000 }
+    }
+
+    /// Crash pair member 1 or 2.
+    pub fn crash(&mut self, member: u64) {
+        assert!((1..=2).contains(&member));
+        self.crashed[(member - 1) as usize] = true;
+        self.net.crash(member);
+    }
+
+    /// Recover a pair member (process pairs restart from the survivor's
+    /// state; if both are down the service state is lost — we model
+    /// recovery as rejoining only when the other member stayed up).
+    pub fn recover(&mut self, member: u64) {
+        assert!((1..=2).contains(&member));
+        let other = 2 - (member - 1) as usize - 1;
+        if self.crashed[other] {
+            // Both were down: the pair cannot restart (state lost).
+            return;
+        }
+        self.crashed[(member - 1) as usize] = false;
+        self.net.recover(member);
+    }
+
+    /// Whether the pair can serve requests.
+    pub fn available(&self) -> bool {
+        self.crashed.iter().any(|c| !c)
+    }
+
+    fn acting_primary(&self) -> Option<u64> {
+        self.crashed.iter().position(|&c| !c).map(|i| (i + 1) as u64)
+    }
+
+    /// Perform a write: execute at the acting primary, checkpoint to the
+    /// backup if it is up, reply.
+    pub fn write(&mut self) -> OpOutcome {
+        let Some(primary) = self.acting_primary() else { return OpOutcome::Unavailable };
+        let backup_up = !self.crashed[(2 - primary) as usize];
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+        self.net.send(CLIENT, primary, Msg::Write { op }, 96);
+        loop {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::Write { op: o }, .. } if to == primary => {
+                    if backup_up {
+                        let backup = 3 - primary;
+                        self.net.send(primary, backup, Msg::Checkpoint { op: o }, 96);
+                    } else {
+                        self.net.send(primary, CLIENT, Msg::Reply { op: o }, 64);
+                    }
+                }
+                Event::Deliver { to, msg: Msg::Checkpoint { op: o }, .. } if to != CLIENT => {
+                    self.net.send(to, primary, Msg::CheckpointAck { op: o }, 24);
+                }
+                Event::Deliver { to, msg: Msg::CheckpointAck { op: o }, .. }
+                    if to == primary =>
+                {
+                    self.net.send(primary, CLIENT, Msg::Reply { op: o }, 64);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::Reply { op: o }, .. } if o == op => {
+                    return OpOutcome::Done(OpStats {
+                        latency: self.net.now() - start,
+                        messages: self.net.stats().sent - msgs_before,
+                        bytes: self.net.stats().bytes_sent - bytes_before,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_write_checkpoints_to_backup() {
+        let mut pair = PrimaryPair::new(NetConfig::reliable(1));
+        let stats = pair.write().stats().unwrap();
+        assert_eq!(stats.messages, 4, "write + checkpoint + ack + reply");
+    }
+
+    #[test]
+    fn survives_one_failure() {
+        let mut pair = PrimaryPair::new(NetConfig::reliable(1));
+        pair.crash(1);
+        assert!(pair.available());
+        let stats = pair.write().stats().unwrap();
+        assert_eq!(stats.messages, 2, "no backup to checkpoint");
+    }
+
+    #[test]
+    fn double_failure_is_fatal() {
+        let mut pair = PrimaryPair::new(NetConfig::reliable(1));
+        pair.crash(1);
+        pair.crash(2);
+        assert!(!pair.available());
+        assert!(!pair.write().is_done());
+        // Recovery after losing both does not restore service (state
+        // lost) — the contrast with VR's view change around survivors.
+        pair.recover(1);
+        assert!(!pair.available());
+    }
+
+    #[test]
+    fn recovery_with_survivor_restores_pair() {
+        let mut pair = PrimaryPair::new(NetConfig::reliable(1));
+        pair.crash(2);
+        assert!(pair.write().is_done());
+        pair.recover(2);
+        let stats = pair.write().stats().unwrap();
+        assert_eq!(stats.messages, 4, "checkpointing resumed");
+    }
+}

@@ -1,0 +1,120 @@
+//! Baseline: replicated remote procedure calls (Cooper 1985).
+//!
+//! "Each procedure call is replicated and executed at every cohort of a
+//! server. This technique has high overhead during normal system
+//! operation: it requires lots of messages, is wasteful of computation,
+//! and requires that programs be deterministic. The advantage of the
+//! method is that recovery is inexpensive." (Section 5.)
+//!
+//! Model: a client *troupe* of size one calls a server troupe of size
+//! `n`; every member executes the call and every member replies
+//! (one-to-many call, many-to-one reply). The call completes when all
+//! live members reply (Cooper's semantics need all members to stay in
+//! sync; we also report the cheaper first-reply latency for reference).
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    Call { op: u64 },
+    Reply { op: u64 },
+}
+
+/// The replicated-RPC baseline: client node 0, server troupe nodes
+/// `1..=n`.
+#[derive(Debug)]
+pub struct ReplicatedRpc {
+    net: SimNet<Msg, ()>,
+    n: u64,
+    next_op: u64,
+    op_timeout: u64,
+    /// Total procedure executions performed by the troupe ("wasteful of
+    /// computation": n per logical call).
+    pub executions: u64,
+}
+
+const CLIENT: u64 = 0;
+
+impl ReplicatedRpc {
+    /// Create a server troupe of `n` members.
+    pub fn new(net_cfg: NetConfig, n: u64) -> Self {
+        ReplicatedRpc { net: SimNet::new(net_cfg), n, next_op: 0, op_timeout: 1_000, executions: 0 }
+    }
+
+    /// Crash a troupe member.
+    pub fn crash(&mut self, replica: u64) {
+        self.net.crash(replica);
+    }
+
+    /// Execute one replicated call: one-to-many call, many-to-one reply,
+    /// complete on the `replies_needed`-th reply (pass `n` for full
+    /// troupe semantics, `1` for first-reply latency).
+    pub fn call(&mut self, replies_needed: u64) -> OpOutcome {
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+        for r in 1..=self.n {
+            self.net.send(CLIENT, r, Msg::Call { op }, 96);
+        }
+        let mut replies = 0u64;
+        while replies < replies_needed {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::Call { op: o }, .. } if to != CLIENT => {
+                    self.executions += 1;
+                    self.net.send(to, CLIENT, Msg::Reply { op: o }, 96);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::Reply { op: o }, .. } if o == op => {
+                    replies += 1;
+                }
+                _ => {}
+            }
+        }
+        OpOutcome::Done(OpStats {
+            latency: self.net.now() - start,
+            messages: self.net.stats().sent - msgs_before,
+            bytes: self.net.stats().bytes_sent - bytes_before,
+        })
+    }
+
+    /// Troupe size.
+    pub fn troupe_size(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_costs_two_n_messages() {
+        let mut sim = ReplicatedRpc::new(NetConfig::reliable(1), 3);
+        let stats = sim.call(3).stats().unwrap();
+        assert_eq!(stats.messages, 6, "n calls + n replies");
+        assert_eq!(sim.executions, 3, "every member executes");
+    }
+
+    #[test]
+    fn execution_waste_scales_with_n() {
+        let mut sim = ReplicatedRpc::new(NetConfig::reliable(1), 7);
+        sim.call(7);
+        sim.call(7);
+        assert_eq!(sim.executions, 14);
+    }
+
+    #[test]
+    fn full_troupe_blocks_on_crash_but_first_reply_does_not() {
+        let mut sim = ReplicatedRpc::new(NetConfig::reliable(1), 3);
+        sim.crash(3);
+        assert!(!sim.call(3).is_done(), "full-troupe semantics block");
+        assert!(sim.call(1).is_done(), "first-reply still served");
+    }
+}

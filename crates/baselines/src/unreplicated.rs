@@ -1,0 +1,137 @@
+//! Baseline: an unreplicated server with (simulated) stable storage.
+//!
+//! The comparison target of Section 3.7: a conventional transaction
+//! system forces data records to stable storage before preparing and the
+//! commit record at commit time. VR replaces each forced disk write with
+//! a forced buffer (network round trip to a sub-majority), so "our
+//! method will be faster than using non-replicated clients and servers
+//! if communication is faster than writing to stable storage" — the
+//! crossover explored by experiment E3.
+//!
+//! The model: one server node; a write operation executes immediately
+//! and then forces a data record to disk (`disk_latency` ticks); commit
+//! forces a commit record. Reads touch no disk. The client is co-located
+//! latency-wise with VR's client (same network delays).
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+/// Messages between the client (node 0) and the server (node 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// Execute a write and force it (durably) before replying.
+    Write,
+    /// Execute a read (no disk force).
+    Read,
+    /// Reply to either.
+    Reply,
+}
+
+/// Timers: disk completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tm {
+    DiskDone,
+}
+
+/// The unreplicated baseline simulation.
+#[derive(Debug)]
+pub struct Unreplicated {
+    net: SimNet<Msg, Tm>,
+    disk_latency: u64,
+    /// Forced disk writes performed.
+    pub disk_writes: u64,
+}
+
+const CLIENT: u64 = 0;
+const SERVER: u64 = 1;
+
+impl Unreplicated {
+    /// Create the baseline with the given network and disk latency
+    /// (ticks per forced stable-storage write).
+    pub fn new(net_cfg: NetConfig, disk_latency: u64) -> Self {
+        Unreplicated { net: SimNet::new(net_cfg), disk_latency, disk_writes: 0 }
+    }
+
+    /// Run one write operation to completion; returns its stats.
+    /// A conventional committed write = data force + commit force
+    /// (two stable-storage writes, per Section 3.7's correspondence).
+    pub fn write_txn(&mut self) -> OpOutcome {
+        self.op(Msg::Write, 2)
+    }
+
+    /// Run one read-only operation to completion (no disk force).
+    pub fn read_txn(&mut self) -> OpOutcome {
+        self.op(Msg::Read, 0)
+    }
+
+    fn op(&mut self, msg: Msg, forces: u64) -> OpOutcome {
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        self.net.send(CLIENT, SERVER, msg, 64);
+        let mut pending_forces = forces;
+        loop {
+            let Some((_, event)) = self.net.pop() else {
+                return OpOutcome::Unavailable;
+            };
+            match event {
+                Event::Deliver { to: SERVER, msg, .. } => match msg {
+                    Msg::Write | Msg::Read => {
+                        if pending_forces > 0 {
+                            self.net.set_timer(SERVER, self.disk_latency, Tm::DiskDone);
+                        } else {
+                            self.net.send(SERVER, CLIENT, Msg::Reply, 64);
+                        }
+                    }
+                    Msg::Reply => {}
+                },
+                Event::TimerFire { node: SERVER, timer: Tm::DiskDone } => {
+                    self.disk_writes += 1;
+                    pending_forces -= 1;
+                    if pending_forces > 0 {
+                        self.net.set_timer(SERVER, self.disk_latency, Tm::DiskDone);
+                    } else {
+                        self.net.send(SERVER, CLIENT, Msg::Reply, 64);
+                    }
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::Reply, .. } => {
+                    return OpOutcome::Done(OpStats {
+                        latency: self.net.now() - start,
+                        messages: self.net.stats().sent - msgs_before,
+                        bytes: self.net.stats().bytes_sent - bytes_before,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_pays_two_disk_forces() {
+        let mut sim = Unreplicated::new(NetConfig::reliable(1), 100);
+        let stats = sim.write_txn().stats().unwrap();
+        assert!(stats.latency >= 200, "two disk forces dominate: {}", stats.latency);
+        assert_eq!(sim.disk_writes, 2);
+        assert_eq!(stats.messages, 2, "request + reply");
+    }
+
+    #[test]
+    fn read_pays_no_disk() {
+        let mut sim = Unreplicated::new(NetConfig::reliable(1), 100);
+        let stats = sim.read_txn().stats().unwrap();
+        assert!(stats.latency < 100, "read latency is pure network: {}", stats.latency);
+        assert_eq!(sim.disk_writes, 0);
+    }
+
+    #[test]
+    fn latency_scales_with_disk() {
+        let fast = Unreplicated::new(NetConfig::reliable(1), 1).write_txn().stats().unwrap();
+        let slow = Unreplicated::new(NetConfig::reliable(1), 50).write_txn().stats().unwrap();
+        assert!(slow.latency > fast.latency);
+    }
+}

@@ -1,0 +1,146 @@
+//! Baseline: the virtual partitions view-change protocol (El Abbadi,
+//! Skeen & Cristian 1985), which the paper's view change algorithm
+//! simplifies and improves (Section 5):
+//!
+//! "The virtual partitions protocol requires three phases. The first
+//! round establishes the new view, the second informs the cohorts of the
+//! new view, and in the third, the cohorts all communicate with one
+//! another to find out the current state. We avoid extra work by using
+//! viewstamps in phase 1 (the first round) to determine what each cohort
+//! knows."
+//!
+//! Model: a manager (node 1) and `n - 1` other cohorts. Phase 1:
+//! propose/accept round. Phase 2: announce the new view (acknowledged).
+//! Phase 3: all-to-all state exchange among the view members. The
+//! experiment (E4) compares messages and completion time against VR's
+//! one round (+ one message when the manager is not the new primary,
+//! + the newview record distribution which VR piggybacks on its
+//!   existing buffer stream).
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    Propose,
+    Accept,
+    NewView,
+    NewViewAck,
+    StateExchange,
+}
+
+/// The virtual-partitions view-change baseline.
+#[derive(Debug)]
+pub struct VirtualPartitions {
+    net: SimNet<Msg, ()>,
+    n: u64,
+}
+
+const MANAGER: u64 = 1;
+
+impl VirtualPartitions {
+    /// Create a group of `n` cohorts (node ids `1..=n`, node 1 manages).
+    pub fn new(net_cfg: NetConfig, n: u64) -> Self {
+        assert!(n >= 2);
+        VirtualPartitions { net: SimNet::new(net_cfg), n }
+    }
+
+    /// Run one complete three-phase view change among all `n` cohorts and
+    /// return its cost.
+    pub fn view_change(&mut self) -> OpOutcome {
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let others: Vec<u64> = (2..=self.n).collect();
+
+        // Phase 1: establish the new view.
+        for &c in &others {
+            self.net.send(MANAGER, c, Msg::Propose, 40);
+        }
+        let mut accepts = 0;
+        while accepts < others.len() {
+            match self.pump() {
+                Some((to, Msg::Propose)) => self.net.send(to, MANAGER, Msg::Accept, 40),
+                Some((MANAGER, Msg::Accept)) => accepts += 1,
+                Some(_) => {}
+                None => return OpOutcome::Unavailable,
+            }
+        }
+
+        // Phase 2: inform cohorts of the new view.
+        for &c in &others {
+            self.net.send(MANAGER, c, Msg::NewView, 56);
+        }
+        let mut acks = 0;
+        while acks < others.len() {
+            match self.pump() {
+                Some((to, Msg::NewView)) => self.net.send(to, MANAGER, Msg::NewViewAck, 24),
+                Some((MANAGER, Msg::NewViewAck)) => acks += 1,
+                Some(_) => {}
+                None => return OpOutcome::Unavailable,
+            }
+        }
+
+        // Phase 3: all members exchange state pairwise to find the
+        // current state.
+        for a in 1..=self.n {
+            for b in 1..=self.n {
+                if a != b {
+                    self.net.send(a, b, Msg::StateExchange, 256);
+                }
+            }
+        }
+        let mut exchanged = 0;
+        let expected = self.n * (self.n - 1);
+        while exchanged < expected {
+            match self.pump() {
+                Some((_, Msg::StateExchange)) => exchanged += 1,
+                Some(_) => {}
+                None => return OpOutcome::Unavailable,
+            }
+        }
+
+        OpOutcome::Done(OpStats {
+            latency: self.net.now() - start,
+            messages: self.net.stats().sent - msgs_before,
+            bytes: self.net.stats().bytes_sent - bytes_before,
+        })
+    }
+
+    fn pump(&mut self) -> Option<(u64, Msg)> {
+        self.net.pop().map(|(_, event)| match event {
+            Event::Deliver { to, msg, .. } => (to, msg),
+            _ => (u64::MAX, Msg::Propose),
+        })
+    }
+
+    /// The analytic message count of a full three-phase change:
+    /// `2(n-1) + 2(n-1) + n(n-1)`.
+    pub fn analytic_messages(n: u64) -> u64 {
+        4 * (n - 1) + n * (n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_phase_message_count_matches_analytic() {
+        for n in [3, 5, 7] {
+            let mut vp = VirtualPartitions::new(NetConfig::reliable(1), n);
+            let stats = vp.view_change().stats().unwrap();
+            assert_eq!(stats.messages, VirtualPartitions::analytic_messages(n));
+        }
+    }
+
+    #[test]
+    fn latency_spans_three_rounds() {
+        // With a fixed 2-tick delay, three sequential phases take at
+        // least 6 ticks (phase 3 overlaps internally).
+        let cfg = NetConfig { min_delay: 2, max_delay: 2, ..NetConfig::reliable(1) };
+        let mut vp = VirtualPartitions::new(cfg, 3);
+        let stats = vp.view_change().stats().unwrap();
+        assert!(stats.latency >= 6, "three rounds: {}", stats.latency);
+    }
+}

@@ -1,0 +1,265 @@
+//! Baseline: weighted voting / quorum consensus (Gifford 1979,
+//! Herlihy 1986) — "the best known replication technique" (Section 5).
+//!
+//! Reads go to `r` replicas and take the value with the highest version;
+//! writes first read a version quorum, then send the new value to all
+//! replicas and wait for `w` acknowledgements, with `r + w > n`.
+//!
+//! The paper's claims reproduced against this model:
+//!
+//! * "Our method is faster than voting for write operations since we
+//!   require fewer messages" (experiment E2);
+//! * with write-all/read-one, "the loss of a single cohort can cause
+//!   writes to become unavailable" (experiment E6).
+
+use crate::common::{OpOutcome, OpStats};
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+/// Messages of the quorum protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// Ask a replica for its current version.
+    VersionReq { op: u64 },
+    VersionResp { op: u64, version: u64 },
+    /// Install a value at a version.
+    WriteReq { op: u64, version: u64 },
+    WriteAck { op: u64 },
+    /// Read the value.
+    ReadReq { op: u64 },
+    ReadResp { op: u64, version: u64 },
+}
+
+/// The voting baseline: one client (node 0) and `n` replicas (nodes
+/// 1..=n).
+#[derive(Debug)]
+pub struct Voting {
+    net: SimNet<Msg, ()>,
+    n: u64,
+    read_quorum: u64,
+    write_quorum: u64,
+    /// Replica versions (the "value" is implicit).
+    versions: Vec<u64>,
+    crashed: Vec<bool>,
+    next_op: u64,
+    /// Deadline per operation, in ticks, after which it is declared
+    /// unavailable.
+    op_timeout: u64,
+}
+
+const CLIENT: u64 = 0;
+
+impl Voting {
+    /// Create a voting group of `n` replicas with quorums `(r, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r + w > n` (quorum intersection) and `1 ≤ r, w ≤ n`.
+    pub fn new(net_cfg: NetConfig, n: u64, read_quorum: u64, write_quorum: u64) -> Self {
+        assert!(read_quorum + write_quorum > n, "quorums must intersect");
+        assert!((1..=n).contains(&read_quorum) && (1..=n).contains(&write_quorum));
+        Voting {
+            net: SimNet::new(net_cfg),
+            n,
+            read_quorum,
+            write_quorum,
+            versions: vec![0; n as usize],
+            crashed: vec![false; n as usize],
+            next_op: 0,
+            op_timeout: 1_000,
+        }
+    }
+
+    /// Read-one/write-all quorums.
+    pub fn read_one_write_all(net_cfg: NetConfig, n: u64) -> Self {
+        Voting::new(net_cfg, n, 1, n)
+    }
+
+    /// Majority/majority quorums.
+    pub fn majority(net_cfg: NetConfig, n: u64) -> Self {
+        let maj = n / 2 + 1;
+        Voting::new(net_cfg, n, maj, maj)
+    }
+
+    /// Override the delay window of the link between two nodes (node 0
+    /// is the client; replicas are 1..=n).
+    pub fn set_link_delay(&mut self, a: u64, b: u64, min: u64, max: u64) {
+        self.net.set_link_delay(a, b, min, max);
+    }
+
+    /// Crash a replica (1-based index as node id).
+    pub fn crash(&mut self, replica: u64) {
+        self.crashed[(replica - 1) as usize] = true;
+        self.net.crash(replica);
+    }
+
+    /// Recover a replica (state intact: voting replicas are assumed to
+    /// use stable storage).
+    pub fn recover(&mut self, replica: u64) {
+        self.crashed[(replica - 1) as usize] = false;
+        self.net.recover(replica);
+    }
+
+    /// Perform a quorum write. Two rounds: version query to `r`
+    /// replicas, then the write to all replicas with `w` acks required.
+    pub fn write(&mut self) -> OpOutcome {
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+
+        // Round 1: version query.
+        for r in 1..=self.n {
+            self.net.send(CLIENT, r, Msg::VersionReq { op }, 24);
+        }
+        let mut version_resps = 0u64;
+        let mut max_version = 0u64;
+        while version_resps < self.read_quorum {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::VersionReq { op: o }, .. } if to != CLIENT => {
+                    let v = self.versions[(to - 1) as usize];
+                    self.net.send(to, CLIENT, Msg::VersionResp { op: o, version: v }, 32);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::VersionResp { op: o, version }, .. }
+                    if o == op =>
+                {
+                    version_resps += 1;
+                    max_version = max_version.max(version);
+                }
+                _ => {}
+            }
+        }
+
+        // Round 2: write to all, await w acks.
+        let new_version = max_version + 1;
+        for r in 1..=self.n {
+            self.net
+                .send(CLIENT, r, Msg::WriteReq { op, version: new_version }, 96);
+        }
+        let mut acks = 0u64;
+        while acks < self.write_quorum {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::WriteReq { op: o, version }, .. }
+                    if to != CLIENT =>
+                {
+                    let slot = &mut self.versions[(to - 1) as usize];
+                    *slot = (*slot).max(version);
+                    self.net.send(to, CLIENT, Msg::WriteAck { op: o }, 24);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::WriteAck { op: o }, .. } if o == op => {
+                    acks += 1;
+                }
+                _ => {}
+            }
+        }
+        OpOutcome::Done(OpStats {
+            latency: self.net.now() - start,
+            messages: self.net.stats().sent - msgs_before,
+            bytes: self.net.stats().bytes_sent - bytes_before,
+        })
+    }
+
+    /// Perform a quorum read: query `r` replicas (sent to the first `r`
+    /// live ones; the classic protocol contacts exactly a read quorum).
+    pub fn read(&mut self) -> OpOutcome {
+        let op = self.next_op;
+        self.next_op += 1;
+        let start = self.net.now();
+        let msgs_before = self.net.stats().sent;
+        let bytes_before = self.net.stats().bytes_sent;
+        let deadline = start + self.op_timeout;
+        let targets: Vec<u64> =
+            (1..=self.n).filter(|&r| !self.crashed[(r - 1) as usize]).take(self.read_quorum as usize).collect();
+        if (targets.len() as u64) < self.read_quorum {
+            return OpOutcome::Unavailable;
+        }
+        for &r in &targets {
+            self.net.send(CLIENT, r, Msg::ReadReq { op }, 24);
+        }
+        let mut resps = 0u64;
+        while resps < self.read_quorum {
+            let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
+            if t > deadline {
+                return OpOutcome::Unavailable;
+            }
+            match event {
+                Event::Deliver { to, msg: Msg::ReadReq { op: o }, .. } if to != CLIENT => {
+                    let v = self.versions[(to - 1) as usize];
+                    self.net.send(to, CLIENT, Msg::ReadResp { op: o, version: v }, 96);
+                }
+                Event::Deliver { to: CLIENT, msg: Msg::ReadResp { op: o, .. }, .. }
+                    if o == op =>
+                {
+                    resps += 1;
+                }
+                _ => {}
+            }
+        }
+        OpOutcome::Done(OpStats {
+            latency: self.net.now() - start,
+            messages: self.net.stats().sent - msgs_before,
+            bytes: self.net.stats().bytes_sent - bytes_before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_message_count() {
+        // n=3 majority: version round (3 req + 3 resp) + write round
+        // (3 req + 3 ack) = 12 messages on a healthy network.
+        let mut v = Voting::majority(NetConfig::reliable(1), 3);
+        let stats = v.write().stats().unwrap();
+        assert_eq!(stats.messages, 12);
+    }
+
+    #[test]
+    fn read_one_is_cheap() {
+        let mut v = Voting::read_one_write_all(NetConfig::reliable(1), 3);
+        let stats = v.read().stats().unwrap();
+        assert_eq!(stats.messages, 2, "one request, one response");
+    }
+
+    #[test]
+    fn write_all_blocks_on_single_crash() {
+        let mut v = Voting::read_one_write_all(NetConfig::reliable(1), 3);
+        assert!(v.write().is_done());
+        v.crash(2);
+        assert!(!v.write().is_done(), "write-all cannot complete with a replica down");
+        // Reads still work.
+        assert!(v.read().is_done());
+        v.recover(2);
+        assert!(v.write().is_done());
+    }
+
+    #[test]
+    fn majority_survives_minority_crash() {
+        let mut v = Voting::majority(NetConfig::reliable(1), 5);
+        v.crash(1);
+        v.crash(2);
+        assert!(v.write().is_done(), "3 of 5 suffice");
+        v.crash(3);
+        assert!(!v.write().is_done(), "2 of 5 do not");
+    }
+
+    #[test]
+    fn versions_monotone() {
+        let mut v = Voting::majority(NetConfig::reliable(1), 3);
+        for _ in 0..5 {
+            assert!(v.write().is_done());
+        }
+        assert!(v.versions.contains(&5));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench for experiment E1: full end-to-end transactions
+//! through the deterministic simulator (client primary → server primary
+//! → execute → force → two-phase commit), measuring wall-clock cost of
+//! the whole protocol stack per committed transaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsr_bench::helpers::{run_sequential_batch, vr_world, write_ops, read_ops};
+use vsr_core::config::CohortConfig;
+use vsr_simnet::NetConfig;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_end_to_end");
+    group.sample_size(10);
+    for n in [3u64, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("write_txns_x20", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = vr_world(n, n, NetConfig::reliable(n), CohortConfig::new());
+                let cost = run_sequential_batch(&mut world, 20, write_ops);
+                assert_eq!(cost.committed, 20);
+                cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("read_txns_x20", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = vr_world(n, n, NetConfig::reliable(n), CohortConfig::new());
+                let cost = run_sequential_batch(&mut world, 20, read_ops);
+                assert_eq!(cost.committed, 20);
+                cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E3: the simulated-latency comparison
+//! between VR's forced buffer and the unreplicated baseline's forced
+//! stable storage, across the disk-latency sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsr_bench::experiments::e3;
+
+fn bench_commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_commit_latency");
+    group.sample_size(10);
+    group.bench_function("vr_n3_30_txns", |b| {
+        b.iter(|| black_box(e3::vr_latency(1)))
+    });
+    for disk in [1u64, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("unreplicated_30_txns_disk", disk),
+            &disk,
+            |b, &disk| b.iter(|| black_box(e3::unreplicated_latency(disk))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_latency);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Run ablation experiment A2 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::a2::run());
+}

@@ -1,0 +1,4 @@
+//! Run every experiment (E1-E12) and print the full report.
+fn main() {
+    print!("{}", vsr_bench::experiments::run_all());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E1 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e1::run());
+}

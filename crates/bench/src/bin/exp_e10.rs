@@ -1,0 +1,4 @@
+//! Run experiment E10 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e10::run());
+}

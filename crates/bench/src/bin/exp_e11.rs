@@ -1,0 +1,4 @@
+//! Run experiment E11 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e11::run());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E12 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e12::run());
+}

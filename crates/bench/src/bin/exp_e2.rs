@@ -1,0 +1,4 @@
+//! Run experiment E2 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e2::run());
+}

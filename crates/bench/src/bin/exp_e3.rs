@@ -1,0 +1,4 @@
+//! Run experiment E3 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e3::run());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E4 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e4::run());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E5 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e5::run());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E6 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e6::run());
+}

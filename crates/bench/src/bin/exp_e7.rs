@@ -1,0 +1,4 @@
+//! Run experiment E7 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e7::run());
+}

@@ -1,0 +1,4 @@
+//! Run experiment E8 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e8::run());
+}

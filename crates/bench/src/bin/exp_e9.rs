@@ -1,0 +1,4 @@
+//! Run experiment E9 and print its table.
+fn main() {
+    print!("{}", vsr_bench::experiments::e9::run());
+}

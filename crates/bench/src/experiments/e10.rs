@@ -1,0 +1,107 @@
+//! E10 — Catastrophes: simultaneous crashes and permanent view loss
+//! (Section 4.2).
+//!
+//! Claim: "if a majority of cohorts are crashed 'simultaneously,' we may
+//! lose information about the module group's state … a catastrophe does
+//! not cause a group to enter a new view missing some needed
+//! information. Rather, it causes the algorithm to never again form a
+//! new view."
+//!
+//! We crash `k` randomly chosen cohorts of an `n`-cohort group at the
+//! same instant, recover them shortly after, and test whether a view
+//! ever forms again. With `k ≤ f` nothing is lost; with `k ≥ majority`
+//! the group survives only when the surviving cohorts happen to include
+//! the primary (formation rule 3) — losing the primary and a majority of
+//! the group permanently wedges it, exactly as the paper warns.
+
+use crate::helpers::{server_mids, vr_world, CLIENT, SERVER};
+use crate::table::{f2, Table};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vsr_app::counter;
+use vsr_core::config::CohortConfig;
+use vsr_simnet::NetConfig;
+
+/// Outcome over seeds: fraction of runs permanently stuck.
+pub fn stuck_fraction(n: u64, k: usize, seeds: u64) -> f64 {
+    let mut stuck = 0u64;
+    for seed in 0..seeds {
+        let mut world = vr_world(seed * 131 + n, n, NetConfig::reliable(seed), CohortConfig::new());
+        // Commit something so there is state to lose.
+        world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+        world.run_for(2_000);
+        let mut rng = SmallRng::seed_from_u64(seed * 977 + k as u64);
+        let mut victims = server_mids(n);
+        victims.shuffle(&mut rng);
+        victims.truncate(k);
+        for &v in &victims {
+            world.crash(v);
+        }
+        world.run_for(500);
+        for &v in &victims {
+            world.recover(v);
+        }
+        world.run_for(25_000);
+        if world.primary_of(SERVER).is_none() {
+            stuck += 1;
+        }
+    }
+    stuck as f64 / seeds as f64
+}
+
+/// Run the experiment, returning the rendered table.
+pub fn run() -> String {
+    let seeds = 12;
+    let mut table = Table::new(
+        "E10 — Fraction of runs permanently stuck after k simultaneous crashes (12 seeds)",
+        &["n", "k=1", "k=2", "k=3", "k=n (all)"],
+    );
+    for n in [3u64, 5] {
+        let all = n as usize;
+        table.row([
+            n.to_string(),
+            f2(stuck_fraction(n, 1, seeds)),
+            f2(stuck_fraction(n, 2, seeds)),
+            f2(stuck_fraction(n, 3, seeds)),
+            f2(stuck_fraction(n, all, seeds)),
+        ]);
+    }
+    table.note(
+        "Claim (§4.2): k ≤ f crashes never wedge the group. Once a majority crashes \
+         simultaneously the group survives only if the primary was among the \
+         survivors (formation rule 3); losing everyone is always fatal. The paper's \
+         remedies — stable storage at the primary, or background writes to \
+         non-volatile store — would convert crashed acceptances into normal ones \
+         and eliminate these catastrophes at the cost of disk writes.",
+    );
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minority_crashes_never_wedge() {
+        assert_eq!(stuck_fraction(3, 1, 6), 0.0);
+        assert_eq!(stuck_fraction(5, 2, 4), 0.0);
+    }
+
+    #[test]
+    fn total_crash_always_wedges() {
+        assert_eq!(stuck_fraction(3, 3, 4), 1.0);
+    }
+
+    #[test]
+    fn majority_crash_sometimes_wedges() {
+        let f = stuck_fraction(3, 2, 10);
+        assert!(f > 0.0, "losing the primary+backup wedges some runs: {f}");
+        assert!(f < 1.0, "runs where the primary survived recover: {f}");
+    }
+
+    #[test]
+    fn renders() {
+        assert!(run().contains("E10"));
+    }
+}

@@ -1,0 +1,172 @@
+//! E11 — Safety under randomized fault exploration (Sections 1, 4.1).
+//!
+//! Claims checked on every run:
+//!
+//! * one-copy serializability — "the concurrent execution of
+//!   transactions on replicated data is equivalent to a serial execution
+//!   on non-replicated data" (Section 1);
+//! * durability — "transactions that prepared in the old view will be
+//!   able to commit, and those that committed will still be committed"
+//!   (Section 4.1);
+//! * replica convergence at equal history positions.
+//!
+//! Each seed drives a workload of conflicting transactions through a
+//! random schedule of crashes, recoveries, and partitions, then checks
+//! all three invariants at quiescence.
+
+use crate::helpers::{server_mids, vr_world, CLIENT, SERVER};
+use crate::table::Table;
+use vsr_app::counter;
+use vsr_core::config::CohortConfig;
+use vsr_core::cohort::TxnOutcome;
+use vsr_sim::fault::FaultPlan;
+use vsr_simnet::NetConfig;
+
+/// One seed's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Seed.
+    pub seed: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Transactions unresolved at the client.
+    pub unresolved: u64,
+    /// View formations observed.
+    pub view_formations: u64,
+    /// Invariant violation, if any (must be `None`).
+    pub violation: Option<String>,
+}
+
+/// Run one seed of the exploration.
+pub fn run_seed(seed: u64, lossy: bool) -> SweepResult {
+    let net =
+        if lossy { NetConfig::lossy(seed) } else { NetConfig::reliable(seed) };
+    let mut world = vr_world(seed, 3, net, CohortConfig::new());
+    let plan = FaultPlan::random(seed, &server_mids(3), 1_000, 18_000, 10, 1, true);
+    plan.apply(&mut world);
+    // Conflicting workload: four counters shared by 30 transactions.
+    for i in 0..30u64 {
+        world.schedule_submit(
+            300 + i * 700,
+            CLIENT,
+            vec![counter::incr(SERVER, i % 4, 1)],
+        );
+    }
+    world.run_until(50_000);
+    let m = world.metrics();
+    SweepResult {
+        seed,
+        committed: m.committed,
+        aborted: m.aborted,
+        unresolved: m.unresolved,
+        view_formations: m.view_formations,
+        violation: world.verify().err(),
+    }
+}
+
+/// Resolve any `Unresolved` outcomes against ground truth: they must
+/// match a durable commit or be absent everywhere (never half-applied).
+pub fn unresolved_are_consistent(seed: u64) -> bool {
+    let mut world = vr_world(seed, 3, NetConfig::reliable(seed), CohortConfig::new());
+    let plan = FaultPlan::random(seed, &server_mids(3), 1_000, 12_000, 8, 1, true);
+    plan.apply(&mut world);
+    let mut reqs = Vec::new();
+    for i in 0..20u64 {
+        reqs.push(world.schedule_submit(
+            300 + i * 600,
+            CLIENT,
+            vec![counter::incr(SERVER, 0, 1)],
+        ));
+    }
+    world.run_until(40_000);
+    // Every unresolved transaction's aid must have a single consistent
+    // fate across live cohorts (verify() already checks convergence;
+    // here we check the statuses agree).
+    for &req in &reqs {
+        let Some(record) = world.result(req) else { continue };
+        if !matches!(record.outcome, TxnOutcome::Unresolved) {
+            continue;
+        }
+        let Some(aid) = record.aid else { continue };
+        let mut verdicts = std::collections::BTreeSet::new();
+        for &mid in world.members_of(SERVER) {
+            if world.is_crashed(mid) {
+                continue;
+            }
+            if let Some(status) = world.cohort(mid).gstate().status(aid) {
+                verdicts.insert(status.is_committed());
+            }
+        }
+        if verdicts.len() > 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Run the experiment, returning the rendered table.
+pub fn run() -> String {
+    let mut table = Table::new(
+        "E11 — Randomized fault exploration (30 txns/seed, crashes+partitions)",
+        &["seed", "network", "committed", "aborted", "unresolved", "view formations", "violations"],
+    );
+    let mut total_violations = 0;
+    for seed in 0..8u64 {
+        let lossy = seed >= 4;
+        let r = run_seed(seed, lossy);
+        if r.violation.is_some() {
+            total_violations += 1;
+        }
+        table.row([
+            r.seed.to_string(),
+            if lossy { "lossy" } else { "reliable" }.to_string(),
+            r.committed.to_string(),
+            r.aborted.to_string(),
+            r.unresolved.to_string(),
+            r.view_formations.to_string(),
+            r.violation.unwrap_or_else(|| "none".to_string()),
+        ]);
+    }
+    table.note(&format!(
+        "Safety invariants (one-copy serializability, committed-transaction \
+         durability, replica convergence) checked at quiescence on every seed: \
+         {total_violations} violations. Aborted transactions are the protocol's \
+         declared behavior under failures (Figure 2 step 3), not safety losses."
+    ));
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_across_seeds() {
+        for seed in 0..4 {
+            let r = run_seed(seed, false);
+            assert_eq!(r.violation, None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lossy_network_seeds_also_safe() {
+        for seed in 0..2 {
+            let r = run_seed(seed + 100, true);
+            assert_eq!(r.violation, None, "lossy seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unresolved_outcomes_have_single_fate() {
+        for seed in 0..3 {
+            assert!(unresolved_are_consistent(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(run().contains("E11"));
+    }
+}

@@ -1,0 +1,92 @@
+//! E3 — Commit latency: forced buffer vs forced stable storage
+//! (Section 3.7).
+//!
+//! Claim: "For both preparing and committing, our method will be faster
+//! than using non-replicated clients and servers if communication is
+//! faster than writing to stable storage, which is often the case
+//! provided that the number of backups is small."
+//!
+//! We sweep the stable-storage write latency of the unreplicated
+//! baseline across a range of disk/network ratios and locate the
+//! crossover against VR's (fixed) commit latency.
+
+use crate::helpers::{run_sequential_batch, vr_world, write_ops};
+use crate::table::{f2, Table};
+use vsr_baselines::unreplicated::Unreplicated;
+use vsr_core::config::CohortConfig;
+use vsr_simnet::NetConfig;
+
+/// Disk latencies (in ticks; network one-way delay is 1–3 ticks).
+pub const DISK_LATENCIES: [u64; 7] = [1, 2, 5, 10, 20, 50, 100];
+
+/// Measure VR's mean write-transaction latency (3 cohorts).
+pub fn vr_latency(seed: u64) -> f64 {
+    let mut world = vr_world(seed, 3, NetConfig::reliable(seed), CohortConfig::new());
+    run_sequential_batch(&mut world, 30, write_ops).mean_latency
+}
+
+/// Measure the unreplicated baseline's mean write latency for a disk
+/// latency.
+pub fn unreplicated_latency(disk: u64) -> f64 {
+    let mut sim = Unreplicated::new(NetConfig::reliable(3), disk);
+    let mut total = 0.0;
+    for _ in 0..30 {
+        total += sim.write_txn().stats().expect("completes").latency as f64;
+    }
+    total / 30.0
+}
+
+/// Run the experiment, returning the rendered table.
+pub fn run() -> String {
+    let vr = vr_latency(3);
+    let mut table = Table::new(
+        "E3 — Committed-write latency: VR (n=3, net delay 1-3 ticks) vs unreplicated + disk",
+        &["disk latency (ticks)", "unreplicated latency", "VR latency", "winner"],
+    );
+    for disk in DISK_LATENCIES {
+        let u = unreplicated_latency(disk);
+        let winner = if vr < u { "VR" } else { "unreplicated" };
+        table.row([disk.to_string(), f2(u), f2(vr), winner.to_string()]);
+    }
+    table.note(
+        "Claim (§3.7): VR wins once a stable-storage write is slower than a network \
+         round trip to a sub-majority — the crossover falls where disk latency \
+         passes a few network delays.",
+    );
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_exists() {
+        let vr = vr_latency(1);
+        let fast_disk = unreplicated_latency(1);
+        let slow_disk = unreplicated_latency(100);
+        assert!(
+            fast_disk < vr,
+            "with an instant disk the unreplicated system wins ({fast_disk} vs {vr})"
+        );
+        assert!(
+            vr < slow_disk,
+            "with a slow disk VR wins ({vr} vs {slow_disk})"
+        );
+    }
+
+    #[test]
+    fn unreplicated_latency_monotone_in_disk() {
+        let mut last = 0.0;
+        for disk in DISK_LATENCIES {
+            let l = unreplicated_latency(disk);
+            assert!(l >= last);
+            last = l;
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(run().contains("winner"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper-claim reproduction experiments (see DESIGN.md §5 for the
+//! index and EXPERIMENTS.md for recorded results).
+//!
+//! PODC '88 papers carry no benchmark tables; the paper's evaluation is
+//! a set of quantitative *claims* (Sections 3.7, 4.1, 4.2, 5, 6). Each
+//! module here turns one claim into a measurable experiment with a
+//! printed table; `exp_all` regenerates the full set.
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+/// Run every experiment in order, returning the concatenated report.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&e1::run());
+    out.push_str(&e2::run());
+    out.push_str(&e3::run());
+    out.push_str(&e4::run());
+    out.push_str(&e5::run());
+    out.push_str(&e6::run());
+    out.push_str(&e7::run());
+    out.push_str(&e8::run());
+    out.push_str(&e9::run());
+    out.push_str(&e10::run());
+    out.push_str(&e11::run());
+    out.push_str(&e12::run());
+    out.push_str(&a1::run());
+    out.push_str(&a2::run());
+    out.push_str(&a3::run());
+    out
+}

@@ -1,0 +1,110 @@
+//! Shared measurement helpers for the experiments.
+
+use vsr_app::counter;
+use vsr_core::cohort::CallOp;
+use vsr_core::config::CohortConfig;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_sim::world::{World, WorldBuilder};
+use vsr_simnet::NetConfig;
+
+/// The client group id used by the standard measurement worlds.
+pub const CLIENT: GroupId = GroupId(1);
+/// The server group id used by the standard measurement worlds.
+pub const SERVER: GroupId = GroupId(2);
+
+/// Build a standard measurement world: one single-cohort client group
+/// and one `n`-cohort counter server group.
+pub fn vr_world(seed: u64, n: u64, net: NetConfig, cfg: CohortConfig) -> World {
+    let server_mids: Vec<Mid> = (1..=n).map(Mid).collect();
+    WorldBuilder::new(seed)
+        .net(net)
+        .cohorts(cfg)
+        .group(CLIENT, &[Mid(100)], || Box::new(NullModule))
+        .group(SERVER, &server_mids, || Box::new(counter::CounterModule))
+        .build()
+}
+
+/// The mids of the server group in a [`vr_world`].
+pub fn server_mids(n: u64) -> Vec<Mid> {
+    (1..=n).map(Mid).collect()
+}
+
+/// Measured costs of a batch of sequential transactions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchCost {
+    /// Mean commit latency in ticks.
+    pub mean_latency: f64,
+    /// Messages per transaction: all traffic during the measurement
+    /// window *except heartbeats* (whose rate is constant and
+    /// load-independent), divided by commits. Includes the background
+    /// replication stream.
+    pub msgs_per_txn: f64,
+    /// Foreground (request/response) messages per transaction.
+    pub fg_msgs_per_txn: f64,
+    /// Committed count.
+    pub committed: u64,
+}
+
+/// Run `n_txns` transactions sequentially (each to completion) through
+/// `world`, building each script with `make_ops`, and return the batch
+/// cost. A warmup transaction is excluded from the measurement.
+pub fn run_sequential_batch(
+    world: &mut World,
+    n_txns: usize,
+    mut make_ops: impl FnMut(usize) -> Vec<CallOp>,
+) -> BatchCost {
+    // Warmup: populate caches (location lookups) outside the window.
+    let warm = world.submit(CLIENT, make_ops(usize::MAX));
+    world.run_for(2_000);
+    assert!(world.result(warm).is_some(), "warmup must complete");
+
+    let heartbeats = |w: &World| w.metrics().msgs.get("im-alive").copied().unwrap_or(0);
+    let msgs0 = world.metrics().total_msgs() - heartbeats(world);
+    let fg0 = world.metrics().foreground_msgs;
+    let commits0 = world.metrics().committed;
+    let lat0 = world.metrics().commit_latencies.len();
+    for i in 0..n_txns {
+        world.submit(CLIENT, make_ops(i));
+        world.run_for(1_500);
+    }
+    let msgs1 = world.metrics().total_msgs() - heartbeats(world);
+    let m = world.metrics();
+    let committed = m.committed - commits0;
+    let lats = &m.commit_latencies[lat0..];
+    BatchCost {
+        mean_latency: if lats.is_empty() {
+            f64::NAN
+        } else {
+            lats.iter().sum::<u64>() as f64 / lats.len() as f64
+        },
+        msgs_per_txn: (msgs1 - msgs0) as f64 / committed.max(1) as f64,
+        fg_msgs_per_txn: (m.foreground_msgs - fg0) as f64 / committed.max(1) as f64,
+        committed,
+    }
+}
+
+/// A counter-increment script (a write transaction).
+pub fn write_ops(_: usize) -> Vec<CallOp> {
+    vec![counter::incr(SERVER, 0, 1)]
+}
+
+/// A counter-read script (a read-only transaction).
+pub fn read_ops(_: usize) -> Vec<CallOp> {
+    vec![counter::read(SERVER, 0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_measurement_works() {
+        let mut world = vr_world(1, 3, NetConfig::reliable(1), CohortConfig::new());
+        let cost = run_sequential_batch(&mut world, 5, write_ops);
+        assert_eq!(cost.committed, 5);
+        assert!(cost.mean_latency > 0.0);
+        assert!(cost.msgs_per_txn > 0.0);
+        assert!(cost.fg_msgs_per_txn <= cost.msgs_per_txn);
+    }
+}

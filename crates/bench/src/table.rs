@@ -1,0 +1,117 @@
+//! A minimal aligned-table formatter for experiment output (markdown
+//! pipe tables, readable both raw and rendered).
+
+/// A simple table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+        self
+    }
+
+    /// Append a free-text note rendered under the table.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.notes.push(text.to_string());
+        self
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an optional float with two decimals ("-" when absent).
+pub fn f2o(v: Option<f64>) -> String {
+    v.map(f2).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| a   | long-header |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f2o(None), "-");
+        assert_eq!(f2o(Some(2.0)), "2.00");
+    }
+}

@@ -1,0 +1,411 @@
+//! The communication buffer (Section 2, Section 3).
+//!
+//! "Instead of checkpointing events directly to the backups, the primary
+//! maintains a communication buffer (similar to a fifo queue) to which it
+//! writes event records. … Information in the buffer is sent to the
+//! backups in timestamp order."
+//!
+//! The buffer provides the two operations of Section 3:
+//!
+//! * [`add`](CommBuffer::add) — atomically assigns the event a timestamp
+//!   (advancing the timestamp generator) and appends the record; returns
+//!   the event's viewstamp.
+//! * [`force_to`](CommBuffer::force_to) — waits until a *sub-majority* of
+//!   backups know about all events in the current view with timestamps up
+//!   to the given viewstamp. In this sans-I/O implementation "waiting" is
+//!   represented by registering a *force reason* that is surfaced by
+//!   [`on_ack`](CommBuffer::on_ack) once the acknowledgement watermark
+//!   passes the forced timestamp.
+
+use crate::event::{EventKind, EventRecord};
+use crate::types::{Mid, Timestamp, ViewId, Viewstamp};
+use std::collections::BTreeMap;
+
+/// The primary's communication buffer for one view.
+///
+/// Created when a cohort becomes primary of a view and discarded when the
+/// view ends. Generic over the *reason* type `R` attached to pending
+/// forces, so the cohort can resume the right continuation (send a
+/// prepare vote, send commit messages, …) when a force completes.
+///
+/// # Examples
+///
+/// A five-cohort group needs two backup acknowledgements (a
+/// sub-majority) before a force completes:
+///
+/// ```
+/// use vsr_core::buffer::CommBuffer;
+/// use vsr_core::event::EventKind;
+/// use vsr_core::types::{Aid, GroupId, Mid, ViewId};
+///
+/// let backups = [Mid(1), Mid(2), Mid(3), Mid(4)];
+/// let mut buffer: CommBuffer<&str> =
+///     CommBuffer::new(ViewId::initial(Mid(0)), &backups, 2);
+/// let aid = Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq: 0 };
+/// let vs = buffer.add(EventKind::Committed { aid });
+/// assert!(!buffer.force_to(vs, "commit-point"), "not yet at a sub-majority");
+/// assert!(buffer.on_ack(Mid(1), vs.ts).is_empty());
+/// assert_eq!(buffer.on_ack(Mid(2), vs.ts), vec!["commit-point"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommBuffer<R> {
+    viewid: ViewId,
+    next_ts: Timestamp,
+    records: Vec<EventRecord>,
+    /// Cumulative acknowledgement per backup.
+    acked: BTreeMap<Mid, Timestamp>,
+    /// Pending forces: `(timestamp, reason)`, kept sorted by insertion;
+    /// fired when the sub-majority watermark reaches the timestamp.
+    pending: Vec<(Timestamp, R)>,
+    sub_majority: usize,
+}
+
+impl<R> CommBuffer<R> {
+    /// Create the buffer for a new view led by this primary.
+    ///
+    /// `backups` are the backup cohorts of the view; `sub_majority` is
+    /// [`Configuration::sub_majority`](crate::view::Configuration::sub_majority)
+    /// — the number of backups whose acknowledgement makes an event known
+    /// to a majority of the configuration.
+    pub fn new(viewid: ViewId, backups: &[Mid], sub_majority: usize) -> Self {
+        CommBuffer {
+            viewid,
+            next_ts: Timestamp::ZERO,
+            records: Vec::new(),
+            acked: backups.iter().map(|&m| (m, Timestamp::ZERO)).collect(),
+            pending: Vec::new(),
+            sub_majority,
+        }
+    }
+
+    /// The view this buffer belongs to.
+    pub fn viewid(&self) -> ViewId {
+        self.viewid
+    }
+
+    /// The paper's `add`: assign the next timestamp, append the record,
+    /// and return the event's viewstamp.
+    pub fn add(&mut self, kind: EventKind) -> Viewstamp {
+        self.next_ts = self.next_ts.next();
+        let vs = Viewstamp::new(self.viewid, self.next_ts);
+        self.records.push(EventRecord { vs, kind });
+        vs
+    }
+
+    /// The timestamp of the most recently added event (`ZERO` if none).
+    pub fn latest_ts(&self) -> Timestamp {
+        self.next_ts
+    }
+
+    /// The paper's `force_to`: ensure all events with timestamps up to
+    /// `vs.ts` become known to a sub-majority of backups.
+    ///
+    /// Returns `true` if the force is already satisfied (including the
+    /// case where `vs` is not for the current view, which "returns
+    /// immediately"); otherwise registers `reason` to be returned by a
+    /// later [`on_ack`](CommBuffer::on_ack).
+    pub fn force_to(&mut self, vs: Viewstamp, reason: R) -> bool {
+        if vs.id != self.viewid {
+            return true;
+        }
+        if self.watermark() >= vs.ts {
+            return true;
+        }
+        self.pending.push((vs.ts, reason));
+        false
+    }
+
+    /// Record a cumulative acknowledgement from backup `from` and return
+    /// the reasons of all forces that are now satisfied.
+    ///
+    /// Acknowledgements for unknown backups (not in this view) are
+    /// ignored; regressing acknowledgements are ignored (the network may
+    /// reorder).
+    pub fn on_ack(&mut self, from: Mid, upto: Timestamp) -> Vec<R> {
+        if let Some(prev) = self.acked.get_mut(&from) {
+            if upto > *prev {
+                *prev = upto;
+            }
+        }
+        self.drain_satisfied()
+    }
+
+    /// The sub-majority acknowledgement watermark: the greatest timestamp
+    /// known to at least `sub_majority` backups. With a sub-majority of
+    /// zero (single-cohort groups) every event is trivially covered.
+    pub fn watermark(&self) -> Timestamp {
+        if self.sub_majority == 0 {
+            return Timestamp(u64::MAX);
+        }
+        if self.acked.len() < self.sub_majority {
+            return Timestamp::ZERO;
+        }
+        let mut acks: Vec<Timestamp> = self.acked.values().copied().collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        acks[self.sub_majority - 1]
+    }
+
+    /// Records with timestamps strictly greater than `after`, in
+    /// timestamp order — what must be (re)sent to a backup that has
+    /// acknowledged up to `after`.
+    pub fn records_after(&self, after: Timestamp) -> &[EventRecord] {
+        let start = self.records.partition_point(|r| r.ts() <= after);
+        &self.records[start..]
+    }
+
+    /// The cumulative acknowledgement recorded for `backup`.
+    pub fn acked_by(&self, backup: Mid) -> Timestamp {
+        self.acked.get(&backup).copied().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Backups that have not yet acknowledged everything in the buffer.
+    pub fn lagging_backups(&self) -> impl Iterator<Item = Mid> + '_ {
+        let latest = self.next_ts;
+        self.acked
+            .iter()
+            .filter(move |(_, &ts)| ts < latest)
+            .map(|(&m, _)| m)
+    }
+
+    /// Whether any force is still pending.
+    pub fn has_pending_forces(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The earliest still-pending forced timestamp, if any (drives the
+    /// force-abandonment timeout).
+    pub fn earliest_pending_force(&self) -> Option<Timestamp> {
+        self.pending.iter().map(|(ts, _)| *ts).min()
+    }
+
+    /// Drop all pending forces, returning their reasons (used when a
+    /// force is abandoned and the cohort switches to a view change).
+    pub fn abandon_forces(&mut self) -> Vec<R> {
+        self.pending.drain(..).map(|(_, r)| r).collect()
+    }
+
+    /// Garbage-collect records acknowledged by *every* backup: they can
+    /// never need retransmission (and a new view transfers state via the
+    /// newview snapshot, not old records). Returns the number of records
+    /// dropped. Without backups nothing is ever retransmitted, so
+    /// everything can go.
+    pub fn truncate_acked(&mut self) -> usize {
+        let floor = self
+            .acked
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(self.next_ts);
+        let cut = self.records.partition_point(|r| r.ts() <= floor);
+        self.records.drain(..cut).count()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn drain_satisfied(&mut self) -> Vec<R> {
+        let w = self.watermark();
+        let mut fired = Vec::new();
+        let mut remaining = Vec::new();
+        for (ts, reason) in self.pending.drain(..) {
+            if ts <= w {
+                fired.push(reason);
+            } else {
+                remaining.push((ts, reason));
+            }
+        }
+        self.pending = remaining;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Aid, GroupId};
+
+    fn vid() -> ViewId {
+        ViewId::initial(Mid(0))
+    }
+
+    fn aid(seq: u64) -> Aid {
+        Aid { group: GroupId(1), view: vid(), seq }
+    }
+
+    fn committed(seq: u64) -> EventKind {
+        EventKind::Committed { aid: aid(seq) }
+    }
+
+    #[test]
+    fn add_assigns_increasing_timestamps() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        let v1 = b.add(committed(0));
+        let v2 = b.add(committed(1));
+        assert_eq!(v1.ts, Timestamp(1));
+        assert_eq!(v2.ts, Timestamp(2));
+        assert_eq!(v1.id, vid());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.latest_ts(), Timestamp(2));
+    }
+
+    #[test]
+    fn force_other_view_returns_immediately() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        let other = Viewstamp::new(ViewId { counter: 9, manager: Mid(3) }, Timestamp(5));
+        assert!(b.force_to(other, 7));
+        assert!(!b.has_pending_forces());
+    }
+
+    #[test]
+    fn force_completes_on_submajority_ack() {
+        // 5-cohort group: sub-majority = 2.
+        let backups = [Mid(1), Mid(2), Mid(3), Mid(4)];
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &backups, 2);
+        let vs = b.add(committed(0));
+        assert!(!b.force_to(vs, 42));
+        assert!(b.has_pending_forces());
+        assert!(b.on_ack(Mid(1), vs.ts).is_empty(), "one ack is not a sub-majority");
+        let fired = b.on_ack(Mid(2), vs.ts);
+        assert_eq!(fired, vec![42]);
+        assert!(!b.has_pending_forces());
+    }
+
+    #[test]
+    fn force_already_satisfied() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        let vs = b.add(committed(0));
+        b.on_ack(Mid(1), vs.ts);
+        assert!(b.force_to(vs, 1), "watermark already past");
+    }
+
+    #[test]
+    fn zero_submajority_is_trivial() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[], 0);
+        let vs = b.add(committed(0));
+        assert!(b.force_to(vs, 1));
+        assert_eq!(b.watermark(), Timestamp(u64::MAX));
+    }
+
+    #[test]
+    fn watermark_is_kth_largest() {
+        let backups = [Mid(1), Mid(2), Mid(3), Mid(4)];
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &backups, 2);
+        for s in 0..10 {
+            b.add(committed(s));
+        }
+        b.on_ack(Mid(1), Timestamp(9));
+        b.on_ack(Mid(2), Timestamp(4));
+        b.on_ack(Mid(3), Timestamp(2));
+        assert_eq!(b.watermark(), Timestamp(4));
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        b.add(committed(0));
+        b.add(committed(1));
+        b.on_ack(Mid(1), Timestamp(2));
+        b.on_ack(Mid(1), Timestamp(1)); // reordered, must not regress
+        assert_eq!(b.acked_by(Mid(1)), Timestamp(2));
+    }
+
+    #[test]
+    fn ack_from_stranger_ignored() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1)], 1);
+        let vs = b.add(committed(0));
+        assert!(b.on_ack(Mid(99), vs.ts).is_empty());
+        assert_eq!(b.watermark(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn records_after_slices_correctly() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1)], 1);
+        for s in 0..5 {
+            b.add(committed(s));
+        }
+        assert_eq!(b.records_after(Timestamp::ZERO).len(), 5);
+        assert_eq!(b.records_after(Timestamp(3)).len(), 2);
+        assert_eq!(b.records_after(Timestamp(5)).len(), 0);
+        assert_eq!(b.records_after(Timestamp(3))[0].ts(), Timestamp(4));
+    }
+
+    #[test]
+    fn lagging_backups_reported() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        b.add(committed(0));
+        assert_eq!(b.lagging_backups().count(), 2);
+        b.on_ack(Mid(1), Timestamp(1));
+        assert_eq!(b.lagging_backups().collect::<Vec<_>>(), vec![Mid(2)]);
+    }
+
+    #[test]
+    fn multiple_forces_fire_in_one_ack() {
+        let backups = [Mid(1), Mid(2)];
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &backups, 1);
+        let v1 = b.add(committed(0));
+        let v2 = b.add(committed(1));
+        assert!(!b.force_to(v1, 1));
+        assert!(!b.force_to(v2, 2));
+        assert_eq!(b.earliest_pending_force(), Some(Timestamp(1)));
+        let fired = b.on_ack(Mid(2), v2.ts);
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn truncate_drops_fully_acked_prefix() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        for s in 0..10 {
+            b.add(committed(s));
+        }
+        b.on_ack(Mid(1), Timestamp(7));
+        b.on_ack(Mid(2), Timestamp(4));
+        assert_eq!(b.truncate_acked(), 4, "min ack is 4");
+        assert_eq!(b.len(), 6);
+        // Retransmission slices still work on the truncated buffer.
+        assert_eq!(b.records_after(Timestamp(4)).len(), 6);
+        assert_eq!(b.records_after(Timestamp(7)).len(), 3);
+        // Further acks allow further truncation.
+        b.on_ack(Mid(2), Timestamp(10));
+        b.on_ack(Mid(1), Timestamp(10));
+        assert_eq!(b.truncate_acked(), 6);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn truncate_without_backups_drops_everything() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[], 0);
+        for s in 0..5 {
+            b.add(committed(s));
+        }
+        assert_eq!(b.truncate_acked(), 5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn truncate_keeps_unacked_tail() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        for s in 0..5 {
+            b.add(committed(s));
+        }
+        // One backup has acked nothing: nothing can be dropped.
+        b.on_ack(Mid(1), Timestamp(5));
+        assert_eq!(b.truncate_acked(), 0);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn abandon_returns_reasons() {
+        let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &[Mid(1), Mid(2)], 1);
+        let vs = b.add(committed(0));
+        b.force_to(vs, 5);
+        assert_eq!(b.abandon_forces(), vec![5]);
+        assert!(!b.has_pending_forces());
+    }
+}

@@ -1,0 +1,1115 @@
+//! The cohort: a single replica of a module group, implementing the full
+//! protocol of the paper as a deterministic, sans-I/O state machine.
+//!
+//! A cohort is driven entirely by three inputs — messages
+//! ([`Cohort::on_message`]), timers ([`Cohort::on_timer`]), and client
+//! transaction requests ([`Cohort::begin_transaction`]) — and responds
+//! with a list of [`Effect`]s (messages to send, timers to arm,
+//! transaction outcomes, observability events). Both the deterministic
+//! simulator and the threaded live runtime execute the same state machine.
+//!
+//! The state follows Figure 4 of the paper: status, gstate, up-to-date
+//! flag, configuration, mid, groupid, current viewid/view, history,
+//! max-viewid, timestamp generator, and communication buffer. The
+//! timestamp generator and buffer live in [`CommBuffer`]; lock state
+//! (Figure 1's `lockers`) lives in [`LockTable`].
+
+mod client;
+mod coord_server;
+mod server;
+mod view_change;
+
+pub use client::{call_op_index, call_seq, AbortReason, CallOp, TxnOutcome};
+
+use crate::buffer::CommBuffer;
+use crate::config::CohortConfig;
+use crate::event::{EventKind, EventRecord};
+use crate::gstate::{GroupState, ObjectAccess};
+use crate::history::History;
+use crate::locks::LockTable;
+use crate::messages::Message;
+use crate::module::Module;
+use crate::types::{Aid, CallId, GroupId, Mid, Tick, Timestamp, ViewId, Viewstamp};
+use crate::view::{Configuration, View};
+use client::CoordTxn;
+use std::collections::{BTreeMap, BTreeSet};
+use view_change::VcState;
+
+/// The cohort status of Figure 1: "active" cohorts participate in
+/// transaction processing; the other two statuses belong to the view
+/// change algorithm (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Participating in transaction processing.
+    Active,
+    /// Running the view change algorithm as its manager.
+    ViewManager,
+    /// Accepted an invitation; awaiting the new view.
+    Underling,
+}
+
+/// A timer the cohort asked its runtime to arm. Timers are never
+/// cancelled; each carries enough identity (viewids, call ids, attempt
+/// counters) for the handler to recognize and ignore stale firings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Timer {
+    /// Periodic: send "I'm alive" messages, check for silent view members,
+    /// sweep stale transactions.
+    Heartbeat,
+    /// Periodic while primary: stream the communication buffer to lagging
+    /// backups in background mode (Section 2).
+    BufferFlush,
+    /// Client: a remote call has not been answered.
+    CallRetry {
+        /// The outstanding call.
+        call_id: CallId,
+        /// How many sends have occurred.
+        attempt: u32,
+    },
+    /// Coordinator: a prepare round has not completed.
+    PrepareRetry {
+        /// The preparing transaction.
+        aid: Aid,
+        /// How many rounds have been sent.
+        attempt: u32,
+    },
+    /// Coordinator: retransmit commit messages until all participants
+    /// acknowledge (phase two runs in background).
+    CommitRetry {
+        /// The committed transaction.
+        aid: Aid,
+    },
+    /// Primary: a force has been outstanding too long; if still pending,
+    /// the force is abandoned and a view change begins (Section 3,
+    /// footnote 1).
+    ForceCheck {
+        /// The view in which the force was issued.
+        viewid: ViewId,
+        /// The forced timestamp.
+        ts: Timestamp,
+    },
+    /// Server: a parked call has waited too long for locks.
+    LockWait {
+        /// The parked call.
+        call_id: CallId,
+    },
+    /// Participant: periodically query the coordinator group about an
+    /// unresolved prepared transaction (Section 3.4).
+    QueryTick {
+        /// The unresolved transaction.
+        aid: Aid,
+    },
+    /// View manager: stop waiting for invitation responses.
+    InviteTimeout {
+        /// The proposed view.
+        viewid: ViewId,
+    },
+    /// Underling: the new view never arrived; become a manager.
+    UnderlingTimeout {
+        /// The awaited view.
+        viewid: ViewId,
+    },
+    /// View manager: retry view formation after a failed attempt.
+    ManagerRetry {
+        /// The viewid of the failed attempt.
+        viewid: ViewId,
+    },
+    /// Coordinator-server: a pinged client has not answered; abort its
+    /// transaction unilaterally (Section 3.5).
+    ClientPingTimeout {
+        /// The pinged transaction.
+        aid: Aid,
+    },
+    /// Unreplicated client agent: re-send a `ClientBegin`.
+    AgentBeginRetry {
+        /// The agent-local request id.
+        req: u64,
+        /// Sends so far.
+        attempt: u32,
+    },
+    /// Unreplicated client agent: a remote call has not been answered.
+    AgentCallRetry {
+        /// The outstanding call.
+        call_id: CallId,
+        /// Sends so far.
+        attempt: u32,
+    },
+    /// Unreplicated client agent: re-send a `ClientCommit`.
+    AgentCommitRetry {
+        /// The committing transaction.
+        aid: Aid,
+        /// Sends so far.
+        attempt: u32,
+    },
+}
+
+/// Structured observability events, emitted so harnesses can check
+/// invariants (one-copy serializability, committed-transaction
+/// durability) and measure the experiments without groveling through
+/// internal state. Runtimes may ignore them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// A transaction's effects were installed at this cohort.
+    TxnCommitted {
+        /// The group installing.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The transaction.
+        aid: Aid,
+        /// The installed accesses, in event order.
+        accesses: Vec<ObjectAccess>,
+    },
+    /// A transaction aborted at this cohort.
+    TxnAborted {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The transaction.
+        aid: Aid,
+    },
+    /// This cohort entered a new active view.
+    ViewChanged {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The new viewid.
+        viewid: ViewId,
+        /// The new view.
+        view: View,
+        /// Whether this cohort is the new primary.
+        is_primary: bool,
+    },
+    /// A force could not reach a sub-majority and was abandoned; a view
+    /// change follows.
+    ForceAbandoned {
+        /// The group.
+        group: GroupId,
+        /// This cohort (the abandoning primary).
+        mid: Mid,
+        /// The view whose buffer was abandoned.
+        viewid: ViewId,
+    },
+    /// A prepare was processed; `waited` records whether the primary had
+    /// to wait for a force (false = the Section 3.7 fast path where the
+    /// needed completed-call records were already at a sub-majority).
+    PrepareProcessed {
+        /// The participant group.
+        group: GroupId,
+        /// The transaction.
+        aid: Aid,
+        /// Whether the force had to wait.
+        waited: bool,
+    },
+    /// This cohort started acting as a view manager.
+    ViewChangeStarted {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The proposed viewid.
+        viewid: ViewId,
+    },
+}
+
+/// An output of the state machine for its runtime to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Send `msg` to the cohort (or client) addressed by `to`.
+    Send {
+        /// Destination mid.
+        to: Mid,
+        /// The message.
+        msg: Message,
+    },
+    /// Arm a timer to fire `after` ticks from now.
+    SetTimer {
+        /// Delay in ticks.
+        after: Tick,
+        /// The timer payload, returned verbatim to
+        /// [`Cohort::on_timer`].
+        timer: Timer,
+    },
+    /// A transaction submitted via [`Cohort::begin_transaction`]
+    /// finished.
+    TxnResult {
+        /// The request id supplied by the submitter.
+        req_id: u64,
+        /// The transaction id, when one was assigned (absent only for
+        /// submissions rejected before a transaction was created).
+        aid: Option<Aid>,
+        /// What happened.
+        outcome: TxnOutcome,
+    },
+    /// An observability event (see [`Observation`]).
+    Observe(Observation),
+}
+
+/// The reasons a force can be pending, i.e. the continuations to run when
+/// the sub-majority acknowledgement watermark passes the forced
+/// timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ForceReason {
+    /// Participant: vote yes on a prepare once the transaction's
+    /// completed-call records are at a sub-majority (Figure 3).
+    PrepareVote { aid: Aid, coordinator: Mid, read_only: bool },
+    /// Participant: acknowledge a commit once the committed record is at a
+    /// sub-majority (Figure 3).
+    CommitAck { aid: Aid, coordinator: Mid },
+    /// Coordinator: the committing record reached a sub-majority — the
+    /// commit point (Figure 2).
+    CoordCommitted { aid: Aid },
+    /// Server: reply to a call only after its completed-call record is at
+    /// a sub-majority (the `eager_force_calls` mode of Section 6).
+    CallReply { call_id: CallId, to: Mid },
+}
+
+/// A call parked on a lock conflict, retried when locks are released.
+#[derive(Debug, Clone)]
+pub(crate) struct WaitingCall {
+    pub(crate) from: Mid,
+    pub(crate) viewid: ViewId,
+    pub(crate) call_id: CallId,
+    pub(crate) proc: String,
+    pub(crate) args: Vec<u8>,
+}
+
+/// Everything needed to construct a cohort.
+///
+/// Not `Debug` because it owns the boxed application [`Module`].
+#[allow(missing_debug_implementations)]
+pub struct CohortParams {
+    /// Protocol tuning knobs.
+    pub cfg: CohortConfig,
+    /// This cohort's mid.
+    pub mid: Mid,
+    /// The group's configuration (must contain `mid`).
+    pub configuration: Configuration,
+    /// The initial primary (bootstrap view; must be a configuration
+    /// member).
+    pub initial_primary: Mid,
+    /// The location directory: configurations of every group this cohort
+    /// may call (Section 3.1's location server, modeled as an immutable
+    /// map since configurations never change; *primary* discovery remains
+    /// dynamic, via probe messages).
+    pub peers: BTreeMap<GroupId, Configuration>,
+    /// The application module replicated by this group.
+    pub module: Box<dyn Module>,
+}
+
+/// A replica of a module group (Figure 4's cohort state plus the volatile
+/// coordinator, server, and view change bookkeeping).
+pub struct Cohort {
+    pub(crate) cfg: CohortConfig,
+    pub(crate) mid: Mid,
+    pub(crate) group: GroupId,
+    pub(crate) configuration: Configuration,
+    pub(crate) peers: BTreeMap<GroupId, Configuration>,
+    pub(crate) module: Box<dyn Module>,
+
+    // --- stable storage (survives crashes; Section 4.2) ---
+    pub(crate) stable_viewid: ViewId,
+
+    // --- volatile protocol state (Figure 4) ---
+    pub(crate) status: Status,
+    pub(crate) up_to_date: bool,
+    pub(crate) cur_viewid: ViewId,
+    pub(crate) cur_view: View,
+    pub(crate) max_viewid: ViewId,
+    pub(crate) history: History,
+    pub(crate) gstate: GroupState,
+    pub(crate) locks: LockTable,
+    pub(crate) buffer: Option<CommBuffer<ForceReason>>,
+
+    // --- failure detection ---
+    pub(crate) last_heard: BTreeMap<Mid, Tick>,
+
+    // --- server-side volatile state ---
+    pub(crate) waiting_calls: Vec<WaitingCall>,
+    pub(crate) prepared: BTreeSet<Aid>,
+    pub(crate) last_activity: BTreeMap<Aid, Tick>,
+
+    // --- coordinator-side volatile state ---
+    pub(crate) coord: BTreeMap<Aid, CoordTxn>,
+    /// Delegated transactions from unreplicated clients (Section 3.5):
+    /// aid -> client mid, from begin until the commit decision.
+    pub(crate) delegated: BTreeMap<Aid, Mid>,
+    /// Delegated transactions with an outstanding client liveness ping.
+    pub(crate) ping_pending: BTreeSet<Aid>,
+    pub(crate) resumed: BTreeMap<Aid, BTreeSet<GroupId>>,
+    pub(crate) next_txn_seq: u64,
+    pub(crate) cache: BTreeMap<GroupId, (ViewId, View)>,
+
+    // --- view change volatile state ---
+    pub(crate) vc: VcState,
+    /// Heartbeats spent deferring to a higher-priority manager candidate
+    /// (Section 4.1's churn-avoidance policy).
+    pub(crate) manager_deferrals: u32,
+}
+
+impl std::fmt::Debug for Cohort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cohort")
+            .field("mid", &self.mid)
+            .field("group", &self.group)
+            .field("status", &self.status)
+            .field("cur_viewid", &self.cur_viewid)
+            .field("up_to_date", &self.up_to_date)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cohort {
+    /// Create a cohort at group-creation time, active in the bootstrap
+    /// view (all configuration members, `initial_primary` as primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` or `initial_primary` is not a configuration member.
+    pub fn new(params: CohortParams) -> Self {
+        let CohortParams { cfg, mid, configuration, initial_primary, peers, module } = params;
+        assert!(configuration.contains(mid), "cohort {mid} not in configuration");
+        assert!(
+            configuration.contains(initial_primary),
+            "initial primary {initial_primary} not in configuration"
+        );
+        let group = configuration.group();
+        let viewid = ViewId::initial(initial_primary);
+        let backups: Vec<Mid> = configuration
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != initial_primary)
+            .collect();
+        let view = View::new(initial_primary, backups);
+        let mut history = History::new();
+        history.open_view(viewid);
+        let gstate = GroupState::with_objects(module.initial_objects());
+        let buffer = (mid == initial_primary)
+            .then(|| CommBuffer::new(viewid, view.backups(), configuration.sub_majority()));
+        Cohort {
+            cfg,
+            mid,
+            group,
+            configuration,
+            peers,
+            module,
+            stable_viewid: viewid,
+            status: Status::Active,
+            up_to_date: true,
+            cur_viewid: viewid,
+            cur_view: view,
+            max_viewid: viewid,
+            history,
+            gstate,
+            locks: LockTable::new(),
+            buffer,
+            last_heard: BTreeMap::new(),
+            waiting_calls: Vec::new(),
+            prepared: BTreeSet::new(),
+            last_activity: BTreeMap::new(),
+            coord: BTreeMap::new(),
+            delegated: BTreeMap::new(),
+            ping_pending: BTreeSet::new(),
+            resumed: BTreeMap::new(),
+            next_txn_seq: 0,
+            cache: BTreeMap::new(),
+            vc: VcState::None,
+            manager_deferrals: 0,
+        }
+    }
+
+    /// Re-create a cohort after a crash: volatile state is gone; only the
+    /// stable fields (mid, configuration, groupid, and the last stable
+    /// viewid) remain. The cohort starts with `up_to_date = false` and
+    /// status view-manager, "causing it to start a view change"
+    /// (Section 4).
+    pub fn recover(params: CohortParams, stable_viewid: ViewId) -> Self {
+        let mut cohort = Cohort::new_inactive(params);
+        cohort.stable_viewid = stable_viewid;
+        cohort.cur_viewid = stable_viewid;
+        cohort.max_viewid = stable_viewid;
+        cohort
+    }
+
+    fn new_inactive(params: CohortParams) -> Self {
+        let CohortParams { cfg, mid, configuration, peers, module, .. } = params;
+        assert!(configuration.contains(mid), "cohort {mid} not in configuration");
+        let group = configuration.group();
+        let viewid = ViewId::initial(mid);
+        Cohort {
+            cfg,
+            mid,
+            group,
+            configuration,
+            peers,
+            module,
+            stable_viewid: viewid,
+            status: Status::ViewManager,
+            up_to_date: false,
+            cur_viewid: viewid,
+            cur_view: View::new(mid, Vec::new()),
+            max_viewid: viewid,
+            history: History::new(),
+            gstate: GroupState::new(),
+            locks: LockTable::new(),
+            buffer: None,
+            last_heard: BTreeMap::new(),
+            waiting_calls: Vec::new(),
+            prepared: BTreeSet::new(),
+            last_activity: BTreeMap::new(),
+            coord: BTreeMap::new(),
+            delegated: BTreeMap::new(),
+            ping_pending: BTreeSet::new(),
+            resumed: BTreeMap::new(),
+            next_txn_seq: 0,
+            cache: BTreeMap::new(),
+            vc: VcState::None,
+            manager_deferrals: 0,
+        }
+    }
+
+    /// Arm the initial timers; for a recovered cohort, also begin the view
+    /// change. Call exactly once, right after construction.
+    pub fn start(&mut self, now: Tick) -> Vec<Effect> {
+        let mut out = Vec::new();
+        out.push(Effect::SetTimer { after: self.cfg.heartbeat_interval, timer: Timer::Heartbeat });
+        if self.is_active_primary() {
+            self.arm_flush(&mut out);
+        }
+        for m in self.cur_view.members() {
+            if m != self.mid {
+                self.last_heard.insert(m, now);
+            }
+        }
+        if self.status == Status::ViewManager {
+            self.start_view_change(now, &mut out);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// This cohort's mid.
+    pub fn mid(&self) -> Mid {
+        self.mid
+    }
+
+    /// The group this cohort replicates.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Current status (active / view-manager / underling).
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// The current viewid.
+    pub fn cur_viewid(&self) -> ViewId {
+        self.cur_viewid
+    }
+
+    /// The current view.
+    pub fn cur_view(&self) -> &View {
+        &self.cur_view
+    }
+
+    /// Whether this cohort is the active primary of its group.
+    pub fn is_active_primary(&self) -> bool {
+        self.status == Status::Active && self.cur_view.primary() == self.mid
+    }
+
+    /// Whether this cohort's group state is meaningful (Figure 4's
+    /// `up-to-date` flag; false after crash recovery until a newview
+    /// record is installed).
+    pub fn is_up_to_date(&self) -> bool {
+        self.up_to_date
+    }
+
+    /// The group state (read-only; for checkers and tests).
+    pub fn gstate(&self) -> &GroupState {
+        &self.gstate
+    }
+
+    /// The history (read-only).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The viewid last written to stable storage (what survives a crash).
+    pub fn stable_viewid(&self) -> ViewId {
+        self.stable_viewid
+    }
+
+    /// The group's configuration.
+    pub fn configuration(&self) -> &Configuration {
+        &self.configuration
+    }
+
+    /// Number of records currently held in the communication buffer
+    /// (`None` when this cohort is not a primary). Bounded over long
+    /// views because fully-acknowledged records are garbage-collected.
+    pub fn buffer_len(&self) -> Option<usize> {
+        self.buffer.as_ref().map(|b| b.len())
+    }
+
+    // ------------------------------------------------------------------
+    // input dispatch
+    // ------------------------------------------------------------------
+
+    /// Deliver a message from `from`, producing effects.
+    pub fn on_message(&mut self, now: Tick, from: Mid, msg: Message) -> Vec<Effect> {
+        let mut out = Vec::new();
+        if from != self.mid {
+            self.last_heard.insert(from, now);
+        }
+        match msg {
+            // transaction processing — server side
+            Message::Call { viewid, call_id, proc, args } => {
+                self.on_call(now, from, viewid, call_id, proc, args, &mut out)
+            }
+            Message::Prepare { aid, pset, coordinator } => {
+                self.on_prepare(now, aid, pset, coordinator, &mut out)
+            }
+            Message::Commit { aid, coordinator } => {
+                self.on_commit(now, aid, Some(coordinator), &mut out)
+            }
+            Message::Abort { aid } => self.on_abort_msg(now, aid, &mut out),
+            Message::Query { aid, reply_to } => self.on_query(aid, reply_to, &mut out),
+            Message::ClientBegin { req, reply_to } => {
+                self.on_client_begin(req, reply_to, &mut out)
+            }
+            Message::ClientCommit { aid, pset, reply_to } => {
+                self.on_client_commit(now, aid, pset, reply_to, &mut out)
+            }
+            Message::ClientAbort { aid } => self.on_client_abort(aid, &mut out),
+            Message::ClientPong { aid } => self.on_client_pong(aid),
+            // These two are handled by the unreplicated client agent, not
+            // by cohorts; a cohort receiving one ignores it.
+            Message::ClientBeginAck { .. }
+            | Message::ClientOutcome { .. }
+            | Message::ClientPing { .. } => {}
+            Message::Probe { group, reply_to } => self.on_probe(group, reply_to, &mut out),
+
+            // transaction processing — client side
+            Message::CallReply { call_id, outcome } => {
+                self.on_call_reply(now, call_id, outcome, &mut out)
+            }
+            Message::CallReject { call_id, newer } => {
+                self.on_call_reject(now, call_id, newer, &mut out)
+            }
+            Message::PrepareOk { aid, group, read_only } => {
+                self.on_prepare_ok(now, aid, group, read_only, &mut out)
+            }
+            Message::PrepareRefuse { aid, group } => {
+                self.on_prepare_refuse(now, aid, group, &mut out)
+            }
+            Message::CommitDone { aid, group } => self.on_commit_done(aid, group, &mut out),
+            Message::Redirect { group, newer } => self.on_redirect(now, group, newer, &mut out),
+            Message::QueryReply { aid, outcome } => {
+                self.on_query_reply(now, aid, outcome, &mut out)
+            }
+            Message::ProbeReply { group, viewid, view } => {
+                self.on_probe_reply(now, group, viewid, view, &mut out)
+            }
+
+            // replication
+            Message::BufferSend { viewid, from, records } => {
+                self.on_buffer_send(now, viewid, from, records, &mut out)
+            }
+            Message::BufferAck { viewid, from, upto } => {
+                self.on_buffer_ack(now, viewid, from, upto, &mut out)
+            }
+
+            // failure detection
+            Message::ImAlive { .. } => { /* last_heard already updated */ }
+
+            // view change
+            Message::Invite { viewid, manager } => {
+                self.on_invite(now, viewid, manager, &mut out)
+            }
+            Message::AcceptNormal { viewid, from, latest, was_primary } => {
+                self.on_accept(now, viewid, from, view_change::Acceptance::Normal {
+                    latest,
+                    was_primary,
+                }, &mut out)
+            }
+            Message::AcceptCrashed { viewid, from, stable_viewid } => {
+                self.on_accept(now, viewid, from, view_change::Acceptance::Crashed {
+                    stable_viewid,
+                }, &mut out)
+            }
+            Message::InitView { viewid, view } => self.on_init_view(now, viewid, view, &mut out),
+        }
+        out
+    }
+
+    /// A timer armed by an earlier [`Effect::SetTimer`] fired.
+    pub fn on_timer(&mut self, now: Tick, timer: Timer) -> Vec<Effect> {
+        let mut out = Vec::new();
+        match timer {
+            Timer::Heartbeat => self.on_heartbeat(now, &mut out),
+            Timer::BufferFlush => self.on_buffer_flush(&mut out),
+            Timer::CallRetry { call_id, attempt } => {
+                self.on_call_retry(now, call_id, attempt, &mut out)
+            }
+            Timer::PrepareRetry { aid, attempt } => {
+                self.on_prepare_retry(now, aid, attempt, &mut out)
+            }
+            Timer::CommitRetry { aid } => self.on_commit_retry(aid, &mut out),
+            Timer::ForceCheck { viewid, ts } => self.on_force_check(now, viewid, ts, &mut out),
+            Timer::LockWait { call_id } => self.on_lock_wait_timeout(call_id, &mut out),
+            Timer::QueryTick { aid } => self.on_query_tick(aid, &mut out),
+            Timer::InviteTimeout { viewid } => self.on_invite_timeout(now, viewid, &mut out),
+            Timer::UnderlingTimeout { viewid } => {
+                self.on_underling_timeout(now, viewid, &mut out)
+            }
+            Timer::ManagerRetry { viewid } => self.on_manager_retry(now, viewid, &mut out),
+            Timer::ClientPingTimeout { aid } => self.on_client_ping_timeout(aid, &mut out),
+            // Agent timers never reach a cohort.
+            Timer::AgentBeginRetry { .. }
+            | Timer::AgentCallRetry { .. }
+            | Timer::AgentCommitRetry { .. } => {}
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // primary-side buffer plumbing
+    // ------------------------------------------------------------------
+
+    /// Add an event record as the active primary: assigns a viewstamp,
+    /// advances the history, applies the record to the local gstate, and
+    /// (in immediate-flush mode) streams it to the backups.
+    pub(crate) fn primary_add(&mut self, kind: EventKind, out: &mut Vec<Effect>) -> Viewstamp {
+        debug_assert!(self.is_active_primary(), "primary_add on non-primary");
+        let record_kind = kind.clone();
+        let buffer = self.buffer.as_mut().expect("active primary has a buffer");
+        let vs = buffer.add(kind);
+        self.history.advance(self.cur_viewid, vs.ts);
+        let record = EventRecord { vs, kind: record_kind };
+        self.apply_gstate_record(&record, out);
+        if self.cfg.buffer_flush_interval == 0 {
+            self.flush_buffer(out);
+        }
+        vs
+    }
+
+    /// Initiate a force as the active primary. If the force cannot
+    /// complete immediately, streams the buffer at once (forces do not
+    /// wait for the background flush) and arms the abandonment timer.
+    /// Returns the reasons of forces that completed immediately.
+    pub(crate) fn primary_force(
+        &mut self,
+        vs: Viewstamp,
+        reason: ForceReason,
+        out: &mut Vec<Effect>,
+    ) -> Vec<ForceReason> {
+        debug_assert!(self.is_active_primary(), "primary_force on non-primary");
+        let buffer = self.buffer.as_mut().expect("active primary has a buffer");
+        if buffer.force_to(vs, reason.clone()) {
+            return vec![reason];
+        }
+        out.push(Effect::SetTimer {
+            after: self.cfg.force_timeout,
+            timer: Timer::ForceCheck { viewid: self.cur_viewid, ts: vs.ts },
+        });
+        self.flush_buffer(out);
+        Vec::new()
+    }
+
+    /// Send every lagging backup the buffer records it has not yet
+    /// acknowledged.
+    pub(crate) fn flush_buffer(&mut self, out: &mut Vec<Effect>) {
+        let Some(buffer) = self.buffer.as_ref() else { return };
+        let viewid = buffer.viewid();
+        let lagging: Vec<Mid> = buffer.lagging_backups().collect();
+        for backup in lagging {
+            let records = buffer.records_after(buffer.acked_by(backup)).to_vec();
+            if records.is_empty() {
+                continue;
+            }
+            out.push(Effect::Send {
+                to: backup,
+                msg: Message::BufferSend { viewid, from: self.mid, records },
+            });
+        }
+    }
+
+    pub(crate) fn arm_flush(&self, out: &mut Vec<Effect>) {
+        if self.cfg.buffer_flush_interval > 0 {
+            out.push(Effect::SetTimer {
+                after: self.cfg.buffer_flush_interval,
+                timer: Timer::BufferFlush,
+            });
+        }
+    }
+
+    fn on_buffer_flush(&mut self, out: &mut Vec<Effect>) {
+        if !self.is_active_primary() {
+            return;
+        }
+        self.flush_buffer(out);
+        // Records every backup has acknowledged can never need
+        // retransmission; reclaim them so the buffer stays bounded over
+        // long views.
+        if let Some(buffer) = self.buffer.as_mut() {
+            buffer.truncate_acked();
+        }
+        self.arm_flush(out);
+    }
+
+    fn on_buffer_ack(
+        &mut self,
+        now: Tick,
+        viewid: ViewId,
+        from: Mid,
+        upto: Timestamp,
+        out: &mut Vec<Effect>,
+    ) {
+        if !self.is_active_primary() || viewid != self.cur_viewid {
+            return;
+        }
+        let fired = match self.buffer.as_mut() {
+            Some(buffer) => buffer.on_ack(from, upto),
+            None => return,
+        };
+        for reason in fired {
+            self.fire_force_reason(now, reason, out);
+        }
+    }
+
+    fn on_force_check(
+        &mut self,
+        now: Tick,
+        viewid: ViewId,
+        ts: Timestamp,
+        out: &mut Vec<Effect>,
+    ) {
+        if !self.is_active_primary() || viewid != self.cur_viewid {
+            return;
+        }
+        let Some(buffer) = self.buffer.as_mut() else { return };
+        let still_pending = buffer
+            .earliest_pending_force()
+            .is_some_and(|earliest| earliest <= ts)
+            && buffer.watermark() < ts;
+        if !still_pending {
+            return;
+        }
+        // "If communication with some backups is impossible, the call of
+        // force-to will be abandoned, and the cohort will switch to
+        // running the view change algorithm."
+        out.push(Effect::Observe(Observation::ForceAbandoned {
+            group: self.group,
+            mid: self.mid,
+            viewid: self.cur_viewid,
+        }));
+        let abandoned = buffer.abandon_forces();
+        for reason in abandoned {
+            if let ForceReason::CoordCommitted { aid } = reason {
+                // The commit decision is in flight: its survival depends
+                // on the coming view change, so the outcome is genuinely
+                // unknown at this point.
+                if let Some(txn) = self.coord.remove(&aid) {
+                    out.push(Effect::TxnResult {
+                        req_id: txn.req_id,
+                        aid: Some(aid),
+                        outcome: TxnOutcome::Unresolved,
+                    });
+                }
+            }
+        }
+        self.start_view_change(now, out);
+    }
+
+    /// Run the continuation of a completed force.
+    pub(crate) fn fire_force_reason(
+        &mut self,
+        now: Tick,
+        reason: ForceReason,
+        out: &mut Vec<Effect>,
+    ) {
+        match reason {
+            ForceReason::PrepareVote { aid, coordinator, read_only } => {
+                self.send_prepare_vote(now, aid, coordinator, read_only, out)
+            }
+            ForceReason::CommitAck { aid, coordinator } => out.push(Effect::Send {
+                to: coordinator,
+                msg: Message::CommitDone { aid, group: self.group },
+            }),
+            ForceReason::CoordCommitted { aid } => self.on_commit_decided(aid, out),
+            ForceReason::CallReply { call_id, to } => {
+                if let Some(record) = self.gstate.find_call(call_id) {
+                    let outcome = server::reply_from_record(self.group, record);
+                    out.push(Effect::Send {
+                        to,
+                        msg: Message::CallReply { call_id, outcome },
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // backup-side record application
+    // ------------------------------------------------------------------
+
+    fn on_buffer_send(
+        &mut self,
+        now: Tick,
+        viewid: ViewId,
+        from: Mid,
+        records: Vec<EventRecord>,
+        out: &mut Vec<Effect>,
+    ) {
+        // Unilateral view adjustment (Section 4.1): an active backup
+        // follows its *current primary* directly into a higher view —
+        // the newview record arrives on the ordinary buffer stream with
+        // no invitation round.
+        if self.status == Status::Active
+            && self.cur_view.primary() == from
+            && self.cur_view.primary() != self.mid
+            && viewid > self.cur_viewid
+            && viewid >= self.max_viewid
+        {
+            if let Some(first) = records.first() {
+                if let EventKind::NewView { view, history, gstate } = &first.kind {
+                    if view.primary() == from && view.contains(self.mid) {
+                        let (view, history, gstate) =
+                            (view.clone(), history.clone(), gstate.clone());
+                        self.max_viewid = viewid;
+                        self.install_new_view(now, viewid, view, history, gstate, out);
+                        // Fall through to apply the rest below.
+                    }
+                }
+            }
+        }
+        // An underling waiting on `max_viewid` becomes active when the
+        // newview record arrives (Figure 5, await_view).
+        if self.status == Status::Underling && viewid == self.max_viewid {
+            if let Some(first) = records.first() {
+                if let EventKind::NewView { view, history, gstate } = &first.kind {
+                    let (view, history, gstate) =
+                        (view.clone(), history.clone(), gstate.clone());
+                    self.install_new_view(now, viewid, view, history, gstate, out);
+                    // Fall through to apply the rest of the records below.
+                } else {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+        if self.status != Status::Active
+            || viewid != self.cur_viewid
+            || self.cur_view.primary() == self.mid
+        {
+            return;
+        }
+        if self.cur_view.primary() != from {
+            return;
+        }
+        let mut known = self
+            .history
+            .ts_for(self.cur_viewid)
+            .unwrap_or(Timestamp::ZERO);
+        for record in &records {
+            if record.ts().0 <= known.0 {
+                continue; // duplicate
+            }
+            if record.ts().0 != known.0 + 1 {
+                break; // gap; the primary will retransmit from our ack
+            }
+            if !matches!(record.kind, EventKind::NewView { .. }) {
+                self.apply_gstate_record(record, out);
+            }
+            known = record.ts();
+            self.history.advance(self.cur_viewid, known);
+        }
+        out.push(Effect::Send {
+            to: from,
+            msg: Message::BufferAck { viewid: self.cur_viewid, from: self.mid, upto: known },
+        });
+    }
+
+    /// Apply an event record's gstate transition. Used identically by the
+    /// primary (at `add` time) and the backups (at delivery time), which
+    /// is what keeps replica states convergent.
+    pub(crate) fn apply_gstate_record(&mut self, record: &EventRecord, out: &mut Vec<Effect>) {
+        match &record.kind {
+            EventKind::CompletedCall { aid, record: call } => {
+                self.gstate.store_call(*aid, call.clone());
+            }
+            EventKind::Committing { aid, plist } => {
+                self.gstate
+                    .set_status(*aid, crate::gstate::TxnStatus::Committing { plist: plist.clone() });
+            }
+            EventKind::Committed { aid } => {
+                let accesses = self.gstate.install_commit(*aid);
+                out.push(Effect::Observe(Observation::TxnCommitted {
+                    group: self.group,
+                    mid: self.mid,
+                    aid: *aid,
+                    accesses,
+                }));
+            }
+            EventKind::Aborted { aid } => {
+                self.gstate.discard_abort(*aid);
+                out.push(Effect::Observe(Observation::TxnAborted {
+                    group: self.group,
+                    mid: self.mid,
+                    aid: *aid,
+                }));
+            }
+            EventKind::Done { aid } => {
+                self.gstate.set_status(*aid, crate::gstate::TxnStatus::Done);
+            }
+            EventKind::CallsDropped { aid, dropped } => {
+                self.gstate.drop_calls(*aid, dropped);
+            }
+            EventKind::NewView { .. } => {
+                debug_assert!(false, "newview records are installed, not applied");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // heartbeats and failure detection
+    // ------------------------------------------------------------------
+
+    fn on_heartbeat(&mut self, now: Tick, out: &mut Vec<Effect>) {
+        for &m in self.configuration.members() {
+            if m != self.mid {
+                out.push(Effect::Send {
+                    to: m,
+                    msg: Message::ImAlive { from: self.mid, viewid: self.cur_viewid },
+                });
+            }
+        }
+        if self.status == Status::Active {
+            let is_silent = |m: Mid| {
+                let heard = self.last_heard.get(&m).copied().unwrap_or(0);
+                now.saturating_sub(heard) > self.cfg.suspect_timeout
+            };
+            let suspect =
+                self.cur_view.members().any(|m| m != self.mid && is_silent(m));
+            // Section 4.1 optimization: the primary excludes silent
+            // backups unilaterally when a majority remains — no
+            // invitation round needed.
+            if suspect && self.cfg.unilateral_exclusion && self.is_active_primary() {
+                let silent: Vec<Mid> = self
+                    .cur_view
+                    .backups()
+                    .iter()
+                    .copied()
+                    .filter(|&m| is_silent(m))
+                    .collect();
+                let remaining = self.cur_view.len() - silent.len();
+                if remaining >= self.configuration.majority() {
+                    self.unilateral_exclude(now, &silent, out);
+                    out.push(Effect::SetTimer {
+                        after: self.cfg.heartbeat_interval,
+                        timer: Timer::Heartbeat,
+                    });
+                    return;
+                }
+            }
+            if suspect {
+                // Churn avoidance (Section 4.1): "the cohorts could be
+                // ordered, and a cohort would become a manager only if
+                // all higher-priority cohorts appear to be inaccessible."
+                // Lower mid = higher priority; defer a few heartbeats to
+                // a live higher-priority member, then manage anyway (in
+                // case it never noticed the problem).
+                let higher_priority_alive = self
+                    .cur_view
+                    .members()
+                    .any(|m| m < self.mid && !is_silent(m));
+                if higher_priority_alive && self.manager_deferrals < self.cfg.manager_deference
+                {
+                    self.manager_deferrals += 1;
+                } else {
+                    self.manager_deferrals = 0;
+                    self.start_view_change(now, out);
+                }
+            } else {
+                self.manager_deferrals = 0;
+                if self.is_active_primary() {
+                    self.sweep_stale_txns(now, out);
+                }
+            }
+        }
+        out.push(Effect::SetTimer {
+            after: self.cfg.heartbeat_interval,
+            timer: Timer::Heartbeat,
+        });
+    }
+
+    /// Query the coordinator about transactions that have held locks for a
+    /// long time without progress — their abort message may have been
+    /// lost ("recovery from lost messages is done by using queries",
+    /// Section 4.1).
+    fn sweep_stale_txns(&mut self, now: Tick, out: &mut Vec<Effect>) {
+        let stale: Vec<Aid> = self
+            .gstate
+            .pending_txns()
+            .map(|(aid, _)| aid)
+            .filter(|aid| {
+                // Our own coordinated transactions are not swept.
+                aid.group != self.group
+                    && !self.prepared.contains(aid)
+                    && now.saturating_sub(self.last_activity.get(aid).copied().unwrap_or(0))
+                        > self.cfg.stale_txn_timeout
+            })
+            .collect();
+        for aid in stale {
+            self.last_activity.insert(aid, now);
+            self.send_outcome_query(aid, out);
+        }
+    }
+
+    /// Send an outcome query to every member of the transaction's
+    /// coordinator group ("a cohort that needs to know whether an abort
+    /// occurred sends a query to another cohort that might know",
+    /// Section 3.4).
+    pub(crate) fn send_outcome_query(&self, aid: Aid, out: &mut Vec<Effect>) {
+        let Some(config) = self.peers.get(&aid.coordinator_group()) else {
+            return;
+        };
+        for &m in config.members() {
+            if m != self.mid {
+                out.push(Effect::Send {
+                    to: m,
+                    msg: Message::Query { aid, reply_to: self.mid },
+                });
+            }
+        }
+    }
+
+    fn on_probe(&self, group: GroupId, reply_to: Mid, out: &mut Vec<Effect>) {
+        if group != self.group || self.status != Status::Active {
+            return;
+        }
+        out.push(Effect::Send {
+            to: reply_to,
+            msg: Message::ProbeReply {
+                group,
+                viewid: self.cur_viewid,
+                view: self.cur_view.clone(),
+            },
+        });
+    }
+
+    /// The redirect payload a non-primary cohort attaches to rejections
+    /// (Section 3.3: "contains information about the current viewid and
+    /// primary if the cohort knows them").
+    pub(crate) fn known_view(&self) -> Option<(ViewId, View)> {
+        (self.status == Status::Active).then(|| (self.cur_viewid, self.cur_view.clone()))
+    }
+}

@@ -1,0 +1,144 @@
+//! Tunable protocol parameters.
+//!
+//! All durations are in abstract [`Tick`](crate::types::Tick)s; the
+//! deterministic simulator interprets a tick as one simulated time unit
+//! (roughly "one millisecond" in the experiments) and the live runtime maps
+//! ticks onto milliseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for a cohort.
+///
+/// The defaults are sized for a simulated LAN where one-way message delay
+/// is a few ticks. Two knobs are *experiment levers* called out in the
+/// paper:
+///
+/// * [`eager_force_calls`](CohortConfig::eager_force_calls) — Section 6:
+///   "if completed call records were forced to the backups before the call
+///   returned, there would be no aborts due to view changes, but calls
+///   would be processed more slowly" (experiment E5).
+/// * [`buffer_flush_interval`](CohortConfig::buffer_flush_interval) — how
+///   lazily the primary streams the communication buffer in background
+///   mode; governs how often a prepare must wait for a force
+///   (Section 3.7, experiment E8).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CohortConfig {
+    /// Interval between "I'm alive" messages (Section 4).
+    pub heartbeat_interval: u64,
+    /// Silence from a view member longer than this triggers a view change.
+    /// The paper advises "a fairly long timeout" to avoid churn.
+    pub suspect_timeout: u64,
+    /// How long the primary waits between background buffer sends to
+    /// backups. `0` means every `add` is sent immediately.
+    pub buffer_flush_interval: u64,
+    /// If a force has not reached a sub-majority within this long, the
+    /// force is abandoned and the cohort switches to the view change
+    /// algorithm (Section 3, footnote 1).
+    pub force_timeout: u64,
+    /// Client-side: how long to wait for a call reply before re-sending.
+    pub call_retry_interval: u64,
+    /// Client-side: number of call (re)sends before the transaction is
+    /// aborted ("no reply at all (after a sufficient number of probes)",
+    /// Section 3.1) — or, with call-subactions enabled, before the call
+    /// subaction is aborted and redone.
+    pub call_attempts: u32,
+    /// Client-side: number of times an unanswered call may be aborted as
+    /// a subaction and redone as a new one (Section 3.6: "we can abort
+    /// just the subaction, and then do the call again as a new
+    /// subaction"). `0` restores the flat-transaction behavior where any
+    /// unanswered call aborts the whole transaction.
+    pub call_redo_attempts: u32,
+    /// Coordinator: how long to wait for prepare votes before re-sending.
+    pub prepare_retry_interval: u64,
+    /// Coordinator: number of prepare rounds before aborting.
+    pub prepare_attempts: u32,
+    /// Coordinator: interval between commit-message retransmissions while
+    /// waiting for participant acknowledgements (phase two runs in
+    /// background).
+    pub commit_retry_interval: u64,
+    /// Participant: a call that cannot acquire its locks within this long
+    /// is refused, causing the client to abort the transaction.
+    pub lock_wait_timeout: u64,
+    /// Participant: a prepared transaction with no outcome after this long
+    /// starts sending queries to the coordinator group (Section 3.4).
+    pub query_interval: u64,
+    /// Participant: an *unprepared* transaction holding locks with no
+    /// activity for this long is investigated with a query (it may have
+    /// been aborted by a coordinator whose abort message was lost —
+    /// "delivery of abort messages is not guaranteed", Section 4.1).
+    pub stale_txn_timeout: u64,
+    /// View manager: how long to wait for invitation responses before
+    /// attempting to form a view with whatever has arrived.
+    pub invite_timeout: u64,
+    /// View manager: delay before retrying after a failed view formation
+    /// ("the cohort attempts another view formation later", Section 4).
+    pub manager_retry_delay: u64,
+    /// Underling: how long to await the new view before becoming a manager
+    /// ("an underling should use a fairly long timeout", Section 4.1).
+    pub underling_timeout: u64,
+    /// Churn avoidance (Section 4.1): how many heartbeats a cohort defers
+    /// to a live higher-priority (lower-mid) manager candidate before
+    /// managing a view change itself. `0` = every suspicious cohort
+    /// manages immediately (the paper's tolerated-but-slower concurrent
+    /// managers).
+    pub manager_deference: u32,
+    /// Force completed-call records to a sub-majority *before* replying to
+    /// the client (the Section 6 tradeoff; `false` is the paper's design).
+    pub eager_force_calls: bool,
+    /// The Section 4.1 optimization: "when an active primary notices
+    /// that it cannot communicate with a backup, but it still has a
+    /// sub-majority of other backups … the primary can unilaterally
+    /// exclude the inaccessible backup from the view" — no invitation
+    /// round at all. Off by default so measurements reflect the base
+    /// protocol.
+    pub unilateral_exclusion: bool,
+}
+
+impl CohortConfig {
+    /// Defaults sized for a simulated LAN with one-way delays of 1–5
+    /// ticks.
+    pub fn new() -> Self {
+        CohortConfig {
+            heartbeat_interval: 20,
+            suspect_timeout: 100,
+            buffer_flush_interval: 2,
+            force_timeout: 120,
+            call_retry_interval: 50,
+            call_attempts: 3,
+            call_redo_attempts: 2,
+            prepare_retry_interval: 60,
+            prepare_attempts: 3,
+            commit_retry_interval: 60,
+            lock_wait_timeout: 200,
+            query_interval: 150,
+            stale_txn_timeout: 600,
+            invite_timeout: 40,
+            manager_retry_delay: 60,
+            underling_timeout: 120,
+            manager_deference: 2,
+            eager_force_calls: false,
+            unilateral_exclusion: false,
+        }
+    }
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CohortConfig::new();
+        assert!(c.suspect_timeout > c.heartbeat_interval);
+        assert!(c.force_timeout > c.buffer_flush_interval);
+        assert!(c.call_attempts >= 1);
+        assert!(!c.eager_force_calls, "paper default is background mode");
+        assert_eq!(c, CohortConfig::default());
+    }
+}

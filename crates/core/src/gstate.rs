@@ -1,0 +1,454 @@
+//! The group state (`gstate`): atomic objects, pending transaction
+//! records, and transaction statuses (Figure 1, Section 3).
+//!
+//! Each object has a *base version* plus a commit version counter (used by
+//! the one-copy-serializability checker) and, while transactions are
+//! active, *tentative versions* held in the lock table. Backups follow the
+//! "good compromise" of Section 3.3: they store "completed-call" records
+//! (as part of the gstate) until the "committed" or "aborted" record for
+//! the call's transaction is received; at that point records for a
+//! committed transaction are applied, while those for an aborted
+//! transaction are discarded.
+
+use crate::types::{Aid, CallId, GroupId, ObjectId, Viewstamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The value of an atomic object: an opaque byte string (the paper's base
+/// version of "some type T"; applications encode their own types).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Value(pub Vec<u8>);
+
+impl Value {
+    /// An empty value.
+    pub fn empty() -> Self {
+        Value(Vec::new())
+    }
+
+    /// View the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte length, used for wire-size accounting in the experiments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(v)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value[{}B]", self.0.len())
+    }
+}
+
+/// The kind of lock acquired on an object (strict two-phase locking with
+/// read and write locks, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared read lock.
+    Read,
+    /// Exclusive write lock.
+    Write,
+}
+
+/// One object access performed by a remote call, as recorded in a
+/// "completed-call" event record: "the object-list lists all objects used
+/// by the remote call, together with the type of lock acquired and the
+/// tentative version if any" (Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectAccess {
+    /// The object touched.
+    pub oid: ObjectId,
+    /// The strongest lock acquired by this call on the object.
+    pub mode: LockMode,
+    /// The tentative version created, if the call wrote the object.
+    pub written: Option<Value>,
+    /// The commit version of the base value observed if the call read the
+    /// object's base version (`None` when the read was satisfied by the
+    /// transaction's own tentative version). Consumed by the
+    /// one-copy-serializability checker.
+    pub read_version: Option<u64>,
+}
+
+/// A stored "completed-call" event record (Section 3.3): everything a
+/// backup needs to later set locks and create versions, and everything a
+/// primary needs to answer a duplicate of the same call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedCall {
+    /// The viewstamp assigned to the completion event.
+    pub vs: Viewstamp,
+    /// The call this record completes (for duplicate suppression).
+    pub call_id: CallId,
+    /// Objects read and written.
+    pub accesses: Vec<ObjectAccess>,
+    /// The reply value returned to the caller.
+    pub result: Value,
+    /// The pset entries for nested calls made while processing this call
+    /// (empty for leaf calls); merged into the reply pset.
+    pub nested: Vec<(GroupId, Viewstamp)>,
+}
+
+/// The status of a transaction as known to a cohort, driven by the event
+/// records of Section 3 ("committing", "committed", "aborted", "done").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Coordinator side: the commit decision is made (the "committing"
+    /// record); `plist` lists the non-read-only participants that must
+    /// take part in phase two.
+    Committing {
+        /// Non-read-only participant groups.
+        plist: Vec<GroupId>,
+    },
+    /// The transaction committed at this group.
+    Committed,
+    /// The transaction aborted.
+    Aborted,
+    /// Coordinator side: phase two finished (the "done" record).
+    Done,
+}
+
+impl TxnStatus {
+    /// Whether this status implies the transaction's commit decision was
+    /// reached.
+    pub fn is_committed(&self) -> bool {
+        matches!(
+            self,
+            TxnStatus::Committing { .. } | TxnStatus::Committed | TxnStatus::Done
+        )
+    }
+}
+
+/// An object: base version plus a commit-version counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredObject {
+    /// Current committed (base) value.
+    pub value: Value,
+    /// Number of committed writes applied to this object; read by the
+    /// serializability checker.
+    pub version: u64,
+}
+
+/// The replicated group state: objects, stored (pending) completed-call
+/// records, and transaction statuses.
+///
+/// This structure is *identical* at primary and backups after applying the
+/// same prefix of event records; that determinism is what lets a backup
+/// take over as primary during a view change.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::gstate::{GroupState, Value};
+/// use vsr_core::types::ObjectId;
+///
+/// let state = GroupState::with_objects([(ObjectId(1), Value::from(&b"v0"[..]))]);
+/// let obj = state.object(ObjectId(1)).unwrap();
+/// assert_eq!(obj.version, 0);
+/// assert_eq!(obj.value.as_bytes(), b"v0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct GroupState {
+    objects: BTreeMap<ObjectId, StoredObject>,
+    pending: BTreeMap<Aid, Vec<CompletedCall>>,
+    statuses: BTreeMap<Aid, TxnStatus>,
+    /// Calls whose subaction was aborted (Section 3.6): their records
+    /// were dropped and late duplicates of them must never execute.
+    dropped_calls: BTreeMap<Aid, Vec<CallId>>,
+}
+
+impl GroupState {
+    /// An empty group state.
+    pub fn new() -> Self {
+        GroupState::default()
+    }
+
+    /// A group state pre-populated with initial objects (version 0).
+    pub fn with_objects<I: IntoIterator<Item = (ObjectId, Value)>>(objects: I) -> Self {
+        GroupState {
+            objects: objects
+                .into_iter()
+                .map(|(oid, value)| (oid, StoredObject { value, version: 0 }))
+                .collect(),
+            pending: BTreeMap::new(),
+            statuses: BTreeMap::new(),
+            dropped_calls: BTreeMap::new(),
+        }
+    }
+
+    /// The committed value of `oid`, if the object exists.
+    pub fn object(&self, oid: ObjectId) -> Option<&StoredObject> {
+        self.objects.get(&oid)
+    }
+
+    /// Iterate over all objects.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, &StoredObject)> + '_ {
+        self.objects.iter().map(|(&oid, obj)| (oid, obj))
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Store a completed-call record for its transaction.
+    pub fn store_call(&mut self, aid: Aid, record: CompletedCall) {
+        self.pending.entry(aid).or_default().push(record);
+    }
+
+    /// The stored completed-call records for `aid`, in event order.
+    pub fn pending_calls(&self, aid: Aid) -> &[CompletedCall] {
+        self.pending.get(&aid).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Find a stored record for `call_id` (duplicate-call suppression).
+    pub fn find_call(&self, call_id: CallId) -> Option<&CompletedCall> {
+        self.pending
+            .get(&call_id.aid)
+            .and_then(|records| records.iter().find(|r| r.call_id == call_id))
+    }
+
+    /// Transactions with stored records, in `Aid` order.
+    pub fn pending_txns(&self) -> impl Iterator<Item = (Aid, &[CompletedCall])> + '_ {
+        self.pending.iter().map(|(&aid, v)| (aid, v.as_slice()))
+    }
+
+    /// The recorded status of `aid`, if any.
+    pub fn status(&self, aid: Aid) -> Option<&TxnStatus> {
+        self.statuses.get(&aid)
+    }
+
+    /// Record a status, overwriting any previous one.
+    ///
+    /// Statuses only strengthen: `Committing → Committed → Done`; an
+    /// `Aborted` status never replaces a committed-family status (the
+    /// protocol never produces that transition; this is a defensive
+    /// invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to change a committed-family status to `Aborted` or
+    /// vice versa — that would be a one-copy-serializability violation.
+    pub fn set_status(&mut self, aid: Aid, status: TxnStatus) {
+        if let Some(old) = self.statuses.get(&aid) {
+            let old_committed = old.is_committed();
+            let new_committed = status.is_committed();
+            assert_eq!(
+                old_committed, new_committed,
+                "transaction {aid} outcome flipped: {old:?} -> {status:?}"
+            );
+        }
+        self.statuses.insert(aid, status);
+    }
+
+    /// Apply the transaction's tentative writes to the base versions, in
+    /// record order, and discard its pending records ("install its
+    /// tentative versions"). Records the `Committed` status.
+    ///
+    /// Returns the accesses of the installed records, for observability.
+    pub fn install_commit(&mut self, aid: Aid) -> Vec<ObjectAccess> {
+        self.dropped_calls.remove(&aid);
+        let records = self.pending.remove(&aid).unwrap_or_default();
+        let mut all_accesses = Vec::new();
+        for record in records {
+            for access in &record.accesses {
+                if let Some(value) = &access.written {
+                    let obj = self
+                        .objects
+                        .entry(access.oid)
+                        .or_insert_with(|| StoredObject { value: Value::empty(), version: 0 });
+                    obj.value = value.clone();
+                    obj.version += 1;
+                }
+            }
+            all_accesses.extend(record.accesses);
+        }
+        self.set_status(aid, TxnStatus::Committed);
+        all_accesses
+    }
+
+    /// Discard the transaction's pending records and record the `Aborted`
+    /// status.
+    pub fn discard_abort(&mut self, aid: Aid) {
+        self.pending.remove(&aid);
+        self.dropped_calls.remove(&aid);
+        self.set_status(aid, TxnStatus::Aborted);
+    }
+
+    /// Drop the records of aborted call-subactions (Section 3.6) and
+    /// remember their ids so late duplicates are never executed.
+    pub fn drop_calls(&mut self, aid: Aid, dropped: &[CallId]) {
+        if let Some(records) = self.pending.get_mut(&aid) {
+            records.retain(|r| !dropped.contains(&r.call_id));
+            if records.is_empty() {
+                self.pending.remove(&aid);
+            }
+        }
+        self.dropped_calls.entry(aid).or_default().extend_from_slice(dropped);
+    }
+
+    /// Whether `call_id` belongs to an aborted call-subaction.
+    pub fn is_dropped_call(&self, call_id: CallId) -> bool {
+        self.dropped_calls
+            .get(&call_id.aid)
+            .is_some_and(|v| v.contains(&call_id))
+    }
+
+    /// Whether there is any trace of `aid` at this cohort.
+    pub fn knows(&self, aid: Aid) -> bool {
+        self.pending.contains_key(&aid) || self.statuses.contains_key(&aid)
+    }
+
+    /// All recorded statuses (used when a new primary resumes phase two for
+    /// `Committing` transactions after a view change).
+    pub fn statuses(&self) -> impl Iterator<Item = (Aid, &TxnStatus)> + '_ {
+        self.statuses.iter().map(|(&aid, s)| (aid, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Mid, Timestamp, ViewId};
+
+    fn aid(seq: u64) -> Aid {
+        Aid { group: GroupId(9), view: ViewId::initial(Mid(0)), seq }
+    }
+
+    fn vs(ts: u64) -> Viewstamp {
+        Viewstamp::new(ViewId::initial(Mid(0)), Timestamp(ts))
+    }
+
+    fn write_access(oid: u64, bytes: &[u8]) -> ObjectAccess {
+        ObjectAccess {
+            oid: ObjectId(oid),
+            mode: LockMode::Write,
+            written: Some(Value::from(bytes)),
+            read_version: None,
+        }
+    }
+
+    fn call(ts: u64, call_seq: u64, accesses: Vec<ObjectAccess>) -> CompletedCall {
+        CompletedCall {
+            vs: vs(ts),
+            call_id: CallId { aid: aid(0), seq: call_seq },
+            accesses,
+            result: Value::empty(),
+            nested: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn install_commit_applies_writes_in_order() {
+        let mut g = GroupState::with_objects([(ObjectId(1), Value::from(&b"init"[..]))]);
+        let a = aid(0);
+        g.store_call(a, call(1, 0, vec![write_access(1, b"first")]));
+        g.store_call(a, call(2, 1, vec![write_access(1, b"second")]));
+        let accesses = g.install_commit(a);
+        assert_eq!(accesses.len(), 2);
+        let obj = g.object(ObjectId(1)).unwrap();
+        assert_eq!(obj.value, Value::from(&b"second"[..]));
+        assert_eq!(obj.version, 2);
+        assert_eq!(g.status(a), Some(&TxnStatus::Committed));
+        assert!(g.pending_calls(a).is_empty());
+    }
+
+    #[test]
+    fn install_commit_creates_missing_objects() {
+        let mut g = GroupState::new();
+        let a = aid(0);
+        g.store_call(a, call(1, 0, vec![write_access(7, b"new")]));
+        g.install_commit(a);
+        assert_eq!(g.object(ObjectId(7)).unwrap().value, Value::from(&b"new"[..]));
+        assert_eq!(g.object(ObjectId(7)).unwrap().version, 1);
+    }
+
+    #[test]
+    fn discard_abort_drops_records() {
+        let mut g = GroupState::with_objects([(ObjectId(1), Value::from(&b"init"[..]))]);
+        let a = aid(0);
+        g.store_call(a, call(1, 0, vec![write_access(1, b"x")]));
+        g.discard_abort(a);
+        assert_eq!(g.object(ObjectId(1)).unwrap().value, Value::from(&b"init"[..]));
+        assert_eq!(g.status(a), Some(&TxnStatus::Aborted));
+        assert!(g.pending_calls(a).is_empty());
+        assert!(g.knows(a));
+    }
+
+    #[test]
+    fn find_call_by_id() {
+        let mut g = GroupState::new();
+        let a = aid(0);
+        g.store_call(a, call(1, 5, vec![]));
+        assert!(g.find_call(CallId { aid: a, seq: 5 }).is_some());
+        assert!(g.find_call(CallId { aid: a, seq: 6 }).is_none());
+        assert!(g.find_call(CallId { aid: aid(1), seq: 5 }).is_none());
+    }
+
+    #[test]
+    fn status_strengthens() {
+        let mut g = GroupState::new();
+        let a = aid(0);
+        g.set_status(a, TxnStatus::Committing { plist: vec![GroupId(1)] });
+        assert!(g.status(a).unwrap().is_committed());
+        g.set_status(a, TxnStatus::Committed);
+        g.set_status(a, TxnStatus::Done);
+        assert!(g.status(a).unwrap().is_committed());
+    }
+
+    #[test]
+    #[should_panic(expected = "outcome flipped")]
+    fn status_cannot_flip() {
+        let mut g = GroupState::new();
+        let a = aid(0);
+        g.set_status(a, TxnStatus::Committed);
+        g.set_status(a, TxnStatus::Aborted);
+    }
+
+    #[test]
+    fn read_only_commit_installs_nothing() {
+        let mut g = GroupState::with_objects([(ObjectId(1), Value::from(&b"init"[..]))]);
+        let a = aid(0);
+        g.store_call(
+            a,
+            call(
+                1,
+                0,
+                vec![ObjectAccess {
+                    oid: ObjectId(1),
+                    mode: LockMode::Read,
+                    written: None,
+                    read_version: Some(0),
+                }],
+            ),
+        );
+        g.install_commit(a);
+        let obj = g.object(ObjectId(1)).unwrap();
+        assert_eq!(obj.version, 0);
+        assert_eq!(obj.value, Value::from(&b"init"[..]));
+    }
+}

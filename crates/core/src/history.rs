@@ -1,0 +1,225 @@
+//! The cohort *history*: a sequence of viewstamps, one per view the cohort
+//! has participated in (Section 2, Figure 1: `history: [viewstamp]`).
+//!
+//! The invariant maintained by the protocol is: for each viewstamp `v` in a
+//! cohort's history, the cohort's state reflects event `e` from view `v.id`
+//! iff `e`'s timestamp is less than or equal to `v.ts`.
+
+use crate::pset::PSet;
+use crate::types::{GroupId, Timestamp, ViewId, Viewstamp};
+use serde::{Deserialize, Serialize};
+
+/// A sequence of viewstamps, each with a different viewid, in increasing
+/// viewid order.
+///
+/// The history summarizes which events a cohort knows: event `(vid, ts)` is
+/// *covered* iff the history contains an entry for `vid` with timestamp at
+/// least `ts`.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::history::History;
+/// use vsr_core::types::{Mid, Timestamp, ViewId, Viewstamp};
+///
+/// let v0 = ViewId::initial(Mid(1));
+/// let mut h = History::new();
+/// h.open_view(v0);
+/// h.advance(v0, Timestamp(3));
+/// assert!(h.covers(Viewstamp::new(v0, Timestamp(2))));
+/// assert!(!h.covers(Viewstamp::new(v0, Timestamp(4))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct History {
+    entries: Vec<Viewstamp>,
+}
+
+impl History {
+    /// An empty history (a cohort that has not yet joined any view).
+    pub fn new() -> Self {
+        History { entries: Vec::new() }
+    }
+
+    /// Append a new entry `<vid, 0>` when entering view `vid`
+    /// ("appends <cur-viewid, 0> to the history", Section 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vid` is not greater than every viewid already present:
+    /// views are entered in increasing viewid order.
+    pub fn open_view(&mut self, vid: ViewId) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                vid > last.id,
+                "history: view {vid} must be greater than last view {}",
+                last.id
+            );
+        }
+        self.entries.push(Viewstamp::new(vid, Timestamp::ZERO));
+    }
+
+    /// Record that all events of view `vid` up to and including `ts` are
+    /// now reflected in this cohort's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vid` is not the most recent view in the history or if
+    /// `ts` would move the entry backwards — event records arrive in
+    /// timestamp order, so knowledge only grows.
+    pub fn advance(&mut self, vid: ViewId, ts: Timestamp) {
+        let last = self
+            .entries
+            .last_mut()
+            .expect("history: advance on empty history");
+        assert_eq!(last.id, vid, "history: advance for non-current view");
+        assert!(
+            ts >= last.ts,
+            "history: timestamp moved backwards ({} -> {})",
+            last.ts,
+            ts
+        );
+        last.ts = ts;
+    }
+
+    /// The latest (greatest) viewstamp in the history, i.e. this cohort's
+    /// "current viewstamp" as reported in a normal acceptance (Section 4).
+    pub fn latest(&self) -> Option<Viewstamp> {
+        self.entries.last().copied()
+    }
+
+    /// The timestamp recorded for view `vid`, if any.
+    pub fn ts_for(&self, vid: ViewId) -> Option<Timestamp> {
+        self.entries.iter().find(|v| v.id == vid).map(|v| v.ts)
+    }
+
+    /// Does this history cover event viewstamp `vs`?
+    ///
+    /// True iff there is an entry for `vs.id` whose timestamp is at least
+    /// `vs.ts`.
+    pub fn covers(&self, vs: Viewstamp) -> bool {
+        self.ts_for(vs.id).is_some_and(|ts| ts >= vs.ts)
+    }
+
+    /// The paper's `compatible(ps, g, vh)` predicate (Section 3.2):
+    ///
+    /// ```text
+    /// compatible(ps, g, vh) =
+    ///   ∀ p ∈ ps . p.groupid = g ⇒
+    ///     ∃ v ∈ vh . p.vs.id = v.id ∧ p.vs.ts ≤ v.ts
+    /// ```
+    ///
+    /// A server primary may agree to prepare a transaction only if every
+    /// remote call its group performed on the transaction's behalf (every
+    /// pset entry for `g`) is covered by its history — i.e. none of the
+    /// call events were lost in a view change.
+    pub fn compatible(&self, pset: &PSet, group: GroupId) -> bool {
+        pset.entries_for(group).all(|vs| self.covers(vs))
+    }
+
+    /// Iterate over the history entries in increasing viewid order.
+    pub fn iter(&self) -> impl Iterator<Item = Viewstamp> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of views this cohort has participated in.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the history is empty (no views joined yet).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<Viewstamp> for History {
+    fn from_iter<I: IntoIterator<Item = Viewstamp>>(iter: I) -> Self {
+        let mut h = History::new();
+        for vs in iter {
+            h.open_view(vs.id);
+            h.advance(vs.id, vs.ts);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mid;
+
+    fn vid(c: u64) -> ViewId {
+        ViewId { counter: c, manager: Mid(0) }
+    }
+
+    #[test]
+    fn open_and_advance() {
+        let mut h = History::new();
+        h.open_view(vid(0));
+        assert_eq!(h.latest(), Some(Viewstamp::new(vid(0), Timestamp::ZERO)));
+        h.advance(vid(0), Timestamp(5));
+        assert_eq!(h.ts_for(vid(0)), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn covers_boundary() {
+        let mut h = History::new();
+        h.open_view(vid(1));
+        h.advance(vid(1), Timestamp(3));
+        assert!(h.covers(Viewstamp::new(vid(1), Timestamp(3))));
+        assert!(h.covers(Viewstamp::new(vid(1), Timestamp(0))));
+        assert!(!h.covers(Viewstamp::new(vid(1), Timestamp(4))));
+        // Unknown view is never covered.
+        assert!(!h.covers(Viewstamp::new(vid(2), Timestamp(0))));
+    }
+
+    #[test]
+    fn multiple_views() {
+        let mut h = History::new();
+        h.open_view(vid(0));
+        h.advance(vid(0), Timestamp(7));
+        h.open_view(vid(2));
+        h.advance(vid(2), Timestamp(1));
+        assert!(h.covers(Viewstamp::new(vid(0), Timestamp(7))));
+        assert!(h.covers(Viewstamp::new(vid(2), Timestamp(1))));
+        assert!(!h.covers(Viewstamp::new(vid(1), Timestamp(0))));
+        assert_eq!(h.latest(), Some(Viewstamp::new(vid(2), Timestamp(1))));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be greater")]
+    fn open_view_must_increase() {
+        let mut h = History::new();
+        h.open_view(vid(3));
+        h.open_view(vid(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn advance_cannot_regress() {
+        let mut h = History::new();
+        h.open_view(vid(0));
+        h.advance(vid(0), Timestamp(4));
+        h.advance(vid(0), Timestamp(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-current view")]
+    fn advance_only_current_view() {
+        let mut h = History::new();
+        h.open_view(vid(0));
+        h.open_view(vid(1));
+        h.advance(vid(0), Timestamp(1));
+    }
+
+    #[test]
+    fn from_iterator_roundtrip() {
+        let entries = vec![
+            Viewstamp::new(vid(0), Timestamp(4)),
+            Viewstamp::new(vid(1), Timestamp(2)),
+        ];
+        let h: History = entries.iter().copied().collect();
+        assert_eq!(h.iter().collect::<Vec<_>>(), entries);
+    }
+}

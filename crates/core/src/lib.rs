@@ -1,0 +1,80 @@
+//! # Viewstamped Replication — protocol core
+//!
+//! A faithful implementation of *"Viewstamped Replication: A New Primary
+//! Copy Method to Support Highly-Available Distributed Systems"* (Brian
+//! M. Oki and Barbara H. Liskov, PODC 1988).
+//!
+//! The paper's protocol replicates *module groups*: one cohort is the
+//! primary and executes remote procedure calls; backups receive a stream
+//! of *event records* through a communication buffer. *Viewstamps* —
+//! `(viewid, timestamp)` pairs — let the system determine cheaply which
+//! events survived a *view change* (the reorganization run when cohorts
+//! crash, recover, or partition). Transactions commit through two-phase
+//! commit, with the forced "committing" record at the coordinator taking
+//! the place of stable storage.
+//!
+//! ## Structure
+//!
+//! * [`types`] — mids, groupids, viewids, timestamps,
+//!   [viewstamps](types::Viewstamp), transaction ids.
+//! * [`history`] — per-cohort event-knowledge summaries and the
+//!   `compatible` predicate.
+//! * [`pset`] — the per-transaction `(groupid, viewstamp)` set.
+//! * [`view`] / [`config`] — views, configurations, tuning knobs.
+//! * [`gstate`] / [`locks`] — atomic objects, stored call records,
+//!   strict two-phase locking with tentative versions.
+//! * [`event`] / [`buffer`] — event records and the primary's
+//!   communication buffer (`add` / `force_to`).
+//! * [`module`] — the application interface: deterministic procedures
+//!   over atomic objects.
+//! * [`messages`] — the wire protocol.
+//! * [`cohort`] — the replica state machine: transaction processing
+//!   (Figures 2 and 3), the view change algorithm (Figure 5), queries,
+//!   and failure detection. Sans-I/O: drive it with
+//!   [`Cohort::on_message`](cohort::Cohort::on_message),
+//!   [`Cohort::on_timer`](cohort::Cohort::on_timer) and
+//!   [`Cohort::begin_transaction`](cohort::Cohort::begin_transaction);
+//!   execute the returned [`Effect`](cohort::Effect)s.
+//!
+//! ## Example
+//!
+//! Build a three-cohort group and inspect its bootstrap view:
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use vsr_core::cohort::{Cohort, CohortParams};
+//! use vsr_core::config::CohortConfig;
+//! use vsr_core::module::NullModule;
+//! use vsr_core::types::{GroupId, Mid};
+//! use vsr_core::view::Configuration;
+//!
+//! let config = Configuration::new(GroupId(1), vec![Mid(0), Mid(1), Mid(2)]);
+//! let mut cohort = Cohort::new(CohortParams {
+//!     cfg: CohortConfig::new(),
+//!     mid: Mid(0),
+//!     configuration: config.clone(),
+//!     initial_primary: Mid(0),
+//!     peers: BTreeMap::new(),
+//!     module: Box::new(NullModule),
+//! });
+//! let effects = cohort.start(0);
+//! assert!(cohort.is_active_primary());
+//! assert!(!effects.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod buffer;
+pub mod cohort;
+pub mod config;
+pub mod event;
+pub mod gstate;
+pub mod history;
+pub mod locks;
+pub mod messages;
+pub mod module;
+pub mod pset;
+pub mod types;
+pub mod view;

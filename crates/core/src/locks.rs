@@ -1,0 +1,350 @@
+//! Strict two-phase locking with read and write locks and tentative
+//! versions (Section 3).
+//!
+//! "We assume that transactions \[are\] synchronized by means of strict
+//! 2-phase locking with read and write locks. … A transaction modifies a
+//! tentative version, which is discarded if the transaction aborts and
+//! becomes the base version if it commits."
+//!
+//! The lock table is *volatile* primary-side state: it is rebuilt from the
+//! stored completed-call records when a backup becomes primary during a
+//! view change (Section 3.3 notes this tradeoff explicitly).
+
+use crate::gstate::{CompletedCall, LockMode, Value};
+use crate::types::{Aid, ObjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The lock table of an active primary: who holds which locks, plus each
+/// transaction's tentative versions.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::locks::LockTable;
+/// use vsr_core::types::{Aid, GroupId, Mid, ObjectId, ViewId};
+///
+/// let t1 = Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq: 1 };
+/// let t2 = Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq: 2 };
+/// let mut locks = LockTable::new();
+/// locks.acquire_write(t1, ObjectId(7));
+/// assert!(!locks.can_read(t2, ObjectId(7)), "writer excludes readers");
+/// locks.release_all(t1);
+/// assert!(locks.can_write(t2, ObjectId(7)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    readers: BTreeMap<ObjectId, BTreeSet<Aid>>,
+    writer: BTreeMap<ObjectId, Aid>,
+    /// Tentative versions per transaction; the latest write wins within a
+    /// transaction.
+    tentative: BTreeMap<Aid, BTreeMap<ObjectId, Value>>,
+    /// Reverse index: objects locked by each transaction.
+    by_txn: BTreeMap<Aid, BTreeSet<ObjectId>>,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// May `aid` acquire (or does it already hold) a read lock on `oid`?
+    ///
+    /// Reads conflict only with a write lock held by a different
+    /// transaction.
+    pub fn can_read(&self, aid: Aid, oid: ObjectId) -> bool {
+        self.writer.get(&oid).is_none_or(|w| *w == aid)
+    }
+
+    /// May `aid` acquire (or does it already hold) a write lock on `oid`?
+    ///
+    /// Writes conflict with any lock held by a different transaction;
+    /// upgrading a read lock is allowed when `aid` is the sole reader.
+    pub fn can_write(&self, aid: Aid, oid: ObjectId) -> bool {
+        let writer_ok = self.writer.get(&oid).is_none_or(|w| *w == aid);
+        let readers_ok = self
+            .readers
+            .get(&oid)
+            .is_none_or(|rs| rs.iter().all(|r| *r == aid));
+        writer_ok && readers_ok
+    }
+
+    /// Acquire a read lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock conflicts — callers must check
+    /// [`can_read`](Self::can_read) first (the cohort parks conflicting
+    /// calls instead of acquiring).
+    pub fn acquire_read(&mut self, aid: Aid, oid: ObjectId) {
+        assert!(self.can_read(aid, oid), "conflicting read lock on {oid} by {aid}");
+        self.readers.entry(oid).or_default().insert(aid);
+        self.by_txn.entry(aid).or_default().insert(oid);
+    }
+
+    /// Acquire a write lock (possibly upgrading a read lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock conflicts — callers must check
+    /// [`can_write`](Self::can_write) first.
+    pub fn acquire_write(&mut self, aid: Aid, oid: ObjectId) {
+        assert!(self.can_write(aid, oid), "conflicting write lock on {oid} by {aid}");
+        self.writer.insert(oid, aid);
+        self.by_txn.entry(aid).or_default().insert(oid);
+    }
+
+    /// Record a tentative version for `aid` (requires the write lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aid` does not hold the write lock on `oid`.
+    pub fn set_tentative(&mut self, aid: Aid, oid: ObjectId, value: Value) {
+        assert_eq!(
+            self.writer.get(&oid),
+            Some(&aid),
+            "tentative write without write lock on {oid} by {aid}"
+        );
+        self.tentative.entry(aid).or_default().insert(oid, value);
+    }
+
+    /// The transaction's own tentative version of `oid`, if it wrote one.
+    pub fn tentative(&self, aid: Aid, oid: ObjectId) -> Option<&Value> {
+        self.tentative.get(&aid).and_then(|m| m.get(&oid))
+    }
+
+    /// Release the transaction's read locks, keeping write locks and
+    /// tentative versions (done when a participant prepares, Figure 3:
+    /// "release read locks held by the transaction, and then reply
+    /// prepared").
+    pub fn release_reads(&mut self, aid: Aid) {
+        let Some(oids) = self.by_txn.get_mut(&aid) else {
+            return;
+        };
+        let mut kept = BTreeSet::new();
+        for oid in oids.iter() {
+            if let Some(rs) = self.readers.get_mut(oid) {
+                rs.remove(&aid);
+                if rs.is_empty() {
+                    self.readers.remove(oid);
+                }
+            }
+            if self.writer.get(oid) == Some(&aid) {
+                kept.insert(*oid);
+            }
+        }
+        if kept.is_empty() {
+            self.by_txn.remove(&aid);
+        } else {
+            *oids = kept;
+        }
+    }
+
+    /// Release all locks and discard tentative versions for `aid` (at
+    /// commit the caller first installs the versions from the stored
+    /// records; at abort they are simply dropped).
+    pub fn release_all(&mut self, aid: Aid) {
+        if let Some(oids) = self.by_txn.remove(&aid) {
+            for oid in oids {
+                if let Some(rs) = self.readers.get_mut(&oid) {
+                    rs.remove(&aid);
+                    if rs.is_empty() {
+                        self.readers.remove(&oid);
+                    }
+                }
+                if self.writer.get(&oid) == Some(&aid) {
+                    self.writer.remove(&oid);
+                }
+            }
+        }
+        self.tentative.remove(&aid);
+    }
+
+    /// Transactions currently holding any lock.
+    pub fn holders(&self) -> impl Iterator<Item = Aid> + '_ {
+        self.by_txn.keys().copied()
+    }
+
+    /// Whether `aid` holds any lock.
+    pub fn holds_any(&self, aid: Aid) -> bool {
+        self.by_txn.contains_key(&aid)
+    }
+
+    /// Number of locked objects.
+    pub fn locked_objects(&self) -> usize {
+        let mut oids: BTreeSet<ObjectId> = self.readers.keys().copied().collect();
+        oids.extend(self.writer.keys().copied());
+        oids.len()
+    }
+
+    /// Rebuild a lock table from stored completed-call records, as a new
+    /// primary does after a view change ("it can perform them, for
+    /// example, by setting locks and creating versions for a
+    /// completed-call record", Section 3.3).
+    ///
+    /// Records must be supplied per transaction in event order.
+    pub fn rebuild<'a, I>(pending: I) -> Self
+    where
+        I: IntoIterator<Item = (Aid, &'a [CompletedCall])>,
+    {
+        let mut table = LockTable::new();
+        for (aid, records) in pending {
+            for record in records {
+                for access in &record.accesses {
+                    match access.mode {
+                        LockMode::Read => table.acquire_read(aid, access.oid),
+                        LockMode::Write => table.acquire_write(aid, access.oid),
+                    }
+                    if let Some(value) = &access.written {
+                        table.set_tentative(aid, access.oid, value.clone());
+                    }
+                }
+            }
+        }
+        table
+    }
+
+    /// Clear the table (when a cohort stops being primary).
+    pub fn clear(&mut self) {
+        self.readers.clear();
+        self.writer.clear();
+        self.tentative.clear();
+        self.by_txn.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gstate::ObjectAccess;
+    use crate::types::{CallId, GroupId, Mid, Timestamp, ViewId, Viewstamp};
+
+    fn aid(seq: u64) -> Aid {
+        Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq }
+    }
+
+    const O1: ObjectId = ObjectId(1);
+    const O2: ObjectId = ObjectId(2);
+
+    #[test]
+    fn shared_reads_allowed() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        assert!(t.can_read(aid(2), O1));
+        t.acquire_read(aid(2), O1);
+        assert!(t.holds_any(aid(1)) && t.holds_any(aid(2)));
+    }
+
+    #[test]
+    fn write_excludes_readers_and_writers() {
+        let mut t = LockTable::new();
+        t.acquire_write(aid(1), O1);
+        assert!(!t.can_read(aid(2), O1));
+        assert!(!t.can_write(aid(2), O1));
+        assert!(t.can_read(aid(1), O1), "holder can read its own write lock");
+        assert!(t.can_write(aid(1), O1), "reacquire is idempotent");
+    }
+
+    #[test]
+    fn read_blocks_foreign_write() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        assert!(!t.can_write(aid(2), O1));
+        assert!(t.can_read(aid(2), O1));
+    }
+
+    #[test]
+    fn upgrade_when_sole_reader() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        assert!(t.can_write(aid(1), O1));
+        t.acquire_write(aid(1), O1);
+        assert!(!t.can_read(aid(2), O1));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        t.acquire_read(aid(2), O1);
+        assert!(!t.can_write(aid(1), O1));
+    }
+
+    #[test]
+    fn tentative_requires_write_lock() {
+        let mut t = LockTable::new();
+        t.acquire_write(aid(1), O1);
+        t.set_tentative(aid(1), O1, Value::from(&b"v"[..]));
+        assert_eq!(t.tentative(aid(1), O1), Some(&Value::from(&b"v"[..])));
+        assert_eq!(t.tentative(aid(2), O1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "without write lock")]
+    fn tentative_without_lock_panics() {
+        let mut t = LockTable::new();
+        t.set_tentative(aid(1), O1, Value::empty());
+    }
+
+    #[test]
+    fn release_reads_keeps_writes() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        t.acquire_write(aid(1), O2);
+        t.set_tentative(aid(1), O2, Value::from(&b"w"[..]));
+        t.release_reads(aid(1));
+        assert!(t.can_write(aid(2), O1), "read lock released");
+        assert!(!t.can_write(aid(2), O2), "write lock retained");
+        assert_eq!(t.tentative(aid(1), O2), Some(&Value::from(&b"w"[..])));
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(1), O1);
+        t.acquire_write(aid(1), O2);
+        t.set_tentative(aid(1), O2, Value::from(&b"w"[..]));
+        t.release_all(aid(1));
+        assert!(t.can_write(aid(2), O1));
+        assert!(t.can_write(aid(2), O2));
+        assert!(!t.holds_any(aid(1)));
+        assert_eq!(t.tentative(aid(1), O2), None);
+        assert_eq!(t.locked_objects(), 0);
+    }
+
+    #[test]
+    fn rebuild_restores_locks_and_tentatives() {
+        let records = vec![CompletedCall {
+            vs: Viewstamp::new(ViewId::initial(Mid(0)), Timestamp(1)),
+            call_id: CallId { aid: aid(1), seq: 0 },
+            accesses: vec![
+                ObjectAccess {
+                    oid: O1,
+                    mode: LockMode::Read,
+                    written: None,
+                    read_version: Some(0),
+                },
+                ObjectAccess {
+                    oid: O2,
+                    mode: LockMode::Write,
+                    written: Some(Value::from(&b"w"[..])),
+                    read_version: None,
+                },
+            ],
+            result: Value::empty(),
+            nested: Vec::new(),
+        }];
+        let t = LockTable::rebuild([(aid(1), records.as_slice())]);
+        assert!(!t.can_write(aid(2), O1), "read lock restored");
+        assert!(!t.can_read(aid(2), O2), "write lock restored");
+        assert_eq!(t.tentative(aid(1), O2), Some(&Value::from(&b"w"[..])));
+    }
+
+    #[test]
+    fn holders_lists_lockers() {
+        let mut t = LockTable::new();
+        t.acquire_read(aid(2), O1);
+        t.acquire_write(aid(5), O2);
+        assert_eq!(t.holders().collect::<Vec<_>>(), vec![aid(2), aid(5)]);
+    }
+}

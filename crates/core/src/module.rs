@@ -1,0 +1,328 @@
+//! The application module interface (Section 1's model of computation).
+//!
+//! "Each module contains within it both data objects and code that
+//! manipulates the objects … each module provides procedures that can be
+//! used to access its objects; modules communicate by means of remote
+//! procedure calls."
+//!
+//! A [`Module`] implementation is the *deterministic* procedure code of a
+//! replicated module; the replication layer executes it only at the
+//! primary and propagates its effects through completed-call event
+//! records. Procedures access objects through a [`TxnCtx`], which enforces
+//! strict two-phase locking and stages effects so that a lock conflict
+//! rolls back the partial call cleanly (the cohort then parks the call and
+//! retries when locks are released).
+
+use crate::gstate::{GroupState, LockMode, ObjectAccess, Value};
+use crate::locks::LockTable;
+use crate::types::{Aid, ObjectId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a procedure invocation could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// A lock conflict: the call must wait for another transaction. The
+    /// cohort discards the call's staged effects and parks it.
+    Conflict(ObjectId),
+    /// The module does not export the named procedure.
+    UnknownProcedure(String),
+    /// An application-level failure (bad arguments, insufficient funds,
+    /// …). The call is refused and the client aborts the transaction.
+    App(String),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Conflict(oid) => write!(f, "lock conflict on {oid}"),
+            ModuleError::UnknownProcedure(p) => write!(f, "unknown procedure {p:?}"),
+            ModuleError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// The execution context handed to a procedure: reads and writes atomic
+/// objects under strict two-phase locking, staging all effects until the
+/// call completes.
+///
+/// Reads observe, in priority order: this call's own staged writes, the
+/// transaction's earlier tentative versions, then the committed base
+/// version. A read of the base version records the version number
+/// observed, for the one-copy-serializability checker.
+#[derive(Debug)]
+pub struct TxnCtx<'a> {
+    gstate: &'a GroupState,
+    locks: &'a LockTable,
+    aid: Aid,
+    staged_writes: BTreeMap<ObjectId, Value>,
+    staged_reads: BTreeMap<ObjectId, Option<u64>>,
+}
+
+impl<'a> TxnCtx<'a> {
+    /// Create a context for one procedure invocation on behalf of `aid`.
+    pub fn new(gstate: &'a GroupState, locks: &'a LockTable, aid: Aid) -> Self {
+        TxnCtx {
+            gstate,
+            locks,
+            aid,
+            staged_writes: BTreeMap::new(),
+            staged_reads: BTreeMap::new(),
+        }
+    }
+
+    /// The transaction on whose behalf this call runs.
+    pub fn aid(&self) -> Aid {
+        self.aid
+    }
+
+    /// Read object `oid`, acquiring (staging) a read lock.
+    ///
+    /// Returns `None` for an object that does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModuleError::Conflict`] if another transaction holds a
+    /// conflicting (write) lock.
+    pub fn read(&mut self, oid: ObjectId) -> Result<Option<Value>, ModuleError> {
+        if let Some(v) = self.staged_writes.get(&oid) {
+            return Ok(Some(v.clone()));
+        }
+        if let Some(v) = self.locks.tentative(self.aid, oid) {
+            // Reading the transaction's own earlier tentative version:
+            // the lock is already held, no new read lock needed, and the
+            // read does not observe a base version.
+            self.staged_reads.entry(oid).or_insert(None);
+            return Ok(Some(v.clone()));
+        }
+        if !self.locks.can_read(self.aid, oid) {
+            return Err(ModuleError::Conflict(oid));
+        }
+        let (version, value) = match self.gstate.object(oid) {
+            Some(obj) => (obj.version, Some(obj.value.clone())),
+            None => (0, None),
+        };
+        self.staged_reads.entry(oid).or_insert(Some(version));
+        Ok(value)
+    }
+
+    /// Write object `oid`, acquiring (staging) a write lock and creating a
+    /// tentative version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModuleError::Conflict`] if another transaction holds any
+    /// lock on the object.
+    pub fn write(&mut self, oid: ObjectId, value: Value) -> Result<(), ModuleError> {
+        if !self.locks.can_write(self.aid, oid) {
+            return Err(ModuleError::Conflict(oid));
+        }
+        self.staged_writes.insert(oid, value);
+        Ok(())
+    }
+
+    /// Consume the context, producing the access list for the
+    /// completed-call event record.
+    ///
+    /// An object both read and written appears once with
+    /// [`LockMode::Write`] (the stronger lock), retaining the observed
+    /// read version.
+    pub fn into_accesses(self) -> Vec<ObjectAccess> {
+        let mut accesses: BTreeMap<ObjectId, ObjectAccess> = BTreeMap::new();
+        for (oid, read_version) in self.staged_reads {
+            accesses.insert(
+                oid,
+                ObjectAccess { oid, mode: LockMode::Read, written: None, read_version },
+            );
+        }
+        for (oid, value) in self.staged_writes {
+            let entry = accesses.entry(oid).or_insert(ObjectAccess {
+                oid,
+                mode: LockMode::Write,
+                written: None,
+                read_version: None,
+            });
+            entry.mode = LockMode::Write;
+            entry.written = Some(value);
+        }
+        accesses.into_values().collect()
+    }
+}
+
+/// A replicated application module: deterministic procedures over atomic
+/// objects.
+///
+/// Implementations must be deterministic functions of `(proc, args,
+/// observed object values)` — the primary executes them once and backups
+/// replay only their recorded *effects*, so nondeterminism would diverge
+/// on re-reply after duplicate calls.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::gstate::Value;
+/// use vsr_core::module::{Module, ModuleError, TxnCtx};
+/// use vsr_core::types::ObjectId;
+///
+/// /// A module exporting a single `put` procedure.
+/// struct PutOnly;
+///
+/// impl Module for PutOnly {
+///     fn execute(
+///         &self,
+///         proc: &str,
+///         args: &[u8],
+///         ctx: &mut TxnCtx<'_>,
+///     ) -> Result<Value, ModuleError> {
+///         match proc {
+///             "put" => {
+///                 ctx.write(ObjectId(0), Value::from(args))?;
+///                 Ok(Value::empty())
+///             }
+///             other => Err(ModuleError::UnknownProcedure(other.to_string())),
+///         }
+///     }
+/// }
+/// ```
+pub trait Module: Send {
+    /// Execute procedure `proc` with `args`, reading and writing objects
+    /// through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModuleError::Conflict`] — propagate lock conflicts from `ctx`
+    ///   (usually via `?`); the cohort parks and retries the call.
+    /// * [`ModuleError::UnknownProcedure`] / [`ModuleError::App`] — the
+    ///   call is refused and the client aborts the transaction.
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>)
+        -> Result<Value, ModuleError>;
+
+    /// The initial objects of a freshly created group (default: none).
+    fn initial_objects(&self) -> Vec<(ObjectId, Value)> {
+        Vec::new()
+    }
+}
+
+/// A module with no procedures, for groups that act only as transaction
+/// coordinators (pure clients, Section 3.5's coordinator-server).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullModule;
+
+impl Module for NullModule {
+    fn execute(
+        &self,
+        proc: &str,
+        _args: &[u8],
+        _ctx: &mut TxnCtx<'_>,
+    ) -> Result<Value, ModuleError> {
+        Err(ModuleError::UnknownProcedure(proc.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{GroupId, Mid, ViewId};
+
+    fn aid(seq: u64) -> Aid {
+        Aid { group: GroupId(1), view: ViewId::initial(Mid(0)), seq }
+    }
+
+    const O1: ObjectId = ObjectId(1);
+
+    #[test]
+    fn read_sees_base_and_records_version() {
+        let g = GroupState::with_objects([(O1, Value::from(&b"base"[..]))]);
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert_eq!(ctx.read(O1).unwrap(), Some(Value::from(&b"base"[..])));
+        let accesses = ctx.into_accesses();
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].mode, LockMode::Read);
+        assert_eq!(accesses[0].read_version, Some(0));
+    }
+
+    #[test]
+    fn read_own_staged_write() {
+        let g = GroupState::new();
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        ctx.write(O1, Value::from(&b"mine"[..])).unwrap();
+        assert_eq!(ctx.read(O1).unwrap(), Some(Value::from(&b"mine"[..])));
+        let accesses = ctx.into_accesses();
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].mode, LockMode::Write);
+        assert_eq!(accesses[0].written, Some(Value::from(&b"mine"[..])));
+    }
+
+    #[test]
+    fn read_own_tentative_from_earlier_call() {
+        let g = GroupState::new();
+        let mut locks = LockTable::new();
+        locks.acquire_write(aid(0), O1);
+        locks.set_tentative(aid(0), O1, Value::from(&b"earlier"[..]));
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert_eq!(ctx.read(O1).unwrap(), Some(Value::from(&b"earlier"[..])));
+        let accesses = ctx.into_accesses();
+        // Own-tentative read: no base version observed.
+        assert_eq!(accesses[0].read_version, None);
+    }
+
+    #[test]
+    fn conflict_on_foreign_write_lock() {
+        let g = GroupState::new();
+        let mut locks = LockTable::new();
+        locks.acquire_write(aid(1), O1);
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert_eq!(ctx.read(O1), Err(ModuleError::Conflict(O1)));
+        assert_eq!(ctx.write(O1, Value::empty()), Err(ModuleError::Conflict(O1)));
+    }
+
+    #[test]
+    fn conflict_on_foreign_read_lock_for_write() {
+        let g = GroupState::new();
+        let mut locks = LockTable::new();
+        locks.acquire_read(aid(1), O1);
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert!(ctx.read(O1).is_ok(), "shared read allowed");
+        assert_eq!(ctx.write(O1, Value::empty()), Err(ModuleError::Conflict(O1)));
+    }
+
+    #[test]
+    fn read_then_write_merges_to_write_access() {
+        let g = GroupState::with_objects([(O1, Value::from(&b"base"[..]))]);
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        ctx.read(O1).unwrap();
+        ctx.write(O1, Value::from(&b"new"[..])).unwrap();
+        let accesses = ctx.into_accesses();
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].mode, LockMode::Write);
+        assert_eq!(accesses[0].read_version, Some(0), "read version retained");
+        assert_eq!(accesses[0].written, Some(Value::from(&b"new"[..])));
+    }
+
+    #[test]
+    fn missing_object_reads_none() {
+        let g = GroupState::new();
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert_eq!(ctx.read(O1).unwrap(), None);
+        let accesses = ctx.into_accesses();
+        assert_eq!(accesses[0].read_version, Some(0));
+    }
+
+    #[test]
+    fn null_module_rejects_everything() {
+        let g = GroupState::new();
+        let locks = LockTable::new();
+        let mut ctx = TxnCtx::new(&g, &locks, aid(0));
+        assert!(matches!(
+            NullModule.execute("anything", &[], &mut ctx),
+            Err(ModuleError::UnknownProcedure(_))
+        ));
+        assert!(NullModule.initial_objects().is_empty());
+    }
+}

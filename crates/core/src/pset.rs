@@ -1,0 +1,182 @@
+//! The *pset*: the set of `(groupid, viewstamp)` pairs collected as a
+//! transaction runs (Section 3.1).
+//!
+//! A pair `<g, v>` indicates that group `g` ran a call for the transaction
+//! and assigned it viewstamp `v`. The pset travels in reply messages (each
+//! server adds a pair per completed call) and in prepare messages (so each
+//! participant can check it knows all events of the preparing transaction).
+
+use crate::types::{GroupId, Viewstamp};
+use serde::{Deserialize, Serialize};
+
+/// A set of `<groupid, viewstamp>` pairs, one entry per remote call made by
+/// a transaction.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::pset::PSet;
+/// use vsr_core::types::{GroupId, Mid, Timestamp, ViewId, Viewstamp};
+///
+/// let g = GroupId(1);
+/// let v = ViewId::initial(Mid(0));
+/// let mut ps = PSet::new();
+/// ps.insert(g, Viewstamp::new(v, Timestamp(2)));
+/// ps.insert(g, Viewstamp::new(v, Timestamp(5)));
+/// assert_eq!(ps.vs_max(g), Some(Viewstamp::new(v, Timestamp(5))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PSet {
+    entries: Vec<(GroupId, Viewstamp)>,
+}
+
+impl PSet {
+    /// An empty pset, created when a transaction starts (Figure 2).
+    pub fn new() -> Self {
+        PSet { entries: Vec::new() }
+    }
+
+    /// Record that `group` ran a call for this transaction and assigned it
+    /// viewstamp `vs`.
+    pub fn insert(&mut self, group: GroupId, vs: Viewstamp) {
+        if !self.entries.contains(&(group, vs)) {
+            self.entries.push((group, vs));
+        }
+    }
+
+    /// Merge another pset into this one ("add the elements of the pset in
+    /// the reply message to the transaction's pset", Figure 2).
+    pub fn merge(&mut self, other: &PSet) {
+        for &(g, vs) in &other.entries {
+            self.insert(g, vs);
+        }
+    }
+
+    /// The paper's `vs_max(ps, g)`: the greatest viewstamp among the
+    /// entries for group `g`, i.e. the viewstamp of the most recent
+    /// "completed-call" event at that group (Section 3.2). Returns `None`
+    /// when the transaction made no calls at `g`.
+    pub fn vs_max(&self, group: GroupId) -> Option<Viewstamp> {
+        self.entries_for(group).max()
+    }
+
+    /// Iterate over the viewstamps recorded for `group`.
+    pub fn entries_for(&self, group: GroupId) -> impl Iterator<Item = Viewstamp> + '_ {
+        self.entries
+            .iter()
+            .filter(move |(g, _)| *g == group)
+            .map(|&(_, vs)| vs)
+    }
+
+    /// The distinct groups that participated in the transaction; these are
+    /// the participants of two-phase commit ("It determines who the
+    /// participants are from the pset", Section 3.1).
+    pub fn participant_groups(&self) -> Vec<GroupId> {
+        let mut groups: Vec<GroupId> = self.entries.iter().map(|&(g, _)| g).collect();
+        groups.sort();
+        groups.dedup();
+        groups
+    }
+
+    /// Iterate over all `(group, viewstamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, Viewstamp)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of entries (calls recorded).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the transaction has made no calls yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate serialized size in bytes, used by experiment E9 to
+    /// compare against Isis-style piggybacking (Section 5).
+    pub fn wire_size(&self) -> usize {
+        // groupid (8) + viewid (8 + 8) + ts (8) per entry
+        self.entries.len() * 32
+    }
+}
+
+impl FromIterator<(GroupId, Viewstamp)> for PSet {
+    fn from_iter<I: IntoIterator<Item = (GroupId, Viewstamp)>>(iter: I) -> Self {
+        let mut ps = PSet::new();
+        for (g, vs) in iter {
+            ps.insert(g, vs);
+        }
+        ps
+    }
+}
+
+impl Extend<(GroupId, Viewstamp)> for PSet {
+    fn extend<I: IntoIterator<Item = (GroupId, Viewstamp)>>(&mut self, iter: I) {
+        for (g, vs) in iter {
+            self.insert(g, vs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Mid, Timestamp, ViewId};
+
+    fn vs(view: u64, ts: u64) -> Viewstamp {
+        Viewstamp::new(ViewId { counter: view, manager: Mid(0) }, Timestamp(ts))
+    }
+
+    #[test]
+    fn vs_max_picks_greatest() {
+        let g = GroupId(1);
+        let mut ps = PSet::new();
+        ps.insert(g, vs(0, 9));
+        ps.insert(g, vs(1, 2));
+        assert_eq!(ps.vs_max(g), Some(vs(1, 2)));
+        assert_eq!(ps.vs_max(GroupId(2)), None);
+    }
+
+    #[test]
+    fn merge_dedups() {
+        let g = GroupId(1);
+        let mut a = PSet::new();
+        a.insert(g, vs(0, 1));
+        let mut b = PSet::new();
+        b.insert(g, vs(0, 1));
+        b.insert(g, vs(0, 2));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn participant_groups_sorted_distinct() {
+        let mut ps = PSet::new();
+        ps.insert(GroupId(3), vs(0, 1));
+        ps.insert(GroupId(1), vs(0, 2));
+        ps.insert(GroupId(3), vs(0, 3));
+        assert_eq!(ps.participant_groups(), vec![GroupId(1), GroupId(3)]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let g = GroupId(1);
+        let ps: PSet = [(g, vs(0, 1)), (g, vs(0, 2))].into_iter().collect();
+        assert_eq!(ps.len(), 2);
+        let mut ps2 = PSet::new();
+        ps2.extend(ps.iter());
+        assert_eq!(ps2, ps);
+    }
+
+    #[test]
+    fn wire_size_grows_with_entries() {
+        let g = GroupId(1);
+        let mut ps = PSet::new();
+        assert_eq!(ps.wire_size(), 0);
+        ps.insert(g, vs(0, 1));
+        let one = ps.wire_size();
+        ps.insert(g, vs(0, 2));
+        assert!(ps.wire_size() > one);
+    }
+}

@@ -1,0 +1,246 @@
+//! Views and group configurations (Section 2).
+//!
+//! A *configuration* is the full set of cohorts in a module group, fixed at
+//! group creation. A *view* is a subset of the configuration that contains
+//! at least a majority of group members, together with an indication of
+//! which cohort is the primary.
+
+use crate::types::{GroupId, Mid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The full membership of a module group, fixed when the group is created
+/// ("the program can indicate the number of cohorts when the group is
+/// created", Section 2).
+///
+/// # Examples
+///
+/// ```
+/// use vsr_core::types::{GroupId, Mid};
+/// use vsr_core::view::Configuration;
+///
+/// let config = Configuration::new(GroupId(1), vec![Mid(1), Mid(2), Mid(3)]);
+/// assert_eq!(config.majority(), 2);
+/// assert_eq!(config.sub_majority(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    group: GroupId,
+    members: Vec<Mid>,
+}
+
+impl Configuration {
+    /// Create a configuration for `group` with the given cohort mids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn new(group: GroupId, mut members: Vec<Mid>) -> Self {
+        assert!(!members.is_empty(), "configuration must have at least one cohort");
+        members.sort();
+        let before = members.len();
+        members.dedup();
+        assert_eq!(before, members.len(), "configuration members must be distinct");
+        Configuration { group, members }
+    }
+
+    /// The group this configuration describes.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// All cohort mids, in sorted order.
+    pub fn members(&self) -> &[Mid] {
+        &self.members
+    }
+
+    /// Whether `mid` is a member of the group.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.members.binary_search(&mid).is_ok()
+    }
+
+    /// Total number of cohorts.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the configuration is empty (never true for a constructed
+    /// configuration).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The size of a majority of the configuration: `⌊n/2⌋ + 1`.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// The paper's *sub-majority*: "one less than a majority of the
+    /// configuration; if a sub-majority of backups knows about an event,
+    /// then a majority of the cohorts in the configuration knows about that
+    /// event" (counting the primary itself) — Section 3.
+    pub fn sub_majority(&self) -> usize {
+        self.majority() - 1
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.group)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A view: `<primary: int, backups: {int}>` (Figure 1).
+///
+/// A view is a set of cohorts that are (or were) capable of communicating
+/// with each other, together with an indication of which cohort is the
+/// primary; it must contain a majority of group members (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct View {
+    primary: Mid,
+    backups: Vec<Mid>,
+}
+
+impl View {
+    /// Create a view with the given primary and backups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backups` contains the primary or duplicates.
+    pub fn new(primary: Mid, mut backups: Vec<Mid>) -> Self {
+        backups.sort();
+        let before = backups.len();
+        backups.dedup();
+        assert_eq!(before, backups.len(), "view backups must be distinct");
+        assert!(!backups.contains(&primary), "primary cannot also be a backup");
+        View { primary, backups }
+    }
+
+    /// The primary cohort of this view.
+    pub fn primary(&self) -> Mid {
+        self.primary
+    }
+
+    /// The backup cohorts of this view, in sorted order.
+    pub fn backups(&self) -> &[Mid] {
+        &self.backups
+    }
+
+    /// All members (primary + backups).
+    pub fn members(&self) -> impl Iterator<Item = Mid> + '_ {
+        std::iter::once(self.primary).chain(self.backups.iter().copied())
+    }
+
+    /// Whether `mid` belongs to the view.
+    pub fn contains(&self, mid: Mid) -> bool {
+        self.primary == mid || self.backups.contains(&mid)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        1 + self.backups.len()
+    }
+
+    /// Views are never empty: they always contain at least the primary.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether this view contains a majority of `config`'s members — the
+    /// validity condition for an active view (Section 2).
+    pub fn is_majority_of(&self, config: &Configuration) -> bool {
+        let in_config = self.members().filter(|m| config.contains(*m)).count();
+        in_config >= config.majority()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<primary:{}, backups:[", self.primary)?;
+        for (i, m) in self.backups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: u64) -> Configuration {
+        Configuration::new(GroupId(1), (0..n).map(Mid).collect())
+    }
+
+    #[test]
+    fn majority_and_sub_majority() {
+        assert_eq!(config(1).majority(), 1);
+        assert_eq!(config(1).sub_majority(), 0);
+        assert_eq!(config(3).majority(), 2);
+        assert_eq!(config(3).sub_majority(), 1);
+        assert_eq!(config(4).majority(), 3);
+        assert_eq!(config(5).majority(), 3);
+        assert_eq!(config(5).sub_majority(), 2);
+        assert_eq!(config(7).majority(), 4);
+        assert_eq!(config(7).sub_majority(), 3);
+    }
+
+    #[test]
+    fn view_membership() {
+        let v = View::new(Mid(1), vec![Mid(2), Mid(0)]);
+        assert_eq!(v.primary(), Mid(1));
+        assert_eq!(v.backups(), &[Mid(0), Mid(2)]);
+        assert!(v.contains(Mid(0)));
+        assert!(v.contains(Mid(1)));
+        assert!(!v.contains(Mid(3)));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.members().count(), 3);
+    }
+
+    #[test]
+    fn view_majority_check() {
+        let c = config(5);
+        let maj = View::new(Mid(0), vec![Mid(1), Mid(2)]);
+        let minority = View::new(Mid(0), vec![Mid(1)]);
+        assert!(maj.is_majority_of(&c));
+        assert!(!minority.is_majority_of(&c));
+    }
+
+    #[test]
+    fn view_majority_ignores_non_members() {
+        let c = config(3);
+        // Mids 10, 11 are not in the configuration and must not count.
+        let v = View::new(Mid(0), vec![Mid(10), Mid(11)]);
+        assert!(!v.is_majority_of(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "primary cannot also be a backup")]
+    fn primary_not_backup() {
+        View::new(Mid(1), vec![Mid(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn config_rejects_duplicates() {
+        Configuration::new(GroupId(1), vec![Mid(1), Mid(1)]);
+    }
+
+    #[test]
+    fn config_contains() {
+        let c = config(3);
+        assert!(c.contains(Mid(2)));
+        assert!(!c.contains(Mid(3)));
+        assert_eq!(c.group(), GroupId(1));
+    }
+}

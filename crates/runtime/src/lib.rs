@@ -1,0 +1,588 @@
+//! # Threaded live runtime
+//!
+//! Runs the same sans-I/O [`Cohort`](vsr_core::cohort::Cohort#) state
+//! machines as the simulator, but on real threads with real clocks:
+//! each cohort owns a thread, messages travel over crossbeam channels,
+//! and timers run on a per-thread timer wheel (1 tick = 1 millisecond).
+//!
+//! The runtime exists for the runnable examples: start a cluster, submit
+//! transactions, crash and recover cohorts, and watch view changes
+//! happen on a wall clock.
+//!
+//! ```
+//! use vsr_app::counter::{self, CounterModule};
+//! use vsr_core::module::NullModule;
+//! use vsr_core::types::{GroupId, Mid};
+//! use vsr_runtime::ClusterBuilder;
+//!
+//! let cluster = ClusterBuilder::new()
+//!     .group(GroupId(1), &[Mid(10)], || Box::new(NullModule))
+//!     .group(GroupId(2), &[Mid(1), Mid(2), Mid(3)], || Box::new(CounterModule))
+//!     .start();
+//! let outcome = cluster.submit(GroupId(1), vec![counter::incr(GroupId(2), 0, 1)]);
+//! assert!(matches!(outcome, Ok(vsr_core::cohort::TxnOutcome::Committed { .. })));
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vsr_core::cohort::{CallOp, Cohort, CohortParams, Effect, Observation, Timer, TxnOutcome};
+use vsr_core::config::CohortConfig;
+use vsr_core::messages::Message;
+use vsr_core::module::Module;
+use vsr_core::types::{GroupId, Mid, ViewId};
+use vsr_core::view::Configuration;
+
+/// A module factory shared across threads (recovery re-instantiates the
+/// module).
+pub type SharedFactory = Arc<dyn Fn() -> Box<dyn Module> + Send + Sync>;
+
+/// Errors surfaced by [`Cluster::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No member of the client group produced an outcome in time.
+    Timeout,
+    /// The group id is unknown.
+    UnknownGroup(GroupId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Timeout => write!(f, "no cohort answered the submission in time"),
+            SubmitError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+enum Inbox {
+    Msg { from: Mid, msg: Message },
+    Request { req_id: u64, ops: Vec<CallOp>, reply: Sender<TxnOutcome> },
+    Stop,
+}
+
+/// Routes messages between cohort threads; absent entries are crashed
+/// cohorts (their mail is dropped, like the simulator's).
+#[derive(Default)]
+struct Router {
+    routes: RwLock<BTreeMap<Mid, Sender<Inbox>>>,
+}
+
+impl Router {
+    fn send(&self, from: Mid, to: Mid, msg: Message) {
+        if let Some(tx) = self.routes.read().get(&to) {
+            let _ = tx.send(Inbox::Msg { from, msg });
+        }
+    }
+}
+
+struct TimerEntry {
+    due: Instant,
+    seq: u64,
+    timer: Timer,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due
+        // time on top.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct CohortThread {
+    cohort: Cohort,
+    rx: Receiver<Inbox>,
+    router: Arc<Router>,
+    epoch: Instant,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    replies: BTreeMap<u64, Sender<TxnOutcome>>,
+    stable: Arc<Mutex<ViewId>>,
+    observations: Option<Sender<(Mid, Observation)>>,
+}
+
+impl CohortThread {
+    fn now_ticks(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn run(mut self) {
+        let mid = self.cohort.mid();
+        let now = self.now_ticks();
+        let start_effects = self.cohort.start(now);
+        self.apply(mid, start_effects);
+        loop {
+            let timeout = self
+                .timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match self.rx.recv_timeout(timeout) {
+                Ok(Inbox::Msg { from, msg }) => {
+                    let now = self.now_ticks();
+                    let effects = self.cohort.on_message(now, from, msg);
+                    self.apply(mid, effects);
+                }
+                Ok(Inbox::Request { req_id, ops, reply }) => {
+                    self.replies.insert(req_id, reply);
+                    let now = self.now_ticks();
+                    let effects = self.cohort.begin_transaction(now, req_id, ops);
+                    self.apply(mid, effects);
+                }
+                Ok(Inbox::Stop) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Fire all due timers.
+            let now_instant = Instant::now();
+            while self.timers.peek().is_some_and(|t| t.due <= now_instant) {
+                let entry = self.timers.pop().expect("peeked");
+                let now = self.now_ticks();
+                let effects = self.cohort.on_timer(now, entry.timer);
+                self.apply(mid, effects);
+            }
+            *self.stable.lock() = self.cohort.stable_viewid();
+        }
+    }
+
+    fn apply(&mut self, mid: Mid, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.router.send(mid, to, msg),
+                Effect::SetTimer { after, timer } => {
+                    self.timer_seq += 1;
+                    self.timers.push(TimerEntry {
+                        due: Instant::now() + Duration::from_millis(after),
+                        seq: self.timer_seq,
+                        timer,
+                    });
+                }
+                Effect::TxnResult { req_id, outcome, .. } => {
+                    if let Some(reply) = self.replies.remove(&req_id) {
+                        let _ = reply.send(outcome);
+                    }
+                }
+                Effect::Observe(obs) => {
+                    if let Some(tx) = &self.observations {
+                        let _ = tx.send((mid, obs));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Handle {
+    tx: Sender<Inbox>,
+    join: JoinHandle<()>,
+    stable: Arc<Mutex<ViewId>>,
+}
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder {
+    cfg: CohortConfig,
+    groups: Vec<(GroupId, Vec<Mid>, SharedFactory)>,
+    observations: bool,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder::new()
+    }
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("groups", &self.groups.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterBuilder {
+    /// Start building a cluster with default cohort tuning.
+    pub fn new() -> Self {
+        ClusterBuilder { cfg: CohortConfig::new(), groups: Vec::new(), observations: false }
+    }
+
+    /// Override the cohort tuning knobs.
+    pub fn cohorts(mut self, cfg: CohortConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Add a module group (first member is the bootstrap primary).
+    pub fn group<F>(mut self, group: GroupId, members: &[Mid], factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn Module> + Send + Sync + 'static,
+    {
+        self.groups.push((group, members.to_vec(), Arc::new(factory)));
+        self
+    }
+
+    /// Collect observations into a channel readable via
+    /// [`Cluster::observations`].
+    pub fn observe(mut self) -> Self {
+        self.observations = true;
+        self
+    }
+
+    /// Spawn all cohort threads and return the running cluster.
+    pub fn start(self) -> Cluster {
+        let router = Arc::new(Router::default());
+        let epoch = Instant::now();
+        let mut peers = BTreeMap::new();
+        for (group, members, _) in &self.groups {
+            peers.insert(*group, Configuration::new(*group, members.clone()));
+        }
+        let (obs_tx, obs_rx) = unbounded();
+        let obs_tx = self.observations.then_some(obs_tx);
+        let cluster = Cluster {
+            router,
+            handles: Mutex::new(BTreeMap::new()),
+            specs: self
+                .groups
+                .iter()
+                .flat_map(|(g, members, f)| {
+                    let members = members.clone();
+                    let f = f.clone();
+                    let g = *g;
+                    members
+                        .clone()
+                        .into_iter()
+                        .map(move |m| (m, (g, members.clone(), f.clone())))
+                })
+                .collect(),
+            peers,
+            cfg: self.cfg.clone(),
+            epoch,
+            next_req: Mutex::new(0),
+            observations: obs_rx,
+            obs_tx,
+            stable_store: Mutex::new(BTreeMap::new()),
+        };
+        for (group, members, factory) in &self.groups {
+            for &mid in members {
+                cluster.spawn(*group, mid, members, factory.clone(), None);
+            }
+        }
+        cluster
+    }
+}
+
+/// A running cluster of cohort threads.
+pub struct Cluster {
+    router: Arc<Router>,
+    handles: Mutex<BTreeMap<Mid, Handle>>,
+    specs: BTreeMap<Mid, (GroupId, Vec<Mid>, SharedFactory)>,
+    peers: BTreeMap<GroupId, Configuration>,
+    cfg: CohortConfig,
+    epoch: Instant,
+    next_req: Mutex<u64>,
+    observations: Receiver<(Mid, Observation)>,
+    obs_tx: Option<Sender<(Mid, Observation)>>,
+    /// Simulated stable storage: the last stable viewid of each crashed
+    /// cohort, read back at recovery.
+    stable_store: Mutex<BTreeMap<Mid, ViewId>>,
+}
+
+impl Cluster {
+    fn spawn(
+        &self,
+        group: GroupId,
+        mid: Mid,
+        members: &[Mid],
+        factory: SharedFactory,
+        recover_from: Option<ViewId>,
+    ) {
+        let params = CohortParams {
+            cfg: self.cfg.clone(),
+            mid,
+            configuration: Configuration::new(group, members.to_vec()),
+            initial_primary: members[0],
+            peers: self.peers.clone(),
+            module: factory(),
+        };
+        let cohort = match recover_from {
+            Some(stable) => Cohort::recover(params, stable),
+            None => Cohort::new(params),
+        };
+        let (tx, rx) = unbounded();
+        let stable = Arc::new(Mutex::new(cohort.stable_viewid()));
+        let thread = CohortThread {
+            cohort,
+            rx,
+            router: self.router.clone(),
+            epoch: self.epoch,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            replies: BTreeMap::new(),
+            stable: stable.clone(),
+            observations: self.obs_tx.clone(),
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("cohort-{mid}"))
+            .spawn(move || thread.run())
+            .expect("spawn cohort thread");
+        self.router.routes.write().insert(mid, tx.clone());
+        self.handles.lock().insert(mid, Handle { tx, join, stable });
+    }
+
+    /// Submit a transaction to `client_group` and block until an outcome
+    /// arrives, trying each member until one acts as primary (after a
+    /// crash it can take a view change for a new primary to emerge).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownGroup`] for an unknown group;
+    /// [`SubmitError::Timeout`] when no member produces an outcome.
+    pub fn submit(
+        &self,
+        client_group: GroupId,
+        ops: Vec<CallOp>,
+    ) -> Result<TxnOutcome, SubmitError> {
+        let config = self
+            .peers
+            .get(&client_group)
+            .ok_or(SubmitError::UnknownGroup(client_group))?;
+        let members: Vec<Mid> = config.members().to_vec();
+        for _round in 0..20 {
+            for &mid in &members {
+                let tx = { self.handles.lock().get(&mid).map(|h| h.tx.clone()) };
+                let Some(tx) = tx else { continue };
+                let req_id = {
+                    let mut n = self.next_req.lock();
+                    *n += 1;
+                    *n
+                };
+                let (reply_tx, reply_rx) = bounded(1);
+                if tx
+                    .send(Inbox::Request {
+                        req_id,
+                        ops: ops.clone(),
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    continue;
+                }
+                match reply_rx.recv_timeout(Duration::from_secs(5)) {
+                    Ok(TxnOutcome::Aborted {
+                        reason: vsr_core::cohort::AbortReason::NotPrimary,
+                    }) => continue,
+                    Ok(outcome) => return Ok(outcome),
+                    Err(_) => continue,
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        Err(SubmitError::Timeout)
+    }
+
+    /// Crash a cohort: its thread stops and its mail is dropped. The
+    /// stable viewid is captured for a later [`recover`](Self::recover).
+    pub fn crash(&self, mid: Mid) {
+        let handle = self.handles.lock().remove(&mid);
+        self.router.routes.write().remove(&mid);
+        if let Some(handle) = handle {
+            let stable = *handle.stable.lock();
+            let _ = handle.tx.send(Inbox::Stop);
+            let _ = handle.join.join();
+            self.stable_store.lock().insert(mid, stable);
+        }
+    }
+
+    /// Recover a crashed cohort from its stable viewid.
+    pub fn recover(&self, mid: Mid) {
+        if self.handles.lock().contains_key(&mid) {
+            return;
+        }
+        let Some((group, members, factory)) = self.specs.get(&mid).cloned() else { return };
+        let stable = self
+            .stable_store
+            .lock()
+            .get(&mid)
+            .copied()
+            .unwrap_or(ViewId::initial(members[0]));
+        self.spawn(group, mid, &members, factory, Some(stable));
+    }
+
+    /// The stable viewid last recorded by a live cohort.
+    pub fn stable_viewid(&self, mid: Mid) -> Option<ViewId> {
+        self.handles.lock().get(&mid).map(|h| *h.stable.lock())
+    }
+
+    /// Drain any observations collected so far (requires
+    /// [`ClusterBuilder::observe`]).
+    pub fn observations(&self) -> Vec<(Mid, Observation)> {
+        self.observations.try_iter().collect()
+    }
+
+    /// Stop every cohort thread and dismantle the cluster.
+    pub fn shutdown(self) {
+        let mut handles = self.handles.lock();
+        let mids: Vec<Mid> = handles.keys().copied().collect();
+        for mid in mids {
+            if let Some(handle) = handles.remove(&mid) {
+                let _ = handle.tx.send(Inbox::Stop);
+                let _ = handle.join.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("cohorts", &self.handles.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_app::counter;
+    use vsr_core::module::NullModule;
+
+    const CLIENT: GroupId = GroupId(1);
+    const SERVER: GroupId = GroupId(2);
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
+                Box::new(counter::CounterModule)
+            })
+            .start()
+    }
+
+    #[test]
+    fn live_commit() {
+        let c = cluster();
+        let outcome = c.submit(CLIENT, vec![counter::incr(SERVER, 0, 5)]).unwrap();
+        match outcome {
+            TxnOutcome::Committed { results } => {
+                assert_eq!(counter::decode_value(&results[0]).unwrap(), 5);
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_crash_and_failover() {
+        let c = cluster();
+        assert!(matches!(
+            c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+            Ok(TxnOutcome::Committed { .. })
+        ));
+        // Crash the bootstrap primary of the server group.
+        c.crash(Mid(1));
+        // A transaction in flight during the view change may abort (the
+        // paper's Figure 2 step 3); the application re-runs it. Within a
+        // few retries the new view serves it.
+        let mut committed_value = None;
+        for _ in 0..20 {
+            match c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]) {
+                Ok(TxnOutcome::Committed { results }) => {
+                    committed_value = Some(counter::decode_value(&results[0]).unwrap());
+                    break;
+                }
+                Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        assert_eq!(committed_value, Some(2), "state survived the failover");
+        c.shutdown();
+    }
+
+    #[test]
+    fn observations_are_collected() {
+        let c = ClusterBuilder::new()
+            .observe()
+            .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
+                Box::new(counter::CounterModule)
+            })
+            .start();
+        assert!(matches!(
+            c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+            Ok(TxnOutcome::Committed { .. })
+        ));
+        // Allow backups to apply the commit.
+        std::thread::sleep(Duration::from_millis(300));
+        let obs = c.observations();
+        assert!(
+            obs.iter().any(|(_, o)| matches!(
+                o,
+                Observation::TxnCommitted { .. }
+            )),
+            "commit observed: {obs:?}"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn stable_viewid_survives_crash_recover() {
+        let c = cluster();
+        assert!(c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]).is_ok());
+        // Crash the primary; after failover the group's viewid advances.
+        c.crash(Mid(1));
+        let mut ok = false;
+        for _ in 0..20 {
+            if matches!(
+                c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+                Ok(TxnOutcome::Committed { .. })
+            ) {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        assert!(ok);
+        let new_viewid = c.stable_viewid(Mid(2)).or(c.stable_viewid(Mid(3))).unwrap();
+        // Recover the crashed cohort: it restarts from its *stored*
+        // stable viewid and rejoins the (newer) view.
+        c.recover(Mid(1));
+        let mut rejoined = false;
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(100));
+            if c.stable_viewid(Mid(1)).is_some_and(|v| v >= new_viewid) {
+                rejoined = true;
+                break;
+            }
+        }
+        assert!(rejoined, "recovered cohort caught up to {new_viewid}");
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let c = cluster();
+        assert_eq!(
+            c.submit(GroupId(99), vec![]).unwrap_err(),
+            SubmitError::UnknownGroup(GroupId(99))
+        );
+        c.shutdown();
+    }
+}

@@ -1,0 +1,213 @@
+//! Fault injection plans: deterministic schedules of crashes,
+//! recoveries, and partitions, including seeded random plans for
+//! exploration-style testing (experiment E11).
+
+use crate::world::World;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vsr_core::types::Mid;
+
+/// One fault event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash a cohort (volatile state lost).
+    Crash(Mid),
+    /// Recover a crashed cohort.
+    Recover(Mid),
+    /// Partition the network into the given groups.
+    Partition(Vec<Vec<Mid>>),
+    /// Heal all partitions.
+    Heal,
+}
+
+/// A schedule of fault events at absolute times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(time, event)` pairs; times need not be sorted.
+    pub events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an event.
+    pub fn at(mut self, time: u64, event: FaultEvent) -> Self {
+        self.events.push((time, event));
+        self
+    }
+
+    /// Install every event into the world's control schedule.
+    pub fn apply(&self, world: &mut World) {
+        for (time, event) in &self.events {
+            match event {
+                FaultEvent::Crash(mid) => world.schedule_crash(*time, *mid),
+                FaultEvent::Recover(mid) => world.schedule_recover(*time, *mid),
+                FaultEvent::Partition(groups) => {
+                    world.schedule_partition(*time, groups.clone())
+                }
+                FaultEvent::Heal => world.schedule_heal(*time),
+            }
+        }
+    }
+
+    /// Generate a seeded random plan over `mids` in the window
+    /// `[start, end)`.
+    ///
+    /// Constraints that keep runs meaningful:
+    ///
+    /// * at most `max_concurrent_crashes` cohorts are down at once (pass
+    ///   `f` for a `2f+1` group to stay within the protocol's tolerance);
+    /// * every crashed cohort recovers, and partitions heal, by
+    ///   `end + margin`, so the system can quiesce and be checked.
+    pub fn random(
+        seed: u64,
+        mids: &[Mid],
+        start: u64,
+        end: u64,
+        events: usize,
+        max_concurrent_crashes: usize,
+        allow_partitions: bool,
+    ) -> Self {
+        assert!(start < end, "empty fault window");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let mut crashed: Vec<Mid> = Vec::new();
+        let mut partitioned = false;
+        let mut times: Vec<u64> = (0..events).map(|_| rng.gen_range(start..end)).collect();
+        times.sort_unstable();
+        for time in times {
+            // Choose among the currently legal moves.
+            let can_crash = crashed.len() < max_concurrent_crashes && crashed.len() < mids.len();
+            let can_recover = !crashed.is_empty();
+            let can_partition = allow_partitions && !partitioned && mids.len() >= 2;
+            let can_heal = partitioned;
+            let mut moves: Vec<u8> = Vec::new();
+            if can_crash {
+                moves.push(0);
+            }
+            if can_recover {
+                moves.push(1);
+            }
+            if can_partition {
+                moves.push(2);
+            }
+            if can_heal {
+                moves.push(3);
+            }
+            if moves.is_empty() {
+                continue;
+            }
+            match moves[rng.gen_range(0..moves.len())] {
+                0 => {
+                    let alive: Vec<Mid> =
+                        mids.iter().copied().filter(|m| !crashed.contains(m)).collect();
+                    let victim = alive[rng.gen_range(0..alive.len())];
+                    crashed.push(victim);
+                    plan.events.push((time, FaultEvent::Crash(victim)));
+                }
+                1 => {
+                    let idx = rng.gen_range(0..crashed.len());
+                    let back = crashed.remove(idx);
+                    plan.events.push((time, FaultEvent::Recover(back)));
+                }
+                2 => {
+                    // Random split into two non-empty sides.
+                    let mut side_a = Vec::new();
+                    let mut side_b = Vec::new();
+                    for &m in mids {
+                        if rng.gen_bool(0.5) {
+                            side_a.push(m);
+                        } else {
+                            side_b.push(m);
+                        }
+                    }
+                    if side_a.is_empty() || side_b.is_empty() {
+                        continue;
+                    }
+                    partitioned = true;
+                    plan.events.push((time, FaultEvent::Partition(vec![side_a, side_b])));
+                }
+                _ => {
+                    partitioned = false;
+                    plan.events.push((time, FaultEvent::Heal));
+                }
+            }
+        }
+        // Make the world whole again so invariants can be checked at
+        // quiescence.
+        let margin = 1;
+        if partitioned {
+            plan.events.push((end + margin, FaultEvent::Heal));
+        }
+        for (i, mid) in crashed.into_iter().enumerate() {
+            plan.events.push((end + margin + i as u64, FaultEvent::Recover(mid)));
+        }
+        plan
+    }
+
+    /// Number of events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mids(n: u64) -> Vec<Mid> {
+        (0..n).map(Mid).collect()
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let a = FaultPlan::random(5, &mids(5), 100, 1000, 10, 2, true);
+        let b = FaultPlan::random(5, &mids(5), 100, 1000, 10, 2, true);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(6, &mids(5), 100, 1000, 10, 2, true);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crashes_bounded_and_all_recovered() {
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, &mids(5), 0, 5000, 30, 2, true);
+            let mut down = 0usize;
+            let mut max_down = 0usize;
+            let mut partitioned = false;
+            let mut sorted = plan.events.clone();
+            sorted.sort_by_key(|(t, _)| *t);
+            for (_, ev) in &sorted {
+                match ev {
+                    FaultEvent::Crash(_) => {
+                        down += 1;
+                        max_down = max_down.max(down);
+                    }
+                    FaultEvent::Recover(_) => down -= 1,
+                    FaultEvent::Partition(_) => partitioned = true,
+                    FaultEvent::Heal => partitioned = false,
+                }
+            }
+            assert!(max_down <= 2, "seed {seed}: too many concurrent crashes");
+            assert_eq!(down, 0, "seed {seed}: some cohort never recovered");
+            assert!(!partitioned, "seed {seed}: partition never healed");
+        }
+    }
+
+    #[test]
+    fn builder_api() {
+        let plan = FaultPlan::new()
+            .at(10, FaultEvent::Crash(Mid(1)))
+            .at(50, FaultEvent::Recover(Mid(1)));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+}

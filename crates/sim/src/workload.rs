@@ -1,0 +1,166 @@
+//! Workload generators: deterministic schedules of transaction scripts
+//! for the experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vsr_app::{bank, counter, kv};
+use vsr_core::cohort::CallOp;
+use vsr_core::types::GroupId;
+
+/// A schedule of `(submit_time, script)` pairs.
+pub type Schedule = Vec<(u64, Vec<CallOp>)>;
+
+/// `n` single-call counter increments against `server`, submitted every
+/// `interval` ticks starting at `start`.
+pub fn counter_increments(server: GroupId, n: usize, start: u64, interval: u64) -> Schedule {
+    (0..n)
+        .map(|i| (start + i as u64 * interval, vec![counter::incr(server, 0, 1)]))
+        .collect()
+}
+
+/// `n` single-call counter reads.
+pub fn counter_reads(server: GroupId, n: usize, start: u64, interval: u64) -> Schedule {
+    (0..n)
+        .map(|i| (start + i as u64 * interval, vec![counter::read(server, 0)]))
+        .collect()
+}
+
+/// A read/write key-value mix: each transaction is a single `get` with
+/// probability `read_fraction`, else a single `put`. Keys are drawn
+/// uniformly from `[0, keys)`.
+pub fn kv_mix(
+    server: GroupId,
+    keys: u64,
+    read_fraction: f64,
+    n: usize,
+    seed: u64,
+    start: u64,
+    interval: u64,
+) -> Schedule {
+    assert!((0.0..=1.0).contains(&read_fraction));
+    assert!(keys > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let key = rng.gen_range(0..keys);
+            let op = if rng.gen_bool(read_fraction) {
+                kv::get(server, key)
+            } else {
+                kv::put(server, key, format!("v{i}").as_bytes())
+            };
+            (start + i as u64 * interval, vec![op])
+        })
+        .collect()
+}
+
+/// A counter read/write mix against a `CounterModule`
+/// (vsr_app::counter) group: each transaction is a single `read` with
+/// probability `read_fraction`, else a single `incr`, on one of four
+/// counters; submissions are spaced 500 ticks apart starting at t=200.
+pub fn kv_like(server: GroupId, read_fraction: f64, n: usize, seed: u64) -> Schedule {
+    assert!((0.0..=1.0).contains(&read_fraction));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = rng.gen_range(0..4u64);
+            let op = if rng.gen_bool(read_fraction) {
+                counter::read(server, c)
+            } else {
+                counter::incr(server, c, 1)
+            };
+            (200 + i as u64 * 500, vec![op])
+        })
+        .collect()
+}
+
+/// Multi-group bank transfers: each transaction withdraws from a random
+/// account on one group and deposits to a random account on another
+/// (exercising distributed two-phase commit). Amount is always 1 so the
+/// workload never aborts on insufficient funds when accounts start with
+/// balance ≥ n.
+pub fn transfers(
+    banks: &[GroupId],
+    accounts_per_bank: u64,
+    n: usize,
+    seed: u64,
+    start: u64,
+    interval: u64,
+) -> Schedule {
+    assert!(banks.len() >= 2, "transfers need at least two bank groups");
+    assert!(accounts_per_bank > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let from_bank = banks[rng.gen_range(0..banks.len())];
+            let mut to_bank = banks[rng.gen_range(0..banks.len())];
+            while to_bank == from_bank {
+                to_bank = banks[rng.gen_range(0..banks.len())];
+            }
+            let from_acct = rng.gen_range(0..accounts_per_bank);
+            let to_acct = rng.gen_range(0..accounts_per_bank);
+            let ops = vec![
+                bank::withdraw(from_bank, from_acct, 1),
+                bank::deposit(to_bank, to_acct, 1),
+            ];
+            (start + i as u64 * interval, ops)
+        })
+        .collect()
+}
+
+/// Total money moved by [`transfers`] is conserved: the sum of all
+/// balances never changes across committed transfers. This helper sums
+/// the expected initial total for `banks` × `accounts_per_bank` accounts
+/// each starting at `initial_balance`.
+pub fn expected_total(banks: usize, accounts_per_bank: u64, initial_balance: u64) -> u64 {
+    banks as u64 * accounts_per_bank * initial_balance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_schedule_times() {
+        let s = counter_increments(GroupId(1), 3, 100, 10);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].0, 100);
+        assert_eq!(s[2].0, 120);
+        assert_eq!(s[0].1.len(), 1);
+    }
+
+    #[test]
+    fn kv_mix_is_deterministic() {
+        let a = kv_mix(GroupId(1), 10, 0.5, 20, 7, 0, 5);
+        let b = kv_mix(GroupId(1), 10, 0.5, 20, 7, 0, 5);
+        assert_eq!(a.len(), b.len());
+        for ((ta, opsa), (tb, opsb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+            assert_eq!(opsa, opsb);
+        }
+    }
+
+    #[test]
+    fn kv_mix_respects_read_fraction_extremes() {
+        let all_reads = kv_mix(GroupId(1), 10, 1.0, 10, 1, 0, 1);
+        assert!(all_reads.iter().all(|(_, ops)| ops[0].proc == "get"));
+        let all_writes = kv_mix(GroupId(1), 10, 0.0, 10, 1, 0, 1);
+        assert!(all_writes.iter().all(|(_, ops)| ops[0].proc == "put"));
+    }
+
+    #[test]
+    fn transfers_cross_groups() {
+        let banks = [GroupId(1), GroupId(2), GroupId(3)];
+        let s = transfers(&banks, 5, 50, 3, 0, 1);
+        for (_, ops) in &s {
+            assert_eq!(ops.len(), 2);
+            assert_eq!(ops[0].proc, "withdraw");
+            assert_eq!(ops[1].proc, "deposit");
+            assert_ne!(ops[0].group, ops[1].group, "transfer must cross groups");
+        }
+    }
+
+    #[test]
+    fn expected_total_math() {
+        assert_eq!(expected_total(2, 10, 100), 2000);
+    }
+}

@@ -1,0 +1,770 @@
+//! The simulation world: wires [`Cohort`] state machines to the
+//! deterministic [`SimNet`], executes their effects, injects workloads
+//! and faults, and collects metrics and observations.
+
+use crate::metrics::Metrics;
+use vsr_core::agent::ClientAgent;
+use vsr_core::cohort::{CallOp, Cohort, CohortParams, Effect, Observation, Timer, TxnOutcome};
+use vsr_core::config::CohortConfig;
+use vsr_core::messages::Message;
+use vsr_core::module::Module;
+use vsr_core::types::{Aid, GroupId, Mid, ViewId};
+use vsr_core::view::Configuration;
+use vsr_simnet::net::{Event, NetConfig, NetStats, SimNet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Creates a fresh module instance for a group (needed again at crash
+/// recovery).
+pub type ModuleFactory = Rc<dyn Fn() -> Box<dyn Module>>;
+
+/// Static description of one module group.
+#[derive(Clone)]
+pub struct GroupSpec {
+    /// The group id.
+    pub group: GroupId,
+    /// Cohort mids (globally unique across the world).
+    pub members: Vec<Mid>,
+    /// Bootstrap primary.
+    pub initial_primary: Mid,
+    /// Application module factory.
+    pub factory: ModuleFactory,
+}
+
+impl std::fmt::Debug for GroupSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSpec")
+            .field("group", &self.group)
+            .field("members", &self.members)
+            .field("initial_primary", &self.initial_primary)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for a [`World`].
+#[derive(Debug)]
+pub struct WorldBuilder {
+    net_cfg: NetConfig,
+    cohort_cfg: CohortConfig,
+    groups: Vec<GroupSpec>,
+    agents: Vec<(Mid, GroupId)>,
+}
+
+impl WorldBuilder {
+    /// Start building a world with a reliable network seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            net_cfg: NetConfig::reliable(seed),
+            cohort_cfg: CohortConfig::new(),
+            groups: Vec::new(),
+            agents: Vec::new(),
+        }
+    }
+
+    /// Add an *unreplicated client agent* (Section 3.5) that delegates
+    /// two-phase commit to `coord_group` (which must be added as a
+    /// group; typically with a `NullModule`).
+    pub fn agent(mut self, mid: Mid, coord_group: GroupId) -> Self {
+        self.agents.push((mid, coord_group));
+        self
+    }
+
+    /// Set the network fault model.
+    pub fn net(mut self, cfg: NetConfig) -> Self {
+        self.net_cfg = cfg;
+        self
+    }
+
+    /// Set the cohort tuning knobs.
+    pub fn cohorts(mut self, cfg: CohortConfig) -> Self {
+        self.cohort_cfg = cfg;
+        self
+    }
+
+    /// Add a module group. The first member is the bootstrap primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or any mid is reused across groups
+    /// (checked at [`build`](Self::build)).
+    pub fn group<F>(mut self, group: GroupId, members: &[Mid], factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn Module> + 'static,
+    {
+        assert!(!members.is_empty(), "group must have at least one member");
+        self.groups.push(GroupSpec {
+            group,
+            members: members.to_vec(),
+            initial_primary: members[0],
+            factory: Rc::new(factory),
+        });
+        self
+    }
+
+    /// Construct the world: instantiate every cohort in its bootstrap
+    /// view and arm initial timers.
+    pub fn build(self) -> World {
+        let mut peers: BTreeMap<GroupId, Configuration> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        for spec in &self.groups {
+            for &m in &spec.members {
+                assert!(seen.insert(m), "mid {m} reused across groups");
+            }
+            peers.insert(spec.group, Configuration::new(spec.group, spec.members.clone()));
+        }
+        let mut world = World {
+            net: SimNet::new(self.net_cfg),
+            cohorts: BTreeMap::new(),
+            agents: BTreeMap::new(),
+            specs: self.groups.iter().map(|s| (s.group, s.clone())).collect(),
+            mid_group: self
+                .groups
+                .iter()
+                .flat_map(|s| s.members.iter().map(move |&m| (m, s.group)))
+                .collect(),
+            peers,
+            cohort_cfg: self.cohort_cfg,
+            crashed: BTreeMap::new(),
+            results: BTreeMap::new(),
+            scripts: BTreeMap::new(),
+            submitted_at: BTreeMap::new(),
+            next_req: 0,
+            observations: Vec::new(),
+            metrics: Metrics::default(),
+            controls: BTreeMap::new(),
+            next_control: 0,
+            delivered_to: BTreeMap::new(),
+            message_trace: None,
+        };
+        for spec in &self.groups {
+            for &mid in &spec.members {
+                let cohort = Cohort::new(world.params_for(mid));
+                world.cohorts.insert(mid, cohort);
+            }
+        }
+        for (mid, coord_group) in &self.agents {
+            assert!(
+                !world.cohorts.contains_key(mid),
+                "agent mid {mid} collides with a cohort"
+            );
+            let agent = ClientAgent::new(
+                world.cohort_cfg.clone(),
+                *mid,
+                *coord_group,
+                world.peers.clone(),
+            );
+            world.agents.insert(*mid, agent);
+        }
+        let mids: Vec<Mid> = world.cohorts.keys().copied().collect();
+        for mid in mids {
+            let now = world.net.now();
+            let effects = world.cohorts.get_mut(&mid).expect("exists").start(now);
+            world.apply_effects(mid, effects);
+        }
+        world
+    }
+}
+
+/// A scheduled control action.
+#[derive(Debug, Clone)]
+enum Control {
+    Crash(Mid),
+    Recover(Mid),
+    Partition(Vec<Vec<Mid>>),
+    Heal,
+    Submit { group: GroupId, ops: Vec<CallOp>, req_id: u64 },
+}
+
+/// The final record of a submitted transaction.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// The outcome reported to the client.
+    pub outcome: TxnOutcome,
+    /// The transaction id, if one was created.
+    pub aid: Option<Aid>,
+    /// Submission tick.
+    pub submitted_at: u64,
+    /// Completion tick.
+    pub completed_at: u64,
+}
+
+/// The simulation world.
+pub struct World {
+    net: SimNet<Message, Timer>,
+    cohorts: BTreeMap<Mid, Cohort>,
+    agents: BTreeMap<Mid, ClientAgent>,
+    specs: BTreeMap<GroupId, GroupSpec>,
+    mid_group: BTreeMap<Mid, GroupId>,
+    peers: BTreeMap<GroupId, Configuration>,
+    cohort_cfg: CohortConfig,
+    /// Crashed cohorts and their stable viewids.
+    crashed: BTreeMap<Mid, ViewId>,
+    results: BTreeMap<u64, TxnRecord>,
+    /// Scripts by request id (for the durability checker).
+    scripts: BTreeMap<u64, Vec<CallOp>>,
+    submitted_at: BTreeMap<u64, u64>,
+    next_req: u64,
+    observations: Vec<(u64, Observation)>,
+    metrics: Metrics,
+    controls: BTreeMap<u64, Control>,
+    next_control: u64,
+    delivered_to: BTreeMap<Mid, u64>,
+    /// Optional message trace: `(time, from, to, message name)` ring
+    /// buffer of the most recent sends.
+    message_trace: Option<(usize, std::collections::VecDeque<(u64, Mid, Mid, &'static str)>)>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.net.now())
+            .field("cohorts", &self.cohorts.len())
+            .field("crashed", &self.crashed.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl World {
+    fn params_for(&self, mid: Mid) -> CohortParams {
+        let group = self.mid_group[&mid];
+        let spec = &self.specs[&group];
+        CohortParams {
+            cfg: self.cohort_cfg.clone(),
+            mid,
+            configuration: self.peers[&group].clone(),
+            initial_primary: spec.initial_primary,
+            peers: self.peers.clone(),
+            module: (spec.factory)(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // time
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Process one event. Returns false when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some((now, event)) = self.net.pop() else { return false };
+        match event {
+            Event::Deliver { from, to, msg } => {
+                let (from, to) = (Mid(from), Mid(to));
+                if self.crashed.contains_key(&to) {
+                    return true;
+                }
+                if let Some(cohort) = self.cohorts.get_mut(&to) {
+                    // Heartbeats are constant-rate background noise;
+                    // exclude them from per-node load accounting.
+                    if !matches!(msg, Message::ImAlive { .. }) {
+                        *self.delivered_to.entry(to).or_default() += 1;
+                    }
+                    let effects = cohort.on_message(now, from, msg);
+                    self.apply_effects(to, effects);
+                } else if let Some(agent) = self.agents.get_mut(&to) {
+                    let effects = agent.on_message(now, from, msg);
+                    self.apply_effects(to, effects);
+                }
+            }
+            Event::TimerFire { node, timer } => {
+                let mid = Mid(node);
+                if self.crashed.contains_key(&mid) {
+                    return true;
+                }
+                if let Some(cohort) = self.cohorts.get_mut(&mid) {
+                    let effects = cohort.on_timer(now, timer);
+                    self.apply_effects(mid, effects);
+                } else if let Some(agent) = self.agents.get_mut(&mid) {
+                    let effects = agent.on_timer(now, timer);
+                    self.apply_effects(mid, effects);
+                }
+            }
+            Event::Control { id } => {
+                if let Some(control) = self.controls.remove(&id) {
+                    self.run_control(now, control);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until simulated time reaches `t` (or events run out). Events
+    /// scheduled at exactly `t` are processed.
+    pub fn run_until(&mut self, t: u64) {
+        while let Some(next) = self.net.peek_time() {
+            if next > t {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Run for `dt` more ticks.
+    pub fn run_for(&mut self, dt: u64) {
+        let t = self.now() + dt;
+        self.run_until(t);
+    }
+
+    // ------------------------------------------------------------------
+    // workload
+    // ------------------------------------------------------------------
+
+    /// Submit a transaction right now at the current active primary of
+    /// `client_group` (or any live member if no primary is active, which
+    /// yields a `NotPrimary` abort). Returns the request id.
+    pub fn submit(&mut self, client_group: GroupId, ops: Vec<CallOp>) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.scripts.insert(req_id, ops.clone());
+        self.submitted_at.insert(req_id, self.now());
+        self.metrics.submitted += 1;
+        let target = self.primary_of(client_group).or_else(|| self.any_live(client_group));
+        match target {
+            Some(mid) => {
+                let now = self.now();
+                let effects = self
+                    .cohorts
+                    .get_mut(&mid)
+                    .expect("target exists")
+                    .begin_transaction(now, req_id, ops);
+                self.apply_effects(mid, effects);
+            }
+            None => {
+                // Whole group down: record an immediate abort.
+                self.record_result(
+                    req_id,
+                    None,
+                    TxnOutcome::Aborted {
+                        reason: vsr_core::cohort::AbortReason::NotPrimary,
+                    },
+                );
+            }
+        }
+        req_id
+    }
+
+    /// Submit a transaction through an unreplicated client agent
+    /// (Section 3.5): the agent runs the calls itself and delegates the
+    /// commit to its coordinator-server group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` was not added with
+    /// [`WorldBuilder::agent`].
+    pub fn submit_via_agent(&mut self, agent: Mid, ops: Vec<CallOp>) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.scripts.insert(req_id, ops.clone());
+        self.submitted_at.insert(req_id, self.now());
+        self.metrics.submitted += 1;
+        let now = self.now();
+        let effects = self
+            .agents
+            .get_mut(&agent)
+            .unwrap_or_else(|| panic!("unknown agent {agent}"))
+            .begin_transaction(now, req_id, ops);
+        self.apply_effects(agent, effects);
+        req_id
+    }
+
+    /// Schedule a transaction submission at absolute time `at`.
+    pub fn schedule_submit(&mut self, at: u64, client_group: GroupId, ops: Vec<CallOp>) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.scripts.insert(req_id, ops.clone());
+        self.push_control(at, Control::Submit { group: client_group, ops, req_id });
+        req_id
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    /// Crash a cohort immediately: all volatile state is lost; only the
+    /// stable viewid survives.
+    pub fn crash(&mut self, mid: Mid) {
+        if self.crashed.contains_key(&mid) {
+            return;
+        }
+        let stable = self.cohorts[&mid].stable_viewid();
+        self.crashed.insert(mid, stable);
+        self.net.crash(mid.0);
+    }
+
+    /// Recover a crashed cohort: it restarts with `up_to_date = false`
+    /// and begins a view change.
+    pub fn recover(&mut self, mid: Mid) {
+        let Some(stable) = self.crashed.remove(&mid) else { return };
+        self.net.recover(mid.0);
+        let mut cohort = Cohort::recover(self.params_for(mid), stable);
+        let now = self.now();
+        let effects = cohort.start(now);
+        self.cohorts.insert(mid, cohort);
+        self.apply_effects(mid, effects);
+    }
+
+    /// Crash an unreplicated client agent permanently: its mail is
+    /// dropped and its in-flight transactions are orphaned — exercising
+    /// the coordinator-server's unilateral abort (Section 3.5).
+    pub fn crash_agent(&mut self, mid: Mid) {
+        self.agents.remove(&mid);
+        self.net.crash(mid.0);
+    }
+
+    /// Partition the network into the given mid groups.
+    pub fn partition(&mut self, groups: &[Vec<Mid>]) {
+        let raw: Vec<Vec<u64>> =
+            groups.iter().map(|g| g.iter().map(|m| m.0).collect()).collect();
+        self.net.set_partitions(&raw);
+    }
+
+    /// Heal all partitions.
+    pub fn heal(&mut self) {
+        self.net.heal_partitions();
+    }
+
+    /// Override the one-way delay window of the link between two mids in
+    /// both directions (models a slow/remote replica).
+    pub fn set_link_delay(&mut self, a: Mid, b: Mid, min: u64, max: u64) {
+        self.net.set_link_delay(a.0, b.0, min, max);
+    }
+
+    /// Schedule a crash at time `at`.
+    pub fn schedule_crash(&mut self, at: u64, mid: Mid) {
+        self.push_control(at, Control::Crash(mid));
+    }
+
+    /// Schedule a recovery at time `at`.
+    pub fn schedule_recover(&mut self, at: u64, mid: Mid) {
+        self.push_control(at, Control::Recover(mid));
+    }
+
+    /// Schedule a partition at time `at`.
+    pub fn schedule_partition(&mut self, at: u64, groups: Vec<Vec<Mid>>) {
+        self.push_control(at, Control::Partition(groups));
+    }
+
+    /// Schedule a heal at time `at`.
+    pub fn schedule_heal(&mut self, at: u64) {
+        self.push_control(at, Control::Heal);
+    }
+
+    fn push_control(&mut self, at: u64, control: Control) {
+        let id = self.next_control;
+        self.next_control += 1;
+        self.controls.insert(id, control);
+        self.net.schedule_control(at, id);
+    }
+
+    fn run_control(&mut self, now: u64, control: Control) {
+        match control {
+            Control::Crash(mid) => self.crash(mid),
+            Control::Recover(mid) => self.recover(mid),
+            Control::Partition(groups) => self.partition(&groups),
+            Control::Heal => self.heal(),
+            Control::Submit { group, ops, req_id } => {
+                self.submitted_at.insert(req_id, now);
+                self.metrics.submitted += 1;
+                let target = self.primary_of(group).or_else(|| self.any_live(group));
+                match target {
+                    Some(mid) => {
+                        let effects = self
+                            .cohorts
+                            .get_mut(&mid)
+                            .expect("target exists")
+                            .begin_transaction(now, req_id, ops);
+                        self.apply_effects(mid, effects);
+                    }
+                    None => self.record_result(
+                        req_id,
+                        None,
+                        TxnOutcome::Aborted {
+                            reason: vsr_core::cohort::AbortReason::NotPrimary,
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // effect execution
+    // ------------------------------------------------------------------
+
+    fn apply_effects(&mut self, mid: Mid, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let size = msg.wire_size();
+                    if let Some((cap, trace)) = &mut self.message_trace {
+                        if trace.len() == *cap {
+                            trace.pop_front();
+                        }
+                        trace.push_back((self.net.now(), mid, to, msg.name()));
+                    }
+                    *self.metrics.msgs.entry(msg.name()).or_default() += 1;
+                    *self.metrics.bytes.entry(msg.name()).or_default() += size as u64;
+                    if msg.is_view_change() {
+                        self.metrics.view_change_msgs += 1;
+                    } else if msg.is_background() {
+                        self.metrics.background_msgs += 1;
+                    } else {
+                        self.metrics.foreground_msgs += 1;
+                        self.metrics.foreground_bytes += size as u64;
+                    }
+                    self.net.send_dup(mid.0, to.0, msg, size);
+                }
+                Effect::SetTimer { after, timer } => {
+                    self.net.set_timer(mid.0, after, timer);
+                }
+                Effect::TxnResult { req_id, aid, outcome } => {
+                    self.record_result(req_id, aid, outcome);
+                }
+                Effect::Observe(observation) => {
+                    match &observation {
+                        Observation::ViewChanged { is_primary: true, .. } => {
+                            self.metrics.view_formations += 1;
+                        }
+                        Observation::PrepareProcessed { waited, .. } => {
+                            if *waited {
+                                self.metrics.prepares_waited += 1;
+                            } else {
+                                self.metrics.prepares_fast += 1;
+                            }
+                        }
+                        Observation::ForceAbandoned { .. } => {
+                            self.metrics.forces_abandoned += 1;
+                        }
+                        _ => {}
+                    }
+                    self.observations.push((self.net.now(), observation));
+                }
+            }
+        }
+    }
+
+    fn record_result(&mut self, req_id: u64, aid: Option<Aid>, outcome: TxnOutcome) {
+        match &outcome {
+            TxnOutcome::Committed { .. } => {
+                self.metrics.committed += 1;
+                if let Some(&t0) = self.submitted_at.get(&req_id) {
+                    self.metrics.commit_latencies.push(self.net.now() - t0);
+                }
+            }
+            TxnOutcome::Aborted { .. } => self.metrics.aborted += 1,
+            TxnOutcome::Unresolved => self.metrics.unresolved += 1,
+        }
+        let submitted_at = self.submitted_at.get(&req_id).copied().unwrap_or(0);
+        self.results.insert(
+            req_id,
+            TxnRecord { outcome, aid, submitted_at, completed_at: self.net.now() },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // inspection
+    // ------------------------------------------------------------------
+
+    /// The currently active primary of `group`, if one exists among live
+    /// cohorts.
+    pub fn primary_of(&self, group: GroupId) -> Option<Mid> {
+        self.peers.get(&group)?.members().iter().copied().find(|m| {
+            !self.crashed.contains_key(m)
+                && self.cohorts.get(m).is_some_and(|c| c.is_active_primary())
+        })
+    }
+
+    fn any_live(&self, group: GroupId) -> Option<Mid> {
+        self.peers
+            .get(&group)?
+            .members()
+            .iter()
+            .copied()
+            .find(|m| !self.crashed.contains_key(m))
+    }
+
+    /// The result of a submitted transaction, if it has completed.
+    pub fn result(&self, req_id: u64) -> Option<&TxnRecord> {
+        self.results.get(&req_id)
+    }
+
+    /// All completed transaction records.
+    pub fn results(&self) -> impl Iterator<Item = (u64, &TxnRecord)> + '_ {
+        self.results.iter().map(|(&r, rec)| (r, rec))
+    }
+
+    /// The script submitted under `req_id`.
+    pub fn script(&self, req_id: u64) -> Option<&[CallOp]> {
+        self.scripts.get(&req_id).map(|v| v.as_slice())
+    }
+
+    /// Observations recorded so far, with their times.
+    pub fn observations(&self) -> &[(u64, Observation)] {
+        &self.observations
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Raw network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Messages delivered to each cohort so far (per-node load; used by
+    /// the primary-bottleneck experiment E7).
+    pub fn delivered_to(&self, mid: Mid) -> u64 {
+        self.delivered_to.get(&mid).copied().unwrap_or(0)
+    }
+
+    /// Start recording the last `capacity` message sends (time, from,
+    /// to, message name) for forensics; see
+    /// [`message_trace`](Self::message_trace).
+    pub fn enable_message_trace(&mut self, capacity: usize) {
+        self.message_trace = Some((capacity.max(1), std::collections::VecDeque::new()));
+    }
+
+    /// The recorded message trace (empty unless
+    /// [`enable_message_trace`](Self::enable_message_trace) was called).
+    pub fn message_trace(&self) -> Vec<(u64, Mid, Mid, &'static str)> {
+        self.message_trace
+            .as_ref()
+            .map(|(_, t)| t.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Inspect a cohort (panics if the mid is unknown).
+    pub fn cohort(&self, mid: Mid) -> &Cohort {
+        &self.cohorts[&mid]
+    }
+
+    /// Whether a cohort is currently crashed.
+    pub fn is_crashed(&self, mid: Mid) -> bool {
+        self.crashed.contains_key(&mid)
+    }
+
+    /// All group ids in the world.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// The members of a group.
+    pub fn members_of(&self, group: GroupId) -> &[Mid] {
+        self.peers[&group].members()
+    }
+
+    // ------------------------------------------------------------------
+    // invariant checking
+    // ------------------------------------------------------------------
+
+    /// Check replica convergence: cohorts of the same group that have
+    /// applied the same history prefix must have identical object states.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence found.
+    pub fn check_convergence(&self) -> Result<(), String> {
+        for (&group, config) in &self.peers {
+            let mut by_position: BTreeMap<_, (Mid, Vec<_>)> = BTreeMap::new();
+            for &mid in config.members() {
+                if self.crashed.contains_key(&mid) {
+                    continue;
+                }
+                let cohort = &self.cohorts[&mid];
+                if !cohort.is_up_to_date() {
+                    continue;
+                }
+                let Some(latest) = cohort.history().latest() else { continue };
+                let objects: Vec<_> = cohort
+                    .gstate()
+                    .objects()
+                    .map(|(oid, obj)| (oid, obj.version, obj.value.clone()))
+                    .collect();
+                match by_position.get(&(cohort.cur_viewid(), latest)) {
+                    None => {
+                        by_position.insert((cohort.cur_viewid(), latest), (mid, objects));
+                    }
+                    Some((other, expected)) => {
+                        if *expected != objects {
+                            return Err(format!(
+                                "group {group}: cohorts {other} and {mid} diverge at the \
+                                 same history position"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that every transaction reported `Committed` to a client is
+    /// durably committed at every group its script touched (via a
+    /// `TxnCommitted` observation or a committed-family status at a live
+    /// cohort).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first lost commit found.
+    pub fn check_no_lost_commits(&self) -> Result<(), String> {
+        let mut observed: BTreeSet<(GroupId, Aid)> = BTreeSet::new();
+        for (_, obs) in &self.observations {
+            if let Observation::TxnCommitted { group, aid, .. } = obs {
+                observed.insert((*group, *aid));
+            }
+        }
+        for (req_id, record) in &self.results {
+            let TxnOutcome::Committed { .. } = record.outcome else { continue };
+            let Some(aid) = record.aid else { continue };
+            let script = self.scripts.get(req_id).map(|v| v.as_slice()).unwrap_or(&[]);
+            let groups: BTreeSet<GroupId> = script.iter().map(|op| op.group).collect();
+            for group in groups {
+                if observed.contains(&(group, aid)) {
+                    continue;
+                }
+                // Fallback: a live cohort whose status map records the
+                // commit decision.
+                let durable = self.peers[&group].members().iter().any(|m| {
+                    !self.crashed.contains_key(m)
+                        && self.cohorts[m]
+                            .gstate()
+                            .status(aid)
+                            .is_some_and(|s| s.is_committed())
+                }) || self.peers[&aid.coordinator_group()].members().iter().any(|m| {
+                    !self.crashed.contains_key(m)
+                        && self.cohorts[m]
+                            .gstate()
+                            .status(aid)
+                            .is_some_and(|s| s.is_committed())
+                });
+                if !durable {
+                    return Err(format!(
+                        "transaction {aid} (req {req_id}) reported committed but has no \
+                         durable trace at group {group}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run every safety check: convergence, lost commits, and one-copy
+    /// serializability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn verify(&self) -> Result<(), String> {
+        self.check_convergence()?;
+        self.check_no_lost_commits()?;
+        crate::serializability::check(&self.observations).map_err(|v| v.to_string())
+    }
+}
+

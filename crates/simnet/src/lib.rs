@@ -1,0 +1,29 @@
+//! # Deterministic network simulation
+//!
+//! A seeded discrete-event simulator providing the fault model assumed by
+//! the Viewstamped Replication paper (Section 1): an asynchronous network
+//! that may lose, delay, duplicate, and reorder messages and partition
+//! into subnetworks, over fail-stop nodes that crash (losing volatile
+//! state) and recover.
+//!
+//! The simulator is generic over message and timer payload types, so the
+//! same substrate drives both the VR protocol and the baseline
+//! replication schemes it is compared against.
+//!
+//! ```
+//! use vsr_simnet::net::{Event, NetConfig, SimNet};
+//!
+//! let mut net: SimNet<&str, &str> = SimNet::new(NetConfig::reliable(7));
+//! net.send(0, 1, "ping", 4);
+//! net.set_timer(0, 100, "timeout");
+//! let (_, first) = net.pop().unwrap();
+//! assert!(matches!(first, Event::Deliver { msg: "ping", .. }));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod net;
+pub mod queue;
+
+pub use net::{Event, NetConfig, NetStats, NodeId, SimNet};

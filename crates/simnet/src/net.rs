@@ -1,0 +1,536 @@
+//! The simulated network: delivers messages with configurable delay,
+//! loss, duplication, reordering (implicit in random delays), and
+//! partitions; tracks node crashes so that messages to dead nodes vanish
+//! and stale timers of previous incarnations never fire.
+//!
+//! The paper's fault model (Section 1): "The network may lose, delay, and
+//! duplicate messages, or deliver messages out of order. Link failures
+//! may cause the network to partition into subnetworks that are unable to
+//! communicate with each other." Nodes are fail-stop; they recover with
+//! only stable state.
+
+use crate::queue::EventQueue;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A network endpoint (maps 1:1 onto protocol-level mids).
+pub type NodeId = u64;
+
+/// Network fault parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Minimum one-way delay in ticks.
+    pub min_delay: u64,
+    /// Maximum one-way delay in ticks (inclusive).
+    pub max_delay: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (with independent
+    /// delays).
+    pub dup_prob: f64,
+    /// RNG seed: same seed + same schedule of calls = same run.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// A reliable LAN: 1–3 tick delays, no loss, no duplication.
+    pub fn reliable(seed: u64) -> Self {
+        NetConfig { min_delay: 1, max_delay: 3, drop_prob: 0.0, dup_prob: 0.0, seed }
+    }
+
+    /// A lossy network: wider delays, some loss and duplication.
+    pub fn lossy(seed: u64) -> Self {
+        NetConfig { min_delay: 1, max_delay: 10, drop_prob: 0.05, dup_prob: 0.02, seed }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::reliable(0)
+    }
+}
+
+/// An event popped from the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M, T> {
+    /// A message arrival.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set by `node` fired.
+    TimerFire {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The timer payload.
+        timer: T,
+    },
+    /// A control point scheduled by the harness (fault injection,
+    /// workload arrival); `id` is meaningful to the harness only.
+    Control {
+        /// Harness-defined identifier.
+        id: u64,
+    },
+}
+
+/// Aggregate message statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted via [`SimNet::send`].
+    pub sent: u64,
+    /// Deliveries that reached a live node.
+    pub delivered: u64,
+    /// Messages dropped by the fault model.
+    pub dropped: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Messages discarded because sender and receiver were partitioned.
+    pub partitioned: u64,
+    /// Deliveries discarded because the destination was crashed.
+    pub to_crashed: u64,
+    /// Total payload bytes submitted (as reported by the size callback).
+    pub bytes_sent: u64,
+}
+
+enum Scheduled<M, T> {
+    Deliver { from: NodeId, to: NodeId, to_incarnation: u64, msg: M },
+    Timer { node: NodeId, incarnation: u64, timer: T },
+    Control { id: u64 },
+}
+
+impl<M, T> PartialEq for Scheduled<M, T> {
+    fn eq(&self, _other: &Self) -> bool {
+        false // ordering uses (time, seq) only; payload equality unused
+    }
+}
+impl<M, T> Eq for Scheduled<M, T> {}
+
+impl<M, T> std::fmt::Debug for Scheduled<M, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheduled::Deliver { from, to, .. } => write!(f, "Deliver({from}->{to})"),
+            Scheduled::Timer { node, .. } => write!(f, "Timer({node})"),
+            Scheduled::Control { id } => write!(f, "Control({id})"),
+        }
+    }
+}
+
+/// The deterministic simulated network.
+///
+/// Generic over the message type `M` and timer payload `T`.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_simnet::net::{Event, NetConfig, SimNet};
+///
+/// let mut net: SimNet<&str, ()> = SimNet::new(NetConfig::reliable(42));
+/// net.send(1, 2, "hello", 0);
+/// let (time, event) = net.pop().expect("scheduled");
+/// assert!(time >= 1);
+/// assert_eq!(event, Event::Deliver { from: 1, to: 2, msg: "hello" });
+/// ```
+#[derive(Debug)]
+pub struct SimNet<M, T> {
+    queue: EventQueue<Scheduled<M, T>>,
+    now: u64,
+    rng: SmallRng,
+    cfg: NetConfig,
+    /// Partition label per node; nodes communicate iff labels are equal.
+    /// Absent nodes implicitly carry label 0.
+    labels: BTreeMap<NodeId, u64>,
+    /// Per-link delay overrides (applied in both directions): the pair
+    /// key is stored with the smaller node first.
+    link_delays: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+    crashed: BTreeSet<NodeId>,
+    incarnation: BTreeMap<NodeId, u64>,
+    stats: NetStats,
+}
+
+impl<M, T> SimNet<M, T> {
+    /// Create a network with the given fault parameters.
+    pub fn new(cfg: NetConfig) -> Self {
+        assert!(cfg.min_delay <= cfg.max_delay, "min_delay must not exceed max_delay");
+        assert!((0.0..=1.0).contains(&cfg.drop_prob), "drop_prob out of range");
+        assert!((0.0..=1.0).contains(&cfg.dup_prob), "dup_prob out of range");
+        SimNet {
+            queue: EventQueue::new(),
+            now: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            labels: BTreeMap::new(),
+            link_delays: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            incarnation: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Submit a message. `size` is the payload's wire size for byte
+    /// accounting (pass 0 if unneeded).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        if self.label(from) != self.label(to) {
+            self.stats.partitioned += 1;
+            return;
+        }
+        if self.crashed.contains(&to) {
+            self.stats.to_crashed += 1;
+            return;
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let duplicate = self.cfg.dup_prob > 0.0 && self.rng.gen_bool(self.cfg.dup_prob);
+        let to_inc = self.incarnation_of(to);
+        let delay = self.delay(from, to);
+        self.queue.schedule(
+            self.now + delay,
+            Scheduled::Deliver { from, to, to_incarnation: to_inc, msg },
+        );
+        if duplicate {
+            self.stats.duplicated += 1;
+            // A duplicate requires M: Clone; exposed through `send` only
+            // when cloneable via the inherent method below.
+        }
+    }
+
+    fn delay(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let key = (from.min(to), from.max(to));
+        let (min, max) = self
+            .link_delays
+            .get(&key)
+            .copied()
+            .unwrap_or((self.cfg.min_delay, self.cfg.max_delay));
+        if min == max {
+            min
+        } else {
+            self.rng.gen_range(min..=max)
+        }
+    }
+
+    /// Override the delay window for the link between `a` and `b` (both
+    /// directions). Used to model asymmetric topologies, e.g. one slow
+    /// (remote) replica.
+    pub fn set_link_delay(&mut self, a: NodeId, b: NodeId, min: u64, max: u64) {
+        assert!(min <= max, "min delay must not exceed max");
+        self.link_delays.insert((a.min(b), a.max(b)), (min, max));
+    }
+
+    /// Remove a per-link delay override.
+    pub fn clear_link_delay(&mut self, a: NodeId, b: NodeId) {
+        self.link_delays.remove(&(a.min(b), a.max(b)));
+    }
+
+    /// Arm a timer for `node`, `after` ticks from now. Timers of crashed
+    /// incarnations never fire.
+    pub fn set_timer(&mut self, node: NodeId, after: u64, timer: T) {
+        let incarnation = self.incarnation_of(node);
+        self.queue
+            .schedule(self.now + after, Scheduled::Timer { node, incarnation, timer });
+    }
+
+    /// Schedule a harness control point at absolute time `at`.
+    pub fn schedule_control(&mut self, at: u64, id: u64) {
+        let at = at.max(self.now);
+        self.queue.schedule(at, Scheduled::Control { id });
+    }
+
+    /// Pop the next event, advancing simulated time. Messages to crashed
+    /// nodes and timers of dead incarnations are skipped transparently.
+    pub fn pop(&mut self) -> Option<(u64, Event<M, T>)> {
+        loop {
+            let (time, scheduled) = self.queue.pop()?;
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            match scheduled {
+                Scheduled::Deliver { from, to, to_incarnation, msg } => {
+                    if self.crashed.contains(&to) || self.incarnation_of(to) != to_incarnation
+                    {
+                        self.stats.to_crashed += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    return Some((time, Event::Deliver { from, to, msg }));
+                }
+                Scheduled::Timer { node, incarnation, timer } => {
+                    if self.crashed.contains(&node) || self.incarnation_of(node) != incarnation
+                    {
+                        continue;
+                    }
+                    return Some((time, Event::TimerFire { node, timer }));
+                }
+                Scheduled::Control { id } => return Some((time, Event::Control { id })),
+            }
+        }
+    }
+
+    /// Whether any event remains.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The time of the earliest scheduled entry, if any. (The entry may
+    /// turn out to be stale — a delivery to a crashed node — in which
+    /// case [`pop`](SimNet::pop) transparently skips it.)
+    pub fn peek_time(&self) -> Option<u64> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    /// Crash a node: pending deliveries and timers to it are discarded.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Recover a node with a fresh incarnation (old timers stay dead).
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+        *self.incarnation.entry(node).or_insert(0) += 1;
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Split the network: nodes in the same group can communicate; a node
+    /// not mentioned joins group 0. In-flight messages across the new
+    /// boundary are *not* recalled (they were already "in the wire").
+    pub fn set_partitions(&mut self, groups: &[Vec<NodeId>]) {
+        self.labels.clear();
+        for (i, group) in groups.iter().enumerate() {
+            for &n in group {
+                self.labels.insert(n, i as u64);
+            }
+        }
+    }
+
+    /// Heal all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.labels.clear();
+    }
+
+    /// Whether two nodes can currently communicate.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    fn label(&self, node: NodeId) -> u64 {
+        self.labels.get(&node).copied().unwrap_or(0)
+    }
+
+    fn incarnation_of(&self, node: NodeId) -> u64 {
+        self.incarnation.get(&node).copied().unwrap_or(0)
+    }
+}
+
+impl<M: Clone, T> SimNet<M, T> {
+    /// Like [`send`](SimNet::send) but able to materialize duplicates
+    /// (requires `M: Clone`). Use this from harnesses; `send` alone never
+    /// duplicates.
+    pub fn send_dup(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        if self.label(from) != self.label(to) {
+            self.stats.partitioned += 1;
+            return;
+        }
+        if self.crashed.contains(&to) {
+            self.stats.to_crashed += 1;
+            return;
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let to_inc = self.incarnation_of(to);
+        let duplicate = self.cfg.dup_prob > 0.0 && self.rng.gen_bool(self.cfg.dup_prob);
+        if duplicate {
+            self.stats.duplicated += 1;
+            let delay = self.delay(from, to);
+            self.queue.schedule(
+                self.now + delay,
+                Scheduled::Deliver { from, to, to_incarnation: to_inc, msg: msg.clone() },
+            );
+        }
+        let delay = self.delay(from, to);
+        self.queue.schedule(
+            self.now + delay,
+            Scheduled::Deliver { from, to, to_incarnation: to_inc, msg },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Net = SimNet<&'static str, u32>;
+
+    #[test]
+    fn delivers_in_delay_window() {
+        let mut net = Net::new(NetConfig { min_delay: 2, max_delay: 5, ..NetConfig::reliable(1) });
+        net.send(1, 2, "m", 10);
+        let (t, ev) = net.pop().unwrap();
+        assert!((2..=5).contains(&t));
+        assert_eq!(ev, Event::Deliver { from: 1, to: 2, msg: "m" });
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().bytes_sent, 10);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed| {
+            let mut net = Net::new(NetConfig::lossy(seed));
+            for i in 0..100 {
+                net.send(i % 5, (i + 1) % 5, "x", 1);
+            }
+            let mut log = Vec::new();
+            while let Some((t, ev)) = net.pop() {
+                if let Event::Deliver { from, to, .. } = ev {
+                    log.push((t, from, to));
+                }
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_partitions(&[vec![1, 2], vec![3]]);
+        assert!(net.connected(1, 2));
+        assert!(!net.connected(1, 3));
+        net.send(1, 3, "blocked", 0);
+        assert!(net.pop().is_none());
+        assert_eq!(net.stats().partitioned, 1);
+        net.heal_partitions();
+        net.send(1, 3, "ok", 0);
+        assert!(matches!(net.pop(), Some((_, Event::Deliver { .. }))));
+    }
+
+    #[test]
+    fn crash_discards_messages_and_timers() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_timer(2, 10, 99);
+        net.send(1, 2, "in-flight", 0);
+        net.crash(2);
+        assert!(net.pop().is_none(), "everything to node 2 vanishes");
+        assert_eq!(net.stats().to_crashed, 1);
+    }
+
+    #[test]
+    fn recovery_bumps_incarnation() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_timer(2, 10, 1);
+        net.crash(2);
+        net.recover(2);
+        // Old-incarnation timer never fires.
+        assert!(net.pop().is_none());
+        net.set_timer(2, 5, 2);
+        assert_eq!(net.pop(), Some((net.now(), Event::TimerFire { node: 2, timer: 2 })));
+    }
+
+    #[test]
+    fn send_to_crashed_dropped_at_send() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.crash(2);
+        net.send(1, 2, "x", 0);
+        assert!(net.pop().is_none());
+    }
+
+    #[test]
+    fn control_points_fire_in_order() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.schedule_control(50, 1);
+        net.schedule_control(10, 2);
+        assert_eq!(net.pop(), Some((10, Event::Control { id: 2 })));
+        assert_eq!(net.pop(), Some((50, Event::Control { id: 1 })));
+    }
+
+    #[test]
+    fn drop_probability_all() {
+        let mut net = Net::new(NetConfig {
+            drop_prob: 1.0,
+            ..NetConfig::reliable(1)
+        });
+        for _ in 0..10 {
+            net.send(1, 2, "x", 0);
+        }
+        assert!(net.pop().is_none());
+        assert_eq!(net.stats().dropped, 10);
+    }
+
+    #[test]
+    fn duplication_produces_two_copies() {
+        let mut net: SimNet<&'static str, u32> = SimNet::new(NetConfig {
+            dup_prob: 1.0,
+            ..NetConfig::reliable(1)
+        });
+        net.send_dup(1, 2, "x", 0);
+        assert!(matches!(net.pop(), Some((_, Event::Deliver { .. }))));
+        assert!(matches!(net.pop(), Some((_, Event::Deliver { .. }))));
+        assert!(net.pop().is_none());
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn link_delay_override_applies_both_directions() {
+        let mut net = Net::new(NetConfig { min_delay: 1, max_delay: 1, ..NetConfig::reliable(1) });
+        net.set_link_delay(1, 2, 50, 50);
+        net.send(1, 2, "slow", 0);
+        assert_eq!(net.pop().unwrap().0, 50);
+        net.send(2, 1, "slow-back", 0);
+        assert_eq!(net.pop().unwrap().0, 100, "override is symmetric");
+        // Other links keep the base delay.
+        net.send(1, 3, "fast", 0);
+        assert_eq!(net.pop().unwrap().0, 101);
+    }
+
+    #[test]
+    fn clear_link_delay_restores_base() {
+        let mut net = Net::new(NetConfig { min_delay: 2, max_delay: 2, ..NetConfig::reliable(1) });
+        net.set_link_delay(1, 2, 40, 40);
+        net.clear_link_delay(1, 2);
+        net.send(1, 2, "m", 0);
+        assert_eq!(net.pop().unwrap().0, 2);
+    }
+
+    #[test]
+    fn timers_fire_at_exact_offset() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_timer(1, 7, 42);
+        assert_eq!(net.pop(), Some((7, Event::TimerFire { node: 1, timer: 42 })));
+        // Timer offsets are relative to "now" at arming time.
+        net.set_timer(1, 3, 43);
+        assert_eq!(net.pop(), Some((10, Event::TimerFire { node: 1, timer: 43 })));
+    }
+}

@@ -1,0 +1,123 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at scheduling time — two events scheduled for the same tick
+//! pop in scheduling order, so a run is a pure function of the inputs and
+//! the RNG seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: ordered by time, then insertion sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue over event payloads `E`.
+///
+/// # Examples
+///
+/// ```
+/// use vsr_simnet::queue::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "later");
+/// q.schedule(1, "first");
+/// q.schedule(5, "also-later");
+/// assert_eq!(q.pop(), Some((1, "first")));
+/// assert_eq!(q.pop(), Some((5, "later")));
+/// assert_eq!(q.pop(), Some((5, "also-later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `event` at absolute `time`.
+    pub fn schedule(&mut self, time: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Remove and return the earliest event with its time.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_order_dominates() {
+        let mut q = EventQueue::new();
+        q.schedule(9, 'b');
+        q.schedule(3, 'a');
+        q.schedule(12, 'c');
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop(), Some((3, 'a')));
+        assert_eq!(q.pop(), Some((9, 'b')));
+        assert_eq!(q.pop(), Some((12, 'c')));
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

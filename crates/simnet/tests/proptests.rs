@@ -1,0 +1,139 @@
+//! Property-based tests of the network simulator's guarantees.
+
+use proptest::prelude::*;
+use vsr_simnet::net::{Event, NetConfig, SimNet};
+
+type Net = SimNet<u64, u64>;
+
+proptest! {
+    /// Time never goes backwards, regardless of the scheduling pattern.
+    #[test]
+    fn time_is_monotone(
+        seed in 0u64..10_000,
+        sends in prop::collection::vec((0u64..5, 0u64..5, 0u64..100), 0..50),
+        timers in prop::collection::vec((0u64..5, 0u64..200), 0..20),
+    ) {
+        let mut net = Net::new(NetConfig::lossy(seed));
+        for (i, &(from, to, _)) in sends.iter().enumerate() {
+            net.send(from, to, i as u64, 8);
+        }
+        for &(node, after) in &timers {
+            net.set_timer(node, after, node);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = net.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// With a reliable config, every message to a live node is delivered
+    /// exactly once, within its delay window.
+    #[test]
+    fn reliable_delivers_exactly_once(
+        seed in 0u64..10_000,
+        sends in prop::collection::vec((0u64..5, 0u64..5), 1..40),
+    ) {
+        let mut net = Net::new(NetConfig::reliable(seed));
+        for (i, &(from, to)) in sends.iter().enumerate() {
+            net.send(from, to, i as u64, 8);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some((t, event)) = net.pop() {
+            if let Event::Deliver { msg, .. } = event {
+                prop_assert!((1..=3).contains(&t) , "delay window [1,3], got {t}");
+                prop_assert!(seen.insert(msg), "no duplicates from a reliable net");
+            }
+        }
+        prop_assert_eq!(seen.len(), sends.len(), "nothing lost");
+    }
+
+    /// Partitions block exactly the cross-partition messages sent while
+    /// the partition is up.
+    #[test]
+    fn partitions_block_cross_traffic(
+        seed in 0u64..10_000,
+        sends in prop::collection::vec((0u64..6, 0u64..6), 1..40),
+        split in 1u64..5,
+    ) {
+        let mut net = Net::new(NetConfig::reliable(seed));
+        let side_a: Vec<u64> = (0..split).collect();
+        let side_b: Vec<u64> = (split..6).collect();
+        net.set_partitions(&[side_a.clone(), side_b.clone()]);
+        let mut expected = 0;
+        for (i, &(from, to)) in sends.iter().enumerate() {
+            net.send(from, to, i as u64, 8);
+            if (from < split) == (to < split) {
+                expected += 1;
+            }
+        }
+        let mut delivered = 0;
+        while let Some((_, event)) = net.pop() {
+            if let Event::Deliver { from, to, .. } = event {
+                prop_assert_eq!(
+                    from < split,
+                    to < split,
+                    "no delivery crosses the partition"
+                );
+                delivered += 1;
+            }
+        }
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Crash + recover: timers armed before the crash never fire; timers
+    /// armed after recovery always do.
+    #[test]
+    fn incarnation_fencing(
+        seed in 0u64..10_000,
+        old_timers in prop::collection::vec(1u64..50, 0..10),
+        new_timers in prop::collection::vec(1u64..50, 0..10),
+    ) {
+        let mut net = Net::new(NetConfig::reliable(seed));
+        for (i, &after) in old_timers.iter().enumerate() {
+            net.set_timer(1, after, i as u64);
+        }
+        net.crash(1);
+        net.recover(1);
+        for (i, &after) in new_timers.iter().enumerate() {
+            net.set_timer(1, after, 1000 + i as u64);
+        }
+        let mut fired = Vec::new();
+        while let Some((_, event)) = net.pop() {
+            if let Event::TimerFire { timer, .. } = event {
+                fired.push(timer);
+            }
+        }
+        prop_assert!(fired.iter().all(|&t| t >= 1000), "old timers dead: {:?}", fired);
+        prop_assert_eq!(fired.len(), new_timers.len(), "new timers all fire");
+    }
+
+    /// Statistics are conserved: sent = delivered + dropped + partitioned
+    /// + to_crashed (once drained, with no duplication).
+    #[test]
+    fn stats_conservation(
+        seed in 0u64..10_000,
+        sends in prop::collection::vec((0u64..4, 0u64..4), 0..60),
+        crash_node in 0u64..4,
+        drop_prob in 0.0f64..0.5,
+    ) {
+        let mut net = Net::new(NetConfig {
+            min_delay: 1,
+            max_delay: 4,
+            drop_prob,
+            dup_prob: 0.0,
+            seed,
+        });
+        net.crash(crash_node);
+        for (i, &(from, to)) in sends.iter().enumerate() {
+            net.send(from, to, i as u64, 8);
+        }
+        while net.pop().is_some() {}
+        let s = net.stats();
+        prop_assert_eq!(
+            s.sent,
+            s.delivered + s.dropped + s.partitioned + s.to_crashed,
+            "{:?}", s
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Section 3.5: an *unreplicated* client working through a replicated
+//! coordinator-server.
+//!
+//! "Replicating a client that is not a server may not be worthwhile. …
+//! it is still desirable for the coordinator to be highly available,
+//! since this can reduce the 'window of vulnerability' in two-phase
+//! commit."
+//!
+//! The client agent makes remote calls itself but delegates transaction
+//! creation and two-phase commit to a coordinator-server group. When the
+//! client dies mid-transaction, the coordinator-server pings it and
+//! aborts unilaterally, releasing the participant's locks.
+//!
+//! Run with: `cargo run --example unreplicated_client`
+
+use viewstamped_replication::app::bank::{self, BankModule};
+use viewstamped_replication::app::counter::{self, CounterModule};
+use viewstamped_replication::core::cohort::TxnOutcome;
+use viewstamped_replication::core::module::NullModule;
+use viewstamped_replication::core::types::{GroupId, Mid};
+use viewstamped_replication::sim::WorldBuilder;
+
+const COORD: GroupId = GroupId(1);
+const COUNTERS: GroupId = GroupId(2);
+const BANK: GroupId = GroupId(3);
+const ALICE: Mid = Mid(50);
+const BOB: Mid = Mid(51);
+
+fn main() {
+    println!("== Unreplicated clients with a coordinator-server (Section 3.5) ==\n");
+    let mut world = WorldBuilder::new(35)
+        .group(COORD, &[Mid(10), Mid(11), Mid(12)], || Box::new(NullModule))
+        .group(COUNTERS, &[Mid(1), Mid(2), Mid(3)], || Box::new(CounterModule))
+        .group(BANK, &[Mid(4), Mid(5), Mid(6)], || {
+            Box::new(BankModule::with_accounts(vec![(0, 500), (1, 500)]))
+        })
+        .agent(ALICE, COORD)
+        .agent(BOB, COORD)
+        .build();
+
+    println!("alice and bob are plain processes; group g1 is their coordinator-server\n");
+
+    // Alice runs a cross-group transaction.
+    let req = world.submit_via_agent(
+        ALICE,
+        vec![bank::withdraw(BANK, 0, 100), bank::deposit(BANK, 1, 100), counter::incr(COUNTERS, 0, 1)],
+    );
+    world.run_for(4_000);
+    match &world.result(req).expect("done").outcome {
+        TxnOutcome::Committed { .. } => {
+            let aid = world.result(req).unwrap().aid.unwrap();
+            println!("alice's transfer committed; aid={aid} names the coordinator group");
+        }
+        other => println!("alice's transfer: {other:?}"),
+    }
+
+    // Bob starts a two-call transaction and dies after the first call —
+    // his withdrawal's lock is held at the bank but nothing is decided.
+    println!("\nbob begins a transaction (locks bank account 0) and crashes");
+    let doomed = world.submit_via_agent(
+        BOB,
+        vec![bank::withdraw(BANK, 0, 50), counter::incr(COUNTERS, 1, 1)],
+    );
+    // Run just until the bank has stored bob's first call, then kill him.
+    let bank_primary = world.primary_of(BANK).expect("bank primary");
+    for _ in 0..200 {
+        world.run_for(1);
+        if world.cohort(bank_primary).gstate().pending_txns().next().is_some() {
+            break;
+        }
+    }
+    world.crash_agent(BOB);
+    println!("the participant's stale-transaction sweep will query the coordinator,");
+    println!("which pings bob, gets silence, and aborts unilaterally…");
+    world.run_for(8_000);
+
+    // Alice can use the account again: the lock was released.
+    let req = world.submit_via_agent(ALICE, vec![bank::withdraw(BANK, 0, 100)]);
+    world.run_for(4_000);
+    match &world.result(req).expect("done").outcome {
+        TxnOutcome::Committed { results } => {
+            let balance = bank::decode_balance(&results[0]).unwrap();
+            println!("\nalice withdrew again: balance now {balance}");
+            assert_eq!(balance, 300, "bob's orphaned withdrawal never applied");
+        }
+        other => println!("alice blocked?! {other:?}"),
+    }
+    let _ = doomed;
+
+    // Audit: money conserved, bob's orphan fully rolled back.
+    let audit = world.submit_via_agent(ALICE, vec![bank::audit(BANK, &[0, 1])]);
+    world.run_for(4_000);
+    if let TxnOutcome::Committed { results } = &world.result(audit).unwrap().outcome {
+        let total = bank::decode_balance(&results[0]).unwrap();
+        println!("audit: total = {total} (conserved)");
+        assert_eq!(total, 900, "500+500 minus alice's net-zero transfer and -100 withdrawal");
+    }
+
+    world.verify().expect("safety invariants");
+    println!("\nall safety invariants verified. done.");
+}

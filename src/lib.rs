@@ -1,0 +1,48 @@
+//! # Viewstamped Replication
+//!
+//! A complete implementation of *"Viewstamped Replication: A New Primary
+//! Copy Method to Support Highly-Available Distributed Systems"*
+//! (Brian M. Oki and Barbara H. Liskov, PODC 1988), with a deterministic
+//! simulation harness, baseline replication schemes for the paper's
+//! comparisons, application modules, and a threaded live runtime.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`core`] — the protocol: viewstamps, cohorts, transactions, view
+//!   changes.
+//! * [`simnet`] — the deterministic network simulator.
+//! * [`app`] — replicated application modules.
+//! * [`sim`] — the simulation world, fault injection, and invariant
+//!   checkers.
+//! * [`baselines`] — voting, replicated RPC, Isis-like, primary/backup
+//!   pair, unreplicated, virtual partitions.
+//! * [`runtime`] — the threaded live runtime.
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `EXPERIMENTS.md` for the paper-claim reproductions.
+//!
+//! ```
+//! use viewstamped_replication::app::counter;
+//! use viewstamped_replication::core::module::NullModule;
+//! use viewstamped_replication::core::types::{GroupId, Mid};
+//! use viewstamped_replication::sim::WorldBuilder;
+//!
+//! let mut world = WorldBuilder::new(7)
+//!     .group(GroupId(1), &[Mid(10)], || Box::new(NullModule))
+//!     .group(GroupId(2), &[Mid(1), Mid(2), Mid(3)], || {
+//!         Box::new(counter::CounterModule)
+//!     })
+//!     .build();
+//! world.submit(GroupId(1), vec![counter::incr(GroupId(2), 0, 1)]);
+//! world.run_for(1_000);
+//! assert_eq!(world.metrics().committed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vsr_app as app;
+pub use vsr_baselines as baselines;
+pub use vsr_core as core;
+pub use vsr_runtime as runtime;
+pub use vsr_sim as sim;
+pub use vsr_simnet as simnet;

@@ -1,0 +1,150 @@
+//! Tests for the Section 4.1 unilateral view adjustment: "the primary
+//! can unilaterally exclude the inaccessible backup from the view" when
+//! a majority remains, with no invitation round.
+
+use vsr_app::counter;
+use vsr_core::cohort::TxnOutcome;
+use vsr_core::config::CohortConfig;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_sim::world::{World, WorldBuilder};
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+
+fn world(seed: u64) -> World {
+    let mut cfg = CohortConfig::new();
+    cfg.unilateral_exclusion = true;
+    WorldBuilder::new(seed)
+        .cohorts(cfg)
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
+        .build()
+}
+
+fn increment(world: &mut World) -> Option<u64> {
+    let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    world.run_for(3_000);
+    match &world.result(req)?.outcome {
+        TxnOutcome::Committed { results } => {
+            Some(counter::decode_value(&results[0]).unwrap())
+        }
+        _ => None,
+    }
+}
+
+#[test]
+fn backup_crash_handled_without_invitation_round() {
+    let mut w = world(1);
+    assert_eq!(increment(&mut w), Some(1));
+    let primary = w.primary_of(SERVER).unwrap();
+    let backup = [Mid(1), Mid(2), Mid(3)]
+        .into_iter()
+        .find(|&m| m != primary)
+        .unwrap();
+    let invites_before = w.metrics().msgs.get("invite").copied().unwrap_or(0);
+    let viewid_before = w.cohort(primary).cur_viewid();
+    w.crash(backup);
+    w.run_for(3_000);
+    // The primary moved to a higher view excluding the backup, without
+    // any invitations.
+    let cohort = w.cohort(primary);
+    assert!(cohort.is_active_primary());
+    assert!(cohort.cur_viewid() > viewid_before, "a new view was started");
+    assert_eq!(cohort.cur_view().len(), 2, "silent backup excluded");
+    assert_eq!(
+        w.metrics().msgs.get("invite").copied().unwrap_or(0),
+        invites_before,
+        "no invitation round was needed"
+    );
+    // The remaining backup followed the primary into the new view.
+    let follower = [Mid(1), Mid(2), Mid(3)]
+        .into_iter()
+        .find(|&m| m != primary && m != backup)
+        .unwrap();
+    assert_eq!(w.cohort(follower).cur_viewid(), cohort.cur_viewid());
+    // Service continues and the crashed cohort can rejoin later.
+    assert_eq!(increment(&mut w), Some(2));
+    w.recover(backup);
+    w.run_for(6_000);
+    assert!(w.cohort(backup).is_up_to_date(), "rejoined via the full protocol");
+    assert_eq!(increment(&mut w), Some(3));
+    w.verify().unwrap();
+}
+
+#[test]
+fn exclusion_does_not_lose_inflight_transactions() {
+    let mut w = world(2);
+    assert_eq!(increment(&mut w), Some(1));
+    let primary = w.primary_of(SERVER).unwrap();
+    let backup = [Mid(1), Mid(2), Mid(3)]
+        .into_iter()
+        .find(|&m| m != primary)
+        .unwrap();
+    // Submit while crashing the backup: the transaction's forces span
+    // the unilateral adjustment and must still complete.
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    w.run_for(1);
+    w.crash(backup);
+    w.run_for(8_000);
+    assert!(
+        matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. })),
+        "transaction survived the exclusion: {:?}",
+        w.result(req).map(|r| &r.outcome)
+    );
+    w.recover(backup);
+    w.run_for(6_000);
+    assert_eq!(increment(&mut w), Some(3));
+    w.verify().unwrap();
+}
+
+#[test]
+fn primary_crash_still_uses_full_protocol() {
+    // Unilateral adjustment only applies to backups; losing the primary
+    // still runs the invitation protocol.
+    let mut w = world(3);
+    assert_eq!(increment(&mut w), Some(1));
+    let primary = w.primary_of(SERVER).unwrap();
+    let invites_before = w.metrics().msgs.get("invite").copied().unwrap_or(0);
+    w.crash(primary);
+    w.run_for(3_000);
+    assert!(w.primary_of(SERVER).is_some(), "new primary elected");
+    assert!(
+        w.metrics().msgs.get("invite").copied().unwrap_or(0) > invites_before,
+        "invitation round ran"
+    );
+    assert_eq!(increment(&mut w), Some(2));
+    w.recover(primary);
+    w.run_for(5_000);
+    w.verify().unwrap();
+}
+
+#[test]
+fn exclusion_blocked_without_majority() {
+    // With both backups silent the primary may not exclude (a view of 1
+    // is not a majority of 3); it must fall back to the full protocol
+    // (which cannot form either — no commits until someone recovers).
+    let mut w = world(4);
+    assert_eq!(increment(&mut w), Some(1));
+    let primary = w.primary_of(SERVER).unwrap();
+    for m in [Mid(1), Mid(2), Mid(3)] {
+        if m != primary {
+            w.crash(m);
+        }
+    }
+    w.run_for(5_000);
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    w.run_for(5_000);
+    assert!(
+        !matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. })),
+        "no commit without a majority"
+    );
+    for m in [Mid(1), Mid(2), Mid(3)] {
+        if m != primary {
+            w.recover(m);
+        }
+    }
+    w.run_for(10_000);
+    assert!(increment(&mut w).is_some(), "service recovers with the majority");
+    w.verify().unwrap();
+}
