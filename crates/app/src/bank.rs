@@ -47,18 +47,11 @@ fn encode_balance(balance: u64) -> Value {
 }
 
 fn decode_balance_value(v: &Value) -> Result<u64, ModuleError> {
-    Decoder::new(v.as_bytes())
-        .u64("balance")
-        .map_err(|e| ModuleError::App(e.to_string()))
+    Decoder::new(v.as_bytes()).u64("balance").map_err(|e| ModuleError::App(e.to_string()))
 }
 
 impl Module for BankModule {
-    fn execute(
-        &self,
-        proc: &str,
-        args: &[u8],
-        ctx: &mut TxnCtx<'_>,
-    ) -> Result<Value, ModuleError> {
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError> {
         let mut dec = Decoder::new(args);
         let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
         match proc {
@@ -133,11 +126,7 @@ impl Module for BankModule {
 
 /// Build an `open` call op.
 pub fn open(group: GroupId, account: u64, initial: u64) -> CallOp {
-    CallOp {
-        group,
-        proc: "open".into(),
-        args: Encoder::new().u64(account).u64(initial).finish(),
-    }
+    CallOp { group, proc: "open".into(), args: Encoder::new().u64(account).u64(initial).finish() }
 }
 
 /// Build a `balance` call op.
@@ -147,11 +136,7 @@ pub fn balance(group: GroupId, account: u64) -> CallOp {
 
 /// Build a `deposit` call op.
 pub fn deposit(group: GroupId, account: u64, amount: u64) -> CallOp {
-    CallOp {
-        group,
-        proc: "deposit".into(),
-        args: Encoder::new().u64(account).u64(amount).finish(),
-    }
+    CallOp { group, proc: "deposit".into(), args: Encoder::new().u64(account).u64(amount).finish() }
 }
 
 /// Build a `withdraw` call op.

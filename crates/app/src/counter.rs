@@ -26,12 +26,7 @@ impl CounterModule {
 }
 
 impl Module for CounterModule {
-    fn execute(
-        &self,
-        proc: &str,
-        args: &[u8],
-        ctx: &mut TxnCtx<'_>,
-    ) -> Result<Value, ModuleError> {
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError> {
         let mut dec = Decoder::new(args);
         let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
         match proc {
@@ -65,11 +60,7 @@ impl Module for CounterModule {
 
 /// Build an `incr` call op.
 pub fn incr(group: GroupId, counter: u64, delta: u64) -> CallOp {
-    CallOp {
-        group,
-        proc: "incr".into(),
-        args: Encoder::new().u64(counter).u64(delta).finish(),
-    }
+    CallOp { group, proc: "incr".into(), args: Encoder::new().u64(counter).u64(delta).finish() }
 }
 
 /// Build a `read` call op.
@@ -118,20 +109,15 @@ mod tests {
 
     #[test]
     fn incr_from_existing() {
-        let g = GroupState::with_objects([(
-            ObjectId(1),
-            Value(Encoder::new().u64(10).finish()),
-        )]);
+        let g = GroupState::with_objects([(ObjectId(1), Value(Encoder::new().u64(10).finish()))]);
         let r = run(&g, &incr(G, 1, 7)).unwrap();
         assert_eq!(decode_value(r.as_bytes()).unwrap(), 17);
     }
 
     #[test]
     fn incr_wraps() {
-        let g = GroupState::with_objects([(
-            ObjectId(1),
-            Value(Encoder::new().u64(u64::MAX).finish()),
-        )]);
+        let g =
+            GroupState::with_objects([(ObjectId(1), Value(Encoder::new().u64(u64::MAX).finish()))]);
         let r = run(&g, &incr(G, 1, 1)).unwrap();
         assert_eq!(decode_value(r.as_bytes()).unwrap(), 0);
     }

@@ -30,12 +30,7 @@ impl KvModule {
 }
 
 impl Module for KvModule {
-    fn execute(
-        &self,
-        proc: &str,
-        args: &[u8],
-        ctx: &mut TxnCtx<'_>,
-    ) -> Result<Value, ModuleError> {
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError> {
         let mut dec = Decoder::new(args);
         let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
         match proc {
@@ -92,11 +87,7 @@ pub fn delete(group: GroupId, key: u64) -> CallOp {
 
 /// Build an `append` call op.
 pub fn append(group: GroupId, key: u64, suffix: &[u8]) -> CallOp {
-    CallOp {
-        group,
-        proc: "append".into(),
-        args: Encoder::new().u64(key).bytes(suffix).finish(),
-    }
+    CallOp { group, proc: "append".into(), args: Encoder::new().u64(key).bytes(suffix).finish() }
 }
 
 /// Decode a `get` result into `Option<Vec<u8>>`.

@@ -70,12 +70,7 @@ fn write_index(ctx: &mut TxnCtx<'_>, oid: ObjectId, value: u64) -> Result<(), Mo
 }
 
 impl Module for QueueModule {
-    fn execute(
-        &self,
-        proc: &str,
-        args: &[u8],
-        ctx: &mut TxnCtx<'_>,
-    ) -> Result<Value, ModuleError> {
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError> {
         match proc {
             "enqueue" => {
                 let head = read_index(ctx, HEAD)?;

@@ -49,12 +49,7 @@ fn decode_flight(v: &Value) -> Result<(u64, u64), ModuleError> {
 }
 
 impl Module for ReservationModule {
-    fn execute(
-        &self,
-        proc: &str,
-        args: &[u8],
-        ctx: &mut TxnCtx<'_>,
-    ) -> Result<Value, ModuleError> {
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError> {
         let mut dec = Decoder::new(args);
         let bad = |e: crate::codec::DecodeError| ModuleError::App(e.to_string());
         match proc {
@@ -74,10 +69,8 @@ impl Module for ReservationModule {
                     .read(ObjectId(flight))?
                     .ok_or_else(|| ModuleError::App(format!("no flight {flight}")))?;
                 let (capacity, booked) = decode_flight(&v)?;
-                let new_booked = booked
-                    .checked_add(seats)
-                    .filter(|&b| b <= capacity)
-                    .ok_or_else(|| {
+                let new_booked =
+                    booked.checked_add(seats).filter(|&b| b <= capacity).ok_or_else(|| {
                         ModuleError::App(format!(
                             "flight {flight} full: {booked}/{capacity} booked, {seats} requested"
                         ))
@@ -129,20 +122,12 @@ pub fn create_flight(group: GroupId, flight: u64, capacity: u64) -> CallOp {
 
 /// Build a `reserve` call op.
 pub fn reserve(group: GroupId, flight: u64, seats: u64) -> CallOp {
-    CallOp {
-        group,
-        proc: "reserve".into(),
-        args: Encoder::new().u64(flight).u64(seats).finish(),
-    }
+    CallOp { group, proc: "reserve".into(), args: Encoder::new().u64(flight).u64(seats).finish() }
 }
 
 /// Build a `cancel` call op.
 pub fn cancel(group: GroupId, flight: u64, seats: u64) -> CallOp {
-    CallOp {
-        group,
-        proc: "cancel".into(),
-        args: Encoder::new().u64(flight).u64(seats).finish(),
-    }
+    CallOp { group, proc: "cancel".into(), args: Encoder::new().u64(flight).u64(seats).finish() }
 }
 
 /// Build an `available` call op.
@@ -224,9 +209,8 @@ mod tests {
         let g = GroupState::with_objects([(ObjectId(1), encode_flight(10, 4))]);
         let locks = LockTable::new();
         let mut ctx = TxnCtx::new(&g, &locks, aid());
-        let r = ReservationModule::new()
-            .execute("available", &available(G, 1).args, &mut ctx)
-            .unwrap();
+        let r =
+            ReservationModule::new().execute("available", &available(G, 1).args, &mut ctx).unwrap();
         assert_eq!(decode_seats(r.as_bytes()).unwrap(), 6);
         let accesses = ctx.into_accesses();
         assert!(accesses.iter().all(|a| a.written.is_none()), "read-only call");

@@ -7,8 +7,8 @@ use vsr_app::codec::{Decoder, Encoder};
 use vsr_app::queue::{self, QueueModule};
 use vsr_core::cohort::CallOp;
 use vsr_core::gstate::{CompletedCall, GroupState, Value};
-use vsr_core::module::{Module, ModuleError, TxnCtx};
 use vsr_core::locks::LockTable;
+use vsr_core::module::{Module, ModuleError, TxnCtx};
 use vsr_core::types::{Aid, CallId, GroupId, Mid, ObjectId, ViewId};
 
 const G: GroupId = GroupId(1);

@@ -26,11 +26,21 @@ pub const EFFECT_ENTRY_BYTES: usize = 32;
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Msg {
     /// Acquire a write lock (sent to every cohort before a write).
-    LockReq { op: u64 },
-    LockAck { op: u64 },
+    LockReq {
+        op: u64,
+    },
+    LockAck {
+        op: u64,
+    },
     /// The call itself, carrying the piggyback set.
-    Call { op: u64, piggyback_entries: u64 },
-    Reply { op: u64, piggyback_entries: u64 },
+    Call {
+        op: u64,
+        piggyback_entries: u64,
+    },
+    Reply {
+        op: u64,
+        piggyback_entries: u64,
+    },
 }
 
 /// The Isis-like baseline: client node 0, cohorts `1..=n`.
@@ -49,7 +59,13 @@ const CLIENT: u64 = 0;
 impl IsisLike {
     /// Create a cohort set of size `n`.
     pub fn new(net_cfg: NetConfig, n: u64) -> Self {
-        IsisLike { net: SimNet::new(net_cfg), n, next_op: 0, op_timeout: 1_000, piggyback_entries: 0 }
+        IsisLike {
+            net: SimNet::new(net_cfg),
+            n,
+            next_op: 0,
+            op_timeout: 1_000,
+            piggyback_entries: 0,
+        }
     }
 
     fn msg_size(&self, base: usize) -> usize {
@@ -106,8 +122,7 @@ impl IsisLike {
                 Event::Deliver { to, msg: Msg::Call { op: o, piggyback_entries }, .. }
                     if to != CLIENT =>
                 {
-                    let size =
-                        96 + (piggyback_entries + effects) as usize * EFFECT_ENTRY_BYTES;
+                    let size = 96 + (piggyback_entries + effects) as usize * EFFECT_ENTRY_BYTES;
                     self.net.send(
                         to,
                         CLIENT,
@@ -116,9 +131,7 @@ impl IsisLike {
                     );
                 }
                 Event::Deliver {
-                    to: CLIENT,
-                    msg: Msg::Reply { op: o, piggyback_entries },
-                    ..
+                    to: CLIENT, msg: Msg::Reply { op: o, piggyback_entries }, ..
                 } if o == op => {
                     // "This piggybacked information accompanies all
                     // future client messages" — and is never discarded.
@@ -144,8 +157,7 @@ impl IsisLike {
         let bytes_before = self.net.stats().bytes_sent;
         let deadline = start + self.op_timeout;
         let size = self.msg_size(64);
-        self.net
-            .send(CLIENT, 1, Msg::Call { op, piggyback_entries: self.piggyback_entries }, size);
+        self.net.send(CLIENT, 1, Msg::Call { op, piggyback_entries: self.piggyback_entries }, size);
         loop {
             let Some((t, event)) = self.net.pop() else { return OpOutcome::Unavailable };
             if t > deadline {
@@ -167,9 +179,7 @@ impl IsisLike {
                     );
                 }
                 Event::Deliver {
-                    to: CLIENT,
-                    msg: Msg::Reply { op: o, piggyback_entries },
-                    ..
+                    to: CLIENT, msg: Msg::Reply { op: o, piggyback_entries }, ..
                 } if o == op => {
                     self.piggyback_entries = piggyback_entries;
                     return OpOutcome::Done(OpStats {

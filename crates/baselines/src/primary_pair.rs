@@ -38,7 +38,12 @@ const CLIENT: u64 = 0;
 impl PrimaryPair {
     /// Create the pair.
     pub fn new(net_cfg: NetConfig) -> Self {
-        PrimaryPair { net: SimNet::new(net_cfg), crashed: [false, false], next_op: 0, op_timeout: 1_000 }
+        PrimaryPair {
+            net: SimNet::new(net_cfg),
+            crashed: [false, false],
+            next_op: 0,
+            op_timeout: 1_000,
+        }
     }
 
     /// Crash pair member 1 or 2.
@@ -100,9 +105,7 @@ impl PrimaryPair {
                 Event::Deliver { to, msg: Msg::Checkpoint { op: o }, .. } if to != CLIENT => {
                     self.net.send(to, primary, Msg::CheckpointAck { op: o }, 24);
                 }
-                Event::Deliver { to, msg: Msg::CheckpointAck { op: o }, .. }
-                    if to == primary =>
-                {
+                Event::Deliver { to, msg: Msg::CheckpointAck { op: o }, .. } if to == primary => {
                     self.net.send(primary, CLIENT, Msg::Reply { op: o }, 64);
                 }
                 Event::Deliver { to: CLIENT, msg: Msg::Reply { op: o }, .. } if o == op => {

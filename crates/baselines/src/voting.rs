@@ -19,14 +19,29 @@ use vsr_simnet::net::{Event, NetConfig, SimNet};
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Msg {
     /// Ask a replica for its current version.
-    VersionReq { op: u64 },
-    VersionResp { op: u64, version: u64 },
+    VersionReq {
+        op: u64,
+    },
+    VersionResp {
+        op: u64,
+        version: u64,
+    },
     /// Install a value at a version.
-    WriteReq { op: u64, version: u64 },
-    WriteAck { op: u64 },
+    WriteReq {
+        op: u64,
+        version: u64,
+    },
+    WriteAck {
+        op: u64,
+    },
     /// Read the value.
-    ReadReq { op: u64 },
-    ReadResp { op: u64, version: u64 },
+    ReadReq {
+        op: u64,
+    },
+    ReadResp {
+        op: u64,
+        version: u64,
+    },
 }
 
 /// The voting baseline: one client (node 0) and `n` replicas (nodes
@@ -138,8 +153,7 @@ impl Voting {
         // Round 2: write to all, await w acks.
         let new_version = max_version + 1;
         for r in 1..=self.n {
-            self.net
-                .send(CLIENT, r, Msg::WriteReq { op, version: new_version }, 96);
+            self.net.send(CLIENT, r, Msg::WriteReq { op, version: new_version }, 96);
         }
         let mut acks = 0u64;
         while acks < self.write_quorum {
@@ -177,8 +191,10 @@ impl Voting {
         let msgs_before = self.net.stats().sent;
         let bytes_before = self.net.stats().bytes_sent;
         let deadline = start + self.op_timeout;
-        let targets: Vec<u64> =
-            (1..=self.n).filter(|&r| !self.crashed[(r - 1) as usize]).take(self.read_quorum as usize).collect();
+        let targets: Vec<u64> = (1..=self.n)
+            .filter(|&r| !self.crashed[(r - 1) as usize])
+            .take(self.read_quorum as usize)
+            .collect();
         if (targets.len() as u64) < self.read_quorum {
             return OpOutcome::Unavailable;
         }
@@ -196,9 +212,7 @@ impl Voting {
                     let v = self.versions[(to - 1) as usize];
                     self.net.send(to, CLIENT, Msg::ReadResp { op: o, version: v }, 96);
                 }
-                Event::Deliver { to: CLIENT, msg: Msg::ReadResp { op: o, .. }, .. }
-                    if o == op =>
-                {
+                Event::Deliver { to: CLIENT, msg: Msg::ReadResp { op: o, .. }, .. } if o == op => {
                     resps += 1;
                 }
                 _ => {}

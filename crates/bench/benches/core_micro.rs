@@ -93,15 +93,12 @@ fn bench_history_pset(c: &mut Criterion) {
     history.open_view(vid);
     history.advance(vid, Timestamp(1_000));
     let group = GroupId(1);
-    let pset: PSet = (0..20)
-        .map(|i| (group, Viewstamp::new(vid, Timestamp(i * 37 % 1_000))))
-        .collect();
+    let pset: PSet =
+        (0..20).map(|i| (group, Viewstamp::new(vid, Timestamp(i * 37 % 1_000)))).collect();
     c.bench_function("history/compatible_20_entries", |b| {
         b.iter(|| black_box(history.compatible(&pset, group)))
     });
-    c.bench_function("pset/vs_max_20_entries", |b| {
-        b.iter(|| black_box(pset.vs_max(group)))
-    });
+    c.bench_function("pset/vs_max_20_entries", |b| b.iter(|| black_box(pset.vs_max(group))));
     c.bench_function("pset/merge_20_entries", |b| {
         b.iter_batched(
             PSet::new,
@@ -124,9 +121,7 @@ fn bench_form_view(c: &mut Criterion) {
     for n in [3usize, 5, 7, 15] {
         group.bench_with_input(BenchmarkId::new("scan_acceptances", n), &n, |b, &n| {
             let responses: BTreeMap<Mid, Viewstamp> = (0..n as u64)
-                .map(|i| {
-                    (Mid(i), Viewstamp::new(ViewId::initial(Mid(0)), Timestamp(i * 13 % 97)))
-                })
+                .map(|i| (Mid(i), Viewstamp::new(ViewId::initial(Mid(0)), Timestamp(i * 13 % 97))))
                 .collect();
             b.iter(|| {
                 let max = responses.iter().max_by_key(|(_, vs)| **vs);

@@ -4,7 +4,7 @@
 //! the whole protocol stack per committed transaction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vsr_bench::helpers::{run_sequential_batch, vr_world, write_ops, read_ops};
+use vsr_bench::helpers::{read_ops, run_sequential_batch, vr_world, write_ops};
 use vsr_core::config::CohortConfig;
 use vsr_simnet::NetConfig;
 

@@ -8,9 +8,7 @@ use vsr_bench::experiments::e3;
 fn bench_commit_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_commit_latency");
     group.sample_size(10);
-    group.bench_function("vr_n3_30_txns", |b| {
-        b.iter(|| black_box(e3::vr_latency(1)))
-    });
+    group.bench_function("vr_n3_30_txns", |b| b.iter(|| black_box(e3::vr_latency(1))));
     for disk in [1u64, 10, 100] {
         group.bench_with_input(
             BenchmarkId::new("unreplicated_30_txns_disk", disk),

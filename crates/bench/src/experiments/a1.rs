@@ -55,10 +55,7 @@ pub fn measure(suspect_timeout: u64, seeds: u64) -> TimeoutResult {
         let committed = reqs
             .iter()
             .filter(|&&r| {
-                matches!(
-                    world.result(r).map(|x| &x.outcome),
-                    Some(TxnOutcome::Committed { .. })
-                )
+                matches!(world.result(r).map(|x| &x.outcome), Some(TxnOutcome::Committed { .. }))
             })
             .count();
         total.view_formations += world.metrics().view_formations as f64;

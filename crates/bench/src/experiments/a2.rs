@@ -72,11 +72,7 @@ pub fn measure(n: u64, deference: u32, seed: u64) -> DeferenceResult {
 pub fn run() -> String {
     let mut table = Table::new(
         "A2 — Concurrent managers vs priority deference (primary crash)",
-        &[
-            "n",
-            "deference off (mgrs / msgs / ticks)",
-            "deference on (mgrs / msgs / ticks)",
-        ],
+        &["n", "deference off (mgrs / msgs / ticks)", "deference on (mgrs / msgs / ticks)"],
     );
     for n in [3u64, 5, 7] {
         let off = measure(n, 0, n + 7);

@@ -82,20 +82,14 @@ mod tests {
     fn vr_latency_flat_under_slow_backup() {
         let fast = vr_latency_with_slow_backup((1, 3), 1);
         let slow = vr_latency_with_slow_backup((100, 110), 2);
-        assert!(
-            slow < fast * 2.0,
-            "VR insulated from the slow backup: {fast} -> {slow}"
-        );
+        assert!(slow < fast * 2.0, "VR insulated from the slow backup: {fast} -> {slow}");
     }
 
     #[test]
     fn voting_latency_tracks_slow_replica() {
         let fast = voting_latency_with_slow_replica((1, 3), 1);
         let slow = voting_latency_with_slow_replica((100, 110), 2);
-        assert!(
-            slow > fast + 100.0,
-            "write-all waits for the slow replica: {fast} -> {slow}"
-        );
+        assert!(slow > fast + 100.0, "write-all waits for the slow replica: {fast} -> {slow}");
     }
 
     #[test]

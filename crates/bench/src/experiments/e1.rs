@@ -26,13 +26,7 @@ const SLOW_DISK: u64 = 20;
 pub fn run() -> String {
     let mut table = Table::new(
         "E1 — Normal-case cost: VR vs unreplicated (50 write txns, 50 read txns)",
-        &[
-            "system",
-            "write latency",
-            "write msgs/txn (fg)",
-            "read latency",
-            "read msgs/txn (fg)",
-        ],
+        &["system", "write latency", "write msgs/txn (fg)", "read latency", "read msgs/txn (fg)"],
     );
 
     for n in [3u64, 5] {
@@ -49,7 +43,8 @@ pub fn run() -> String {
         ]);
     }
 
-    for (label, disk) in [("unreplicated (ideal disk)", 1u64), ("unreplicated (disk=10x net)", SLOW_DISK)]
+    for (label, disk) in
+        [("unreplicated (ideal disk)", 1u64), ("unreplicated (disk=10x net)", SLOW_DISK)]
     {
         let mut sim = Unreplicated::new(NetConfig::reliable(1), disk);
         let mut wl = 0.0;
@@ -87,7 +82,6 @@ pub fn run() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn vr_write_latency_beats_slow_disk_unreplicated() {

@@ -17,8 +17,8 @@
 use crate::helpers::{server_mids, vr_world, CLIENT, SERVER};
 use crate::table::Table;
 use vsr_app::counter;
-use vsr_core::config::CohortConfig;
 use vsr_core::cohort::TxnOutcome;
+use vsr_core::config::CohortConfig;
 use vsr_sim::fault::FaultPlan;
 use vsr_simnet::NetConfig;
 
@@ -41,18 +41,13 @@ pub struct SweepResult {
 
 /// Run one seed of the exploration.
 pub fn run_seed(seed: u64, lossy: bool) -> SweepResult {
-    let net =
-        if lossy { NetConfig::lossy(seed) } else { NetConfig::reliable(seed) };
+    let net = if lossy { NetConfig::lossy(seed) } else { NetConfig::reliable(seed) };
     let mut world = vr_world(seed, 3, net, CohortConfig::new());
     let plan = FaultPlan::random(seed, &server_mids(3), 1_000, 18_000, 10, 1, true);
     plan.apply(&mut world);
     // Conflicting workload: four counters shared by 30 transactions.
     for i in 0..30u64 {
-        world.schedule_submit(
-            300 + i * 700,
-            CLIENT,
-            vec![counter::incr(SERVER, i % 4, 1)],
-        );
+        world.schedule_submit(300 + i * 700, CLIENT, vec![counter::incr(SERVER, i % 4, 1)]);
     }
     world.run_until(50_000);
     let m = world.metrics();
@@ -74,11 +69,7 @@ pub fn unresolved_are_consistent(seed: u64) -> bool {
     plan.apply(&mut world);
     let mut reqs = Vec::new();
     for i in 0..20u64 {
-        reqs.push(world.schedule_submit(
-            300 + i * 600,
-            CLIENT,
-            vec![counter::incr(SERVER, 0, 1)],
-        ));
+        reqs.push(world.schedule_submit(300 + i * 600, CLIENT, vec![counter::incr(SERVER, 0, 1)]));
     }
     world.run_until(40_000);
     // Every unresolved transaction's aid must have a single consistent

@@ -19,8 +19,8 @@ use vsr_core::cohort::TxnOutcome;
 
 use vsr_core::module::NullModule;
 use vsr_core::types::{GroupId, Mid};
-use vsr_simnet::NetConfig;
 use vsr_sim::world::WorldBuilder;
+use vsr_simnet::NetConfig;
 
 const CLIENT_A: GroupId = GroupId(1); // ends up with the stale primary
 const CLIENT_B: GroupId = GroupId(2); // stays with the majority
@@ -56,10 +56,8 @@ pub fn run_scenario(seed: u64) -> (SideCounts, SideCounts, u64) {
     assert!(world.result(wa).is_some() && world.result(wb).is_some());
 
     let stale_primary = world.primary_of(SERVER).expect("primary");
-    let rest: Vec<Mid> = [Mid(1), Mid(2), Mid(3), Mid(21)]
-        .into_iter()
-        .filter(|&m| m != stale_primary)
-        .collect();
+    let rest: Vec<Mid> =
+        [Mid(1), Mid(2), Mid(3), Mid(21)].into_iter().filter(|&m| m != stale_primary).collect();
     // Client A is trapped with the old primary; client B with the
     // majority.
     world.partition(&[vec![stale_primary, Mid(20)], rest]);
@@ -102,8 +100,7 @@ pub fn run_scenario(seed: u64) -> (SideCounts, SideCounts, u64) {
     for _ in 0..3 {
         let req = world.submit(CLIENT_A, vec![counter::incr(SERVER, 0, 1)]);
         world.run_for(4_000);
-        if matches!(world.result(req).map(|x| &x.outcome), Some(TxnOutcome::Committed { .. }))
-        {
+        if matches!(world.result(req).map(|x| &x.outcome), Some(TxnOutcome::Committed { .. })) {
             post_heal += 1;
         }
     }

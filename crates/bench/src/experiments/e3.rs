@@ -69,10 +69,7 @@ mod tests {
             fast_disk < vr,
             "with an instant disk the unreplicated system wins ({fast_disk} vs {vr})"
         );
-        assert!(
-            vr < slow_disk,
-            "with a slow disk VR wins ({vr} vs {slow_disk})"
-        );
+        assert!(vr < slow_disk, "with a slow disk VR wins ({vr} vs {slow_disk})");
     }
 
     #[test]

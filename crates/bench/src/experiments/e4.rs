@@ -43,12 +43,7 @@ pub fn measure_vr(n: u64, crash_primary: bool, seed: u64) -> ViewChangeCost {
 
 /// Like [`measure_vr`] with the Section 4.1 unilateral-exclusion
 /// optimization toggled.
-pub fn measure_vr_with(
-    n: u64,
-    crash_primary: bool,
-    seed: u64,
-    unilateral: bool,
-) -> ViewChangeCost {
+pub fn measure_vr_with(n: u64, crash_primary: bool, seed: u64, unilateral: bool) -> ViewChangeCost {
     let mut cfg = CohortConfig::new();
     cfg.unilateral_exclusion = unilateral;
     let mut world = vr_world(seed, n, NetConfig::reliable(seed), cfg);
@@ -77,8 +72,7 @@ pub fn measure_vr_with(
         .observations()
         .iter()
         .find(|(t, o)| {
-            *t >= crash_at
-                && matches!(o, Observation::ViewChanged { is_primary: true, .. })
+            *t >= crash_at && matches!(o, Observation::ViewChanged { is_primary: true, .. })
         })
         .map(|(t, _)| *t)
         .expect("view formed");

@@ -80,8 +80,7 @@ pub fn run_mode(eager: bool, seed: u64) -> ModeResult {
         }
     }
     if !latencies.is_empty() {
-        result.mean_latency =
-            Some(latencies.iter().sum::<u64>() as f64 / latencies.len() as f64);
+        result.mean_latency = Some(latencies.iter().sum::<u64>() as f64 / latencies.len() as f64);
     }
     result
 }

@@ -113,8 +113,20 @@ pub fn voting_write_all_availability(scenario: Scenario) -> f64 {
         let want_down: Vec<u64> = match scenario {
             Scenario::Healthy => vec![],
             Scenario::OneDown => vec![2],
-            Scenario::PrimaryCrash => if in_outage(t) { vec![1] } else { vec![] },
-            Scenario::TwoDown => if in_outage(t) { vec![2, 3] } else { vec![] },
+            Scenario::PrimaryCrash => {
+                if in_outage(t) {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Scenario::TwoDown => {
+                if in_outage(t) {
+                    vec![2, 3]
+                } else {
+                    vec![]
+                }
+            }
         };
         for &r in &down {
             if !want_down.contains(&r) {
@@ -139,8 +151,20 @@ pub fn voting_majority_availability(scenario: Scenario) -> f64 {
         let want_down: Vec<u64> = match scenario {
             Scenario::Healthy => vec![],
             Scenario::OneDown => vec![2],
-            Scenario::PrimaryCrash => if in_outage(t) { vec![1] } else { vec![] },
-            Scenario::TwoDown => if in_outage(t) { vec![2, 3] } else { vec![] },
+            Scenario::PrimaryCrash => {
+                if in_outage(t) {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Scenario::TwoDown => {
+                if in_outage(t) {
+                    vec![2, 3]
+                } else {
+                    vec![]
+                }
+            }
         };
         for &r in &down {
             if !want_down.contains(&r) {
@@ -166,8 +190,20 @@ pub fn pair_availability(scenario: Scenario) -> f64 {
         let want_down: Vec<u64> = match scenario {
             Scenario::Healthy => vec![],
             Scenario::OneDown => vec![2],
-            Scenario::PrimaryCrash => if in_outage(t) { vec![1] } else { vec![] },
-            Scenario::TwoDown => if in_outage(t) { vec![1, 2] } else { vec![] },
+            Scenario::PrimaryCrash => {
+                if in_outage(t) {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            Scenario::TwoDown => {
+                if in_outage(t) {
+                    vec![1, 2]
+                } else {
+                    vec![]
+                }
+            }
         };
         for &r in &down {
             if !want_down.contains(&r) {
@@ -214,13 +250,7 @@ pub fn run() -> String {
         ],
     );
     let vr: Vec<f64> = Scenario::all().iter().map(|&s| vr_availability(s, 9)).collect();
-    table.row([
-        "VR (n=3)".to_string(),
-        f2(vr[0]),
-        f2(vr[1]),
-        f2(vr[2]),
-        f2(vr[3]),
-    ]);
+    table.row(["VR (n=3)".to_string(), f2(vr[0]), f2(vr[1]), f2(vr[2]), f2(vr[3])]);
     type AvailabilityFn = fn(Scenario) -> f64;
     let rows: [(&str, AvailabilityFn); 4] = [
         ("voting W=all (n=3)", voting_write_all_availability),
@@ -230,13 +260,7 @@ pub fn run() -> String {
     ];
     for (label, f) in rows {
         let vals: Vec<f64> = Scenario::all().iter().map(|&s| f(s)).collect();
-        table.row([
-            label.to_string(),
-            f2(vals[0]),
-            f2(vals[1]),
-            f2(vals[2]),
-            f2(vals[3]),
-        ]);
+        table.row([label.to_string(), f2(vals[0]), f2(vals[1]), f2(vals[2]), f2(vals[3])]);
     }
     table.note(
         "Claims: VR masks any single failure (short reorganization dip on a primary \

@@ -46,11 +46,8 @@ pub fn single_group_load(n: u64, read_fraction: f64, seed: u64) -> LoadShare {
     world.run_until(40_000);
     let primary = world.primary_of(server).expect("healthy group");
     let primary_load = world.delivered_to(primary);
-    let backups: Vec<u64> = mids
-        .iter()
-        .filter(|&&m| m != primary)
-        .map(|&m| world.delivered_to(m))
-        .collect();
+    let backups: Vec<u64> =
+        mids.iter().filter(|&&m| m != primary).map(|&m| world.delivered_to(m)).collect();
     LoadShare {
         primary: primary_load,
         backup_mean: backups.iter().sum::<u64>() as f64 / backups.len() as f64,
@@ -60,9 +57,10 @@ pub fn single_group_load(n: u64, read_fraction: f64, seed: u64) -> LoadShare {
 /// Measure total per-cohort load with `g` groups whose primaries land on
 /// distinct cohorts; returns (max cohort load, mean cohort load).
 pub fn multi_group_spread(g: u64, seed: u64) -> (u64, f64) {
-    let mut builder = WorldBuilder::new(seed)
-        .net(NetConfig::reliable(seed))
-        .group(CLIENT, &[Mid(100)], || Box::new(NullModule));
+    let mut builder =
+        WorldBuilder::new(seed)
+            .net(NetConfig::reliable(seed))
+            .group(CLIENT, &[Mid(100)], || Box::new(NullModule));
     let mut all_mids = Vec::new();
     for gi in 0..g {
         let group = GroupId(10 + gi);
@@ -74,11 +72,7 @@ pub fn multi_group_spread(g: u64, seed: u64) -> (u64, f64) {
     for gi in 0..g {
         let group = GroupId(10 + gi);
         for i in 0..30u64 {
-            world.schedule_submit(
-                200 + i * 600 + gi * 37,
-                CLIENT,
-                vec![counter::read(group, 0)],
-            );
+            world.schedule_submit(200 + i * 600 + gi * 37, CLIENT, vec![counter::read(group, 0)]);
         }
     }
     world.run_until(40_000);
@@ -111,12 +105,7 @@ pub fn run() -> String {
     );
     for g in [1u64, 2, 4] {
         let (max, mean) = multi_group_spread(g, g + 3);
-        spread.row([
-            g.to_string(),
-            max.to_string(),
-            f2(mean),
-            f2(max as f64 / mean.max(1.0)),
-        ]);
+        spread.row([g.to_string(), max.to_string(), f2(mean), f2(max as f64 / mean.max(1.0))]);
     }
     spread.note(
         "Claim (§5): within a group the primary handles every call, so its load \

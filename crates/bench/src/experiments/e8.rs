@@ -27,8 +27,7 @@ pub fn fast_fraction(flush: u64, calls_per_txn: u64, seed: u64) -> Option<f64> {
     cfg.buffer_flush_interval = flush;
     let mut world = vr_world(seed, 3, NetConfig::reliable(seed), cfg);
     for _ in 0..30 {
-        let ops =
-            (0..calls_per_txn).map(|c| counter::incr(SERVER, c, 1)).collect::<Vec<_>>();
+        let ops = (0..calls_per_txn).map(|c| counter::incr(SERVER, c, 1)).collect::<Vec<_>>();
         world.submit(CLIENT, ops);
         world.run_for(1_500);
     }
@@ -73,10 +72,7 @@ mod tests {
     fn lazy_flush_forces_waits() {
         let lazy = fast_fraction(30, 1, 2).expect("prepares happened");
         let prompt = fast_fraction(0, 3, 3).expect("prepares happened");
-        assert!(
-            lazy < prompt,
-            "lazy flush ({lazy}) waits more often than prompt ({prompt})"
-        );
+        assert!(lazy < prompt, "lazy flush ({lazy}) waits more often than prompt ({prompt})");
     }
 
     #[test]

@@ -102,12 +102,7 @@ mod tests {
     #[test]
     fn vr_bytes_stay_flat() {
         let vr = vr_window_bytes(1);
-        assert!(
-            vr.late < vr.early * 1.25,
-            "VR bytes/txn flat: {} -> {}",
-            vr.early,
-            vr.late
-        );
+        assert!(vr.late < vr.early * 1.25, "VR bytes/txn flat: {} -> {}", vr.early, vr.late);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! machine reusing the same [`Effect`] and [`Timer`] vocabulary, so any
 //! runtime that can drive cohorts can drive agents.
 
-use crate::cohort::{call_op_index, call_seq, AbortReason, CallOp, Effect, Timer, TxnOutcome};
+use crate::cohort::{
+    call_op_index, call_seq, retry_kind, AbortReason, CallOp, Effect, Timer, TxnOutcome,
+};
 use crate::config::CohortConfig;
 use crate::messages::{CallOutcome, Message};
 use crate::pset::PSet;
@@ -125,10 +127,7 @@ impl ClientAgent {
         if let Some((viewid, view)) = self.cache.get(&group) {
             return (*viewid, view.primary());
         }
-        let config = self
-            .peers
-            .get(&group)
-            .unwrap_or_else(|| panic!("unknown group {group}"));
+        let config = self.peers.get(&group).unwrap_or_else(|| panic!("unknown group {group}"));
         let members = config.members();
         let primary = members[0];
         let backups: Vec<Mid> = members.iter().copied().filter(|&m| m != primary).collect();
@@ -150,10 +149,7 @@ impl ClientAgent {
     fn probe_group(&self, group: GroupId, out: &mut Vec<Effect>) {
         let Some(config) = self.peers.get(&group) else { return };
         for &m in config.members() {
-            out.push(Effect::Send {
-                to: m,
-                msg: Message::Probe { group, reply_to: self.mid },
-            });
+            out.push(Effect::Send { to: m, msg: Message::Probe { group, reply_to: self.mid } });
         }
     }
 
@@ -181,10 +177,16 @@ impl ClientAgent {
         );
         self.send_begin(req_id, &mut out);
         out.push(Effect::SetTimer {
-            after: self.cfg.call_retry_interval,
+            after: self.retry_delay(self.cfg.call_retry_interval, 1, retry_kind::AGENT_BEGIN),
             timer: Timer::AgentBeginRetry { req: req_id, attempt: 1 },
         });
         out
+    }
+
+    /// Backoff-and-jitter delay for retry `attempt` of an agent timer
+    /// (see [`CohortConfig::retry_delay`]).
+    fn retry_delay(&self, base: u64, attempt: u32, kind: u64) -> u64 {
+        self.cfg.retry_delay(base, attempt, self.mid.0.rotate_left(16) ^ kind)
     }
 
     fn send_begin(&mut self, req_id: u64, out: &mut Vec<Effect>) {
@@ -207,31 +209,27 @@ impl ClientAgent {
             Message::CallReply { call_id, outcome } => {
                 self.on_call_reply(now, call_id, outcome, &mut out)
             }
-            Message::CallReject { call_id, newer } => {
-                self.on_call_reject(call_id, newer, &mut out)
-            }
-            Message::ClientOutcome { aid, committed } => {
-                self.on_outcome(aid, committed, &mut out)
-            }
+            Message::CallReject { call_id, newer } => self.on_call_reject(call_id, newer, &mut out),
+            Message::ClientOutcome { aid, committed } => self.on_outcome(aid, committed, &mut out),
             Message::ClientPing { aid, reply_to } if self.by_aid.contains_key(&aid) => {
                 out.push(Effect::Send { to: reply_to, msg: Message::ClientPong { aid } });
             }
-            #[allow(clippy::collapsible_if)]
+            // Not collapsed into a match guard: `update_cache` has side
+            // effects and belongs in the arm body.
+            #[allow(clippy::collapsible_match)]
             Message::ProbeReply { group, viewid, view } => {
                 if self.update_cache(group, viewid, view) {
                     self.resend_current(group, &mut out);
                 }
             }
-            Message::Redirect { group, newer } => {
-                match newer {
-                    Some((viewid, view)) => {
-                        if self.update_cache(group, viewid, view) {
-                            self.resend_current(group, &mut out);
-                        }
+            Message::Redirect { group, newer } => match newer {
+                Some((viewid, view)) => {
+                    if self.update_cache(group, viewid, view) {
+                        self.resend_current(group, &mut out);
                     }
-                    None => self.probe_group(group, &mut out),
                 }
-            }
+                None => self.probe_group(group, &mut out),
+            },
             _ => {}
         }
         out
@@ -257,7 +255,7 @@ impl ClientAgent {
             let seq = call_seq(txn.next_op, txn.call_generation);
             self.send_call(req, seq, out);
             out.push(Effect::SetTimer {
-                after: self.cfg.call_retry_interval,
+                after: self.retry_delay(self.cfg.call_retry_interval, 1, retry_kind::AGENT_CALL),
                 timer: Timer::AgentCallRetry { call_id: CallId { aid, seq }, attempt: 1 },
             });
         } else {
@@ -265,7 +263,11 @@ impl ClientAgent {
             txn.phase = AgentPhase::Committing;
             self.send_commit(req, out);
             out.push(Effect::SetTimer {
-                after: self.cfg.prepare_retry_interval,
+                after: self.retry_delay(
+                    self.cfg.prepare_retry_interval,
+                    1,
+                    retry_kind::AGENT_COMMIT,
+                ),
                 timer: Timer::AgentCommitRetry { aid, attempt: 1 },
             });
         }
@@ -384,17 +386,13 @@ impl ClientAgent {
             .collect();
         for (req, phase, call_seq) in snapshot {
             match phase {
-                AgentPhase::Beginning if group == self.coord_group => {
-                    self.send_begin(req, out)
-                }
+                AgentPhase::Beginning if group == self.coord_group => self.send_begin(req, out),
                 AgentPhase::Running => {
                     if let Some(seq) = call_seq {
                         self.send_call(req, seq, out);
                     }
                 }
-                AgentPhase::Committing if group == self.coord_group => {
-                    self.send_commit(req, out)
-                }
+                AgentPhase::Committing if group == self.coord_group => self.send_commit(req, out),
                 _ => {}
             }
         }
@@ -430,10 +428,7 @@ impl ClientAgent {
         let mut out = Vec::new();
         match timer {
             Timer::AgentBeginRetry { req, attempt } => {
-                let waiting = self
-                    .txns
-                    .get(&req)
-                    .is_some_and(|t| t.phase == AgentPhase::Beginning);
+                let waiting = self.txns.get(&req).is_some_and(|t| t.phase == AgentPhase::Beginning);
                 if !waiting {
                     return out;
                 }
@@ -444,7 +439,11 @@ impl ClientAgent {
                 self.send_begin(req, &mut out);
                 self.probe_group(self.coord_group, &mut out);
                 out.push(Effect::SetTimer {
-                    after: self.cfg.call_retry_interval,
+                    after: self.retry_delay(
+                        self.cfg.call_retry_interval,
+                        attempt + 1,
+                        retry_kind::AGENT_BEGIN,
+                    ),
                     timer: Timer::AgentBeginRetry { req, attempt: attempt + 1 },
                 });
             }
@@ -469,7 +468,11 @@ impl ClientAgent {
                         self.send_call(req, seq, &mut out);
                         self.probe_group(group, &mut out);
                         out.push(Effect::SetTimer {
-                            after: self.cfg.call_retry_interval,
+                            after: self.retry_delay(
+                                self.cfg.call_retry_interval,
+                                1,
+                                retry_kind::AGENT_CALL,
+                            ),
                             timer: Timer::AgentCallRetry {
                                 call_id: CallId { aid, seq },
                                 attempt: 1,
@@ -483,16 +486,18 @@ impl ClientAgent {
                 self.send_call(req, call_id.seq, &mut out);
                 self.probe_group(group, &mut out);
                 out.push(Effect::SetTimer {
-                    after: self.cfg.call_retry_interval,
+                    after: self.retry_delay(
+                        self.cfg.call_retry_interval,
+                        attempt + 1,
+                        retry_kind::AGENT_CALL,
+                    ),
                     timer: Timer::AgentCallRetry { call_id, attempt: attempt + 1 },
                 });
             }
             Timer::AgentCommitRetry { aid, attempt } => {
                 let Some(&req) = self.by_aid.get(&aid) else { return out };
-                let committing = self
-                    .txns
-                    .get(&req)
-                    .is_some_and(|t| t.phase == AgentPhase::Committing);
+                let committing =
+                    self.txns.get(&req).is_some_and(|t| t.phase == AgentPhase::Committing);
                 if !committing {
                     return out;
                 }
@@ -511,7 +516,11 @@ impl ClientAgent {
                 self.send_commit(req, &mut out);
                 self.probe_group(self.coord_group, &mut out);
                 out.push(Effect::SetTimer {
-                    after: self.cfg.prepare_retry_interval,
+                    after: self.retry_delay(
+                        self.cfg.prepare_retry_interval,
+                        attempt + 1,
+                        retry_kind::AGENT_COMMIT,
+                    ),
                     timer: Timer::AgentCommitRetry { aid, attempt: attempt + 1 },
                 });
             }

@@ -161,10 +161,7 @@ impl<R> CommBuffer<R> {
     /// Backups that have not yet acknowledged everything in the buffer.
     pub fn lagging_backups(&self) -> impl Iterator<Item = Mid> + '_ {
         let latest = self.next_ts;
-        self.acked
-            .iter()
-            .filter(move |(_, &ts)| ts < latest)
-            .map(|(&m, _)| m)
+        self.acked.iter().filter(move |(_, &ts)| ts < latest).map(|(&m, _)| m)
     }
 
     /// Whether any force is still pending.
@@ -190,12 +187,7 @@ impl<R> CommBuffer<R> {
     /// dropped. Without backups nothing is ever retransmitted, so
     /// everything can go.
     pub fn truncate_acked(&mut self) -> usize {
-        let floor = self
-            .acked
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(self.next_ts);
+        let floor = self.acked.values().copied().min().unwrap_or(self.next_ts);
         let cut = self.records.partition_point(|r| r.ts() <= floor);
         self.records.drain(..cut).count()
     }

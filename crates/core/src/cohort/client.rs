@@ -9,7 +9,7 @@
 //! protocol, which only observes the sequence of calls and the final
 //! commit.
 
-use super::{Cohort, Effect, ForceReason, Observation, Status, Timer};
+use super::{retry_kind, Cohort, Effect, ForceReason, Observation, Status, Timer};
 use crate::event::EventKind;
 use crate::messages::{CallOutcome, CallRefusal, Message};
 use crate::pset::PSet;
@@ -146,12 +146,7 @@ impl Cohort {
     /// Only an active primary accepts transactions; otherwise the
     /// submission is immediately aborted with
     /// [`AbortReason::NotPrimary`].
-    pub fn begin_transaction(
-        &mut self,
-        now: Tick,
-        req_id: u64,
-        ops: Vec<CallOp>,
-    ) -> Vec<Effect> {
+    pub fn begin_transaction(&mut self, now: Tick, req_id: u64, ops: Vec<CallOp>) -> Vec<Effect> {
         let mut out = Vec::new();
         if !self.is_active_primary() {
             out.push(Effect::TxnResult {
@@ -192,7 +187,7 @@ impl Cohort {
             let seq = call_seq(txn.next_op, txn.call_generation);
             self.send_call(aid, seq, out);
             out.push(Effect::SetTimer {
-                after: self.cfg.call_retry_interval,
+                after: self.retry_delay(self.cfg.call_retry_interval, 1, retry_kind::CALL),
                 timer: Timer::CallRetry { call_id: CallId { aid, seq }, attempt: 1 },
             });
         } else {
@@ -242,10 +237,7 @@ impl Cohort {
         let Some(config) = self.peers.get(&group) else { return };
         for &m in config.members() {
             if m != self.mid {
-                out.push(Effect::Send {
-                    to: m,
-                    msg: Message::Probe { group, reply_to: self.mid },
-                });
+                out.push(Effect::Send { to: m, msg: Message::Probe { group, reply_to: self.mid } });
             }
         }
     }
@@ -347,7 +339,7 @@ impl Cohort {
                 self.send_call(aid, seq, out);
                 self.probe_group(group, out);
                 out.push(Effect::SetTimer {
-                    after: self.cfg.call_retry_interval,
+                    after: self.retry_delay(self.cfg.call_retry_interval, 1, retry_kind::CALL),
                     timer: Timer::CallRetry { call_id: CallId { aid, seq }, attempt: 1 },
                 });
                 return;
@@ -360,7 +352,7 @@ impl Cohort {
         self.send_call(aid, call_id.seq, out);
         self.probe_group(group, out);
         out.push(Effect::SetTimer {
-            after: self.cfg.call_retry_interval,
+            after: self.retry_delay(self.cfg.call_retry_interval, attempt + 1, retry_kind::CALL),
             timer: Timer::CallRetry { call_id, attempt: attempt + 1 },
         });
         let _ = now;
@@ -388,7 +380,7 @@ impl Cohort {
         txn.votes.clear();
         self.send_prepares(aid, out);
         out.push(Effect::SetTimer {
-            after: self.cfg.prepare_retry_interval,
+            after: self.retry_delay(self.cfg.prepare_retry_interval, 1, retry_kind::PREPARE),
             timer: Timer::PrepareRetry { aid, attempt: 1 },
         });
         let _ = now;
@@ -399,11 +391,8 @@ impl Cohort {
     pub(crate) fn send_prepares(&mut self, aid: Aid, out: &mut Vec<Effect>) {
         let Some(txn) = self.coord.get(&aid) else { return };
         let pset = txn.pset.clone();
-        let pending: Vec<GroupId> = pset
-            .participant_groups()
-            .into_iter()
-            .filter(|g| !txn.votes.contains_key(g))
-            .collect();
+        let pending: Vec<GroupId> =
+            pset.participant_groups().into_iter().filter(|g| !txn.votes.contains_key(g)).collect();
         for group in pending {
             let (_, primary) = self.cached_target(group);
             out.push(Effect::Send {
@@ -467,19 +456,16 @@ impl Cohort {
             }),
         }
         self.delegated.remove(&aid);
-        self.drive_phase_two(aid, out);
+        self.drive_phase_two(aid, 1, out);
     }
 
     /// Send commit messages to unacknowledged plist participants; finish
-    /// with a done record when all have acknowledged.
-    fn drive_phase_two(&mut self, aid: Aid, out: &mut Vec<Effect>) {
+    /// with a done record when all have acknowledged. `attempt` numbers
+    /// the commit round (1-based) and drives the retry backoff.
+    fn drive_phase_two(&mut self, aid: Aid, attempt: u32, out: &mut Vec<Effect>) {
         let Some(txn) = self.coord.get(&aid) else { return };
-        let pending: Vec<GroupId> = txn
-            .plist
-            .iter()
-            .copied()
-            .filter(|g| !txn.acks.contains(g))
-            .collect();
+        let pending: Vec<GroupId> =
+            txn.plist.iter().copied().filter(|g| !txn.acks.contains(g)).collect();
         if pending.is_empty() {
             // "When all of them acknowledge the commit, add a <"done",
             // aid> record to the buffer."
@@ -497,8 +483,8 @@ impl Cohort {
             });
         }
         out.push(Effect::SetTimer {
-            after: self.cfg.commit_retry_interval,
-            timer: Timer::CommitRetry { aid },
+            after: self.retry_delay(self.cfg.commit_retry_interval, attempt, retry_kind::COMMIT),
+            timer: Timer::CommitRetry { aid, attempt },
         });
     }
 
@@ -510,7 +496,7 @@ impl Cohort {
             txn.acks.insert(group);
             let done = txn.plist.iter().all(|g| txn.acks.contains(g));
             if done {
-                self.drive_phase_two(aid, out);
+                self.drive_phase_two(aid, 1, out);
             }
             return;
         }
@@ -528,12 +514,12 @@ impl Cohort {
         }
     }
 
-    pub(crate) fn on_commit_retry(&mut self, aid: Aid, out: &mut Vec<Effect>) {
+    pub(crate) fn on_commit_retry(&mut self, aid: Aid, attempt: u32, out: &mut Vec<Effect>) {
         if !self.is_active_primary() {
             return;
         }
         if self.coord.get(&aid).is_some_and(|t| t.phase == CoordPhase::Committing) {
-            self.drive_phase_two(aid, out);
+            self.drive_phase_two(aid, attempt + 1, out);
             return;
         }
         if let Some(pending) = self.resumed.get(&aid) {
@@ -545,8 +531,12 @@ impl Cohort {
                 });
             }
             out.push(Effect::SetTimer {
-                after: self.cfg.commit_retry_interval,
-                timer: Timer::CommitRetry { aid },
+                after: self.retry_delay(
+                    self.cfg.commit_retry_interval,
+                    attempt + 1,
+                    retry_kind::COMMIT,
+                ),
+                timer: Timer::CommitRetry { aid, attempt: attempt + 1 },
             });
         }
     }
@@ -597,7 +587,11 @@ impl Cohort {
         }
         self.send_prepares(aid, out);
         out.push(Effect::SetTimer {
-            after: self.cfg.prepare_retry_interval,
+            after: self.retry_delay(
+                self.cfg.prepare_retry_interval,
+                attempt + 1,
+                retry_kind::PREPARE,
+            ),
             timer: Timer::PrepareRetry { aid, attempt: attempt + 1 },
         });
     }
@@ -707,7 +701,7 @@ impl Cohort {
                     }
                 }
                 CoordPhase::Preparing => self.send_prepares(aid, out),
-                CoordPhase::Committing => self.drive_phase_two(aid, out),
+                CoordPhase::Committing => self.drive_phase_two(aid, 1, out),
                 CoordPhase::Deciding => {}
             }
         }

@@ -102,7 +102,7 @@ impl Cohort {
         self.coord.insert(aid, txn);
         self.send_prepares(aid, out);
         out.push(Effect::SetTimer {
-            after: self.cfg.prepare_retry_interval,
+            after: self.retry_delay(self.cfg.prepare_retry_interval, 1, super::retry_kind::PREPARE),
             timer: Timer::PrepareRetry { aid, attempt: 1 },
         });
         let _ = now;
@@ -151,14 +151,10 @@ impl Cohort {
         if self.coord.contains_key(&aid) || !self.ping_pending.insert(aid) {
             return; // committing, or a ping is already outstanding
         }
-        out.push(Effect::Send {
-            to: client,
-            msg: Message::ClientPing { aid, reply_to: self.mid },
-        });
+        out.push(Effect::Send { to: client, msg: Message::ClientPing { aid, reply_to: self.mid } });
         out.push(Effect::SetTimer {
             after: self.cfg.query_interval,
             timer: Timer::ClientPingTimeout { aid },
         });
     }
-
 }

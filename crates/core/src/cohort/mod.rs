@@ -20,6 +20,7 @@ mod server;
 mod view_change;
 
 pub use client::{call_op_index, call_seq, AbortReason, CallOp, TxnOutcome};
+pub use view_change::{formation_possible, Acceptance};
 
 use crate::buffer::CommBuffer;
 use crate::config::CohortConfig;
@@ -78,6 +79,8 @@ pub enum Timer {
     CommitRetry {
         /// The committed transaction.
         aid: Aid,
+        /// How many commit rounds have been sent.
+        attempt: u32,
     },
     /// Primary: a force has been outstanding too long; if still pending,
     /// the force is abandoned and a view change begins (Section 3,
@@ -141,6 +144,26 @@ pub enum Timer {
         /// Sends so far.
         attempt: u32,
     },
+}
+
+/// Per-timer-kind salt constants for retry jitter: distinct timers of
+/// one cohort must not share a jitter draw, or their retries would
+/// collide instead of spreading.
+pub(crate) mod retry_kind {
+    /// Client call retries.
+    pub(crate) const CALL: u64 = 1;
+    /// Coordinator prepare rounds.
+    pub(crate) const PREPARE: u64 = 2;
+    /// Coordinator commit (phase two) rounds.
+    pub(crate) const COMMIT: u64 = 3;
+    /// View-manager formation retries.
+    pub(crate) const MANAGER: u64 = 4;
+    /// Agent `ClientBegin` retries.
+    pub(crate) const AGENT_BEGIN: u64 = 5;
+    /// Agent call retries.
+    pub(crate) const AGENT_CALL: u64 = 6;
+    /// Agent `ClientCommit` retries.
+    pub(crate) const AGENT_COMMIT: u64 = 7;
 }
 
 /// Structured observability events, emitted so harnesses can check
@@ -347,6 +370,9 @@ pub struct Cohort {
     /// Heartbeats spent deferring to a higher-priority manager candidate
     /// (Section 4.1's churn-avoidance policy).
     pub(crate) manager_deferrals: u32,
+    /// Consecutive failed view formations; drives the manager-retry
+    /// backoff. Reset whenever the cohort rejoins an active view.
+    pub(crate) manager_attempts: u32,
 }
 
 impl std::fmt::Debug for Cohort {
@@ -377,12 +403,8 @@ impl Cohort {
         );
         let group = configuration.group();
         let viewid = ViewId::initial(initial_primary);
-        let backups: Vec<Mid> = configuration
-            .members()
-            .iter()
-            .copied()
-            .filter(|&m| m != initial_primary)
-            .collect();
+        let backups: Vec<Mid> =
+            configuration.members().iter().copied().filter(|&m| m != initial_primary).collect();
         let view = View::new(initial_primary, backups);
         let mut history = History::new();
         history.open_view(viewid);
@@ -418,6 +440,7 @@ impl Cohort {
             cache: BTreeMap::new(),
             vc: VcState::None,
             manager_deferrals: 0,
+            manager_attempts: 0,
         }
     }
 
@@ -468,6 +491,7 @@ impl Cohort {
             cache: BTreeMap::new(),
             vc: VcState::None,
             manager_deferrals: 0,
+            manager_attempts: 0,
         }
     }
 
@@ -494,6 +518,13 @@ impl Cohort {
     // accessors
     // ------------------------------------------------------------------
 
+    /// Backoff-and-jitter delay for retry number `attempt` of a timer of
+    /// the given [`retry_kind`]; mixes this cohort's mid into the jitter
+    /// salt so cohorts retrying the same thing desynchronize.
+    pub(crate) fn retry_delay(&self, base: u64, attempt: u32, kind: u64) -> u64 {
+        self.cfg.retry_delay(base, attempt, self.mid.0.rotate_left(16) ^ kind)
+    }
+
     /// This cohort's mid.
     pub fn mid(&self) -> Mid {
         self.mid
@@ -517,6 +548,15 @@ impl Cohort {
     /// The current view.
     pub fn cur_view(&self) -> &View {
         &self.cur_view
+    }
+
+    /// The acceptance this cohort would send in response to a
+    /// view-change invitation right now: normal (with its latest
+    /// viewstamp) if up to date, crash-accept otherwise. Exposed so
+    /// harness liveness oracles can apply [`formation_possible`] to a
+    /// group's surviving state.
+    pub fn acceptance(&self) -> Acceptance {
+        self.own_acceptance()
     }
 
     /// Whether this cohort is the active primary of its group.
@@ -581,9 +621,7 @@ impl Cohort {
             }
             Message::Abort { aid } => self.on_abort_msg(now, aid, &mut out),
             Message::Query { aid, reply_to } => self.on_query(aid, reply_to, &mut out),
-            Message::ClientBegin { req, reply_to } => {
-                self.on_client_begin(req, reply_to, &mut out)
-            }
+            Message::ClientBegin { req, reply_to } => self.on_client_begin(req, reply_to, &mut out),
             Message::ClientCommit { aid, pset, reply_to } => {
                 self.on_client_commit(now, aid, pset, reply_to, &mut out)
             }
@@ -627,23 +665,37 @@ impl Cohort {
             }
 
             // failure detection
-            Message::ImAlive { .. } => { /* last_heard already updated */ }
+            Message::ImAlive { viewid, .. } => {
+                // last_heard was already updated; additionally, a
+                // heartbeat from a view newer than anything this cohort
+                // has seen is proof that views up to `viewid` formed
+                // while it was crashed or partitioned away. Fast-forward
+                // the high-water mark so the next view-change attempt
+                // proposes above the live view in one step — without
+                // this, a recovered cohort crawls its viewid forward one
+                // manager retry at a time and (with retry backoff) can
+                // stay stuck outside the group for a long time.
+                if viewid > self.max_viewid {
+                    self.max_viewid = viewid;
+                }
+            }
 
             // view change
-            Message::Invite { viewid, manager } => {
-                self.on_invite(now, viewid, manager, &mut out)
-            }
-            Message::AcceptNormal { viewid, from, latest, was_primary } => {
-                self.on_accept(now, viewid, from, view_change::Acceptance::Normal {
-                    latest,
-                    was_primary,
-                }, &mut out)
-            }
-            Message::AcceptCrashed { viewid, from, stable_viewid } => {
-                self.on_accept(now, viewid, from, view_change::Acceptance::Crashed {
-                    stable_viewid,
-                }, &mut out)
-            }
+            Message::Invite { viewid, manager } => self.on_invite(now, viewid, manager, &mut out),
+            Message::AcceptNormal { viewid, from, latest, was_primary } => self.on_accept(
+                now,
+                viewid,
+                from,
+                view_change::Acceptance::Normal { latest, was_primary },
+                &mut out,
+            ),
+            Message::AcceptCrashed { viewid, from, stable_viewid } => self.on_accept(
+                now,
+                viewid,
+                from,
+                view_change::Acceptance::Crashed { stable_viewid },
+                &mut out,
+            ),
             Message::InitView { viewid, view } => self.on_init_view(now, viewid, view, &mut out),
         }
         out
@@ -661,14 +713,12 @@ impl Cohort {
             Timer::PrepareRetry { aid, attempt } => {
                 self.on_prepare_retry(now, aid, attempt, &mut out)
             }
-            Timer::CommitRetry { aid } => self.on_commit_retry(aid, &mut out),
+            Timer::CommitRetry { aid, attempt } => self.on_commit_retry(aid, attempt, &mut out),
             Timer::ForceCheck { viewid, ts } => self.on_force_check(now, viewid, ts, &mut out),
             Timer::LockWait { call_id } => self.on_lock_wait_timeout(call_id, &mut out),
             Timer::QueryTick { aid } => self.on_query_tick(aid, &mut out),
             Timer::InviteTimeout { viewid } => self.on_invite_timeout(now, viewid, &mut out),
-            Timer::UnderlingTimeout { viewid } => {
-                self.on_underling_timeout(now, viewid, &mut out)
-            }
+            Timer::UnderlingTimeout { viewid } => self.on_underling_timeout(now, viewid, &mut out),
             Timer::ManagerRetry { viewid } => self.on_manager_retry(now, viewid, &mut out),
             Timer::ClientPingTimeout { aid } => self.on_client_ping_timeout(aid, &mut out),
             // Agent timers never reach a cohort.
@@ -784,20 +834,12 @@ impl Cohort {
         }
     }
 
-    fn on_force_check(
-        &mut self,
-        now: Tick,
-        viewid: ViewId,
-        ts: Timestamp,
-        out: &mut Vec<Effect>,
-    ) {
+    fn on_force_check(&mut self, now: Tick, viewid: ViewId, ts: Timestamp, out: &mut Vec<Effect>) {
         if !self.is_active_primary() || viewid != self.cur_viewid {
             return;
         }
         let Some(buffer) = self.buffer.as_mut() else { return };
-        let still_pending = buffer
-            .earliest_pending_force()
-            .is_some_and(|earliest| earliest <= ts)
+        let still_pending = buffer.earliest_pending_force().is_some_and(|earliest| earliest <= ts)
             && buffer.watermark() < ts;
         if !still_pending {
             return;
@@ -847,10 +889,7 @@ impl Cohort {
             ForceReason::CallReply { call_id, to } => {
                 if let Some(record) = self.gstate.find_call(call_id) {
                     let outcome = server::reply_from_record(self.group, record);
-                    out.push(Effect::Send {
-                        to,
-                        msg: Message::CallReply { call_id, outcome },
-                    });
+                    out.push(Effect::Send { to, msg: Message::CallReply { call_id, outcome } });
                 }
             }
         }
@@ -895,8 +934,7 @@ impl Cohort {
         if self.status == Status::Underling && viewid == self.max_viewid {
             if let Some(first) = records.first() {
                 if let EventKind::NewView { view, history, gstate } = &first.kind {
-                    let (view, history, gstate) =
-                        (view.clone(), history.clone(), gstate.clone());
+                    let (view, history, gstate) = (view.clone(), history.clone(), gstate.clone());
                     self.install_new_view(now, viewid, view, history, gstate, out);
                     // Fall through to apply the rest of the records below.
                 } else {
@@ -915,10 +953,7 @@ impl Cohort {
         if self.cur_view.primary() != from {
             return;
         }
-        let mut known = self
-            .history
-            .ts_for(self.cur_viewid)
-            .unwrap_or(Timestamp::ZERO);
+        let mut known = self.history.ts_for(self.cur_viewid).unwrap_or(Timestamp::ZERO);
         for record in &records {
             if record.ts().0 <= known.0 {
                 continue; // duplicate
@@ -947,8 +982,10 @@ impl Cohort {
                 self.gstate.store_call(*aid, call.clone());
             }
             EventKind::Committing { aid, plist } => {
-                self.gstate
-                    .set_status(*aid, crate::gstate::TxnStatus::Committing { plist: plist.clone() });
+                self.gstate.set_status(
+                    *aid,
+                    crate::gstate::TxnStatus::Committing { plist: plist.clone() },
+                );
             }
             EventKind::Committed { aid } => {
                 let accesses = self.gstate.install_commit(*aid);
@@ -997,19 +1034,13 @@ impl Cohort {
                 let heard = self.last_heard.get(&m).copied().unwrap_or(0);
                 now.saturating_sub(heard) > self.cfg.suspect_timeout
             };
-            let suspect =
-                self.cur_view.members().any(|m| m != self.mid && is_silent(m));
+            let suspect = self.cur_view.members().any(|m| m != self.mid && is_silent(m));
             // Section 4.1 optimization: the primary excludes silent
             // backups unilaterally when a majority remains — no
             // invitation round needed.
             if suspect && self.cfg.unilateral_exclusion && self.is_active_primary() {
-                let silent: Vec<Mid> = self
-                    .cur_view
-                    .backups()
-                    .iter()
-                    .copied()
-                    .filter(|&m| is_silent(m))
-                    .collect();
+                let silent: Vec<Mid> =
+                    self.cur_view.backups().iter().copied().filter(|&m| is_silent(m)).collect();
                 let remaining = self.cur_view.len() - silent.len();
                 if remaining >= self.configuration.majority() {
                     self.unilateral_exclude(now, &silent, out);
@@ -1027,12 +1058,9 @@ impl Cohort {
                 // Lower mid = higher priority; defer a few heartbeats to
                 // a live higher-priority member, then manage anyway (in
                 // case it never noticed the problem).
-                let higher_priority_alive = self
-                    .cur_view
-                    .members()
-                    .any(|m| m < self.mid && !is_silent(m));
-                if higher_priority_alive && self.manager_deferrals < self.cfg.manager_deference
-                {
+                let higher_priority_alive =
+                    self.cur_view.members().any(|m| m < self.mid && !is_silent(m));
+                if higher_priority_alive && self.manager_deferrals < self.cfg.manager_deference {
                     self.manager_deferrals += 1;
                 } else {
                     self.manager_deferrals = 0;
@@ -1045,10 +1073,7 @@ impl Cohort {
                 }
             }
         }
-        out.push(Effect::SetTimer {
-            after: self.cfg.heartbeat_interval,
-            timer: Timer::Heartbeat,
-        });
+        out.push(Effect::SetTimer { after: self.cfg.heartbeat_interval, timer: Timer::Heartbeat });
     }
 
     /// Query the coordinator about transactions that have held locks for a
@@ -1084,10 +1109,7 @@ impl Cohort {
         };
         for &m in config.members() {
             if m != self.mid {
-                out.push(Effect::Send {
-                    to: m,
-                    msg: Message::Query { aid, reply_to: self.mid },
-                });
+                out.push(Effect::Send { to: m, msg: Message::Query { aid, reply_to: self.mid } });
             }
         }
     }

@@ -113,8 +113,7 @@ impl Cohort {
         self.primary_add(EventKind::CallsDropped { aid, dropped: orphans }, out);
         // Rebuild this transaction's locks from its remaining records.
         self.locks.release_all(aid);
-        let remaining: Vec<crate::gstate::CompletedCall> =
-            self.gstate.pending_calls(aid).to_vec();
+        let remaining: Vec<crate::gstate::CompletedCall> = self.gstate.pending_calls(aid).to_vec();
         for record in &remaining {
             for access in &record.accesses {
                 match access.mode {
@@ -165,18 +164,11 @@ impl Cohort {
                 let mut record_for_event = record;
                 // Assign the viewstamp by adding to the buffer; the add
                 // advances the timestamp generator atomically.
-                let vs_placeholder = self
-                    .buffer
-                    .as_ref()
-                    .expect("active primary has a buffer")
-                    .latest_ts()
-                    .next();
-                record_for_event.vs =
-                    Viewstamp::new(self.cur_viewid, vs_placeholder);
-                let vs = self.primary_add(
-                    EventKind::CompletedCall { aid, record: record_for_event },
-                    out,
-                );
+                let vs_placeholder =
+                    self.buffer.as_ref().expect("active primary has a buffer").latest_ts().next();
+                record_for_event.vs = Viewstamp::new(self.cur_viewid, vs_placeholder);
+                let vs = self
+                    .primary_add(EventKind::CompletedCall { aid, record: record_for_event }, out);
                 debug_assert_eq!(vs.ts, vs_placeholder);
                 self.last_activity.insert(aid, now);
                 if self.cfg.eager_force_calls {
@@ -328,11 +320,7 @@ impl Cohort {
         let reason = ForceReason::PrepareVote { aid, coordinator, read_only };
         let fired = self.primary_force(vs_max, reason, out);
         let waited = fired.is_empty();
-        out.push(Effect::Observe(Observation::PrepareProcessed {
-            group: self.group,
-            aid,
-            waited,
-        }));
+        out.push(Effect::Observe(Observation::PrepareProcessed { group: self.group, aid, waited }));
         for reason in fired {
             self.fire_force_reason(now, reason, out);
         }
@@ -409,10 +397,7 @@ impl Cohort {
             // would be a protocol violation — the coordinator only
             // commits after our yes vote, and we only abort locally after
             // a refusal or an abort message.
-            debug_assert!(
-                false,
-                "commit received for locally aborted transaction {aid}"
-            );
+            debug_assert!(false, "commit received for locally aborted transaction {aid}");
             return;
         }
         // "Release locks and install versions held by the transaction.
@@ -528,10 +513,8 @@ impl Cohort {
                 // Learn the commit through the query path; acknowledge to
                 // the coordinator group's cached primary so it can finish
                 // phase two.
-                let ack_to = self
-                    .cache
-                    .get(&aid.coordinator_group())
-                    .map(|(_, view)| view.primary());
+                let ack_to =
+                    self.cache.get(&aid.coordinator_group()).map(|(_, view)| view.primary());
                 if self.gstate.status(aid).is_none() {
                     self.on_commit(now, aid, ack_to, out);
                 }

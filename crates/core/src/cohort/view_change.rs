@@ -24,8 +24,12 @@ use crate::view::View;
 use std::collections::BTreeMap;
 
 /// A cohort's response to an invitation.
+///
+/// Public so harness oracles can ask a cohort what it *would* answer
+/// (via [`Cohort::acceptance`]) and feed the answers to
+/// [`formation_possible`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Acceptance {
+pub enum Acceptance {
     /// "If the cohort is up to date, it sends an acceptance containing
     /// its current viewstamp and an indication of whether it is the
     /// primary in the current view."
@@ -51,10 +55,7 @@ pub(crate) enum VcState {
     #[default]
     None,
     /// Acting as view manager: collecting acceptances for `viewid`.
-    Manager {
-        viewid: ViewId,
-        responses: BTreeMap<Mid, Acceptance>,
-    },
+    Manager { viewid: ViewId, responses: BTreeMap<Mid, Acceptance> },
     /// Underling: accepted `viewid`, awaiting the new view.
     Underling { viewid: ViewId },
 }
@@ -82,10 +83,7 @@ pub(crate) enum Formation {
 ///
 /// Exposed (crate-internal) as a pure function so the rule can be tested
 /// exhaustively, including the Section 4 three-cohort counterexample.
-pub(crate) fn form_view(
-    responses: &BTreeMap<Mid, Acceptance>,
-    majority: usize,
-) -> Formation {
+pub(crate) fn form_view(responses: &BTreeMap<Mid, Acceptance>, majority: usize) -> Formation {
     if responses.len() < majority {
         return Formation::Cannot;
     }
@@ -137,6 +135,19 @@ pub(crate) fn form_view(
     Formation::View { primary, members: responses.keys().copied().collect() }
 }
 
+/// Whether the formation rule would admit a view if exactly these
+/// acceptances were collected.
+///
+/// This is the [`form_view`] predicate without the primary election,
+/// exposed for harness liveness oracles: a group whose *live* cohorts'
+/// acceptances cannot form a view is in the Section 4.2 catastrophe
+/// (the cohorts that might hold forced information have all
+/// crash-accepted), and staying wedged is the algorithm working as
+/// specified rather than a liveness bug.
+pub fn formation_possible(responses: &BTreeMap<Mid, Acceptance>, majority: usize) -> bool {
+    !matches!(form_view(responses, majority), Formation::Cannot)
+}
+
 impl Cohort {
     // ------------------------------------------------------------------
     // becoming a manager
@@ -175,7 +186,7 @@ impl Cohort {
         let _ = now;
     }
 
-    fn own_acceptance(&self) -> Acceptance {
+    pub(crate) fn own_acceptance(&self) -> Acceptance {
         if self.up_to_date {
             Acceptance::Normal {
                 latest: self.history.latest().expect("up-to-date cohort has a history"),
@@ -226,17 +237,12 @@ impl Cohort {
 
     fn send_acceptance(&self, viewid: ViewId, manager: Mid, out: &mut Vec<Effect>) {
         let msg = match self.own_acceptance() {
-            Acceptance::Normal { latest, was_primary } => Message::AcceptNormal {
-                viewid,
-                from: self.mid,
-                latest,
-                was_primary,
-            },
-            Acceptance::Crashed { stable_viewid } => Message::AcceptCrashed {
-                viewid,
-                from: self.mid,
-                stable_viewid,
-            },
+            Acceptance::Normal { latest, was_primary } => {
+                Message::AcceptNormal { viewid, from: self.mid, latest, was_primary }
+            }
+            Acceptance::Crashed { stable_viewid } => {
+                Message::AcceptCrashed { viewid, from: self.mid, stable_viewid }
+            }
         };
         out.push(Effect::Send { to: manager, msg });
     }
@@ -289,25 +295,30 @@ impl Cohort {
         match form_view(responses, self.configuration.majority()) {
             Formation::Cannot => {
                 // "If the attempt fails, the cohort attempts another view
-                // formation later."
+                // formation later." Consecutive failures back off (capped
+                // exponential with per-cohort jitter) so that during a
+                // long partition the minority side does not flood the
+                // network with invitation rounds, and concurrent managers
+                // desynchronize instead of colliding every round.
+                self.manager_attempts = self.manager_attempts.saturating_add(1);
                 out.push(Effect::SetTimer {
-                    after: self.cfg.manager_retry_delay,
+                    after: self.retry_delay(
+                        self.cfg.manager_retry_delay,
+                        self.manager_attempts,
+                        super::retry_kind::MANAGER,
+                    ),
                     timer: Timer::ManagerRetry { viewid },
                 });
             }
             Formation::View { primary, members } => {
-                let backups: Vec<Mid> =
-                    members.iter().copied().filter(|&m| m != primary).collect();
+                let backups: Vec<Mid> = members.iter().copied().filter(|&m| m != primary).collect();
                 let view = View::new(primary, backups);
                 if primary == self.mid {
                     self.start_view(now, view, out);
                 } else {
                     // "it sends an "init-view" message to the new
                     // primary, and becomes an underling."
-                    out.push(Effect::Send {
-                        to: primary,
-                        msg: Message::InitView { viewid, view },
-                    });
+                    out.push(Effect::Send { to: primary, msg: Message::InitView { viewid, view } });
                     self.status = Status::Underling;
                     self.vc = VcState::Underling { viewid };
                     out.push(Effect::SetTimer {
@@ -382,6 +393,7 @@ impl Cohort {
         self.up_to_date = true;
         self.status = Status::Active;
         self.vc = VcState::None;
+        self.manager_attempts = 0;
         for m in view.members() {
             if m != self.mid {
                 self.last_heard.insert(m, now);
@@ -391,8 +403,7 @@ impl Cohort {
         // (Section 3.3).
         self.locks = LockTable::rebuild(self.gstate.pending_txns());
         self.prepared.clear();
-        let mut buffer =
-            CommBuffer::new(viewid, view.backups(), self.configuration.sub_majority());
+        let mut buffer = CommBuffer::new(viewid, view.backups(), self.configuration.sub_majority());
         // "It initializes the buffer to contain a single "newview" event
         // record; this record contains cur_view, history, and gstate."
         let mut history_snapshot = self.history.clone();
@@ -437,12 +448,7 @@ impl Cohort {
     /// cohort is the primary both before and after the view change, then
     /// no user work is lost in the change"; and transactions whose
     /// committing record survived are driven to completion.
-    fn resume_coordination(
-        &mut self,
-        now: Tick,
-        newview_vs: Viewstamp,
-        out: &mut Vec<Effect>,
-    ) {
+    fn resume_coordination(&mut self, now: Tick, newview_vs: Viewstamp, out: &mut Vec<Effect>) {
         use super::client::CoordPhase;
         // In-flight commit decisions: the committing record from the old
         // view is part of this primary's state, hence inside the newview
@@ -471,7 +477,11 @@ impl Cohort {
                         if txn.next_op < txn.ops.len() {
                             let seq = txn.next_op as u64;
                             out.push(Effect::SetTimer {
-                                after: self.cfg.call_retry_interval,
+                                after: self.retry_delay(
+                                    self.cfg.call_retry_interval,
+                                    1,
+                                    super::retry_kind::CALL,
+                                ),
                                 timer: Timer::CallRetry {
                                     call_id: crate::types::CallId { aid, seq },
                                     attempt: 1,
@@ -482,14 +492,22 @@ impl Cohort {
                 }
                 CoordPhase::Preparing => {
                     out.push(Effect::SetTimer {
-                        after: self.cfg.prepare_retry_interval,
+                        after: self.retry_delay(
+                            self.cfg.prepare_retry_interval,
+                            1,
+                            super::retry_kind::PREPARE,
+                        ),
                         timer: Timer::PrepareRetry { aid, attempt: 1 },
                     });
                 }
                 CoordPhase::Committing => {
                     out.push(Effect::SetTimer {
-                        after: self.cfg.commit_retry_interval,
-                        timer: Timer::CommitRetry { aid },
+                        after: self.retry_delay(
+                            self.cfg.commit_retry_interval,
+                            1,
+                            super::retry_kind::COMMIT,
+                        ),
+                        timer: Timer::CommitRetry { aid, attempt: 1 },
                     });
                 }
                 CoordPhase::Deciding => {}
@@ -514,7 +532,7 @@ impl Cohort {
             .collect();
         for (aid, plist) in orphaned {
             self.resumed.insert(aid, plist.iter().copied().collect());
-            self.on_commit_retry(aid, out);
+            self.on_commit_retry(aid, 0, out);
         }
     }
 
@@ -523,31 +541,17 @@ impl Cohort {
     /// authoritative (it is the primary of the previous view), so no
     /// acceptances are needed; the remaining view still holds a majority
     /// so concurrent protocol-driven view changes cannot fork.
-    pub(crate) fn unilateral_exclude(
-        &mut self,
-        now: Tick,
-        silent: &[Mid],
-        out: &mut Vec<Effect>,
-    ) {
+    pub(crate) fn unilateral_exclude(&mut self, now: Tick, silent: &[Mid], out: &mut Vec<Effect>) {
         debug_assert!(self.is_active_primary());
-        let backups: Vec<Mid> = self
-            .cur_view
-            .backups()
-            .iter()
-            .copied()
-            .filter(|m| !silent.contains(m))
-            .collect();
+        let backups: Vec<Mid> =
+            self.cur_view.backups().iter().copied().filter(|m| !silent.contains(m)).collect();
         let view = View::new(self.mid, backups);
         debug_assert!(view.is_majority_of(&self.configuration));
         self.max_viewid = self.max_viewid.successor(self.mid);
         // Carry pending forces across: everything they covered is inside
         // the new view's newview snapshot, so forcing that record to the
         // new (smaller) backup set satisfies them.
-        let pending = self
-            .buffer
-            .as_mut()
-            .map(|b| b.abandon_forces())
-            .unwrap_or_default();
+        let pending = self.buffer.as_mut().map(|b| b.abandon_forces()).unwrap_or_default();
         self.start_view(now, view, out);
         let newview_vs = crate::types::Viewstamp::new(
             self.cur_viewid,
@@ -584,6 +588,7 @@ impl Cohort {
         self.up_to_date = true;
         self.status = Status::Active;
         self.vc = VcState::None;
+        self.manager_attempts = 0;
         self.buffer = None;
         self.locks.clear();
         self.prepared.clear();
@@ -726,9 +731,9 @@ mod tests {
         let mut r = BTreeMap::new();
         r.insert(a, crashed(v1)); // A recovered: crashed acceptance
         r.insert(c, normal(Viewstamp::new(v1, Timestamp(3)), false)); // C lags
-        // Majority (2 of 3) accepted, but: normals (1) < majority (2);
-        // crash-viewid == normal-viewid and the primary of v1 (A itself)
-        // did not accept normally. Formation must fail.
+                                                                      // Majority (2 of 3) accepted, but: normals (1) < majority (2);
+                                                                      // crash-viewid == normal-viewid and the primary of v1 (A itself)
+                                                                      // did not accept normally. Formation must fail.
         assert_eq!(form_view(&r, 2), Formation::Cannot);
 
         // Once the partition heals and B (which has the forced records)

@@ -82,6 +82,23 @@ pub struct CohortConfig {
     /// manages immediately (the paper's tolerated-but-slower concurrent
     /// managers).
     pub manager_deference: u32,
+    /// Retry hardening: when `true` (the default), every retry timer —
+    /// call, prepare, commit, view-manager, and agent retries — backs
+    /// off exponentially (`base << min(attempt - 1,
+    /// retry_backoff_doublings)`) with a deterministic per-cohort
+    /// jitter, so repeated losses do not produce synchronized retry
+    /// storms. `false` restores the original fixed-interval retries
+    /// (kept as an experiment baseline).
+    pub retry_backoff: bool,
+    /// Cap on the exponential backoff: a retry delay never exceeds
+    /// `base << retry_backoff_doublings`.
+    pub retry_backoff_doublings: u32,
+    /// Jitter span in permille of the backed-off delay. The jitter
+    /// added is a hash of (cohort mid, timer kind, attempt) modulo the
+    /// span — deterministic, so simulated runs stay reproducible, but
+    /// different per cohort, which desynchronizes cohorts that would
+    /// otherwise retry in lockstep (e.g. concurrent view managers).
+    pub retry_jitter_permille: u16,
     /// Force completed-call records to a sub-majority *before* replying to
     /// the client (the Section 6 tradeoff; `false` is the paper's design).
     pub eager_force_calls: bool,
@@ -116,10 +133,45 @@ impl CohortConfig {
             manager_retry_delay: 60,
             underling_timeout: 120,
             manager_deference: 2,
+            retry_backoff: true,
+            retry_backoff_doublings: 3,
+            retry_jitter_permille: 250,
             eager_force_calls: false,
             unilateral_exclusion: false,
         }
     }
+
+    /// The delay before retry number `attempt` (1-based: the first arm
+    /// of a retry timer is attempt 1) of a timer whose fixed interval is
+    /// `base`: capped exponential backoff plus deterministic jitter.
+    ///
+    /// `salt` distinguishes jitter streams — callers mix in the cohort
+    /// mid and a per-timer-kind constant so distinct cohorts (and
+    /// distinct timers of one cohort) desynchronize instead of sharing
+    /// a draw. With [`retry_backoff`](CohortConfig::retry_backoff) off
+    /// this returns `base` unchanged.
+    pub fn retry_delay(&self, base: u64, attempt: u32, salt: u64) -> u64 {
+        if !self.retry_backoff || base == 0 {
+            return base;
+        }
+        let doublings = attempt.saturating_sub(1).min(self.retry_backoff_doublings).min(32);
+        let delay = base.saturating_mul(1u64 << doublings);
+        let span = delay.saturating_mul(u64::from(self.retry_jitter_permille)) / 1000;
+        if span == 0 {
+            return delay;
+        }
+        delay
+            + splitmix64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(u64::from(attempt)))
+                % span
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for jitter draws.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for CohortConfig {
@@ -140,5 +192,40 @@ mod tests {
         assert!(c.call_attempts >= 1);
         assert!(!c.eager_force_calls, "paper default is background mode");
         assert_eq!(c, CohortConfig::default());
+    }
+
+    #[test]
+    fn retry_delay_backs_off_and_caps() {
+        let c = CohortConfig::new();
+        let base = 60;
+        let d1 = c.retry_delay(base, 1, 7);
+        let d2 = c.retry_delay(base, 2, 7);
+        let d3 = c.retry_delay(base, 3, 7);
+        let d9 = c.retry_delay(base, 9, 7);
+        // Each delay sits in [base << doublings, (base << doublings) * 1.25).
+        assert!((60..75).contains(&d1), "{d1}");
+        assert!((120..150).contains(&d2), "{d2}");
+        assert!((240..300).contains(&d3), "{d3}");
+        // Capped at retry_backoff_doublings = 3 → factor 8.
+        assert!((480..600).contains(&d9), "{d9}");
+    }
+
+    #[test]
+    fn retry_delay_jitter_is_deterministic_and_salted() {
+        let c = CohortConfig::new();
+        assert_eq!(c.retry_delay(60, 2, 1), c.retry_delay(60, 2, 1));
+        // Different salts (cohorts) should usually draw different jitter;
+        // check a handful of salts produce at least two distinct delays.
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..8u64).map(|salt| c.retry_delay(60, 2, salt)).collect();
+        assert!(distinct.len() > 1, "jitter never varied: {distinct:?}");
+    }
+
+    #[test]
+    fn retry_delay_legacy_mode_is_fixed() {
+        let c = CohortConfig { retry_backoff: false, ..CohortConfig::new() };
+        for attempt in 1..10 {
+            assert_eq!(c.retry_delay(60, attempt, 42), 60);
+        }
     }
 }

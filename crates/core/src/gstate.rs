@@ -136,10 +136,7 @@ impl TxnStatus {
     /// Whether this status implies the transaction's commit decision was
     /// reached.
     pub fn is_committed(&self) -> bool {
-        matches!(
-            self,
-            TxnStatus::Committing { .. } | TxnStatus::Committed | TxnStatus::Done
-        )
+        matches!(self, TxnStatus::Committing { .. } | TxnStatus::Committed | TxnStatus::Done)
     }
 }
 
@@ -313,9 +310,7 @@ impl GroupState {
 
     /// Whether `call_id` belongs to an aborted call-subaction.
     pub fn is_dropped_call(&self, call_id: CallId) -> bool {
-        self.dropped_calls
-            .get(&call_id.aid)
-            .is_some_and(|v| v.contains(&call_id))
+        self.dropped_calls.get(&call_id.aid).is_some_and(|v| v.contains(&call_id))
     }
 
     /// Whether there is any trace of `aid` at this cohort.

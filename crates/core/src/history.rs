@@ -67,17 +67,9 @@ impl History {
     /// `ts` would move the entry backwards — event records arrive in
     /// timestamp order, so knowledge only grows.
     pub fn advance(&mut self, vid: ViewId, ts: Timestamp) {
-        let last = self
-            .entries
-            .last_mut()
-            .expect("history: advance on empty history");
+        let last = self.entries.last_mut().expect("history: advance on empty history");
         assert_eq!(last.id, vid, "history: advance for non-current view");
-        assert!(
-            ts >= last.ts,
-            "history: timestamp moved backwards ({} -> {})",
-            last.ts,
-            ts
-        );
+        assert!(ts >= last.ts, "history: timestamp moved backwards ({} -> {})", last.ts, ts);
         last.ts = ts;
     }
 
@@ -215,10 +207,8 @@ mod tests {
 
     #[test]
     fn from_iterator_roundtrip() {
-        let entries = vec![
-            Viewstamp::new(vid(0), Timestamp(4)),
-            Viewstamp::new(vid(1), Timestamp(2)),
-        ];
+        let entries =
+            vec![Viewstamp::new(vid(0), Timestamp(4)), Viewstamp::new(vid(1), Timestamp(2))];
         let h: History = entries.iter().copied().collect();
         assert_eq!(h.iter().collect::<Vec<_>>(), entries);
     }

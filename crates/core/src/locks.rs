@@ -62,10 +62,7 @@ impl LockTable {
     /// upgrading a read lock is allowed when `aid` is the sole reader.
     pub fn can_write(&self, aid: Aid, oid: ObjectId) -> bool {
         let writer_ok = self.writer.get(&oid).is_none_or(|w| *w == aid);
-        let readers_ok = self
-            .readers
-            .get(&oid)
-            .is_none_or(|rs| rs.iter().all(|r| *r == aid));
+        let readers_ok = self.readers.get(&oid).is_none_or(|rs| rs.iter().all(|r| *r == aid));
         writer_ok && readers_ok
     }
 

@@ -64,13 +64,7 @@ pub struct TxnCtx<'a> {
 impl<'a> TxnCtx<'a> {
     /// Create a context for one procedure invocation on behalf of `aid`.
     pub fn new(gstate: &'a GroupState, locks: &'a LockTable, aid: Aid) -> Self {
-        TxnCtx {
-            gstate,
-            locks,
-            aid,
-            staged_writes: BTreeMap::new(),
-            staged_reads: BTreeMap::new(),
-        }
+        TxnCtx { gstate, locks, aid, staged_writes: BTreeMap::new(), staged_reads: BTreeMap::new() }
     }
 
     /// The transaction on whose behalf this call runs.
@@ -196,8 +190,7 @@ pub trait Module: Send {
     ///   (usually via `?`); the cohort parks and retries the call.
     /// * [`ModuleError::UnknownProcedure`] / [`ModuleError::App`] — the
     ///   call is refused and the client aborts the transaction.
-    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>)
-        -> Result<Value, ModuleError>;
+    fn execute(&self, proc: &str, args: &[u8], ctx: &mut TxnCtx<'_>) -> Result<Value, ModuleError>;
 
     /// The initial objects of a freshly created group (default: none).
     fn initial_objects(&self) -> Vec<(ObjectId, Value)> {

@@ -62,10 +62,7 @@ impl PSet {
 
     /// Iterate over the viewstamps recorded for `group`.
     pub fn entries_for(&self, group: GroupId) -> impl Iterator<Item = Viewstamp> + '_ {
-        self.entries
-            .iter()
-            .filter(move |(g, _)| *g == group)
-            .map(|&(_, vs)| vs)
+        self.entries.iter().filter(move |(g, _)| *g == group).map(|&(_, vs)| vs)
     }
 
     /// The distinct groups that participated in the transaction; these are

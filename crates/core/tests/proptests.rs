@@ -18,7 +18,6 @@ fn arb_viewstamp() -> impl Strategy<Value = Viewstamp> {
     (arb_viewid(), 0u64..1000).prop_map(|(id, ts)| Viewstamp::new(id, Timestamp(ts)))
 }
 
-
 proptest! {
     // ------------------------------------------------------------ types
 

@@ -213,9 +213,7 @@ impl Default for ClusterBuilder {
 
 impl std::fmt::Debug for ClusterBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClusterBuilder")
-            .field("groups", &self.groups.len())
-            .finish_non_exhaustive()
+        f.debug_struct("ClusterBuilder").field("groups", &self.groups.len()).finish_non_exhaustive()
     }
 }
 
@@ -267,10 +265,7 @@ impl ClusterBuilder {
                     let members = members.clone();
                     let f = f.clone();
                     let g = *g;
-                    members
-                        .clone()
-                        .into_iter()
-                        .map(move |m| (m, (g, members.clone(), f.clone())))
+                    members.clone().into_iter().map(move |m| (m, (g, members.clone(), f.clone())))
                 })
                 .collect(),
             peers,
@@ -361,10 +356,8 @@ impl Cluster {
         client_group: GroupId,
         ops: Vec<CallOp>,
     ) -> Result<TxnOutcome, SubmitError> {
-        let config = self
-            .peers
-            .get(&client_group)
-            .ok_or(SubmitError::UnknownGroup(client_group))?;
+        let config =
+            self.peers.get(&client_group).ok_or(SubmitError::UnknownGroup(client_group))?;
         let members: Vec<Mid> = config.members().to_vec();
         for _round in 0..20 {
             for &mid in &members {
@@ -376,14 +369,7 @@ impl Cluster {
                     *n
                 };
                 let (reply_tx, reply_rx) = bounded(1);
-                if tx
-                    .send(Inbox::Request {
-                        req_id,
-                        ops: ops.clone(),
-                        reply: reply_tx,
-                    })
-                    .is_err()
-                {
+                if tx.send(Inbox::Request { req_id, ops: ops.clone(), reply: reply_tx }).is_err() {
                     continue;
                 }
                 match reply_rx.recv_timeout(Duration::from_secs(5)) {
@@ -418,12 +404,8 @@ impl Cluster {
             return;
         }
         let Some((group, members, factory)) = self.specs.get(&mid).cloned() else { return };
-        let stable = self
-            .stable_store
-            .lock()
-            .get(&mid)
-            .copied()
-            .unwrap_or(ViewId::initial(members[0]));
+        let stable =
+            self.stable_store.lock().get(&mid).copied().unwrap_or(ViewId::initial(members[0]));
         self.spawn(group, mid, &members, factory, Some(stable));
     }
 
@@ -471,9 +453,7 @@ mod tests {
     fn cluster() -> Cluster {
         ClusterBuilder::new()
             .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
-            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .start()
     }
 
@@ -521,9 +501,7 @@ mod tests {
         let c = ClusterBuilder::new()
             .observe()
             .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
-            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .start();
         assert!(matches!(
             c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
@@ -533,10 +511,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(300));
         let obs = c.observations();
         assert!(
-            obs.iter().any(|(_, o)| matches!(
-                o,
-                Observation::TxnCommitted { .. }
-            )),
+            obs.iter().any(|(_, o)| matches!(o, Observation::TxnCommitted { .. })),
             "commit observed: {obs:?}"
         );
         c.shutdown();

@@ -37,6 +37,7 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod nemesis;
 pub mod serializability;
 pub mod trace;
 pub mod workload;

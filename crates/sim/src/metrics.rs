@@ -36,6 +36,16 @@ pub struct Metrics {
     pub prepares_waited: u64,
     /// Forces abandoned (each one triggers a view change).
     pub forces_abandoned: u64,
+    /// Messages re-sent by retry timers (call, prepare, commit, view
+    /// manager, and agent retries): how hard recovery paths are working.
+    pub retransmissions: u64,
+    /// Protocol timeout firings (every timer except the periodic
+    /// heartbeat and buffer-flush ticks).
+    pub timeouts_fired: u64,
+    /// View-change attempts started (some fail and are retried; compare
+    /// with [`view_formations`](Metrics::view_formations) for the
+    /// success rate).
+    pub view_change_attempts: u64,
 }
 
 impl Metrics {
@@ -102,11 +112,8 @@ mod tests {
 
     #[test]
     fn latency_stats() {
-        let m = Metrics {
-            commit_latencies: vec![10, 20, 30, 40],
-            committed: 4,
-            ..Metrics::default()
-        };
+        let m =
+            Metrics { commit_latencies: vec![10, 20, 30, 40], committed: 4, ..Metrics::default() };
         assert_eq!(m.mean_commit_latency(), Some(25.0));
         assert_eq!(m.latency_percentile(0.0), Some(10));
         assert_eq!(m.latency_percentile(1.0), Some(40));

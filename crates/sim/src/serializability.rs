@@ -83,9 +83,7 @@ struct CommitEntry {
 /// Deduplicate `TxnCommitted` observations into per-group commit logs in
 /// first-observation order (= record order: the then-primary installs
 /// first, in buffer order).
-fn build_commit_log(
-    observations: &[(u64, Observation)],
-) -> Result<Vec<CommitEntry>, Violation> {
+fn build_commit_log(observations: &[(u64, Observation)]) -> Result<Vec<CommitEntry>, Violation> {
     let mut seen: BTreeMap<(GroupId, Aid), Vec<ObjectAccess>> = BTreeMap::new();
     let mut log = Vec::new();
     for (_, obs) in observations {
@@ -167,9 +165,7 @@ pub fn check(observations: &[(u64, Observation)]) -> Result<(), Violation> {
                     }
                 }
                 // rw anti-dependency: reader of version k → writer of k+1.
-                if let Some(&next_writer) =
-                    writer_of.get(&(entry.group, access.oid, read_v + 1))
-                {
+                if let Some(&next_writer) = writer_of.get(&(entry.group, access.oid, read_v + 1)) {
                     add_edge(entry.aid, next_writer, &mut edges);
                 }
             }
@@ -179,8 +175,7 @@ pub fn check(observations: &[(u64, Observation)]) -> Result<(), Violation> {
                 // Find this transaction's versions and link each to its
                 // predecessor's writer.
                 for v in 1..=total {
-                    if writer_of.get(&(entry.group, access.oid, v)) == Some(&entry.aid) && v > 1
-                    {
+                    if writer_of.get(&(entry.group, access.oid, v)) == Some(&entry.aid) && v > 1 {
                         if let Some(&prev) = writer_of.get(&(entry.group, access.oid, v - 1)) {
                             add_edge(prev, entry.aid, &mut edges);
                         }
@@ -219,10 +214,8 @@ pub fn check(observations: &[(u64, Observation)]) -> Result<(), Violation> {
             match color.get(&child).copied().unwrap_or(Color::White) {
                 Color::White => {
                     color.insert(child, Color::Gray);
-                    let grand: Vec<Aid> = edges
-                        .get(&child)
-                        .map(|s| s.iter().copied().collect())
-                        .unwrap_or_default();
+                    let grand: Vec<Aid> =
+                        edges.get(&child).map(|s| s.iter().copied().collect()).unwrap_or_default();
                     stack.push((child, grand, 0));
                 }
                 Color::Gray => {

@@ -69,7 +69,9 @@ pub fn view_timeline(observations: &[(u64, Observation)]) -> String {
 /// Render a recorded message trace (from
 /// [`World::message_trace`](crate::world::World::message_trace)) as one
 /// line per send.
-pub fn render_messages(trace: &[(u64, vsr_core::types::Mid, vsr_core::types::Mid, &str)]) -> String {
+pub fn render_messages(
+    trace: &[(u64, vsr_core::types::Mid, vsr_core::types::Mid, &str)],
+) -> String {
     let mut out = String::new();
     for (t, from, to, name) in trace {
         out.push_str(&format!("t={t:>8}  {from} -> {to}  {name}\n"));
@@ -138,12 +140,7 @@ mod tests {
             ),
             (
                 20,
-                Observation::TxnCommitted {
-                    group: GroupId(2),
-                    mid: Mid(2),
-                    aid,
-                    accesses: vec![],
-                },
+                Observation::TxnCommitted { group: GroupId(2), mid: Mid(2), aid, accesses: vec![] },
             ),
             (25, Observation::TxnAborted { group: GroupId(2), mid: Mid(2), aid }),
         ]
@@ -206,9 +203,7 @@ mod tests {
         // Build a tiny world inline.
         let mut world = crate::world::WorldBuilder::new(1)
             .group(GroupId(1), &[Mid(10)], || Box::new(NullModule))
-            .group(GroupId(2), &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(GroupId(2), &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .build();
         world.enable_message_trace(16);
         world.submit(GroupId(1), vec![counter::incr(GroupId(2), 0, 1)]);

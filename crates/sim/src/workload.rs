@@ -13,16 +13,12 @@ pub type Schedule = Vec<(u64, Vec<CallOp>)>;
 /// `n` single-call counter increments against `server`, submitted every
 /// `interval` ticks starting at `start`.
 pub fn counter_increments(server: GroupId, n: usize, start: u64, interval: u64) -> Schedule {
-    (0..n)
-        .map(|i| (start + i as u64 * interval, vec![counter::incr(server, 0, 1)]))
-        .collect()
+    (0..n).map(|i| (start + i as u64 * interval, vec![counter::incr(server, 0, 1)])).collect()
 }
 
 /// `n` single-call counter reads.
 pub fn counter_reads(server: GroupId, n: usize, start: u64, interval: u64) -> Schedule {
-    (0..n)
-        .map(|i| (start + i as u64 * interval, vec![counter::read(server, 0)]))
-        .collect()
+    (0..n).map(|i| (start + i as u64 * interval, vec![counter::read(server, 0)])).collect()
 }
 
 /// A read/write key-value mix: each transaction is a single `get` with
@@ -98,10 +94,8 @@ pub fn transfers(
             }
             let from_acct = rng.gen_range(0..accounts_per_bank);
             let to_acct = rng.gen_range(0..accounts_per_bank);
-            let ops = vec![
-                bank::withdraw(from_bank, from_acct, 1),
-                bank::deposit(to_bank, to_acct, 1),
-            ];
+            let ops =
+                vec![bank::withdraw(from_bank, from_acct, 1), bank::deposit(to_bank, to_acct, 1)];
             (start + i as u64 * interval, ops)
         })
         .collect()

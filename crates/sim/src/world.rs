@@ -3,16 +3,19 @@
 //! and faults, and collects metrics and observations.
 
 use crate::metrics::Metrics;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 use vsr_core::agent::ClientAgent;
-use vsr_core::cohort::{CallOp, Cohort, CohortParams, Effect, Observation, Timer, TxnOutcome};
+use vsr_core::cohort::{
+    formation_possible, Acceptance, CallOp, Cohort, CohortParams, Effect, Observation, Status,
+    Timer, TxnOutcome,
+};
 use vsr_core::config::CohortConfig;
 use vsr_core::messages::Message;
 use vsr_core::module::Module;
 use vsr_core::types::{Aid, GroupId, Mid, ViewId};
 use vsr_core::view::Configuration;
 use vsr_simnet::net::{Event, NetConfig, NetStats, SimNet};
-use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 
 /// Creates a fresh module instance for a group (needed again at crash
 /// recovery).
@@ -143,16 +146,9 @@ impl WorldBuilder {
             }
         }
         for (mid, coord_group) in &self.agents {
-            assert!(
-                !world.cohorts.contains_key(mid),
-                "agent mid {mid} collides with a cohort"
-            );
-            let agent = ClientAgent::new(
-                world.cohort_cfg.clone(),
-                *mid,
-                *coord_group,
-                world.peers.clone(),
-            );
+            assert!(!world.cohorts.contains_key(mid), "agent mid {mid} collides with a cohort");
+            let agent =
+                ClientAgent::new(world.cohort_cfg.clone(), *mid, *coord_group, world.peers.clone());
             world.agents.insert(*mid, agent);
         }
         let mids: Vec<Mid> = world.cohorts.keys().copied().collect();
@@ -172,6 +168,14 @@ enum Control {
     Recover(Mid),
     Partition(Vec<Vec<Mid>>),
     Heal,
+    BlockOneWay { from: Vec<Mid>, to: Vec<Mid> },
+    HealOneWay,
+    LinkLoss { a: Mid, b: Mid, permille: u16 },
+    ClearLinkLoss { a: Mid, b: Mid },
+    SlowNode { mid: Mid, factor: u64 },
+    SkewTimers { mids: Vec<Mid>, num: u64, den: u64 },
+    DropClasses(Vec<String>),
+    ClearDropClasses,
     Submit { group: GroupId, ops: Vec<CallOp>, req_id: u64 },
 }
 
@@ -209,10 +213,12 @@ pub struct World {
     controls: BTreeMap<u64, Control>,
     next_control: u64,
     delivered_to: BTreeMap<Mid, u64>,
-    /// Optional message trace: `(time, from, to, message name)` ring
-    /// buffer of the most recent sends.
-    message_trace: Option<(usize, std::collections::VecDeque<(u64, Mid, Mid, &'static str)>)>,
+    /// Optional message trace: ring buffer of the most recent sends.
+    message_trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
 }
+
+/// One traced send: `(time, from, to, message name)`.
+type TraceEntry = (u64, Mid, Mid, &'static str);
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -274,13 +280,31 @@ impl World {
                 if self.crashed.contains_key(&mid) {
                     return true;
                 }
-                if let Some(cohort) = self.cohorts.get_mut(&mid) {
-                    let effects = cohort.on_timer(now, timer);
-                    self.apply_effects(mid, effects);
-                } else if let Some(agent) = self.agents.get_mut(&mid) {
-                    let effects = agent.on_timer(now, timer);
-                    self.apply_effects(mid, effects);
+                if !matches!(timer, Timer::Heartbeat | Timer::BufferFlush) {
+                    self.metrics.timeouts_fired += 1;
                 }
+                let is_retry = matches!(
+                    timer,
+                    Timer::CallRetry { .. }
+                        | Timer::PrepareRetry { .. }
+                        | Timer::CommitRetry { .. }
+                        | Timer::ManagerRetry { .. }
+                        | Timer::AgentBeginRetry { .. }
+                        | Timer::AgentCallRetry { .. }
+                        | Timer::AgentCommitRetry { .. }
+                );
+                let effects = if let Some(cohort) = self.cohorts.get_mut(&mid) {
+                    cohort.on_timer(now, timer)
+                } else if let Some(agent) = self.agents.get_mut(&mid) {
+                    agent.on_timer(now, timer)
+                } else {
+                    Vec::new()
+                };
+                if is_retry {
+                    self.metrics.retransmissions +=
+                        effects.iter().filter(|e| matches!(e, Effect::Send { .. })).count() as u64;
+                }
+                self.apply_effects(mid, effects);
             }
             Event::Control { id } => {
                 if let Some(control) = self.controls.remove(&id) {
@@ -339,9 +363,7 @@ impl World {
                 self.record_result(
                     req_id,
                     None,
-                    TxnOutcome::Aborted {
-                        reason: vsr_core::cohort::AbortReason::NotPrimary,
-                    },
+                    TxnOutcome::Aborted { reason: vsr_core::cohort::AbortReason::NotPrimary },
                 );
             }
         }
@@ -418,8 +440,7 @@ impl World {
 
     /// Partition the network into the given mid groups.
     pub fn partition(&mut self, groups: &[Vec<Mid>]) {
-        let raw: Vec<Vec<u64>> =
-            groups.iter().map(|g| g.iter().map(|m| m.0).collect()).collect();
+        let raw: Vec<Vec<u64>> = groups.iter().map(|g| g.iter().map(|m| m.0).collect()).collect();
         self.net.set_partitions(&raw);
     }
 
@@ -432,6 +453,74 @@ impl World {
     /// both directions (models a slow/remote replica).
     pub fn set_link_delay(&mut self, a: Mid, b: Mid, min: u64, max: u64) {
         self.net.set_link_delay(a.0, b.0, min, max);
+    }
+
+    /// Block every directed link from a `from` member to a `to` member
+    /// (asymmetric partition: the reverse directions still deliver).
+    pub fn block_one_way(&mut self, from: &[Mid], to: &[Mid]) {
+        for &f in from {
+            for &t in to {
+                if f != t {
+                    self.net.block_link(f.0, t.0);
+                }
+            }
+        }
+    }
+
+    /// Remove every directed link block.
+    pub fn heal_one_way(&mut self) {
+        self.net.clear_blocked_links();
+    }
+
+    /// Override the loss probability of the link between two mids (both
+    /// directions), replacing the global drop probability for it.
+    pub fn set_link_loss(&mut self, a: Mid, b: Mid, prob: f64) {
+        self.net.set_link_drop(a.0, b.0, prob);
+    }
+
+    /// Remove a per-link loss override.
+    pub fn clear_link_loss(&mut self, a: Mid, b: Mid) {
+        self.net.clear_link_drop(a.0, b.0);
+    }
+
+    /// Make a node "gray": everything it sends or receives takes
+    /// `factor` times the sampled delay (`factor == 1` restores).
+    pub fn set_node_slowdown(&mut self, mid: Mid, factor: u64) {
+        self.net.set_node_slowdown(mid.0, factor);
+    }
+
+    /// Skew a cohort member's clock: timer offsets scale by `num / den`
+    /// (`num == den` restores).
+    pub fn set_timer_skew(&mut self, mid: Mid, num: u64, den: u64) {
+        self.net.set_timer_skew(mid.0, num, den);
+    }
+
+    /// Silently drop every message whose wire name (see
+    /// [`Message::name`]) is in `names` — e.g. all `"commit"` or all
+    /// `"init-view"` traffic — until cleared.
+    pub fn set_class_drop(&mut self, names: &[&str]) {
+        let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        self.net.set_drop_filter(move |msg: &Message, _from, _to| {
+            names.iter().any(|n| n == msg.name())
+        });
+    }
+
+    /// Stop dropping message classes.
+    pub fn clear_class_drop(&mut self) {
+        self.net.clear_drop_filter();
+    }
+
+    /// Remove every network fault at once (symmetric partitions,
+    /// one-way blocks, link loss, slowdowns, skews, class drops).
+    /// Crashed cohorts stay crashed — recover them explicitly.
+    pub fn heal_all_faults(&mut self) {
+        self.net.heal_partitions();
+        self.net.clear_nemesis();
+    }
+
+    /// The cohorts currently crashed.
+    pub fn crashed_mids(&self) -> Vec<Mid> {
+        self.crashed.keys().copied().collect()
     }
 
     /// Schedule a crash at time `at`.
@@ -454,6 +543,46 @@ impl World {
         self.push_control(at, Control::Heal);
     }
 
+    /// Schedule a one-way block at time `at`.
+    pub fn schedule_block_one_way(&mut self, at: u64, from: Vec<Mid>, to: Vec<Mid>) {
+        self.push_control(at, Control::BlockOneWay { from, to });
+    }
+
+    /// Schedule removal of all one-way blocks at time `at`.
+    pub fn schedule_heal_one_way(&mut self, at: u64) {
+        self.push_control(at, Control::HealOneWay);
+    }
+
+    /// Schedule a per-link loss override (`permille`/1000 probability).
+    pub fn schedule_link_loss(&mut self, at: u64, a: Mid, b: Mid, permille: u16) {
+        self.push_control(at, Control::LinkLoss { a, b, permille });
+    }
+
+    /// Schedule removal of a per-link loss override.
+    pub fn schedule_clear_link_loss(&mut self, at: u64, a: Mid, b: Mid) {
+        self.push_control(at, Control::ClearLinkLoss { a, b });
+    }
+
+    /// Schedule a gray slowdown (`factor == 1` restores).
+    pub fn schedule_slow_node(&mut self, at: u64, mid: Mid, factor: u64) {
+        self.push_control(at, Control::SlowNode { mid, factor });
+    }
+
+    /// Schedule a timer skew over a cohort (`num == den` restores).
+    pub fn schedule_skew_timers(&mut self, at: u64, mids: Vec<Mid>, num: u64, den: u64) {
+        self.push_control(at, Control::SkewTimers { mids, num, den });
+    }
+
+    /// Schedule a targeted message-class drop window start.
+    pub fn schedule_drop_classes(&mut self, at: u64, names: Vec<String>) {
+        self.push_control(at, Control::DropClasses(names));
+    }
+
+    /// Schedule the end of a message-class drop window.
+    pub fn schedule_clear_drop_classes(&mut self, at: u64) {
+        self.push_control(at, Control::ClearDropClasses);
+    }
+
     fn push_control(&mut self, at: u64, control: Control) {
         let id = self.next_control;
         self.next_control += 1;
@@ -467,6 +596,23 @@ impl World {
             Control::Recover(mid) => self.recover(mid),
             Control::Partition(groups) => self.partition(&groups),
             Control::Heal => self.heal(),
+            Control::BlockOneWay { from, to } => self.block_one_way(&from, &to),
+            Control::HealOneWay => self.heal_one_way(),
+            Control::LinkLoss { a, b, permille } => {
+                self.set_link_loss(a, b, f64::from(permille) / 1000.0)
+            }
+            Control::ClearLinkLoss { a, b } => self.clear_link_loss(a, b),
+            Control::SlowNode { mid, factor } => self.set_node_slowdown(mid, factor),
+            Control::SkewTimers { mids, num, den } => {
+                for mid in mids {
+                    self.set_timer_skew(mid, num, den);
+                }
+            }
+            Control::DropClasses(names) => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                self.set_class_drop(&refs);
+            }
+            Control::ClearDropClasses => self.clear_class_drop(),
             Control::Submit { group, ops, req_id } => {
                 self.submitted_at.insert(req_id, now);
                 self.metrics.submitted += 1;
@@ -483,9 +629,7 @@ impl World {
                     None => self.record_result(
                         req_id,
                         None,
-                        TxnOutcome::Aborted {
-                            reason: vsr_core::cohort::AbortReason::NotPrimary,
-                        },
+                        TxnOutcome::Aborted { reason: vsr_core::cohort::AbortReason::NotPrimary },
                     ),
                 }
             }
@@ -540,6 +684,9 @@ impl World {
                         Observation::ForceAbandoned { .. } => {
                             self.metrics.forces_abandoned += 1;
                         }
+                        Observation::ViewChangeStarted { .. } => {
+                            self.metrics.view_change_attempts += 1;
+                        }
                         _ => {}
                     }
                     self.observations.push((self.net.now(), observation));
@@ -560,10 +707,8 @@ impl World {
             TxnOutcome::Unresolved => self.metrics.unresolved += 1,
         }
         let submitted_at = self.submitted_at.get(&req_id).copied().unwrap_or(0);
-        self.results.insert(
-            req_id,
-            TxnRecord { outcome, aid, submitted_at, completed_at: self.net.now() },
-        );
+        self.results
+            .insert(req_id, TxnRecord { outcome, aid, submitted_at, completed_at: self.net.now() });
     }
 
     // ------------------------------------------------------------------
@@ -580,12 +725,7 @@ impl World {
     }
 
     fn any_live(&self, group: GroupId) -> Option<Mid> {
-        self.peers
-            .get(&group)?
-            .members()
-            .iter()
-            .copied()
-            .find(|m| !self.crashed.contains_key(m))
+        self.peers.get(&group)?.members().iter().copied().find(|m| !self.crashed.contains_key(m))
     }
 
     /// The result of a submitted transaction, if it has completed.
@@ -634,10 +774,7 @@ impl World {
     /// The recorded message trace (empty unless
     /// [`enable_message_trace`](Self::enable_message_trace) was called).
     pub fn message_trace(&self) -> Vec<(u64, Mid, Mid, &'static str)> {
-        self.message_trace
-            .as_ref()
-            .map(|(_, t)| t.iter().copied().collect())
-            .unwrap_or_default()
+        self.message_trace.as_ref().map(|(_, t)| t.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Inspect a cohort (panics if the mid is unknown).
@@ -733,17 +870,16 @@ impl World {
                 // commit decision.
                 let durable = self.peers[&group].members().iter().any(|m| {
                     !self.crashed.contains_key(m)
-                        && self.cohorts[m]
-                            .gstate()
-                            .status(aid)
-                            .is_some_and(|s| s.is_committed())
-                }) || self.peers[&aid.coordinator_group()].members().iter().any(|m| {
-                    !self.crashed.contains_key(m)
-                        && self.cohorts[m]
-                            .gstate()
-                            .status(aid)
-                            .is_some_and(|s| s.is_committed())
-                });
+                        && self.cohorts[m].gstate().status(aid).is_some_and(|s| s.is_committed())
+                }) || self.peers[&aid.coordinator_group()].members().iter().any(
+                    |m| {
+                        !self.crashed.contains_key(m)
+                            && self.cohorts[m]
+                                .gstate()
+                                .status(aid)
+                                .is_some_and(|s| s.is_committed())
+                    },
+                );
                 if !durable {
                     return Err(format!(
                         "transaction {aid} (req {req_id}) reported committed but has no \
@@ -766,5 +902,149 @@ impl World {
         self.check_no_lost_commits()?;
         crate::serializability::check(&self.observations).map_err(|v| v.to_string())
     }
+
+    /// Whether the paper's view-formation rule could still admit a view
+    /// for `group`, given the acceptances its *live* cohorts would send
+    /// right now.
+    ///
+    /// When this is `false` the group is in the Section 4.2 catastrophe:
+    /// every cohort that might hold forced information has crash-accepted
+    /// (or too few cohorts are live at all), so no view can ever form
+    /// again — by design, to avoid serving with lost state. Liveness
+    /// oracles use this to separate "stuck but recoverable" (a bug) from
+    /// "wedged as specified" (an unrecoverable fault plan).
+    pub fn group_can_form_view(&self, group: GroupId) -> bool {
+        let config = &self.peers[&group];
+        let members = config.members();
+        let majority = members.len() / 2 + 1;
+        let responses: BTreeMap<Mid, Acceptance> = members
+            .iter()
+            .filter(|m| !self.crashed.contains_key(m))
+            .map(|&m| (m, self.cohorts[&m].acceptance()))
+            .collect();
+        formation_possible(&responses, majority)
+    }
+
+    /// The liveness oracle: meaningful only after faults have healed
+    /// and the world has had time to quiesce. Checks that
+    ///
+    /// 1. every group has re-formed a view: a majority of its members
+    ///    are live, `Active`, and share the group's newest viewid, and
+    ///    an active primary exists in that view;
+    /// 2. no live cohort is stuck mid-view-change (`ViewManager` or
+    ///    `Underling`);
+    /// 3. every submitted transaction reached a commit/abort decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stuck group, cohort, or transaction found. The
+    /// failure is flagged [`LivenessFailure::catastrophic`] when some
+    /// group can no longer form a view at all
+    /// ([`Self::group_can_form_view`]) — the protocol wedging as
+    /// specified rather than a liveness bug.
+    pub fn check_liveness(&self) -> Result<(), LivenessFailure> {
+        let fail = |group: GroupId, reason: String| LivenessFailure {
+            catastrophic: !self.group_can_form_view(group),
+            reason,
+        };
+        for (&group, config) in &self.peers {
+            let members = config.members();
+            let majority = members.len() / 2 + 1;
+            let mut live_views: Vec<(Mid, ViewId)> = Vec::new();
+            for &mid in members {
+                if self.crashed.contains_key(&mid) {
+                    continue;
+                }
+                let cohort = &self.cohorts[&mid];
+                match cohort.status() {
+                    Status::Active => live_views.push((mid, cohort.cur_viewid())),
+                    stuck => {
+                        return Err(fail(
+                            group,
+                            format!(
+                                "group {group}: cohort {mid} stuck in {stuck:?} after \
+                                 quiescence"
+                            ),
+                        ))
+                    }
+                }
+            }
+            let Some(&top) = live_views.iter().map(|(_, v)| v).max() else {
+                return Err(fail(group, format!("group {group}: no live active cohort")));
+            };
+            let sharing = live_views.iter().filter(|(_, v)| *v == top).count();
+            if sharing < majority {
+                return Err(fail(
+                    group,
+                    format!(
+                        "group {group}: only {sharing}/{} members share the newest view \
+                         {top:?} (majority is {majority})",
+                        live_views.len()
+                    ),
+                ));
+            }
+            match self.primary_of(group) {
+                Some(p) if self.cohorts[&p].cur_viewid() == top => {}
+                Some(p) => {
+                    return Err(fail(
+                        group,
+                        format!(
+                            "group {group}: primary {p} is active in a stale view \
+                             {:?} (newest is {top:?})",
+                            self.cohorts[&p].cur_viewid()
+                        ),
+                    ))
+                }
+                None => return Err(fail(group, format!("group {group}: no active primary"))),
+            }
+        }
+        // A transaction can legitimately hang only if some group it might
+        // touch is wedged; with every group able to form views, an
+        // undecided transaction is a liveness bug.
+        let any_wedged = self.peers.keys().any(|&g| !self.group_can_form_view(g));
+        for (&req_id, &at) in &self.submitted_at {
+            match self.results.get(&req_id) {
+                None => {
+                    return Err(LivenessFailure {
+                        catastrophic: any_wedged,
+                        reason: format!(
+                            "transaction req {req_id} (submitted at {at}) never reached a \
+                             decision"
+                        ),
+                    })
+                }
+                Some(rec) if matches!(rec.outcome, TxnOutcome::Unresolved) => {
+                    return Err(LivenessFailure {
+                        catastrophic: any_wedged,
+                        reason: format!(
+                            "transaction req {req_id} (submitted at {at}) ended unresolved"
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
 }
 
+/// Why [`World::check_liveness`] judged the world stuck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessFailure {
+    /// `true` when some group can no longer form a view given its
+    /// surviving state (the paper's Section 4.2 catastrophe): the wedge
+    /// is the specified behaviour of the formation rule, not a bug.
+    pub catastrophic: bool,
+    /// Human-readable description of what is stuck.
+    pub reason: String,
+}
+
+impl std::fmt::Display for LivenessFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.catastrophic {
+            write!(f, "{} [catastrophic: view formation impossible]", self.reason)
+        } else {
+            write!(f, "{}", self.reason)
+        }
+    }
+}

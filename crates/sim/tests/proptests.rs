@@ -29,13 +29,13 @@ fn build_world(seed: u64, lossy: bool) -> World {
 /// concurrent failure.
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
     (
-        0usize..3,                              // victim index
-        2_000u64..6_000,                        // crash time
-        1_000u64..6_000,                        // downtime
-        prop::bool::ANY,                        // include a partition episode
-        8_000u64..12_000,                       // partition time
-        1_000u64..4_000,                        // partition duration
-        0usize..3,                              // isolated cohort
+        0usize..3,        // victim index
+        2_000u64..6_000,  // crash time
+        1_000u64..6_000,  // downtime
+        prop::bool::ANY,  // include a partition episode
+        8_000u64..12_000, // partition time
+        1_000u64..4_000,  // partition duration
+        0usize..3,        // isolated cohort
     )
         .prop_map(|(victim, crash_at, down, part, part_at, part_dur, isolated)| {
             let mut plan = FaultPlan::new()
@@ -43,12 +43,8 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
                 .at(crash_at + down, FaultEvent::Recover(SERVER_MIDS[victim]));
             if part {
                 let iso = SERVER_MIDS[isolated];
-                let rest: Vec<Mid> = SERVER_MIDS
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != iso)
-                    .chain([Mid(10)])
-                    .collect();
+                let rest: Vec<Mid> =
+                    SERVER_MIDS.iter().copied().filter(|&m| m != iso).chain([Mid(10)]).collect();
                 plan = plan
                     .at(part_at, FaultEvent::Partition(vec![vec![iso], rest]))
                     .at(part_at + part_dur, FaultEvent::Heal);

@@ -95,6 +95,25 @@ pub struct NetStats {
     pub to_crashed: u64,
     /// Total payload bytes submitted (as reported by the size callback).
     pub bytes_sent: u64,
+    /// Messages discarded by a directed (one-way) link block.
+    pub blocked: u64,
+    /// Messages discarded by the message-class drop filter.
+    pub filtered: u64,
+}
+
+/// Predicate deciding whether a message from one node to another is
+/// silently discarded.
+pub type DropPredicate<M> = Box<dyn Fn(&M, NodeId, NodeId) -> bool>;
+
+/// A targeted message-class drop predicate (nemesis): returns `true`
+/// for messages that must be silently discarded. Kept in a newtype so
+/// `SimNet` can stay `derive(Debug)`.
+pub struct DropFilter<M>(DropPredicate<M>);
+
+impl<M> std::fmt::Debug for DropFilter<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DropFilter(..)")
+    }
 }
 
 enum Scheduled<M, T> {
@@ -147,6 +166,21 @@ pub struct SimNet<M, T> {
     /// Per-link delay overrides (applied in both directions): the pair
     /// key is stored with the smaller node first.
     link_delays: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+    /// Directed link blocks: a `(from, to)` entry silently discards
+    /// traffic in that direction only (one-way partition).
+    blocked_links: BTreeSet<(NodeId, NodeId)>,
+    /// Per-link drop-probability overrides (both directions, smaller
+    /// node first); override the global `drop_prob` for that link.
+    link_drop: BTreeMap<(NodeId, NodeId), f64>,
+    /// "Gray" slow nodes: delay multiplier applied to every message the
+    /// node sends or receives. Absent nodes carry factor 1.
+    slowdown: BTreeMap<NodeId, u64>,
+    /// Per-node clock skew applied to timer offsets, as a rational
+    /// `num / den` factor (a slow clock has `num > den`: its timers
+    /// fire late relative to global simulated time).
+    timer_skew: BTreeMap<NodeId, (u64, u64)>,
+    /// Targeted message-class drop predicate, if armed.
+    drop_filter: Option<DropFilter<M>>,
     crashed: BTreeSet<NodeId>,
     incarnation: BTreeMap<NodeId, u64>,
     stats: NetStats,
@@ -165,6 +199,11 @@ impl<M, T> SimNet<M, T> {
             cfg,
             labels: BTreeMap::new(),
             link_delays: BTreeMap::new(),
+            blocked_links: BTreeSet::new(),
+            link_drop: BTreeMap::new(),
+            slowdown: BTreeMap::new(),
+            timer_skew: BTreeMap::new(),
+            drop_filter: None,
             crashed: BTreeSet::new(),
             incarnation: BTreeMap::new(),
             stats: NetStats::default(),
@@ -184,18 +223,7 @@ impl<M, T> SimNet<M, T> {
     /// Submit a message. `size` is the payload's wire size for byte
     /// accounting (pass 0 if unneeded).
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
-        self.stats.sent += 1;
-        self.stats.bytes_sent += size as u64;
-        if self.label(from) != self.label(to) {
-            self.stats.partitioned += 1;
-            return;
-        }
-        if self.crashed.contains(&to) {
-            self.stats.to_crashed += 1;
-            return;
-        }
-        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
-            self.stats.dropped += 1;
+        if !self.admit(from, to, &msg, size) {
             return;
         }
         let duplicate = self.cfg.dup_prob > 0.0 && self.rng.gen_bool(self.cfg.dup_prob);
@@ -212,18 +240,55 @@ impl<M, T> SimNet<M, T> {
         }
     }
 
+    /// Run the loss gauntlet for one message: account it, then apply
+    /// (in order) directed blocks, partitions, crash state, the
+    /// message-class filter, and probabilistic drop. Only the last
+    /// consumes randomness, so arming filters/blocks does not perturb
+    /// the delay stream of unrelated traffic.
+    fn admit(&mut self, from: NodeId, to: NodeId, msg: &M, size: usize) -> bool {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        if self.blocked_links.contains(&(from, to)) {
+            self.stats.blocked += 1;
+            return false;
+        }
+        if self.label(from) != self.label(to) {
+            self.stats.partitioned += 1;
+            return false;
+        }
+        if self.crashed.contains(&to) {
+            self.stats.to_crashed += 1;
+            return false;
+        }
+        if self.drop_filter.as_ref().is_some_and(|f| (f.0)(msg, from, to)) {
+            self.stats.filtered += 1;
+            return false;
+        }
+        let drop_prob = self
+            .link_drop
+            .get(&(from.min(to), from.max(to)))
+            .copied()
+            .unwrap_or(self.cfg.drop_prob);
+        if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
+            self.stats.dropped += 1;
+            return false;
+        }
+        true
+    }
+
     fn delay(&mut self, from: NodeId, to: NodeId) -> u64 {
         let key = (from.min(to), from.max(to));
-        let (min, max) = self
-            .link_delays
-            .get(&key)
+        let (min, max) =
+            self.link_delays.get(&key).copied().unwrap_or((self.cfg.min_delay, self.cfg.max_delay));
+        let base = if min == max { min } else { self.rng.gen_range(min..=max) };
+        // A gray node slows everything it touches, in both directions.
+        let factor = self
+            .slowdown
+            .get(&from)
             .copied()
-            .unwrap_or((self.cfg.min_delay, self.cfg.max_delay));
-        if min == max {
-            min
-        } else {
-            self.rng.gen_range(min..=max)
-        }
+            .unwrap_or(1)
+            .max(self.slowdown.get(&to).copied().unwrap_or(1));
+        base.saturating_mul(factor)
     }
 
     /// Override the delay window for the link between `a` and `b` (both
@@ -239,12 +304,20 @@ impl<M, T> SimNet<M, T> {
         self.link_delays.remove(&(a.min(b), a.max(b)));
     }
 
-    /// Arm a timer for `node`, `after` ticks from now. Timers of crashed
-    /// incarnations never fire.
+    /// Arm a timer for `node`, `after` ticks from now (as measured by
+    /// the node's possibly-skewed clock). Timers of crashed incarnations
+    /// never fire.
     pub fn set_timer(&mut self, node: NodeId, after: u64, timer: T) {
+        let after = match self.timer_skew.get(&node) {
+            Some(&(num, den)) => {
+                let skewed = (u128::from(after) * u128::from(num)) / u128::from(den);
+                // A nonzero offset never rounds down to "immediately".
+                u64::try_from(skewed).unwrap_or(u64::MAX).max(u64::from(after > 0))
+            }
+            None => after,
+        };
         let incarnation = self.incarnation_of(node);
-        self.queue
-            .schedule(self.now + after, Scheduled::Timer { node, incarnation, timer });
+        self.queue.schedule(self.now + after, Scheduled::Timer { node, incarnation, timer });
     }
 
     /// Schedule a harness control point at absolute time `at`.
@@ -262,8 +335,7 @@ impl<M, T> SimNet<M, T> {
             self.now = time;
             match scheduled {
                 Scheduled::Deliver { from, to, to_incarnation, msg } => {
-                    if self.crashed.contains(&to) || self.incarnation_of(to) != to_incarnation
-                    {
+                    if self.crashed.contains(&to) || self.incarnation_of(to) != to_incarnation {
                         self.stats.to_crashed += 1;
                         continue;
                     }
@@ -271,8 +343,7 @@ impl<M, T> SimNet<M, T> {
                     return Some((time, Event::Deliver { from, to, msg }));
                 }
                 Scheduled::Timer { node, incarnation, timer } => {
-                    if self.crashed.contains(&node) || self.incarnation_of(node) != incarnation
-                    {
+                    if self.crashed.contains(&node) || self.incarnation_of(node) != incarnation {
                         continue;
                     }
                     return Some((time, Event::TimerFire { node, timer }));
@@ -341,6 +412,106 @@ impl<M, T> SimNet<M, T> {
         self.label(a) == self.label(b)
     }
 
+    // ------------------------------------------------------------------
+    // nemesis fault classes
+    // ------------------------------------------------------------------
+
+    /// Block the directed link `from -> to` (one-way partition). The
+    /// reverse direction is unaffected; in-flight messages are not
+    /// recalled.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_links.insert((from, to));
+    }
+
+    /// Unblock the directed link `from -> to`.
+    pub fn unblock_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_links.remove(&(from, to));
+    }
+
+    /// Remove every directed link block.
+    pub fn clear_blocked_links(&mut self) {
+        self.blocked_links.clear();
+    }
+
+    /// Whether the directed link `from -> to` is currently blocked.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked_links.contains(&(from, to))
+    }
+
+    /// Override the drop probability on the link between `a` and `b`
+    /// (both directions), replacing the global `drop_prob` for it.
+    pub fn set_link_drop(&mut self, a: NodeId, b: NodeId, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "drop probability out of range");
+        self.link_drop.insert((a.min(b), a.max(b)), prob);
+    }
+
+    /// Remove a per-link drop-probability override.
+    pub fn clear_link_drop(&mut self, a: NodeId, b: NodeId) {
+        self.link_drop.remove(&(a.min(b), a.max(b)));
+    }
+
+    /// Mark `node` as "gray": every message it sends or receives takes
+    /// `factor` times the sampled delay. `factor == 1` is normal speed.
+    pub fn set_node_slowdown(&mut self, node: NodeId, factor: u64) {
+        assert!(factor >= 1, "slowdown factor must be at least 1");
+        if factor == 1 {
+            self.slowdown.remove(&node);
+        } else {
+            self.slowdown.insert(node, factor);
+        }
+    }
+
+    /// Restore `node` to normal speed.
+    pub fn clear_node_slowdown(&mut self, node: NodeId) {
+        self.slowdown.remove(&node);
+    }
+
+    /// Skew `node`'s clock: timer offsets are scaled by `num / den`
+    /// (`num > den` = slow clock, its timeouts fire late; `num < den` =
+    /// fast clock, they fire early). Applies to timers armed after the
+    /// call; already-armed timers keep their fire time.
+    pub fn set_timer_skew(&mut self, node: NodeId, num: u64, den: u64) {
+        assert!(num > 0 && den > 0, "timer skew must be a positive ratio");
+        if num == den {
+            self.timer_skew.remove(&node);
+        } else {
+            self.timer_skew.insert(node, (num, den));
+        }
+    }
+
+    /// Remove `node`'s clock skew.
+    pub fn clear_timer_skew(&mut self, node: NodeId) {
+        self.timer_skew.remove(&node);
+    }
+
+    /// Arm a targeted message-class drop: every message for which
+    /// `filter` returns `true` is silently discarded (counted in
+    /// [`NetStats::filtered`]). Replaces any existing filter. The
+    /// filter must be deterministic or reproducibility is lost.
+    pub fn set_drop_filter<F>(&mut self, filter: F)
+    where
+        F: Fn(&M, NodeId, NodeId) -> bool + 'static,
+    {
+        self.drop_filter = Some(DropFilter(Box::new(filter)));
+    }
+
+    /// Disarm the message-class drop filter.
+    pub fn clear_drop_filter(&mut self) {
+        self.drop_filter = None;
+    }
+
+    /// Remove every nemesis fault at once: directed blocks, per-link
+    /// drop overrides, gray slowdowns, timer skews, and the drop
+    /// filter. Partition labels and per-link delay overrides (topology,
+    /// not faults) are left alone.
+    pub fn clear_nemesis(&mut self) {
+        self.blocked_links.clear();
+        self.link_drop.clear();
+        self.slowdown.clear();
+        self.timer_skew.clear();
+        self.drop_filter = None;
+    }
+
     fn label(&self, node: NodeId) -> u64 {
         self.labels.get(&node).copied().unwrap_or(0)
     }
@@ -355,18 +526,7 @@ impl<M: Clone, T> SimNet<M, T> {
     /// (requires `M: Clone`). Use this from harnesses; `send` alone never
     /// duplicates.
     pub fn send_dup(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
-        self.stats.sent += 1;
-        self.stats.bytes_sent += size as u64;
-        if self.label(from) != self.label(to) {
-            self.stats.partitioned += 1;
-            return;
-        }
-        if self.crashed.contains(&to) {
-            self.stats.to_crashed += 1;
-            return;
-        }
-        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
-            self.stats.dropped += 1;
+        if !self.admit(from, to, &msg, size) {
             return;
         }
         let to_inc = self.incarnation_of(to);
@@ -478,10 +638,7 @@ mod tests {
 
     #[test]
     fn drop_probability_all() {
-        let mut net = Net::new(NetConfig {
-            drop_prob: 1.0,
-            ..NetConfig::reliable(1)
-        });
+        let mut net = Net::new(NetConfig { drop_prob: 1.0, ..NetConfig::reliable(1) });
         for _ in 0..10 {
             net.send(1, 2, "x", 0);
         }
@@ -491,10 +648,8 @@ mod tests {
 
     #[test]
     fn duplication_produces_two_copies() {
-        let mut net: SimNet<&'static str, u32> = SimNet::new(NetConfig {
-            dup_prob: 1.0,
-            ..NetConfig::reliable(1)
-        });
+        let mut net: SimNet<&'static str, u32> =
+            SimNet::new(NetConfig { dup_prob: 1.0, ..NetConfig::reliable(1) });
         net.send_dup(1, 2, "x", 0);
         assert!(matches!(net.pop(), Some((_, Event::Deliver { .. }))));
         assert!(matches!(net.pop(), Some((_, Event::Deliver { .. }))));
@@ -522,6 +677,113 @@ mod tests {
         net.clear_link_delay(1, 2);
         net.send(1, 2, "m", 0);
         assert_eq!(net.pop().unwrap().0, 2);
+    }
+
+    #[test]
+    fn one_way_block_is_directional() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.block_link(1, 2);
+        assert!(net.is_blocked(1, 2));
+        assert!(!net.is_blocked(2, 1));
+        net.send(1, 2, "blocked", 0);
+        assert!(net.pop().is_none());
+        assert_eq!(net.stats().blocked, 1);
+        // The reverse direction still works.
+        net.send(2, 1, "ok", 0);
+        assert!(matches!(net.pop(), Some((_, Event::Deliver { from: 2, to: 1, .. }))));
+        net.unblock_link(1, 2);
+        net.send(1, 2, "ok-now", 0);
+        assert!(matches!(net.pop(), Some((_, Event::Deliver { from: 1, to: 2, .. }))));
+    }
+
+    #[test]
+    fn per_link_drop_overrides_global() {
+        // Global loss is zero, but link (1,2) drops everything.
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_link_drop(1, 2, 1.0);
+        net.send(1, 2, "x", 0);
+        net.send(2, 1, "y", 0);
+        assert!(net.pop().is_none(), "override applies to both directions");
+        assert_eq!(net.stats().dropped, 2);
+        net.send(1, 3, "z", 0);
+        assert!(net.pop().is_some(), "other links keep the global drop_prob");
+        net.clear_link_drop(1, 2);
+        net.send(1, 2, "w", 0);
+        assert!(net.pop().is_some());
+    }
+
+    #[test]
+    fn gray_node_slows_both_directions() {
+        let mut net = Net::new(NetConfig { min_delay: 2, max_delay: 2, ..NetConfig::reliable(1) });
+        net.set_node_slowdown(2, 10);
+        net.send(1, 2, "in", 0);
+        assert_eq!(net.pop().unwrap().0, 20, "inbound delay is multiplied");
+        net.send(2, 3, "out", 0);
+        assert_eq!(net.pop().unwrap().0, 40, "outbound delay is multiplied");
+        net.send(1, 3, "bystander", 0);
+        assert_eq!(net.pop().unwrap().0, 42, "unrelated links unaffected");
+        net.clear_node_slowdown(2);
+        net.send(1, 2, "healed", 0);
+        assert_eq!(net.pop().unwrap().0, 44);
+    }
+
+    #[test]
+    fn timer_skew_scales_offsets() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_timer_skew(1, 3, 2); // slow clock: 1.5x late
+        net.set_timer(1, 10, 1);
+        assert_eq!(net.pop(), Some((15, Event::TimerFire { node: 1, timer: 1 })));
+        net.set_timer_skew(2, 1, 2); // fast clock: 2x early
+        net.set_timer(2, 10, 2);
+        assert_eq!(net.pop(), Some((20, Event::TimerFire { node: 2, timer: 2 })));
+        net.clear_timer_skew(1);
+        net.set_timer(1, 10, 3);
+        assert_eq!(net.pop(), Some((30, Event::TimerFire { node: 1, timer: 3 })));
+        // A nonzero offset never collapses to zero ticks.
+        net.set_timer_skew(3, 1, 100);
+        net.set_timer(3, 1, 4);
+        assert_eq!(net.pop(), Some((31, Event::TimerFire { node: 3, timer: 4 })));
+    }
+
+    #[test]
+    fn drop_filter_targets_message_class() {
+        let mut net = Net::new(NetConfig::reliable(1));
+        net.set_drop_filter(|msg: &&'static str, _from, _to| *msg == "commit");
+        net.send(1, 2, "commit", 0);
+        net.send(1, 2, "prepare", 0);
+        let (_, ev) = net.pop().expect("non-matching message survives");
+        assert_eq!(ev, Event::Deliver { from: 1, to: 2, msg: "prepare" });
+        assert!(net.pop().is_none());
+        assert_eq!(net.stats().filtered, 1);
+        net.clear_drop_filter();
+        net.send(1, 2, "commit", 0);
+        assert!(net.pop().is_some());
+    }
+
+    #[test]
+    fn nemesis_features_do_not_perturb_rng_stream() {
+        // Arming no-op nemesis state must leave delay sampling identical:
+        // fault plans that only touch other nodes stay reproducible.
+        let run = |nemesis: bool| {
+            let mut net = Net::new(NetConfig::lossy(9));
+            if nemesis {
+                net.block_link(90, 91);
+                net.set_drop_filter(|_m, from, _to| from == 90);
+                net.set_node_slowdown(92, 4);
+                net.set_timer_skew(93, 2, 1);
+            }
+            let mut log = Vec::new();
+            for i in 0..50 {
+                net.send(i % 5, (i + 1) % 5, "x", 1);
+            }
+            while let Some((t, ev)) = net.pop() {
+                if let Event::Deliver { from, to, .. } = ev {
+                    log.push((t, from, to));
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

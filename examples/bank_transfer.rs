@@ -12,8 +12,8 @@ use viewstamped_replication::app::bank::{self, BankModule};
 use viewstamped_replication::core::cohort::TxnOutcome;
 use viewstamped_replication::core::module::NullModule;
 use viewstamped_replication::core::types::{GroupId, Mid};
-use viewstamped_replication::sim::WorldBuilder;
 use viewstamped_replication::sim::workload;
+use viewstamped_replication::sim::WorldBuilder;
 
 const CLIENT: GroupId = GroupId(1);
 const BRANCH_A: GroupId = GroupId(2);
@@ -26,14 +26,10 @@ fn main() {
     let mut world = WorldBuilder::new(2026)
         .group(CLIENT, &[Mid(10), Mid(11), Mid(12)], || Box::new(NullModule))
         .group(BRANCH_A, &[Mid(1), Mid(2), Mid(3)], || {
-            Box::new(BankModule::with_accounts(
-                (0..ACCOUNTS).map(|a| (a, INITIAL)).collect(),
-            ))
+            Box::new(BankModule::with_accounts((0..ACCOUNTS).map(|a| (a, INITIAL)).collect()))
         })
         .group(BRANCH_B, &[Mid(4), Mid(5), Mid(6)], || {
-            Box::new(BankModule::with_accounts(
-                (0..ACCOUNTS).map(|a| (a, INITIAL)).collect(),
-            ))
+            Box::new(BankModule::with_accounts((0..ACCOUNTS).map(|a| (a, INITIAL)).collect()))
         })
         .build();
 

@@ -25,27 +25,19 @@ fn main() {
 
     let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
     world.run_for(2_000);
-    assert!(matches!(
-        world.result(req).unwrap().outcome,
-        TxnOutcome::Committed { .. }
-    ));
+    assert!(matches!(world.result(req).unwrap().outcome, TxnOutcome::Committed { .. }));
     let old_primary = world.primary_of(SERVER).expect("primary exists");
     println!("t={:>6}: counter=1 committed; primary is {old_primary}", world.now());
 
     // Isolate the primary from everyone else.
-    let majority: Vec<Mid> = [Mid(1), Mid(2), Mid(3), Mid(10)]
-        .into_iter()
-        .filter(|&m| m != old_primary)
-        .collect();
+    let majority: Vec<Mid> =
+        [Mid(1), Mid(2), Mid(3), Mid(10)].into_iter().filter(|&m| m != old_primary).collect();
     println!("t={:>6}: partitioning {{{old_primary}}} away from the majority", world.now());
     world.partition(&[vec![old_primary], majority]);
 
     world.run_for(3_000);
     let new_primary = world.primary_of(SERVER).expect("majority side re-formed");
-    println!(
-        "t={:>6}: majority side formed a new view; new primary is {new_primary}",
-        world.now()
-    );
+    println!("t={:>6}: majority side formed a new view; new primary is {new_primary}", world.now());
     assert_ne!(new_primary, old_primary);
 
     let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);

@@ -43,7 +43,11 @@ fn main() {
     // Alice runs a cross-group transaction.
     let req = world.submit_via_agent(
         ALICE,
-        vec![bank::withdraw(BANK, 0, 100), bank::deposit(BANK, 1, 100), counter::incr(COUNTERS, 0, 1)],
+        vec![
+            bank::withdraw(BANK, 0, 100),
+            bank::deposit(BANK, 1, 100),
+            counter::incr(COUNTERS, 0, 1),
+        ],
     );
     world.run_for(4_000);
     match &world.result(req).expect("done").outcome {
@@ -57,10 +61,8 @@ fn main() {
     // Bob starts a two-call transaction and dies after the first call —
     // his withdrawal's lock is held at the bank but nothing is decided.
     println!("\nbob begins a transaction (locks bank account 0) and crashes");
-    let doomed = world.submit_via_agent(
-        BOB,
-        vec![bank::withdraw(BANK, 0, 50), counter::incr(COUNTERS, 1, 1)],
-    );
+    let doomed = world
+        .submit_via_agent(BOB, vec![bank::withdraw(BANK, 0, 50), counter::incr(COUNTERS, 1, 1)]);
     // Run just until the bank has stored bob's first call, then kill him.
     let bank_primary = world.primary_of(BANK).expect("bank primary");
     for _ in 0..200 {

@@ -89,8 +89,7 @@ fn drive_to_commit(agent: &mut ClientAgent, ops: Vec<CallOp>) -> (u64, Aid) {
 fn full_flow_reports_committed() {
     let mut a = agent();
     let (_, aid) = drive_to_commit(&mut a, vec![counter::incr(SERVER, 0, 1)]);
-    let effects =
-        a.on_message(20, COORD_PRIMARY, Message::ClientOutcome { aid, committed: true });
+    let effects = a.on_message(20, COORD_PRIMARY, Message::ClientOutcome { aid, committed: true });
     let result = effects.iter().find_map(|e| match e {
         Effect::TxnResult { req_id, outcome, .. } => Some((req_id, outcome)),
         _ => None,
@@ -106,8 +105,7 @@ fn full_flow_reports_committed() {
 fn coordinator_abort_reports_aborted() {
     let mut a = agent();
     let (_, aid) = drive_to_commit(&mut a, vec![counter::incr(SERVER, 0, 1)]);
-    let effects =
-        a.on_message(20, COORD_PRIMARY, Message::ClientOutcome { aid, committed: false });
+    let effects = a.on_message(20, COORD_PRIMARY, Message::ClientOutcome { aid, committed: false });
     assert!(effects.iter().any(|e| matches!(
         e,
         Effect::TxnResult {
@@ -122,21 +120,13 @@ fn ping_answered_only_for_live_transactions() {
     let mut a = agent();
     let (_, aid) = drive_to_commit(&mut a, vec![counter::incr(SERVER, 0, 1)]);
     // Live transaction: pong.
-    let effects = a.on_message(
-        25,
-        COORD_PRIMARY,
-        Message::ClientPing { aid, reply_to: COORD_PRIMARY },
-    );
-    assert!(sends(&effects)
-        .iter()
-        .any(|(_, m)| matches!(m, Message::ClientPong { .. })));
+    let effects =
+        a.on_message(25, COORD_PRIMARY, Message::ClientPing { aid, reply_to: COORD_PRIMARY });
+    assert!(sends(&effects).iter().any(|(_, m)| matches!(m, Message::ClientPong { .. })));
     // Retired transaction: silence.
     a.on_message(30, COORD_PRIMARY, Message::ClientOutcome { aid, committed: true });
-    let effects = a.on_message(
-        35,
-        COORD_PRIMARY,
-        Message::ClientPing { aid, reply_to: COORD_PRIMARY },
-    );
+    let effects =
+        a.on_message(35, COORD_PRIMARY, Message::ClientPing { aid, reply_to: COORD_PRIMARY });
     assert!(sends(&effects).is_empty(), "no pong for unknown transactions");
 }
 
@@ -149,9 +139,10 @@ fn commit_retries_then_reports_unresolved() {
     let mut unresolved = false;
     for attempt in 1..=(cfg.prepare_attempts * 2 + 1) {
         let effects = a.on_timer(100 + attempt as u64, Timer::AgentCommitRetry { aid, attempt });
-        if effects.iter().any(|e| {
-            matches!(e, Effect::TxnResult { outcome: TxnOutcome::Unresolved, .. })
-        }) {
+        if effects
+            .iter()
+            .any(|e| matches!(e, Effect::TxnResult { outcome: TxnOutcome::Unresolved, .. }))
+        {
             unresolved = true;
             break;
         }
@@ -174,10 +165,7 @@ fn begin_timeout_aborts() {
     for attempt in 1..=cfg.call_attempts + 1 {
         let effects = a.on_timer(50 * attempt as u64, Timer::AgentBeginRetry { req: 7, attempt });
         if effects.iter().any(|e| {
-            matches!(
-                e,
-                Effect::TxnResult { outcome: TxnOutcome::Aborted { .. }, aid: None, .. }
-            )
+            matches!(e, Effect::TxnResult { outcome: TxnOutcome::Aborted { .. }, aid: None, .. })
         }) {
             aborted = true;
             break;
@@ -213,10 +201,9 @@ fn refused_call_aborts_and_notifies_participants_and_coordinator() {
         msgs.iter().any(|(to, m)| *to == COORD_PRIMARY && matches!(m, Message::ClientAbort { .. })),
         "coordinator told about the abort"
     );
-    assert!(effects3.iter().any(|e| matches!(
-        e,
-        Effect::TxnResult { outcome: TxnOutcome::Aborted { .. }, .. }
-    )));
+    assert!(effects3
+        .iter()
+        .any(|e| matches!(e, Effect::TxnResult { outcome: TxnOutcome::Aborted { .. }, .. })));
     let _ = effects;
 }
 

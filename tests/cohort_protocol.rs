@@ -113,10 +113,9 @@ fn call_reply_carries_pset_entry() {
     assert_eq!(group, SERVER);
     assert_eq!(vs.id, primary.cur_viewid());
     // The completed-call record went into the buffer stream too.
-    assert!(effects.iter().any(|e| matches!(
-        e,
-        Effect::Send { msg: Message::BufferSend { .. }, .. }
-    )));
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Send { msg: Message::BufferSend { .. }, .. })));
 }
 
 // ----------------------------------------------------------------------
@@ -131,9 +130,7 @@ fn run_call_and_ack(primary: &mut Cohort, a: Aid) -> Viewstamp {
     let vs = sends(&effects)
         .iter()
         .find_map(|m| match m {
-            Message::CallReply { outcome: CallOutcome::Ok { pset, .. }, .. } => {
-                pset.vs_max(SERVER)
-            }
+            Message::CallReply { outcome: CallOutcome::Ok { pset, .. }, .. } => pset.vs_max(SERVER),
             _ => None,
         })
         .expect("reply with viewstamp");
@@ -161,10 +158,7 @@ fn prepare_with_known_records_votes_yes() {
     );
     let msgs = sends(&effects);
     assert!(
-        msgs.iter().any(|m| matches!(
-            m,
-            Message::PrepareOk { read_only: false, .. }
-        )),
+        msgs.iter().any(|m| matches!(m, Message::PrepareOk { read_only: false, .. })),
         "voted yes: {msgs:?}"
     );
     // The fast path was taken (records already at a sub-majority).
@@ -181,10 +175,7 @@ fn prepare_with_unknown_viewstamp_refuses_and_aborts() {
     run_call_and_ack(&mut primary, a);
     // The pset claims an event from a view this cohort never saw.
     let mut pset = PSet::new();
-    pset.insert(
-        SERVER,
-        Viewstamp::new(ViewId { counter: 7, manager: Mid(9) }, Timestamp(3)),
-    );
+    pset.insert(SERVER, Viewstamp::new(ViewId { counter: 7, manager: Mid(9) }, Timestamp(3)));
     let effects = primary.on_message(
         20,
         CLIENT_MID,
@@ -216,9 +207,7 @@ fn read_only_prepare_commits_immediately_without_phase_two() {
     let vs = sends(&effects)
         .iter()
         .find_map(|m| match m {
-            Message::CallReply { outcome: CallOutcome::Ok { pset, .. }, .. } => {
-                pset.vs_max(SERVER)
-            }
+            Message::CallReply { outcome: CallOutcome::Ok { pset, .. }, .. } => pset.vs_max(SERVER),
             _ => None,
         })
         .expect("replied");
@@ -253,18 +242,18 @@ fn duplicate_prepare_after_commit_revotes_yes() {
     let vs = run_call_and_ack(&mut primary, a);
     let mut pset = PSet::new();
     pset.insert(SERVER, vs);
-    primary.on_message(20, CLIENT_MID, Message::Prepare {
-        aid: a,
-        pset: pset.clone(),
-        coordinator: CLIENT_MID,
-    });
+    primary.on_message(
+        20,
+        CLIENT_MID,
+        Message::Prepare { aid: a, pset: pset.clone(), coordinator: CLIENT_MID },
+    );
     primary.on_message(30, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
     // A duplicate (delayed) prepare arrives after the commit.
-    let effects = primary.on_message(40, CLIENT_MID, Message::Prepare {
-        aid: a,
-        pset,
-        coordinator: CLIENT_MID,
-    });
+    let effects = primary.on_message(
+        40,
+        CLIENT_MID,
+        Message::Prepare { aid: a, pset, coordinator: CLIENT_MID },
+    );
     assert!(sends(&effects).iter().any(|m| matches!(m, Message::PrepareOk { .. })));
 }
 
@@ -276,17 +265,15 @@ fn duplicate_commit_is_reacked_idempotently() {
     let mut pset = PSet::new();
     pset.insert(SERVER, vs);
     primary.on_message(20, CLIENT_MID, Message::Prepare { aid: a, pset, coordinator: CLIENT_MID });
-    let first = primary.on_message(30, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
-    let value_after_first = primary
-        .gstate()
-        .object(vsr_core::types::ObjectId(0))
-        .map(|o| (o.version, o.value.clone()));
-    let second = primary.on_message(40, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
+    let first =
+        primary.on_message(30, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
+    let value_after_first =
+        primary.gstate().object(vsr_core::types::ObjectId(0)).map(|o| (o.version, o.value.clone()));
+    let second =
+        primary.on_message(40, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
     assert!(sends(&second).iter().any(|m| matches!(m, Message::CommitDone { .. })));
-    let value_after_second = primary
-        .gstate()
-        .object(vsr_core::types::ObjectId(0))
-        .map(|o| (o.version, o.value.clone()));
+    let value_after_second =
+        primary.gstate().object(vsr_core::types::ObjectId(0)).map(|o| (o.version, o.value.clone()));
     assert_eq!(value_after_first, value_after_second, "no double install");
     let _ = first;
 }
@@ -321,10 +308,7 @@ fn query_about_unknown_old_view_transaction_answers_aborted() {
     let effects = coord.on_message(
         20,
         Mid(101),
-        Message::InitView {
-            viewid: higher,
-            view: View::new(Mid(100), vec![Mid(101), Mid(102)]),
-        },
+        Message::InitView { viewid: higher, view: View::new(Mid(100), vec![Mid(101), Mid(102)]) },
     );
     assert!(coord.is_active_primary());
     assert_eq!(coord.cur_viewid(), higher);
@@ -334,10 +318,8 @@ fn query_about_unknown_old_view_transaction_answers_aborted() {
     let effects = coord.on_message(30, Mid(7), Message::Query { aid: old_aid, reply_to: Mid(7) });
     let msgs = sends(&effects);
     assert!(
-        msgs.iter().any(|m| matches!(
-            m,
-            Message::QueryReply { outcome: QueryOutcome::Aborted, .. }
-        )),
+        msgs.iter()
+            .any(|m| matches!(m, Message::QueryReply { outcome: QueryOutcome::Aborted, .. })),
         "automatic abort answered: {msgs:?}"
     );
 }
@@ -392,10 +374,7 @@ fn duplicate_invite_reaccepted() {
     // The acceptance was lost; the (retransmitted) invite arrives again.
     let second = cohort.on_message(60, Mid(3), Message::Invite { viewid: vid, manager: Mid(3) });
     let count = |effects: &[Effect]| {
-        sends(effects)
-            .iter()
-            .filter(|m| matches!(m, Message::AcceptNormal { .. }))
-            .count()
+        sends(effects).iter().filter(|m| matches!(m, Message::AcceptNormal { .. })).count()
     };
     assert_eq!(count(&first), 1);
     assert_eq!(count(&second), 1, "re-accepts the same viewid");
@@ -579,7 +558,6 @@ fn backup_ignores_buffer_from_non_primary() {
     assert!(backup.gstate().pending_calls(aid(0)).is_empty());
 }
 
-
 // ----------------------------------------------------------------------
 // lock conflicts: parking, retry, timeout
 // ----------------------------------------------------------------------
@@ -604,10 +582,11 @@ fn conflicting_call_parks_and_runs_after_commit() {
     let effects =
         primary.on_message(40, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
     let reply = sends(&effects).iter().find_map(|m| match m {
-        Message::CallReply {
-            call_id,
-            outcome: CallOutcome::Ok { result, .. },
-        } if call_id.aid == b => Some(counter::decode_value(result).unwrap()),
+        Message::CallReply { call_id, outcome: CallOutcome::Ok { result, .. } }
+            if call_id.aid == b =>
+        {
+            Some(counter::decode_value(result).unwrap())
+        }
         _ => None,
     });
     assert_eq!(reply, Some(2), "parked call ran after the lock was released and saw A's write");
@@ -623,10 +602,11 @@ fn conflicting_call_parks_and_runs_after_abort() {
     // Abort A: B's parked call runs against the *unchanged* base value.
     let effects = primary.on_message(30, CLIENT_MID, Message::Abort { aid: a });
     let reply = sends(&effects).iter().find_map(|m| match m {
-        Message::CallReply {
-            call_id,
-            outcome: CallOutcome::Ok { result, .. },
-        } if call_id.aid == b => Some(counter::decode_value(result).unwrap()),
+        Message::CallReply { call_id, outcome: CallOutcome::Ok { result, .. } }
+            if call_id.aid == b =>
+        {
+            Some(counter::decode_value(result).unwrap())
+        }
         _ => None,
     });
     assert_eq!(reply, Some(1), "A's tentative write was discarded");
@@ -653,10 +633,7 @@ fn lock_wait_timeout_refuses_the_parked_call() {
     let refused = sends(&effects).iter().any(|m| {
         matches!(
             m,
-            Message::CallReply {
-                outcome: CallOutcome::Refused(CallRefusal::LockTimeout),
-                ..
-            }
+            Message::CallReply { outcome: CallOutcome::Refused(CallRefusal::LockTimeout), .. }
         )
     });
     assert!(refused, "parked call refused after the lock-wait timeout");
@@ -682,14 +659,19 @@ fn silent_primary_makes_backup_invite() {
     let mut now = 0;
     for _ in 0..5 {
         now += 20;
-        backup.on_message(now, Mid(1), Message::ImAlive { from: Mid(1), viewid: backup.cur_viewid() });
-        backup.on_message(now, Mid(3), Message::ImAlive { from: Mid(3), viewid: backup.cur_viewid() });
+        backup.on_message(
+            now,
+            Mid(1),
+            Message::ImAlive { from: Mid(1), viewid: backup.cur_viewid() },
+        );
+        backup.on_message(
+            now,
+            Mid(3),
+            Message::ImAlive { from: Mid(3), viewid: backup.cur_viewid() },
+        );
         let effects = backup.on_timer(now, Timer::Heartbeat);
         assert!(
-            !effects.iter().any(|e| matches!(
-                e,
-                Effect::Send { msg: Message::Invite { .. }, .. }
-            )),
+            !effects.iter().any(|e| matches!(e, Effect::Send { msg: Message::Invite { .. }, .. })),
             "no suspicion while everyone heartbeats"
         );
     }
@@ -699,12 +681,13 @@ fn silent_primary_makes_backup_invite() {
     let mut invited = false;
     for _ in 0..10 {
         now += 20;
-        backup.on_message(now, Mid(3), Message::ImAlive { from: Mid(3), viewid: backup.cur_viewid() });
+        backup.on_message(
+            now,
+            Mid(3),
+            Message::ImAlive { from: Mid(3), viewid: backup.cur_viewid() },
+        );
         let effects = backup.on_timer(now, Timer::Heartbeat);
-        if effects.iter().any(|e| matches!(
-            e,
-            Effect::Send { msg: Message::Invite { .. }, .. }
-        )) {
+        if effects.iter().any(|e| matches!(e, Effect::Send { msg: Message::Invite { .. }, .. })) {
             invited = true;
             break;
         }
@@ -743,10 +726,7 @@ fn higher_priority_backup_manages_first() {
             panic!("never managed");
         }
     }
-    assert!(
-        deferred_rounds >= 1,
-        "Mid(3) deferred at least one heartbeat to the live Mid(2)"
-    );
+    assert!(deferred_rounds >= 1, "Mid(3) deferred at least one heartbeat to the live Mid(2)");
 }
 
 // ----------------------------------------------------------------------
@@ -800,10 +780,7 @@ fn prepared_in_old_view_commits_in_new_view() {
     let effects =
         primary.on_message(40, CLIENT_MID, Message::Commit { aid: a, coordinator: CLIENT_MID });
     assert!(
-        effects.iter().any(|e| matches!(
-            e,
-            Effect::Observe(Observation::TxnCommitted { .. })
-        )),
+        effects.iter().any(|e| matches!(e, Effect::Observe(Observation::TxnCommitted { .. }))),
         "committed in the new view: {effects:?}"
     );
     assert!(primary.gstate().status(a).is_some_and(|s| s.is_committed()));
@@ -903,8 +880,7 @@ fn old_view_call_message_rejected_after_view_change() {
             args: op.args,
         },
     );
-    assert!(sends(&effects).iter().any(|m| matches!(
-        m,
-        Message::CallReply { outcome: CallOutcome::Ok { .. }, .. }
-    )));
+    assert!(sends(&effects)
+        .iter()
+        .any(|m| matches!(m, Message::CallReply { outcome: CallOutcome::Ok { .. }, .. })));
 }

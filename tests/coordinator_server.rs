@@ -46,10 +46,8 @@ fn agent_transaction_commits() {
 #[test]
 fn agent_multi_group_two_phase_commit() {
     let mut w = world(2);
-    let req = w.submit_via_agent(
-        AGENT,
-        vec![counter::incr(SERVER, 0, 1), bank::deposit(SERVER2, 0, 10)],
-    );
+    let req =
+        w.submit_via_agent(AGENT, vec![counter::incr(SERVER, 0, 1), bank::deposit(SERVER2, 0, 10)]);
     w.run_for(4_000);
     let record = w.result(req).expect("completed");
     assert!(matches!(record.outcome, TxnOutcome::Committed { .. }));
@@ -73,10 +71,7 @@ fn agent_empty_transaction_commits_trivially() {
     let mut w = world(3);
     let req = w.submit_via_agent(AGENT, vec![]);
     w.run_for(2_000);
-    assert!(matches!(
-        w.result(req).unwrap().outcome,
-        TxnOutcome::Committed { .. }
-    ));
+    assert!(matches!(w.result(req).unwrap().outcome, TxnOutcome::Committed { .. }));
 }
 
 #[test]
@@ -122,10 +117,8 @@ fn coordinator_server_crash_during_commit_is_recoverable() {
     let probe = w.submit_via_agent(AGENT2, vec![counter::read(SERVER, 0)]);
     w.run_for(4_000);
     let value = commit_value(&w, probe).expect("probe commits");
-    let interrupted_committed = matches!(
-        w.result(req).map(|r| &r.outcome),
-        Some(TxnOutcome::Committed { .. })
-    );
+    let interrupted_committed =
+        matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. }));
     if interrupted_committed {
         assert_eq!(value, 2);
     } else {
@@ -188,10 +181,7 @@ fn abandoned_agent_transaction_is_aborted_unilaterally() {
         ],
     );
     w.run_for(4_000);
-    assert!(matches!(
-        w.result(req).unwrap().outcome,
-        TxnOutcome::Aborted { .. }
-    ));
+    assert!(matches!(w.result(req).unwrap().outcome, TxnOutcome::Aborted { .. }));
     // The lock on SERVER counter 0 must be free: another transaction
     // writes it promptly.
     let next = w.submit_via_agent(AGENT2, vec![counter::incr(SERVER, 0, 1)]);

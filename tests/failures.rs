@@ -126,8 +126,7 @@ fn partitioned_minority_primary_cannot_commit() {
     let old_primary = w.primary_of(SERVER).unwrap();
     let others: Vec<Mid> = [S0, S1, S2].into_iter().filter(|&m| m != old_primary).collect();
     // Isolate the old server primary (clients stay with the majority).
-    let majority_side: Vec<Mid> =
-        [C0, C1, C2].into_iter().chain(others.iter().copied()).collect();
+    let majority_side: Vec<Mid> = [C0, C1, C2].into_iter().chain(others.iter().copied()).collect();
     w.partition(&[vec![old_primary], majority_side]);
     w.run_for(3_000);
     // The majority side forms a new view and keeps committing.
@@ -207,10 +206,7 @@ fn view_change_observed_in_metrics() {
     let p = w.primary_of(SERVER).unwrap();
     w.crash(p);
     w.run_for(3_000);
-    assert!(
-        w.metrics().view_formations > formations_before,
-        "a view formation was recorded"
-    );
+    assert!(w.metrics().view_formations > formations_before, "a view formation was recorded");
     w.recover(p);
     w.run_for(3_000);
     w.verify().unwrap();
@@ -231,10 +227,7 @@ fn full_group_crash_and_recovery_is_a_catastrophe_without_survivors() {
     w.recover(S1);
     w.recover(S2);
     w.run_for(10_000);
-    assert!(
-        w.primary_of(SERVER).is_none(),
-        "no view can form after total state loss"
-    );
+    assert!(w.primary_of(SERVER).is_none(), "no view can form after total state loss");
     let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
     w.run_for(5_000);
     assert!(
@@ -314,15 +307,10 @@ fn random_fault_sweep_preserves_invariants() {
     for seed in 0..5u64 {
         let mut w = world(100 + seed);
         let server_mids = [S0, S1, S2];
-        let plan =
-            FaultPlan::random(seed, &server_mids, 1_000, 15_000, 8, 1, true);
+        let plan = FaultPlan::random(seed, &server_mids, 1_000, 15_000, 8, 1, true);
         plan.apply(&mut w);
         for i in 0..20 {
-            w.schedule_submit(
-                500 + i * 800,
-                CLIENT,
-                vec![counter::incr(SERVER, i % 3, 1)],
-            );
+            w.schedule_submit(500 + i * 800, CLIENT, vec![counter::incr(SERVER, i % 3, 1)]);
         }
         w.run_until(40_000);
         w.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -335,4 +323,91 @@ fn random_fault_sweep_preserves_invariants() {
         );
         w.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
+}
+
+#[test]
+fn one_way_loss_of_primary_outbound_replaces_it_without_split_brain() {
+    // Asymmetric failure: the primary can still *hear* the group but
+    // none of its own messages get out. The backups stop receiving
+    // heartbeats, suspect it, and must form a new view among
+    // themselves; the old primary — which keeps receiving invitations
+    // and newview messages on its working inbound path — must follow
+    // the majority rather than linger as a split-brain primary.
+    let mut w = world(21);
+    assert_eq!(increment(&mut w, 2_000), Some(1));
+    let old_primary = w.primary_of(SERVER).unwrap();
+    let others: Vec<Mid> = [S0, S1, S2].into_iter().filter(|&m| m != old_primary).collect();
+    let everyone_else: Vec<Mid> = [C0, C1, C2].into_iter().chain(others.iter().copied()).collect();
+    w.block_one_way(&[old_primary], &everyone_else);
+    w.run_for(4_000);
+    let new_primary = w.primary_of(SERVER).expect("backups form a view without the mute");
+    assert_ne!(new_primary, old_primary, "mute primary must be replaced");
+    // No split brain: anything the mute primary believes cannot commit,
+    // because its prepares never reach a sub-majority. Commits keep
+    // flowing through the new view.
+    assert_eq!(increment(&mut w, 5_000), Some(2));
+    w.heal_one_way();
+    w.run_for(5_000);
+    assert_eq!(increment(&mut w, 5_000), Some(3));
+    w.verify().unwrap();
+}
+
+/// Ticks from crashing the primary until a replacement view has an
+/// active primary, plus the number of view-change attempts spent.
+fn convergence_after_primary_crash(seed: u64, backoff: bool) -> (u64, u64) {
+    let mut cfg = vsr_core::config::CohortConfig::new();
+    cfg.retry_backoff = backoff;
+    let net = vsr_simnet::NetConfig {
+        min_delay: 1,
+        max_delay: 10,
+        drop_prob: 0.20, // 20% symmetric loss on every link
+        dup_prob: 0.0,
+        seed,
+    };
+    let mut w = WorldBuilder::new(seed)
+        .net(net)
+        .cohorts(cfg)
+        .group(CLIENT, &[C0], || Box::new(NullModule))
+        .group(SERVER, &[S0, S1, S2], || Box::new(counter::CounterModule))
+        .build();
+    // Warm up until a commit lands (heavy loss can abort early attempts).
+    let warmed = (0..3).any(|_| increment(&mut w, 6_000).is_some());
+    assert!(warmed, "seed {seed}: no warmup commit under loss");
+    let primary = w.primary_of(SERVER).unwrap();
+    let attempts_before = w.metrics().view_change_attempts;
+    w.crash(primary);
+    let crashed_at = w.now();
+    while w.primary_of(SERVER).is_none() {
+        assert!(w.now() < crashed_at + 100_000, "seed {seed}: no view within 100k ticks");
+        w.step();
+    }
+    (w.now() - crashed_at, w.metrics().view_change_attempts - attempts_before)
+}
+
+#[test]
+fn backoff_converges_no_worse_than_fixed_retries_under_loss() {
+    // The capped-backoff-plus-jitter retry policy must not slow down
+    // view-change convergence relative to the fixed-interval policy it
+    // replaced, even with 20% of all messages dropped; it should also
+    // spend no more view-change attempts (that is the point of backing
+    // off: fewer colliding managers).
+    let seeds = [31u64, 32, 33, 34, 35];
+    let (mut t_backoff, mut t_fixed) = (0u64, 0u64);
+    let (mut a_backoff, mut a_fixed) = (0u64, 0u64);
+    for &seed in &seeds {
+        let (t, a) = convergence_after_primary_crash(seed, true);
+        t_backoff += t;
+        a_backoff += a;
+        let (t, a) = convergence_after_primary_crash(seed, false);
+        t_fixed += t;
+        a_fixed += a;
+    }
+    assert!(
+        t_backoff <= t_fixed * 11 / 10,
+        "backoff convergence regressed: {t_backoff} ticks vs fixed {t_fixed}"
+    );
+    assert!(
+        a_backoff <= a_fixed + seeds.len() as u64,
+        "backoff spent more view-change attempts: {a_backoff} vs fixed {a_fixed}"
+    );
 }

@@ -14,9 +14,7 @@ const SERVER2: GroupId = GroupId(3);
 fn counter_world(seed: u64) -> World {
     WorldBuilder::new(seed)
         .group(CLIENT, &[Mid(10), Mid(11), Mid(12)], || Box::new(NullModule))
-        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-            Box::new(vsr_app::counter::CounterModule)
-        })
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(vsr_app::counter::CounterModule))
         .build()
 }
 
@@ -54,11 +52,7 @@ fn multi_call_transaction_single_group() {
     let mut world = counter_world(3);
     let req = world.submit(
         CLIENT,
-        vec![
-            counter::incr(SERVER, 0, 2),
-            counter::incr(SERVER, 1, 3),
-            counter::read(SERVER, 0),
-        ],
+        vec![counter::incr(SERVER, 0, 2), counter::incr(SERVER, 1, 3), counter::read(SERVER, 0)],
     );
     world.run_for(2_000);
     let results = committed_results(&world, req);
@@ -90,25 +84,15 @@ fn read_only_transaction_commits_without_phase_two() {
 fn cross_group_two_phase_commit() {
     let mut world = WorldBuilder::new(5)
         .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
-        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-            Box::new(vsr_app::counter::CounterModule)
-        })
-        .group(SERVER2, &[Mid(4), Mid(5), Mid(6)], || {
-            Box::new(vsr_app::counter::CounterModule)
-        })
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(vsr_app::counter::CounterModule))
+        .group(SERVER2, &[Mid(4), Mid(5), Mid(6)], || Box::new(vsr_app::counter::CounterModule))
         .build();
-    let req = world.submit(
-        CLIENT,
-        vec![counter::incr(SERVER, 0, 1), counter::incr(SERVER2, 0, 2)],
-    );
+    let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1), counter::incr(SERVER2, 0, 2)]);
     world.run_for(3_000);
     let results = committed_results(&world, req);
     assert_eq!(results.len(), 2);
     // Both groups observed the commit.
-    let follow = world.submit(
-        CLIENT,
-        vec![counter::read(SERVER, 0), counter::read(SERVER2, 0)],
-    );
+    let follow = world.submit(CLIENT, vec![counter::read(SERVER, 0), counter::read(SERVER2, 0)]);
     world.run_for(3_000);
     let results = committed_results(&world, follow);
     assert_eq!(counter::decode_value(&results[0]).unwrap(), 1);
@@ -127,20 +111,16 @@ fn bank_transfer_conserves_money() {
             Box::new(bank::BankModule::with_accounts(vec![(0, 100)]))
         })
         .build();
-    let req = world.submit(
-        CLIENT,
-        vec![bank::withdraw(SERVER, 0, 30), bank::deposit(SERVER2, 0, 30)],
-    );
+    let req =
+        world.submit(CLIENT, vec![bank::withdraw(SERVER, 0, 30), bank::deposit(SERVER2, 0, 30)]);
     world.run_for(3_000);
     committed_results(&world, req);
-    let audit = world.submit(
-        CLIENT,
-        vec![bank::audit(SERVER, &[0, 1]), bank::audit(SERVER2, &[0])],
-    );
+    let audit =
+        world.submit(CLIENT, vec![bank::audit(SERVER, &[0, 1]), bank::audit(SERVER2, &[0])]);
     world.run_for(3_000);
     let results = committed_results(&world, audit);
-    let total = bank::decode_balance(&results[0]).unwrap()
-        + bank::decode_balance(&results[1]).unwrap();
+    let total =
+        bank::decode_balance(&results[0]).unwrap() + bank::decode_balance(&results[1]).unwrap();
     assert_eq!(total, 300, "money conserved");
     let balances = world.submit(CLIENT, vec![bank::balance(SERVER, 0)]);
     world.run_for(3_000);
@@ -183,10 +163,8 @@ fn earlier_call_effects_rolled_back_on_later_failure() {
             Box::new(bank::BankModule::with_accounts(vec![(0, 10), (1, 10)]))
         })
         .build();
-    let req = world.submit(
-        CLIENT,
-        vec![bank::deposit(SERVER, 0, 5), bank::withdraw(SERVER, 1, 999)],
-    );
+    let req =
+        world.submit(CLIENT, vec![bank::deposit(SERVER, 0, 5), bank::withdraw(SERVER, 1, 999)]);
     world.run_for(3_000);
     assert!(matches!(world.result(req).unwrap().outcome, TxnOutcome::Aborted { .. }));
     let check = world.submit(CLIENT, vec![bank::audit(SERVER, &[0, 1])]);

@@ -9,21 +9,15 @@ use vsr_core::cohort::TxnOutcome;
 use vsr_core::config::CohortConfig;
 use vsr_core::module::NullModule;
 use vsr_core::types::{GroupId, Mid};
-use vsr_simnet::NetConfig;
 use vsr_sim::world::{World, WorldBuilder};
+use vsr_simnet::NetConfig;
 
 const CLIENT: GroupId = GroupId(1);
 const SERVER: GroupId = GroupId(2);
 
 fn lossy_world(seed: u64, drop_prob: f64) -> World {
     WorldBuilder::new(seed)
-        .net(NetConfig {
-            min_delay: 1,
-            max_delay: 5,
-            drop_prob,
-            dup_prob: 0.05,
-            seed,
-        })
+        .net(NetConfig { min_delay: 1, max_delay: 5, drop_prob, dup_prob: 0.05, seed })
         .group(CLIENT, &[Mid(10), Mid(11), Mid(12)], || Box::new(NullModule))
         .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
         .build()
@@ -40,10 +34,7 @@ fn lost_commit_messages_resolved_by_queries() {
         for i in 0..10u64 {
             let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
             w.run_for(6_000);
-            if matches!(
-                w.result(req).map(|r| &r.outcome),
-                Some(TxnOutcome::Committed { .. })
-            ) {
+            if matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. })) {
                 committed.push(req);
             }
             let _ = i;
@@ -101,10 +92,7 @@ fn lost_abort_messages_release_locks_via_queries() {
         ],
     );
     w.run_for(2_000);
-    assert!(matches!(
-        w.result(req).map(|r| &r.outcome),
-        Some(TxnOutcome::Aborted { .. })
-    ));
+    assert!(matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Aborted { .. })));
     // Note: because the refusal came from the server itself, the abort
     // message usually arrives. To force the lost-abort path, check
     // instead that even when we aggressively drop all further messages
@@ -131,9 +119,7 @@ fn coordinator_crash_between_prepare_and_commit_resolved() {
     for seed in 0..4u64 {
         let mut w = WorldBuilder::new(seed + 40)
             .group(CLIENT, &[Mid(10), Mid(11), Mid(12)], || Box::new(NullModule))
-            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .build();
         let warm = w.submit(CLIENT, vec![counter::incr(SERVER, 1, 1)]);
         w.run_for(2_000);
@@ -152,9 +138,7 @@ fn coordinator_crash_between_prepare_and_commit_resolved() {
         let probe = w.submit(CLIENT, vec![counter::read(SERVER, 0)]);
         w.run_for(4_000);
         let value = match &w.result(probe).expect("probe done").outcome {
-            TxnOutcome::Committed { results } => {
-                counter::decode_value(&results[0]).unwrap()
-            }
+            TxnOutcome::Committed { results } => counter::decode_value(&results[0]).unwrap(),
             other => panic!("seed {seed}: probe failed {other:?}"),
         };
         assert!(value <= 1, "seed {seed}: at most one increment, got {value}");
@@ -164,10 +148,7 @@ fn coordinator_crash_between_prepare_and_commit_resolved() {
             }
             let pending: Vec<_> =
                 w.cohort(mid).gstate().pending_txns().map(|(aid, _)| aid).collect();
-            assert!(
-                pending.is_empty(),
-                "seed {seed}: unresolved participant state {pending:?}"
-            );
+            assert!(pending.is_empty(), "seed {seed}: unresolved participant state {pending:?}");
         }
         let _ = req;
         w.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -186,10 +167,7 @@ fn queries_answered_by_backups_when_primary_is_down() {
         .build();
     let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
     w.run_for(3_000);
-    assert!(matches!(
-        w.result(req).map(|r| &r.outcome),
-        Some(TxnOutcome::Committed { .. })
-    ));
+    assert!(matches!(w.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. })));
     let aid = w.result(req).unwrap().aid.unwrap();
     // The coordinator's backups already hold the committing/done status
     // via the buffer stream.
@@ -197,8 +175,7 @@ fn queries_answered_by_backups_when_primary_is_down() {
     let mut knowing_backups = 0;
     for &mid in w.members_of(CLIENT) {
         let c = w.cohort(mid);
-        if !c.is_active_primary() && c.gstate().status(aid).is_some_and(|s| s.is_committed())
-        {
+        if !c.is_active_primary() && c.gstate().status(aid).is_some_and(|s| s.is_committed()) {
             knowing_backups += 1;
         }
     }

@@ -28,9 +28,7 @@ fn big_world(seed: u64, lossy: bool) -> World {
         .group(BANK_B, &[Mid(7), Mid(8), Mid(9)], || {
             Box::new(bank::BankModule::with_accounts((0..4).map(|a| (a, 1_000)).collect()))
         })
-        .group(COUNTERS, &[Mid(13), Mid(14), Mid(15)], || {
-            Box::new(counter::CounterModule)
-        })
+        .group(COUNTERS, &[Mid(13), Mid(14), Mid(15)], || Box::new(counter::CounterModule))
         .build()
 }
 
@@ -103,17 +101,12 @@ fn mixed_workload_soak_with_random_faults() {
         }
         // Mixed traffic: transfers between banks, counter bumps, queue
         // traffic — 60 transactions.
-        let transfers =
-            vsr_sim::workload::transfers(&[BANK_A, BANK_B], 4, 20, seed, 500, 1_500);
+        let transfers = vsr_sim::workload::transfers(&[BANK_A, BANK_B], 4, 20, seed, 500, 1_500);
         for (at, ops) in transfers {
             w.schedule_submit(at, CLIENT, ops);
         }
         for i in 0..20u64 {
-            w.schedule_submit(
-                800 + i * 1_500,
-                CLIENT,
-                vec![counter::incr(COUNTERS, i % 4, 1)],
-            );
+            w.schedule_submit(800 + i * 1_500, CLIENT, vec![counter::incr(COUNTERS, i % 4, 1)]);
             w.schedule_submit(
                 1_100 + i * 1_500,
                 CLIENT,
@@ -129,8 +122,7 @@ fn mixed_workload_soak_with_random_faults() {
             vec![bank::audit(BANK_A, &[0, 1, 2, 3]), bank::audit(BANK_B, &[0, 1, 2, 3])],
         );
         w.run_for(8_000);
-        if let Some(TxnOutcome::Committed { results }) = w.result(audit).map(|r| &r.outcome)
-        {
+        if let Some(TxnOutcome::Committed { results }) = w.result(audit).map(|r| &r.outcome) {
             let total = bank::decode_balance(&results[0]).unwrap()
                 + bank::decode_balance(&results[1]).unwrap();
             assert_eq!(total, 8_000, "seed {seed}: money conserved");
@@ -178,16 +170,8 @@ fn five_group_world_stays_consistent_for_a_long_run() {
     // 200 transactions spread over all groups with a mid-run partition
     // of the queue group's primary.
     for i in 0..50u64 {
-        w.schedule_submit(
-            200 + i * 400,
-            CLIENT,
-            vec![counter::incr(COUNTERS, i % 4, 1)],
-        );
-        w.schedule_submit(
-            300 + i * 400,
-            CLIENT,
-            vec![queue::enqueue(QUEUE, b"x")],
-        );
+        w.schedule_submit(200 + i * 400, CLIENT, vec![counter::incr(COUNTERS, i % 4, 1)]);
+        w.schedule_submit(300 + i * 400, CLIENT, vec![queue::enqueue(QUEUE, b"x")]);
         if i % 5 == 0 {
             w.schedule_submit(
                 400 + i * 400,
@@ -238,9 +222,6 @@ fn buffer_stays_bounded_over_long_runs() {
     assert!(w.metrics().committed >= 140);
     let primary = w.primary_of(COUNTERS).expect("healthy");
     let len = w.cohort(primary).buffer_len().unwrap_or(0);
-    assert!(
-        len < 50,
-        "buffer bounded after 150 txns (hundreds of records generated): {len}"
-    );
+    assert!(len < 50, "buffer bounded after 150 txns (hundreds of records generated): {len}");
     w.verify().unwrap();
 }

@@ -55,9 +55,10 @@ fn send_call(cohort: &mut Cohort, now: u64, generation: u64) -> Vec<Effect> {
 
 fn reply_value(effects: &[Effect]) -> Option<u64> {
     effects.iter().find_map(|e| match e {
-        Effect::Send { msg: Message::CallReply { outcome: CallOutcome::Ok { result, .. }, .. }, .. } => {
-            Some(counter::decode_value(result).unwrap())
-        }
+        Effect::Send {
+            msg: Message::CallReply { outcome: CallOutcome::Ok { result, .. }, .. },
+            ..
+        } => Some(counter::decode_value(result).unwrap()),
         _ => None,
     })
 }
@@ -81,11 +82,8 @@ fn redo_drops_orphan_generation_effects() {
     assert_eq!(records[0].call_id.seq, call_seq(0, 1));
 
     // Commit: the counter must be exactly 1, not 2.
-    let effects = server.on_message(
-        200,
-        CLIENT_MID,
-        Message::Commit { aid: aid(), coordinator: CLIENT_MID },
-    );
+    let effects =
+        server.on_message(200, CLIENT_MID, Message::Commit { aid: aid(), coordinator: CLIENT_MID });
     assert!(effects
         .iter()
         .any(|e| matches!(e, Effect::Send { msg: Message::CommitDone { .. }, .. })));
@@ -114,9 +112,9 @@ fn late_duplicate_of_dropped_generation_is_ignored() {
     let mut server = single_server();
     send_call(&mut server, 10, 0);
     send_call(&mut server, 100, 1); // drops generation 0
-    // A late network duplicate of the generation-0 call arrives. It must
-    // not execute (its subaction was aborted) and must not be answered
-    // from a record (the record is gone).
+                                    // A late network duplicate of the generation-0 call arrives. It must
+                                    // not execute (its subaction was aborted) and must not be answered
+                                    // from a record (the record is gone).
     let effects = send_call(&mut server, 150, 0);
     assert!(
         effects.is_empty(),
@@ -155,11 +153,7 @@ fn redo_reacquires_locks_correctly() {
             args: op.args,
         },
     );
-    assert_eq!(
-        reply_value(&effects),
-        None,
-        "conflicting call parks on the redo's lock"
-    );
+    assert_eq!(reply_value(&effects), None, "conflicting call parks on the redo's lock");
 }
 
 // ----------------------------------------------------------------------
@@ -178,9 +172,7 @@ fn redo_carries_transactions_through_view_changes() {
     for seed in 0..6u64 {
         let mut w = WorldBuilder::new(seed)
             .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
-            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .build();
         // Warm the cache.
         let warm = w.submit(CLIENT, vec![counter::incr(SERVER, 1, 1)]);
@@ -201,9 +193,7 @@ fn redo_carries_transactions_through_view_changes() {
             // Exactly-once: the counter reads 1.
             let probe = w.submit(CLIENT, vec![counter::read(SERVER, 0)]);
             w.run_for(3_000);
-            if let TxnOutcome::Committed { results } =
-                &w.result(probe).unwrap().outcome
-            {
+            if let TxnOutcome::Committed { results } = &w.result(probe).unwrap().outcome {
                 assert_eq!(
                     counter::decode_value(&results[0]).unwrap(),
                     1,
@@ -239,9 +229,7 @@ fn flat_mode_aborts_where_redo_commits() {
         let mut w = WorldBuilder::new(seed)
             .cohorts(cfg)
             .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
-            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || {
-                Box::new(counter::CounterModule)
-            })
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
             .build();
         let warm = w.submit(CLIENT, vec![counter::incr(SERVER, 1, 1)]);
         w.run_for(2_000);

@@ -26,9 +26,7 @@ fn increment(world: &mut World) -> Option<u64> {
     let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
     world.run_for(3_000);
     match &world.result(req)?.outcome {
-        TxnOutcome::Committed { results } => {
-            Some(counter::decode_value(&results[0]).unwrap())
-        }
+        TxnOutcome::Committed { results } => Some(counter::decode_value(&results[0]).unwrap()),
         _ => None,
     }
 }
@@ -38,10 +36,7 @@ fn backup_crash_handled_without_invitation_round() {
     let mut w = world(1);
     assert_eq!(increment(&mut w), Some(1));
     let primary = w.primary_of(SERVER).unwrap();
-    let backup = [Mid(1), Mid(2), Mid(3)]
-        .into_iter()
-        .find(|&m| m != primary)
-        .unwrap();
+    let backup = [Mid(1), Mid(2), Mid(3)].into_iter().find(|&m| m != primary).unwrap();
     let invites_before = w.metrics().msgs.get("invite").copied().unwrap_or(0);
     let viewid_before = w.cohort(primary).cur_viewid();
     w.crash(backup);
@@ -58,10 +53,8 @@ fn backup_crash_handled_without_invitation_round() {
         "no invitation round was needed"
     );
     // The remaining backup followed the primary into the new view.
-    let follower = [Mid(1), Mid(2), Mid(3)]
-        .into_iter()
-        .find(|&m| m != primary && m != backup)
-        .unwrap();
+    let follower =
+        [Mid(1), Mid(2), Mid(3)].into_iter().find(|&m| m != primary && m != backup).unwrap();
     assert_eq!(w.cohort(follower).cur_viewid(), cohort.cur_viewid());
     // Service continues and the crashed cohort can rejoin later.
     assert_eq!(increment(&mut w), Some(2));
@@ -77,10 +70,7 @@ fn exclusion_does_not_lose_inflight_transactions() {
     let mut w = world(2);
     assert_eq!(increment(&mut w), Some(1));
     let primary = w.primary_of(SERVER).unwrap();
-    let backup = [Mid(1), Mid(2), Mid(3)]
-        .into_iter()
-        .find(|&m| m != primary)
-        .unwrap();
+    let backup = [Mid(1), Mid(2), Mid(3)].into_iter().find(|&m| m != primary).unwrap();
     // Submit while crashing the backup: the transaction's forces span
     // the unilateral adjustment and must still complete.
     let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);

@@ -1,0 +1,395 @@
+//! The `Strategy` trait and the combinators this workspace uses:
+//! integer ranges, tuples, `Just`, `any::<T>()`, mapping, weighted
+//! unions (`prop_oneof!`), element vectors, booleans, and a
+//! regex-lite `&'static str` strategy for simple `[class]{lo,hi}`
+//! patterns. Sampling only — no shrinking.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests.
+///
+/// Object-safe: only `sample` is required; the combinators are
+/// `Sized`-gated so `Box<dyn Strategy<Value = V>>` works.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128)
+                    .wrapping_sub(*self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0);
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+
+// ------------------------------------------------------------- any::<T>()
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// Strategy over the whole domain of `T`; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform boolean strategy (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ----------------------------------------------------------------- union
+
+/// Weighted choice among boxed arms, built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(u128::from(total)) as u64;
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Box one `prop_oneof!` arm, unifying arm types at the `Value` level.
+pub fn union_arm<S>(weight: u32, strategy: S) -> (u32, BoxedStrategy<S::Value>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+// ------------------------------------------------------------------ vec
+
+/// Vector of `element`-generated values with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn vec_strategy<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            self.size.clone().sample(rng)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// ----------------------------------------------------------- regex-lite
+
+/// `&'static str` as a string strategy for patterns of the shape
+/// `[class]{lo,hi}` / `[class]{n}` (e.g. `"[a-z]{0,12}"`). Richer
+/// regexes are unsupported and panic loudly.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_simple_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = if lo == hi {
+            lo
+        } else {
+            (lo..=hi).sample(rng)
+        };
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u128) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` or `[class]{n}` into (alphabet, lo, hi).
+fn parse_simple_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a > b {
+                return None;
+            }
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+
+    let (lo, hi) = match reps.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u64..17).sample(&mut r);
+            assert!((3..17).contains(&v));
+            let s = (-5i32..5).sample(&mut r);
+            assert!((-5..5).contains(&s));
+            let i = (2u8..=4).sample(&mut r);
+            assert!((2..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut r = rng();
+        let strat = (0u64..10, 0u64..10).prop_map(|(a, b)| a + b);
+        for _ in 0..50 {
+            assert!(strat.sample(&mut r) < 19);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let mut r = rng();
+        let u = Union::new(vec![union_arm(1, Just(1u8)), union_arm(0, Just(2u8))]);
+        for _ in 0..50 {
+            assert_eq!(u.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut r = rng();
+        let strat = vec_strategy(any::<u8>(), 2..5);
+        for _ in 0..50 {
+            let v = strat.sample(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_sampling() {
+        let mut r = rng();
+        let strat = "[a-z]{0,12}";
+        for _ in 0..100 {
+            let s = strat.sample(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

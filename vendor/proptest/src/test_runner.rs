@@ -1,0 +1,79 @@
+//! Test-runner types: deterministic RNG, per-run config, and the
+//! rejection/failure error carried out of a test case body.
+
+/// Deterministic RNG for sampling strategies (SplitMix64).
+///
+/// Seeded from the test name so every `cargo test` run explores the
+/// same cases — reproducibility is worth more than novelty here.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "TestRng::below(0)");
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        // Modulo bias is ~2^-64 for the spans used in tests; acceptable.
+        wide % n
+    }
+}
+
+/// Per-`proptest!` configuration; only `cases` matters to the stub.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run `cases` sampled inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 32 }
+    }
+}
+
+/// Why a test-case body bailed out early.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated; the run panics.
+    Fail(String),
+    /// `prop_assume!` rejected the input — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on protocol types but
+//! never invokes an actual serializer (no serde_json/bincode in the
+//! tree), so the traits here are markers with blanket implementations
+//! and the derive macros (re-exported from the stub `serde_derive`)
+//! expand to nothing. If a real wire format is ever added, replace this
+//! vendored stub with the genuine crate.
+
+/// Marker for serializable types. Blanket-implemented: the stub derive
+/// emits no impls, and no code in this workspace bounds on the trait's
+/// methods.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (lifetime mirrors real serde's API).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's owned-deserialization helper trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
