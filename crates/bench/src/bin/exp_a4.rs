@@ -1,0 +1,4 @@
+//! Run experiment A4 and print its tables.
+fn main() {
+    print!("{}", vsr_bench::experiments::a4::run());
+}

@@ -24,6 +24,7 @@ pub use view_change::{formation_possible, Acceptance};
 
 use crate::buffer::CommBuffer;
 use crate::config::CohortConfig;
+use crate::durable::{Checkpoint, DurableEvent, RecoveredState};
 use crate::event::{EventKind, EventRecord};
 use crate::gstate::{GroupState, ObjectAccess};
 use crate::history::History;
@@ -268,6 +269,15 @@ pub enum Effect {
     },
     /// An observability event (see [`Observation`]).
     Observe(Observation),
+    /// Hand `event` to the stable store, if the runtime keeps one.
+    ///
+    /// Ordering contract: the cohort pushes a `Persist` *before* any
+    /// [`Effect::Send`] that depends on it (a record persists before the
+    /// acknowledgement that makes it count toward a sub-majority), and
+    /// runtimes execute effects in list order. Runtimes without stable
+    /// storage may ignore persist effects entirely — the protocol then
+    /// degrades to the paper's viewid-only durability.
+    Persist(DurableEvent),
 }
 
 /// The reasons a force can be pending, i.e. the continuations to run when
@@ -365,6 +375,14 @@ pub struct Cohort {
     pub(crate) next_txn_seq: u64,
     pub(crate) cache: BTreeMap<GroupId, (ViewId, View)>,
 
+    // --- durability bookkeeping ---
+    /// Event records applied since the last checkpoint persist effect;
+    /// drives [`CohortConfig::checkpoint_interval`].
+    pub(crate) records_since_checkpoint: u64,
+    /// How many log records the last [`Cohort::recover`] replayed (0 for
+    /// a paper-minimum recovery); read by harness metrics.
+    pub(crate) records_replayed: u64,
+
     // --- view change volatile state ---
     pub(crate) vc: VcState,
     /// Heartbeats spent deferring to a higher-priority manager candidate
@@ -438,22 +456,70 @@ impl Cohort {
             resumed: BTreeMap::new(),
             next_txn_seq: 0,
             cache: BTreeMap::new(),
+            records_since_checkpoint: 0,
+            records_replayed: 0,
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
         }
     }
 
-    /// Re-create a cohort after a crash: volatile state is gone; only the
-    /// stable fields (mid, configuration, groupid, and the last stable
-    /// viewid) remain. The cohort starts with `up_to_date = false` and
+    /// Re-create a cohort after a crash from whatever its stable store
+    /// handed back.
+    ///
+    /// With the paper-minimum [`RecoveredState::viewid_only`], volatile
+    /// state is gone: the cohort starts with `up_to_date = false` and
     /// status view-manager, "causing it to start a view change"
-    /// (Section 4).
-    pub fn recover(params: CohortParams, stable_viewid: ViewId) -> Self {
+    /// (Section 4), and answers invitations with a crash-acceptance.
+    ///
+    /// With a *complete* recovered state (fsync-per-record store, clean
+    /// scan), the checkpoint is restored and the log tail replayed
+    /// through the same [`apply_gstate_record`](Self::apply_gstate_record)
+    /// path the live protocol uses, after which the cohort is up to date
+    /// and answers *normally* — so even a whole-group crash can re-form a
+    /// view. Incomplete state (lazier fsync policies, detected
+    /// corruption, or a checkpoint older than the stable viewid) is
+    /// deliberately discarded: recovering partial knowledge and claiming
+    /// it is current could elect a primary that lost a forced commit.
+    pub fn recover(params: CohortParams, recovered: RecoveredState) -> Self {
         let mut cohort = Cohort::new_inactive(params);
+        let RecoveredState { stable_viewid, checkpoint, tail, complete } = recovered;
         cohort.stable_viewid = stable_viewid;
         cohort.cur_viewid = stable_viewid;
         cohort.max_viewid = stable_viewid;
+        if !complete {
+            return cohort;
+        }
+        let Some(cp) = checkpoint else { return cohort };
+        if cp.viewid < stable_viewid {
+            // A newer view was entered but its checkpoint never became
+            // durable; the snapshot is stale. Fail safe: viewid only.
+            return cohort;
+        }
+        cohort.cur_viewid = cp.viewid;
+        cohort.cur_view = cp.view;
+        cohort.history = cp.history;
+        cohort.gstate = cp.gstate;
+        let mut ignored = Vec::new();
+        for record in &tail {
+            let Some(latest) = cohort.history.latest() else { break };
+            if record.vs.id != latest.id {
+                break;
+            }
+            if record.ts() <= latest.ts {
+                continue; // already inside the checkpoint
+            }
+            if record.ts().0 != latest.ts.0 + 1 {
+                break; // gap: trust only the contiguous prefix
+            }
+            if !matches!(record.kind, EventKind::NewView { .. }) {
+                // Replay observations are pre-crash news; discard them.
+                cohort.apply_gstate_record(record, &mut ignored);
+            }
+            cohort.history.advance(record.vs.id, record.ts());
+            cohort.records_replayed += 1;
+        }
+        cohort.up_to_date = !cohort.history.is_empty();
         cohort
     }
 
@@ -489,6 +555,8 @@ impl Cohort {
             resumed: BTreeMap::new(),
             next_txn_seq: 0,
             cache: BTreeMap::new(),
+            records_since_checkpoint: 0,
+            records_replayed: 0,
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
@@ -499,6 +567,18 @@ impl Cohort {
     /// change. Call exactly once, right after construction.
     pub fn start(&mut self, now: Tick) -> Vec<Effect> {
         let mut out = Vec::new();
+        if self.status == Status::Active && self.up_to_date {
+            // The bootstrap view is entered at construction, not through
+            // `start_view`, so its stable-storage write happens here —
+            // otherwise a store would hold no trace of the initial view.
+            out.push(Effect::Persist(DurableEvent::StableViewId(self.cur_viewid)));
+            out.push(Effect::Persist(DurableEvent::Checkpoint(Checkpoint {
+                viewid: self.cur_viewid,
+                view: self.cur_view.clone(),
+                history: self.history.clone(),
+                gstate: self.gstate.clone(),
+            })));
+        }
         out.push(Effect::SetTimer { after: self.cfg.heartbeat_interval, timer: Timer::Heartbeat });
         if self.is_active_primary() {
             self.arm_flush(&mut out);
@@ -584,6 +664,12 @@ impl Cohort {
     /// The viewid last written to stable storage (what survives a crash).
     pub fn stable_viewid(&self) -> ViewId {
         self.stable_viewid
+    }
+
+    /// How many log records the constructing [`Cohort::recover`] replayed
+    /// (0 for a paper-minimum viewid-only recovery). For harness metrics.
+    pub fn records_replayed(&self) -> u64 {
+        self.records_replayed
     }
 
     /// The group's configuration.
@@ -743,7 +829,11 @@ impl Cohort {
         let vs = buffer.add(kind);
         self.history.advance(self.cur_viewid, vs.ts);
         let record = EventRecord { vs, kind: record_kind };
+        // Log before use: the record must be durable before anything
+        // downstream (sends, acks) makes it externally visible.
+        out.push(Effect::Persist(DurableEvent::Record(record.clone())));
         self.apply_gstate_record(&record, out);
+        self.checkpoint_tick(out);
         if self.cfg.buffer_flush_interval == 0 {
             self.flush_buffer(out);
         }
@@ -761,6 +851,10 @@ impl Cohort {
         out: &mut Vec<Effect>,
     ) -> Vec<ForceReason> {
         debug_assert!(self.is_active_primary(), "primary_force on non-primary");
+        // A force is the protocol's commit point: stores running the
+        // on-force fsync policy sync their log here (Section 3.7's
+        // correspondence with conventional stable-storage forces).
+        out.push(Effect::Persist(DurableEvent::Sync));
         let buffer = self.buffer.as_mut().expect("active primary has a buffer");
         if buffer.force_to(vs, reason.clone()) {
             return vec![reason];
@@ -961,16 +1055,41 @@ impl Cohort {
             if record.ts().0 != known.0 + 1 {
                 break; // gap; the primary will retransmit from our ack
             }
+            // Log before ack: the BufferAck below is what lets this
+            // record count toward a sub-majority, so it must be durable
+            // first.
+            out.push(Effect::Persist(DurableEvent::Record(record.clone())));
             if !matches!(record.kind, EventKind::NewView { .. }) {
                 self.apply_gstate_record(record, out);
             }
             known = record.ts();
             self.history.advance(self.cur_viewid, known);
+            self.checkpoint_tick(out);
         }
         out.push(Effect::Send {
             to: from,
             msg: Message::BufferAck { viewid: self.cur_viewid, from: self.mid, upto: known },
         });
+    }
+
+    /// Emit a periodic checkpoint persist effect every
+    /// `checkpoint_interval` applied records, so a store can bound its
+    /// log replay (and garbage-collect old segments).
+    pub(crate) fn checkpoint_tick(&mut self, out: &mut Vec<Effect>) {
+        if self.cfg.checkpoint_interval == 0 {
+            return;
+        }
+        self.records_since_checkpoint += 1;
+        if self.records_since_checkpoint < self.cfg.checkpoint_interval {
+            return;
+        }
+        self.records_since_checkpoint = 0;
+        out.push(Effect::Persist(DurableEvent::Checkpoint(Checkpoint {
+            viewid: self.cur_viewid,
+            view: self.cur_view.clone(),
+            history: self.history.clone(),
+            gstate: self.gstate.clone(),
+        })));
     }
 
     /// Apply an event record's gstate transition. Used identically by the

@@ -14,7 +14,8 @@
 
 use super::{Cohort, Effect, Observation, Status, Timer, TxnOutcome};
 use crate::buffer::CommBuffer;
-use crate::event::EventKind;
+use crate::durable::{Checkpoint, DurableEvent};
+use crate::event::{EventKind, EventRecord};
 use crate::gstate::{GroupState, TxnStatus};
 use crate::history::History;
 use crate::locks::LockTable;
@@ -389,7 +390,17 @@ impl Cohort {
         self.cur_viewid = viewid;
         self.cur_view = view.clone();
         self.history.open_view(viewid);
-        self.stable_viewid = viewid; // stable-storage write
+        self.stable_viewid = viewid; // stable-storage write (Section 4.2)
+        out.push(Effect::Persist(DurableEvent::StableViewId(viewid)));
+        // Snapshot the state the new view starts from; the log tail a
+        // recovery replays begins right after this point.
+        out.push(Effect::Persist(DurableEvent::Checkpoint(Checkpoint {
+            viewid,
+            view: view.clone(),
+            history: self.history.clone(),
+            gstate: self.gstate.clone(),
+        })));
+        self.records_since_checkpoint = 0;
         self.up_to_date = true;
         self.status = Status::Active;
         self.vc = VcState::None;
@@ -406,17 +417,17 @@ impl Cohort {
         let mut buffer = CommBuffer::new(viewid, view.backups(), self.configuration.sub_majority());
         // "It initializes the buffer to contain a single "newview" event
         // record; this record contains cur_view, history, and gstate."
-        let mut history_snapshot = self.history.clone();
-        let newview_vs = {
-            let vs = buffer.add(EventKind::NewView {
-                view: view.clone(),
-                history: history_snapshot.clone(),
-                gstate: self.gstate.clone(),
-            });
-            history_snapshot.advance(viewid, vs.ts);
-            vs
+        let newview_kind = EventKind::NewView {
+            view: view.clone(),
+            history: self.history.clone(),
+            gstate: self.gstate.clone(),
         };
+        let newview_vs = buffer.add(newview_kind.clone());
         self.history.advance(viewid, newview_vs.ts);
+        out.push(Effect::Persist(DurableEvent::Record(EventRecord {
+            vs: newview_vs,
+            kind: newview_kind,
+        })));
         self.buffer = Some(buffer);
         out.push(Effect::Observe(Observation::ViewChanged {
             group: self.group,
@@ -585,6 +596,14 @@ impl Cohort {
         self.history = history;
         self.gstate = gstate;
         self.stable_viewid = viewid;
+        out.push(Effect::Persist(DurableEvent::StableViewId(viewid)));
+        out.push(Effect::Persist(DurableEvent::Checkpoint(Checkpoint {
+            viewid,
+            view: view.clone(),
+            history: self.history.clone(),
+            gstate: self.gstate.clone(),
+        })));
+        self.records_since_checkpoint = 0;
         self.up_to_date = true;
         self.status = Status::Active;
         self.vc = VcState::None;

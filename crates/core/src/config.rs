@@ -109,6 +109,13 @@ pub struct CohortConfig {
     /// round at all. Off by default so measurements reflect the base
     /// protocol.
     pub unilateral_exclusion: bool,
+    /// Durability: emit a periodic [`Checkpoint`](crate::durable) persist
+    /// effect every this many event records applied mid-view, bounding
+    /// how much log a store must replay on recovery. `0` (the default)
+    /// checkpoints only at view changes — the paper's protocol emits no
+    /// mid-view snapshots, and runtimes without a store ignore persist
+    /// effects entirely.
+    pub checkpoint_interval: u64,
 }
 
 impl CohortConfig {
@@ -138,6 +145,7 @@ impl CohortConfig {
             retry_jitter_permille: 250,
             eager_force_calls: false,
             unilateral_exclusion: false,
+            checkpoint_interval: 0,
         }
     }
 

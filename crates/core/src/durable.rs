@@ -1,0 +1,136 @@
+//! Durability interface of the sans-I/O core (Section 4.2).
+//!
+//! The paper requires only the viewid on stable storage: "the only
+//! information that a cohort needs to remember stably is the viewid".
+//! Everything else is volatile, and a recovered cohort rejoins with a
+//! crash-acceptance. This module widens that minimum into an *optional*
+//! write-ahead log contract, so runtimes that do keep event records and
+//! checkpoints on disk can bring a cohort back *up to date* after a crash
+//! — turning a whole-group power failure from a permanent catastrophe
+//! into an ordinary view change.
+//!
+//! The core stays sans-I/O: the cohort emits
+//! [`Effect::Persist`](crate::cohort::Effect::Persist) carrying a
+//! [`DurableEvent`], a runtime-owned store appends it to its log, and on
+//! restart the store hands back a [`RecoveredState`] that
+//! [`Cohort::recover`](crate::cohort::Cohort::recover) consumes.
+//!
+//! ## When is recovered state trustworthy?
+//!
+//! [`RecoveredState::complete`] may only be set when the store guarantees
+//! that **every acknowledged event record** survived the crash — in
+//! practice, an fsync-per-record policy with a clean CRC scan. Under lazier
+//! fsync policies a synced *prefix* of the log survives; recovering from a
+//! prefix and claiming an up-to-date ("normal") acceptance is unsound: a
+//! recovered primary reporting a truncated viewstamp can win view
+//! formation together with a lagging backup and silently lose a forced
+//! commit, bypassing the crashed-acceptance rule that exists to prevent
+//! exactly this. Stores running those policies must return
+//! `complete = false`, which recovers with the paper's crash-acceptance
+//! (viewid only).
+
+use crate::event::EventRecord;
+use crate::gstate::GroupState;
+use crate::history::History;
+use crate::types::ViewId;
+use crate::view::View;
+
+/// A full snapshot of the replicated state at one point in the event
+/// stream, written at every view change and (optionally) periodically
+/// mid-view. Recovery restores the latest checkpoint and replays the log
+/// records appended after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The view in force when the snapshot was taken (also establishes
+    /// the stable viewid: a checkpoint subsumes a
+    /// [`DurableEvent::StableViewId`] for the same view).
+    pub viewid: ViewId,
+    /// The membership of that view.
+    pub view: View,
+    /// The history as of the snapshot; replay continues from its latest
+    /// entry.
+    pub history: History,
+    /// The group state as of the snapshot.
+    pub gstate: GroupState,
+}
+
+/// One unit of information the cohort asks its runtime to make durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableEvent {
+    /// Append an event record to the write-ahead log. Emitted by the
+    /// primary when it adds a record to the communication buffer and by
+    /// backups when they apply a delivered record — always *before* the
+    /// acknowledgement that makes the record count toward a sub-majority.
+    Record(EventRecord),
+    /// The paper's stable-storage write (Section 4.2): the cohort entered
+    /// view `ViewId`. The minimum a store must retain.
+    StableViewId(ViewId),
+    /// A full state snapshot; older log segments become garbage.
+    Checkpoint(Checkpoint),
+    /// A synchronization barrier with no payload: everything appended so
+    /// far should survive a crash. Emitted when the primary initiates a
+    /// force; stores running the on-force fsync policy sync here.
+    Sync,
+}
+
+impl DurableEvent {
+    /// Short name for tracing and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DurableEvent::Record(_) => "record",
+            DurableEvent::StableViewId(_) => "stable-viewid",
+            DurableEvent::Checkpoint(_) => "checkpoint",
+            DurableEvent::Sync => "sync",
+        }
+    }
+}
+
+/// What a store hands back after a crash: the input to
+/// [`Cohort::recover`](crate::cohort::Cohort::recover).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// The greatest viewid known durable (from `StableViewId` records and
+    /// checkpoints). Always meaningful, even when nothing else is.
+    pub stable_viewid: ViewId,
+    /// The latest intact checkpoint, if the store keeps them.
+    pub checkpoint: Option<Checkpoint>,
+    /// Event records appended after that checkpoint, in log order.
+    pub tail: Vec<EventRecord>,
+    /// Whether the store guarantees no acknowledged record is missing
+    /// (fsync-per-record policy and a clean scan). Only then may the
+    /// cohort restore state and answer a *normal* acceptance; otherwise
+    /// it recovers with the paper's crash-acceptance.
+    pub complete: bool,
+}
+
+impl RecoveredState {
+    /// The paper-minimum recovery: only the stable viewid survived
+    /// (Section 4.2). Also what a store with no checkpoint data returns.
+    pub fn viewid_only(stable_viewid: ViewId) -> Self {
+        RecoveredState { stable_viewid, checkpoint: None, tail: Vec::new(), complete: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mid;
+
+    #[test]
+    fn viewid_only_is_incomplete() {
+        let rs = RecoveredState::viewid_only(ViewId::initial(Mid(3)));
+        assert!(!rs.complete);
+        assert!(rs.checkpoint.is_none());
+        assert!(rs.tail.is_empty());
+        assert_eq!(rs.stable_viewid, ViewId::initial(Mid(3)));
+    }
+
+    #[test]
+    fn event_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            [DurableEvent::StableViewId(ViewId::initial(Mid(0))).name(), DurableEvent::Sync.name()]
+                .into_iter()
+                .collect();
+        assert_eq!(names.len(), 2);
+    }
+}

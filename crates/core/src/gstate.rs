@@ -170,12 +170,14 @@ pub struct StoredObject {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct GroupState {
-    objects: BTreeMap<ObjectId, StoredObject>,
-    pending: BTreeMap<Aid, Vec<CompletedCall>>,
-    statuses: BTreeMap<Aid, TxnStatus>,
+    // `pub(crate)` rather than private so the wire codec (`crate::wire`)
+    // can reconstruct a state byte-for-byte from a checkpoint.
+    pub(crate) objects: BTreeMap<ObjectId, StoredObject>,
+    pub(crate) pending: BTreeMap<Aid, Vec<CompletedCall>>,
+    pub(crate) statuses: BTreeMap<Aid, TxnStatus>,
     /// Calls whose subaction was aborted (Section 3.6): their records
     /// were dropped and late duplicates of them must never execute.
-    dropped_calls: BTreeMap<Aid, Vec<CallId>>,
+    pub(crate) dropped_calls: BTreeMap<Aid, Vec<CallId>>,
 }
 
 impl GroupState {

@@ -25,6 +25,9 @@
 //!   strict two-phase locking with tentative versions.
 //! * [`event`] / [`buffer`] — event records and the primary's
 //!   communication buffer (`add` / `force_to`).
+//! * [`durable`] / [`wire`] — the stable-storage contract (Section 4.2
+//!   and beyond): durable events, checkpoints, recovered state, and the
+//!   binary codec runtimes use to log them.
 //! * [`module`] — the application interface: deterministic procedures
 //!   over atomic objects.
 //! * [`messages`] — the wire protocol.
@@ -69,6 +72,7 @@ pub mod agent;
 pub mod buffer;
 pub mod cohort;
 pub mod config;
+pub mod durable;
 pub mod event;
 pub mod gstate;
 pub mod history;
@@ -78,3 +82,4 @@ pub mod module;
 pub mod pset;
 pub mod types;
 pub mod view;
+pub mod wire;

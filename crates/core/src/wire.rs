@@ -1,0 +1,669 @@
+//! A stable, dependency-free binary codec for the durable log.
+//!
+//! Same idiom as the application argument codec (`vsr_app::codec`):
+//! little-endian `u64` integers, length-prefixed byte strings, explicit
+//! enum tags, and a cursor-based decoder that reports *what* failed to
+//! decode. It lives in the core crate because a checkpoint must
+//! reconstruct [`GroupState`] field-for-field, including parts with no
+//! public constructor.
+//!
+//! The only entry points stores need are
+//! [`encode_durable_event`] / [`decode_durable_event`]; the per-type
+//! helpers stay private so the encoding remains a single auditable unit.
+
+use crate::durable::{Checkpoint, DurableEvent};
+use crate::event::{EventKind, EventRecord};
+use crate::gstate::{
+    CompletedCall, GroupState, LockMode, ObjectAccess, StoredObject, TxnStatus, Value,
+};
+use crate::history::History;
+use crate::types::{Aid, CallId, GroupId, Mid, ObjectId, Timestamp, ViewId, Viewstamp};
+use crate::view::View;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A decoding failure: truncated input, a bad tag, or a payload that
+/// violates a protocol invariant (e.g. a history with non-increasing
+/// viewids). Corrupt frames that slip past the CRC must *fail*, never
+/// load garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was being decoded.
+    pub context: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed encoding while decoding {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[derive(Debug, Clone, Default)]
+struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError { context })?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeError { context })?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        let len = self.u64(context)? as usize;
+        let end = self.pos.checked_add(len).ok_or(DecodeError { context })?;
+        let slice = self.buf.get(self.pos..end).ok_or(DecodeError { context })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// A container length, sanity-bounded by the bytes remaining so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn len(&mut self, context: &'static str) -> Result<usize, DecodeError> {
+        let len = self.u64(context)? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(DecodeError { context });
+        }
+        Ok(len)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// identifiers
+// ---------------------------------------------------------------------
+
+fn enc_viewid(e: &mut Encoder, v: ViewId) {
+    e.u64(v.counter);
+    e.u64(v.manager.0);
+}
+
+fn dec_viewid(d: &mut Decoder<'_>) -> Result<ViewId, DecodeError> {
+    Ok(ViewId { counter: d.u64("viewid.counter")?, manager: Mid(d.u64("viewid.manager")?) })
+}
+
+fn enc_viewstamp(e: &mut Encoder, v: Viewstamp) {
+    enc_viewid(e, v.id);
+    e.u64(v.ts.0);
+}
+
+fn dec_viewstamp(d: &mut Decoder<'_>) -> Result<Viewstamp, DecodeError> {
+    Ok(Viewstamp { id: dec_viewid(d)?, ts: Timestamp(d.u64("viewstamp.ts")?) })
+}
+
+fn enc_aid(e: &mut Encoder, a: Aid) {
+    e.u64(a.group.0);
+    enc_viewid(e, a.view);
+    e.u64(a.seq);
+}
+
+fn dec_aid(d: &mut Decoder<'_>) -> Result<Aid, DecodeError> {
+    Ok(Aid { group: GroupId(d.u64("aid.group")?), view: dec_viewid(d)?, seq: d.u64("aid.seq")? })
+}
+
+fn enc_call_id(e: &mut Encoder, c: CallId) {
+    enc_aid(e, c.aid);
+    e.u64(c.seq);
+}
+
+fn dec_call_id(d: &mut Decoder<'_>) -> Result<CallId, DecodeError> {
+    Ok(CallId { aid: dec_aid(d)?, seq: d.u64("call_id.seq")? })
+}
+
+// ---------------------------------------------------------------------
+// gstate
+// ---------------------------------------------------------------------
+
+fn enc_value(e: &mut Encoder, v: &Value) {
+    e.bytes(v.as_bytes());
+}
+
+fn dec_value(d: &mut Decoder<'_>) -> Result<Value, DecodeError> {
+    Ok(Value(d.bytes("value")?.to_vec()))
+}
+
+fn enc_access(e: &mut Encoder, a: &ObjectAccess) {
+    e.u64(a.oid.0);
+    e.u64(match a.mode {
+        LockMode::Read => 0,
+        LockMode::Write => 1,
+    });
+    match &a.written {
+        None => e.u64(0),
+        Some(v) => {
+            e.u64(1);
+            enc_value(e, v);
+        }
+    }
+    match a.read_version {
+        None => e.u64(0),
+        Some(v) => {
+            e.u64(1);
+            e.u64(v);
+        }
+    }
+}
+
+fn dec_access(d: &mut Decoder<'_>) -> Result<ObjectAccess, DecodeError> {
+    let oid = ObjectId(d.u64("access.oid")?);
+    let mode = match d.u64("access.mode")? {
+        0 => LockMode::Read,
+        1 => LockMode::Write,
+        _ => return Err(DecodeError { context: "access.mode" }),
+    };
+    let written = match d.u64("access.written.tag")? {
+        0 => None,
+        1 => Some(dec_value(d)?),
+        _ => return Err(DecodeError { context: "access.written.tag" }),
+    };
+    let read_version = match d.u64("access.read_version.tag")? {
+        0 => None,
+        1 => Some(d.u64("access.read_version")?),
+        _ => return Err(DecodeError { context: "access.read_version.tag" }),
+    };
+    Ok(ObjectAccess { oid, mode, written, read_version })
+}
+
+fn enc_completed_call(e: &mut Encoder, c: &CompletedCall) {
+    enc_viewstamp(e, c.vs);
+    enc_call_id(e, c.call_id);
+    e.u64(c.accesses.len() as u64);
+    for a in &c.accesses {
+        enc_access(e, a);
+    }
+    enc_value(e, &c.result);
+    e.u64(c.nested.len() as u64);
+    for &(g, vs) in &c.nested {
+        e.u64(g.0);
+        enc_viewstamp(e, vs);
+    }
+}
+
+fn dec_completed_call(d: &mut Decoder<'_>) -> Result<CompletedCall, DecodeError> {
+    let vs = dec_viewstamp(d)?;
+    let call_id = dec_call_id(d)?;
+    let n = d.len("call.accesses.len")?;
+    let mut accesses = Vec::with_capacity(n);
+    for _ in 0..n {
+        accesses.push(dec_access(d)?);
+    }
+    let result = dec_value(d)?;
+    let n = d.len("call.nested.len")?;
+    let mut nested = Vec::with_capacity(n);
+    for _ in 0..n {
+        nested.push((GroupId(d.u64("call.nested.group")?), dec_viewstamp(d)?));
+    }
+    Ok(CompletedCall { vs, call_id, accesses, result, nested })
+}
+
+fn enc_status(e: &mut Encoder, s: &TxnStatus) {
+    match s {
+        TxnStatus::Committing { plist } => {
+            e.u64(0);
+            e.u64(plist.len() as u64);
+            for g in plist {
+                e.u64(g.0);
+            }
+        }
+        TxnStatus::Committed => e.u64(1),
+        TxnStatus::Aborted => e.u64(2),
+        TxnStatus::Done => e.u64(3),
+    }
+}
+
+fn dec_status(d: &mut Decoder<'_>) -> Result<TxnStatus, DecodeError> {
+    Ok(match d.u64("status.tag")? {
+        0 => {
+            let n = d.len("status.plist.len")?;
+            let mut plist = Vec::with_capacity(n);
+            for _ in 0..n {
+                plist.push(GroupId(d.u64("status.plist.group")?));
+            }
+            TxnStatus::Committing { plist }
+        }
+        1 => TxnStatus::Committed,
+        2 => TxnStatus::Aborted,
+        3 => TxnStatus::Done,
+        _ => return Err(DecodeError { context: "status.tag" }),
+    })
+}
+
+fn enc_gstate(e: &mut Encoder, g: &GroupState) {
+    e.u64(g.objects.len() as u64);
+    for (oid, obj) in &g.objects {
+        e.u64(oid.0);
+        enc_value(e, &obj.value);
+        e.u64(obj.version);
+    }
+    e.u64(g.pending.len() as u64);
+    for (aid, calls) in &g.pending {
+        enc_aid(e, *aid);
+        e.u64(calls.len() as u64);
+        for c in calls {
+            enc_completed_call(e, c);
+        }
+    }
+    e.u64(g.statuses.len() as u64);
+    for (aid, status) in &g.statuses {
+        enc_aid(e, *aid);
+        enc_status(e, status);
+    }
+    e.u64(g.dropped_calls.len() as u64);
+    for (aid, dropped) in &g.dropped_calls {
+        enc_aid(e, *aid);
+        e.u64(dropped.len() as u64);
+        for c in dropped {
+            enc_call_id(e, *c);
+        }
+    }
+}
+
+fn dec_gstate(d: &mut Decoder<'_>) -> Result<GroupState, DecodeError> {
+    let mut objects = BTreeMap::new();
+    for _ in 0..d.len("gstate.objects.len")? {
+        let oid = ObjectId(d.u64("gstate.object.oid")?);
+        let value = dec_value(d)?;
+        let version = d.u64("gstate.object.version")?;
+        objects.insert(oid, StoredObject { value, version });
+    }
+    let mut pending = BTreeMap::new();
+    for _ in 0..d.len("gstate.pending.len")? {
+        let aid = dec_aid(d)?;
+        let n = d.len("gstate.pending.calls.len")?;
+        let mut calls = Vec::with_capacity(n);
+        for _ in 0..n {
+            calls.push(dec_completed_call(d)?);
+        }
+        pending.insert(aid, calls);
+    }
+    let mut statuses = BTreeMap::new();
+    for _ in 0..d.len("gstate.statuses.len")? {
+        let aid = dec_aid(d)?;
+        statuses.insert(aid, dec_status(d)?);
+    }
+    let mut dropped_calls = BTreeMap::new();
+    for _ in 0..d.len("gstate.dropped.len")? {
+        let aid = dec_aid(d)?;
+        let n = d.len("gstate.dropped.calls.len")?;
+        let mut dropped = Vec::with_capacity(n);
+        for _ in 0..n {
+            dropped.push(dec_call_id(d)?);
+        }
+        dropped_calls.insert(aid, dropped);
+    }
+    Ok(GroupState { objects, pending, statuses, dropped_calls })
+}
+
+// ---------------------------------------------------------------------
+// history and views
+// ---------------------------------------------------------------------
+
+fn enc_history(e: &mut Encoder, h: &History) {
+    e.u64(h.len() as u64);
+    for vs in h.iter() {
+        enc_viewstamp(e, vs);
+    }
+}
+
+fn dec_history(d: &mut Decoder<'_>) -> Result<History, DecodeError> {
+    let n = d.len("history.len")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(dec_viewstamp(d)?);
+    }
+    // Validate before constructing: `History` panics on non-increasing
+    // viewids, and decoding must fail, not abort.
+    if entries.windows(2).any(|w| w[1].id <= w[0].id) {
+        return Err(DecodeError { context: "history.order" });
+    }
+    Ok(entries.into_iter().collect())
+}
+
+fn enc_view(e: &mut Encoder, v: &View) {
+    e.u64(v.primary().0);
+    e.u64(v.backups().len() as u64);
+    for b in v.backups() {
+        e.u64(b.0);
+    }
+}
+
+fn dec_view(d: &mut Decoder<'_>) -> Result<View, DecodeError> {
+    let primary = Mid(d.u64("view.primary")?);
+    let n = d.len("view.backups.len")?;
+    let mut backups = Vec::with_capacity(n);
+    for _ in 0..n {
+        backups.push(Mid(d.u64("view.backup")?));
+    }
+    // Validate the `View::new` panics away.
+    let mut sorted = backups.clone();
+    sorted.sort();
+    sorted.dedup();
+    if sorted.len() != backups.len() || backups.contains(&primary) {
+        return Err(DecodeError { context: "view.backups" });
+    }
+    Ok(View::new(primary, backups))
+}
+
+// ---------------------------------------------------------------------
+// event records
+// ---------------------------------------------------------------------
+
+fn enc_event_kind(e: &mut Encoder, k: &EventKind) {
+    match k {
+        EventKind::CompletedCall { aid, record } => {
+            e.u64(0);
+            enc_aid(e, *aid);
+            enc_completed_call(e, record);
+        }
+        EventKind::Committing { aid, plist } => {
+            e.u64(1);
+            enc_aid(e, *aid);
+            e.u64(plist.len() as u64);
+            for g in plist {
+                e.u64(g.0);
+            }
+        }
+        EventKind::Committed { aid } => {
+            e.u64(2);
+            enc_aid(e, *aid);
+        }
+        EventKind::Aborted { aid } => {
+            e.u64(3);
+            enc_aid(e, *aid);
+        }
+        EventKind::Done { aid } => {
+            e.u64(4);
+            enc_aid(e, *aid);
+        }
+        EventKind::CallsDropped { aid, dropped } => {
+            e.u64(5);
+            enc_aid(e, *aid);
+            e.u64(dropped.len() as u64);
+            for c in dropped {
+                enc_call_id(e, *c);
+            }
+        }
+        EventKind::NewView { view, history, gstate } => {
+            e.u64(6);
+            enc_view(e, view);
+            enc_history(e, history);
+            enc_gstate(e, gstate);
+        }
+    }
+}
+
+fn dec_event_kind(d: &mut Decoder<'_>) -> Result<EventKind, DecodeError> {
+    Ok(match d.u64("event.tag")? {
+        0 => EventKind::CompletedCall { aid: dec_aid(d)?, record: dec_completed_call(d)? },
+        1 => {
+            let aid = dec_aid(d)?;
+            let n = d.len("event.plist.len")?;
+            let mut plist = Vec::with_capacity(n);
+            for _ in 0..n {
+                plist.push(GroupId(d.u64("event.plist.group")?));
+            }
+            EventKind::Committing { aid, plist }
+        }
+        2 => EventKind::Committed { aid: dec_aid(d)? },
+        3 => EventKind::Aborted { aid: dec_aid(d)? },
+        4 => EventKind::Done { aid: dec_aid(d)? },
+        5 => {
+            let aid = dec_aid(d)?;
+            let n = d.len("event.dropped.len")?;
+            let mut dropped = Vec::with_capacity(n);
+            for _ in 0..n {
+                dropped.push(dec_call_id(d)?);
+            }
+            EventKind::CallsDropped { aid, dropped }
+        }
+        6 => EventKind::NewView {
+            view: dec_view(d)?,
+            history: dec_history(d)?,
+            gstate: dec_gstate(d)?,
+        },
+        _ => return Err(DecodeError { context: "event.tag" }),
+    })
+}
+
+fn enc_event_record(e: &mut Encoder, r: &EventRecord) {
+    enc_viewstamp(e, r.vs);
+    enc_event_kind(e, &r.kind);
+}
+
+fn dec_event_record(d: &mut Decoder<'_>) -> Result<EventRecord, DecodeError> {
+    Ok(EventRecord { vs: dec_viewstamp(d)?, kind: dec_event_kind(d)? })
+}
+
+// ---------------------------------------------------------------------
+// durable events
+// ---------------------------------------------------------------------
+
+/// Encode a [`DurableEvent`] as a self-contained byte string (the payload
+/// of one log frame; framing and CRC belong to the store).
+pub fn encode_durable_event(event: &DurableEvent) -> Vec<u8> {
+    let mut e = Encoder::default();
+    match event {
+        DurableEvent::Record(r) => {
+            e.u64(0);
+            enc_event_record(&mut e, r);
+        }
+        DurableEvent::StableViewId(v) => {
+            e.u64(1);
+            enc_viewid(&mut e, *v);
+        }
+        DurableEvent::Checkpoint(c) => {
+            e.u64(2);
+            enc_viewid(&mut e, c.viewid);
+            enc_view(&mut e, &c.view);
+            enc_history(&mut e, &c.history);
+            enc_gstate(&mut e, &c.gstate);
+        }
+        DurableEvent::Sync => e.u64(3),
+    }
+    e.buf
+}
+
+/// Decode a byte string produced by [`encode_durable_event`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, trailing garbage, unknown tags,
+/// or payloads violating protocol invariants.
+pub fn decode_durable_event(buf: &[u8]) -> Result<DurableEvent, DecodeError> {
+    let mut d = Decoder::new(buf);
+    let event = match d.u64("durable.tag")? {
+        0 => DurableEvent::Record(dec_event_record(&mut d)?),
+        1 => DurableEvent::StableViewId(dec_viewid(&mut d)?),
+        2 => DurableEvent::Checkpoint(Checkpoint {
+            viewid: dec_viewid(&mut d)?,
+            view: dec_view(&mut d)?,
+            history: dec_history(&mut d)?,
+            gstate: dec_gstate(&mut d)?,
+        }),
+        3 => DurableEvent::Sync,
+        _ => return Err(DecodeError { context: "durable.tag" }),
+    };
+    if !d.is_exhausted() {
+        return Err(DecodeError { context: "durable.trailing" });
+    }
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Timestamp;
+
+    fn vid(c: u64) -> ViewId {
+        ViewId { counter: c, manager: Mid(c % 3) }
+    }
+
+    fn vs(c: u64, ts: u64) -> Viewstamp {
+        Viewstamp::new(vid(c), Timestamp(ts))
+    }
+
+    fn aid(seq: u64) -> Aid {
+        Aid { group: GroupId(7), view: vid(1), seq }
+    }
+
+    fn sample_call(seq: u64) -> CompletedCall {
+        CompletedCall {
+            vs: vs(1, seq + 1),
+            call_id: CallId { aid: aid(0), seq },
+            accesses: vec![
+                ObjectAccess {
+                    oid: ObjectId(4),
+                    mode: LockMode::Write,
+                    written: Some(Value::from(&b"written"[..])),
+                    read_version: None,
+                },
+                ObjectAccess {
+                    oid: ObjectId(5),
+                    mode: LockMode::Read,
+                    written: None,
+                    read_version: Some(9),
+                },
+            ],
+            result: Value::from(&b"result"[..]),
+            nested: vec![(GroupId(3), vs(2, 8))],
+        }
+    }
+
+    fn sample_gstate() -> GroupState {
+        let mut g = GroupState::with_objects([
+            (ObjectId(1), Value::from(&b"one"[..])),
+            (ObjectId(2), Value::empty()),
+        ]);
+        g.store_call(aid(0), sample_call(0));
+        g.store_call(aid(0), sample_call(1));
+        g.set_status(aid(1), TxnStatus::Committing { plist: vec![GroupId(7), GroupId(8)] });
+        g.set_status(aid(2), TxnStatus::Aborted);
+        g.drop_calls(aid(0), &[CallId { aid: aid(0), seq: 99 }]);
+        g
+    }
+
+    fn roundtrip(event: &DurableEvent) -> DurableEvent {
+        decode_durable_event(&encode_durable_event(event)).expect("roundtrip decodes")
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        for kind in [
+            EventKind::CompletedCall { aid: aid(0), record: sample_call(2) },
+            EventKind::Committing { aid: aid(1), plist: vec![GroupId(1)] },
+            EventKind::Committing { aid: aid(1), plist: vec![] },
+            EventKind::Committed { aid: aid(2) },
+            EventKind::Aborted { aid: aid(3) },
+            EventKind::Done { aid: aid(4) },
+            EventKind::CallsDropped { aid: aid(5), dropped: vec![CallId { aid: aid(5), seq: 1 }] },
+            EventKind::NewView {
+                view: View::new(Mid(1), vec![Mid(0), Mid(2)]),
+                history: [vs(0, 4), vs(2, 0)].into_iter().collect(),
+                gstate: sample_gstate(),
+            },
+        ] {
+            let event = DurableEvent::Record(EventRecord { vs: vs(2, 5), kind });
+            assert_eq!(roundtrip(&event), event);
+        }
+    }
+
+    #[test]
+    fn stable_viewid_and_sync_roundtrip() {
+        let event = DurableEvent::StableViewId(vid(9));
+        assert_eq!(roundtrip(&event), event);
+        assert_eq!(roundtrip(&DurableEvent::Sync), DurableEvent::Sync);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let event = DurableEvent::Checkpoint(Checkpoint {
+            viewid: vid(2),
+            view: View::new(Mid(2), vec![Mid(0), Mid(1)]),
+            history: [vs(0, 3), vs(1, 7), vs(2, 1)].into_iter().collect(),
+            gstate: sample_gstate(),
+        });
+        assert_eq!(roundtrip(&event), event);
+    }
+
+    #[test]
+    fn truncation_fails() {
+        let bytes = encode_durable_event(&DurableEvent::Checkpoint(Checkpoint {
+            viewid: vid(2),
+            view: View::new(Mid(2), vec![Mid(0)]),
+            history: [vs(2, 1)].into_iter().collect(),
+            gstate: sample_gstate(),
+        }));
+        for cut in [1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_durable_event(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails() {
+        let mut bytes = encode_durable_event(&DurableEvent::Sync);
+        bytes.push(0);
+        assert_eq!(decode_durable_event(&bytes).unwrap_err().context, "durable.trailing");
+    }
+
+    #[test]
+    fn unknown_tag_fails() {
+        let bytes = 99u64.to_le_bytes().to_vec();
+        assert!(decode_durable_event(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_history_order_fails() {
+        // Hand-craft a StableViewId… actually a NewView record whose
+        // history entries regress; the decoder must reject rather than
+        // let `History` panic.
+        let mut e = Encoder::default();
+        e.u64(0); // DurableEvent::Record
+        enc_viewstamp(&mut e, vs(2, 5));
+        e.u64(6); // EventKind::NewView
+        enc_view(&mut e, &View::new(Mid(1), vec![Mid(0)]));
+        e.u64(2); // history.len
+        enc_viewstamp(&mut e, vs(3, 1));
+        enc_viewstamp(&mut e, vs(1, 1)); // regresses
+        enc_gstate(&mut e, &GroupState::new());
+        assert_eq!(decode_durable_event(&e.buf).unwrap_err().context, "history.order");
+    }
+
+    #[test]
+    fn absurd_length_prefix_fails_without_allocating() {
+        let mut e = Encoder::default();
+        e.u64(0); // Record
+        enc_viewstamp(&mut e, vs(2, 5));
+        e.u64(5); // CallsDropped
+        enc_aid(&mut e, aid(0));
+        e.u64(u64::MAX); // dropped.len — absurd
+        assert!(decode_durable_event(&e.buf).is_err());
+    }
+}

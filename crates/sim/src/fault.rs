@@ -10,8 +10,12 @@ use vsr_core::types::Mid;
 /// One fault event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultEvent {
-    /// Crash a cohort (volatile state lost).
+    /// Crash a cohort (volatile state lost; its disk, if any, keeps the
+    /// fsynced prefix).
     Crash(Mid),
+    /// Crash a cohort and destroy its stable storage too: nothing
+    /// survives, not even the Section 4.2 stable viewid.
+    CrashDiskLoss(Mid),
     /// Recover a crashed cohort.
     Recover(Mid),
     /// Partition the network into the given groups.
@@ -101,6 +105,7 @@ impl FaultPlan {
         for (time, event) in ordered {
             match event {
                 FaultEvent::Crash(mid) => world.schedule_crash(*time, *mid),
+                FaultEvent::CrashDiskLoss(mid) => world.schedule_crash_disk_loss(*time, *mid),
                 FaultEvent::Recover(mid) => world.schedule_recover(*time, *mid),
                 FaultEvent::Partition(groups) => world.schedule_partition(*time, groups.clone()),
                 FaultEvent::Heal => world.schedule_heal(*time),
@@ -243,6 +248,24 @@ impl FaultPlan {
         events: usize,
         max_concurrent_crashes: usize,
     ) -> Self {
+        Self::random_nemesis_durable(seed, mids, start, end, events, max_concurrent_crashes, false)
+    }
+
+    /// [`random_nemesis`](FaultPlan::random_nemesis) with the durable
+    /// fault vocabulary: when `disk_loss` is set, a quarter of crash
+    /// draws become [`FaultEvent::CrashDiskLoss`], so plans probe both
+    /// crash-with-disk-intact and crash-with-disk-loss. The draw
+    /// sequence differs from the non-durable generator even for the
+    /// same seed; existing seed-pinned regressions keep their meaning.
+    pub fn random_nemesis_durable(
+        seed: u64,
+        mids: &[Mid],
+        start: u64,
+        end: u64,
+        events: usize,
+        max_concurrent_crashes: usize,
+        disk_loss: bool,
+    ) -> Self {
         assert!(start < end, "empty fault window");
         assert!(mids.len() >= 2, "nemesis needs at least two cohorts");
         const CLASS_POOL: &[&[&str]] =
@@ -304,7 +327,12 @@ impl FaultPlan {
                         mids.iter().copied().filter(|m| !crashed.contains(m)).collect();
                     let victim = alive[rng.gen_range(0..alive.len())];
                     crashed.push(victim);
-                    plan.events.push((time, FaultEvent::Crash(victim)));
+                    let event = if disk_loss && rng.gen_bool(0.25) {
+                        FaultEvent::CrashDiskLoss(victim)
+                    } else {
+                        FaultEvent::Crash(victim)
+                    };
+                    plan.events.push((time, event));
                 }
                 1 => {
                     let back = crashed.remove(rng.gen_range(0..crashed.len()));

@@ -46,6 +46,18 @@ pub struct Metrics {
     /// with [`view_formations`](Metrics::view_formations) for the
     /// success rate).
     pub view_change_attempts: u64,
+    /// WAL frames appended across all simulated disks (durable worlds
+    /// only; zero when the world runs the paper's no-disk design).
+    pub disk_appends: u64,
+    /// Fsyncs issued across all simulated disks.
+    pub disk_fsyncs: u64,
+    /// Bytes written across all simulated disks, framing included.
+    pub disk_bytes_written: u64,
+    /// Checkpoint frames written across all simulated disks.
+    pub checkpoints_taken: u64,
+    /// Log records replayed by recovering cohorts (counts only complete
+    /// recoveries; a paper-minimum viewid-only recovery replays none).
+    pub records_replayed: u64,
 }
 
 impl Metrics {

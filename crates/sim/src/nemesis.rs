@@ -21,6 +21,7 @@ use crate::world::{World, WorldBuilder};
 use vsr_app::counter::{self, CounterModule};
 use vsr_core::module::NullModule;
 use vsr_core::types::{GroupId, Mid};
+use vsr_store::FsyncPolicy;
 
 /// The client group in nemesis worlds.
 pub const CLIENT: GroupId = GroupId(1);
@@ -46,6 +47,14 @@ pub struct NemesisConfig {
     /// the quiescence period. Disable to probe *unhealed* scenarios
     /// (e.g. permanent majority loss) against the liveness oracle.
     pub heal_before_check: bool,
+    /// Give every server cohort a fault-injectable simulated disk with
+    /// this fsync policy. Plans then also draw crash-with-disk-loss
+    /// faults, and the liveness oracle tightens automatically: a
+    /// group-wide crash with intact `EveryRecord` disks recovers up to
+    /// date, so a wedge after it is a liveness *bug*, not an excusable
+    /// catastrophe. `None` (the default) runs the paper's no-disk
+    /// design.
+    pub durability: Option<FsyncPolicy>,
 }
 
 impl Default for NemesisConfig {
@@ -57,6 +66,7 @@ impl Default for NemesisConfig {
             txns: 8,
             quiesce: 12_000,
             heal_before_check: true,
+            durability: None,
         }
     }
 }
@@ -98,10 +108,13 @@ impl std::fmt::Display for NemesisFailure {
 
 fn build_world(cfg: &NemesisConfig) -> World {
     let mids = cfg.server_mids();
-    WorldBuilder::new(cfg.seed)
+    let mut builder = WorldBuilder::new(cfg.seed)
         .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
-        .group(SERVER, &mids, || Box::new(CounterModule))
-        .build()
+        .group(SERVER, &mids, || Box::new(CounterModule));
+    if let Some(policy) = cfg.durability {
+        builder = builder.durable(policy);
+    }
+    builder.build()
 }
 
 /// Run one plan under `cfg` and check both oracles.
@@ -174,13 +187,14 @@ pub fn sweep(
     let (start, end) = cfg.window;
     let mut stats = SweepStats { passed: 0, catastrophic: 0 };
     for seed in base_seed..base_seed + count as u64 {
-        let plan = FaultPlan::random_nemesis(
+        let plan = FaultPlan::random_nemesis_durable(
             seed,
             &mids,
             start,
             end,
             events_per_plan,
             max_concurrent_crashes,
+            cfg.durability.is_some(),
         );
         let cfg = NemesisConfig { seed, ..cfg.clone() };
         match run_plan(&cfg, &plan) {
@@ -348,7 +362,7 @@ pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFai
     out.push_str(&format!("// {failure}\n"));
     out.push_str(&format!(
         "let cfg = NemesisConfig {{ seed: {}, cohorts: {}, window: ({}, {}), \
-         txns: {}, quiesce: {}, heal_before_check: {} }};\n",
+         txns: {}, quiesce: {}, heal_before_check: {}, durability: {} }};\n",
         cfg.seed,
         cfg.cohorts,
         cfg.window.0,
@@ -356,6 +370,10 @@ pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFai
         cfg.txns,
         cfg.quiesce,
         cfg.heal_before_check,
+        match cfg.durability {
+            None => "None".to_string(),
+            Some(p) => format!("Some(FsyncPolicy::{p:?})"),
+        },
     ));
     out.push_str("let plan = FaultPlan::new()");
     for (time, event) in &plan.events {
@@ -373,6 +391,7 @@ fn render_mids(mids: &[Mid]) -> String {
 fn render_event(event: &FaultEvent) -> String {
     match event {
         FaultEvent::Crash(mid) => format!("FaultEvent::Crash(Mid({}))", mid.0),
+        FaultEvent::CrashDiskLoss(mid) => format!("FaultEvent::CrashDiskLoss(Mid({}))", mid.0),
         FaultEvent::Recover(mid) => format!("FaultEvent::Recover(Mid({}))", mid.0),
         FaultEvent::Partition(groups) => {
             let sides: Vec<String> = groups.iter().map(|g| render_mids(g)).collect();
@@ -461,6 +480,44 @@ mod tests {
         assert!(snippet.contains("FaultPlan::new()"));
         assert!(snippet.contains("FaultEvent::Crash"));
         assert!(snippet.contains("run_plan(&cfg, &plan)"));
+    }
+
+    #[test]
+    fn full_group_crash_with_durable_disks_must_recover() {
+        // The same majority-state-loss plan that wedges the no-disk
+        // design (see the test below) is survivable once every cohort
+        // journals each record durably: recovery replays the WAL, the
+        // cohorts answer *normal* acceptances, and a view re-forms with
+        // every committed transaction intact. No longer an excusable
+        // catastrophe — this must pass outright.
+        let cfg = NemesisConfig {
+            seed: 9_004,
+            durability: Some(FsyncPolicy::EveryRecord),
+            ..NemesisConfig::default()
+        };
+        let plan = FaultPlan::new()
+            .at(200, FaultEvent::Crash(Mid(2)))
+            .at(200, FaultEvent::Crash(Mid(1)))
+            .at(200, FaultEvent::Crash(Mid(3)));
+        run_plan(&cfg, &plan).expect("durable group must survive majority state loss");
+    }
+
+    #[test]
+    fn disk_loss_still_wedges_a_durable_group() {
+        // Destroying the disks along with the cohorts reproduces the
+        // no-disk catastrophe even in a durable world: with the stable
+        // storage gone, the formation rule correctly refuses to serve.
+        let cfg = NemesisConfig {
+            seed: 9_004,
+            durability: Some(FsyncPolicy::EveryRecord),
+            ..NemesisConfig::default()
+        };
+        let plan = FaultPlan::new()
+            .at(200, FaultEvent::CrashDiskLoss(Mid(2)))
+            .at(200, FaultEvent::CrashDiskLoss(Mid(1)))
+            .at(200, FaultEvent::CrashDiskLoss(Mid(3)));
+        let failure = run_plan(&cfg, &plan).expect_err("disk loss erases the durable state");
+        assert!(matches!(failure, NemesisFailure::Catastrophe(_)), "got {failure}");
     }
 
     #[test]

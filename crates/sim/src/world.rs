@@ -11,11 +11,13 @@ use vsr_core::cohort::{
     Timer, TxnOutcome,
 };
 use vsr_core::config::CohortConfig;
+use vsr_core::durable::RecoveredState;
 use vsr_core::messages::Message;
 use vsr_core::module::Module;
 use vsr_core::types::{Aid, GroupId, Mid, ViewId};
 use vsr_core::view::Configuration;
 use vsr_simnet::net::{Event, NetConfig, NetStats, SimNet};
+use vsr_store::{FsyncPolicy, SimDisk, Store};
 
 /// Creates a fresh module instance for a group (needed again at crash
 /// recovery).
@@ -51,6 +53,7 @@ pub struct WorldBuilder {
     cohort_cfg: CohortConfig,
     groups: Vec<GroupSpec>,
     agents: Vec<(Mid, GroupId)>,
+    durability: Option<FsyncPolicy>,
 }
 
 impl WorldBuilder {
@@ -61,7 +64,18 @@ impl WorldBuilder {
             cohort_cfg: CohortConfig::new(),
             groups: Vec::new(),
             agents: Vec::new(),
+            durability: None,
         }
+    }
+
+    /// Give every cohort a fault-injectable [`SimDisk`] with the given
+    /// fsync policy. `Effect::Persist` then writes a WAL, crashes lose
+    /// only the un-fsynced suffix, and recovery replays the disk instead
+    /// of the paper-minimum stable viewid. Without this call the world
+    /// runs the paper's no-disk design and persist effects are dropped.
+    pub fn durable(mut self, policy: FsyncPolicy) -> Self {
+        self.durability = Some(policy);
+        self
     }
 
     /// Add an *unreplicated client agent* (Section 3.5) that delegates
@@ -127,6 +141,7 @@ impl WorldBuilder {
                 .collect(),
             peers,
             cohort_cfg: self.cohort_cfg,
+            disks: BTreeMap::new(),
             crashed: BTreeMap::new(),
             results: BTreeMap::new(),
             scripts: BTreeMap::new(),
@@ -143,6 +158,9 @@ impl WorldBuilder {
             for &mid in &spec.members {
                 let cohort = Cohort::new(world.params_for(mid));
                 world.cohorts.insert(mid, cohort);
+                if let Some(policy) = self.durability {
+                    world.disks.insert(mid, SimDisk::new(policy));
+                }
             }
         }
         for (mid, coord_group) in &self.agents {
@@ -165,6 +183,7 @@ impl WorldBuilder {
 #[derive(Debug, Clone)]
 enum Control {
     Crash(Mid),
+    CrashDiskLoss(Mid),
     Recover(Mid),
     Partition(Vec<Vec<Mid>>),
     Heal,
@@ -201,7 +220,12 @@ pub struct World {
     mid_group: BTreeMap<Mid, GroupId>,
     peers: BTreeMap<GroupId, Configuration>,
     cohort_cfg: CohortConfig,
-    /// Crashed cohorts and their stable viewids.
+    /// Per-cohort simulated disks (durable worlds only).
+    disks: BTreeMap<Mid, SimDisk>,
+    /// Crashed cohorts and the fallback viewid recovery reports if no
+    /// stable storage survives (in the paper's no-disk design this *is*
+    /// the Section 4.2 stable viewid; durable cohorts instead recover
+    /// from their disk and fall back to the bootstrap viewid).
     crashed: BTreeMap<Mid, ViewId>,
     results: BTreeMap<u64, TxnRecord>,
     /// Scripts by request id (for the durability checker).
@@ -407,27 +431,64 @@ impl World {
     // fault injection
     // ------------------------------------------------------------------
 
-    /// Crash a cohort immediately: all volatile state is lost; only the
-    /// stable viewid survives.
+    /// Crash a cohort immediately: volatile state is lost. In the
+    /// paper's no-disk design only the stable viewid survives; a durable
+    /// cohort's disk additionally keeps its fsynced WAL prefix.
     pub fn crash(&mut self, mid: Mid) {
         if self.crashed.contains_key(&mid) {
             return;
         }
-        let stable = self.cohorts[&mid].stable_viewid();
-        self.crashed.insert(mid, stable);
+        let fallback = match self.disks.get_mut(&mid) {
+            Some(disk) => {
+                // The disk loses its un-fsynced suffix, like a device
+                // cache on power failure; everything else it remembers
+                // itself, so the fallback is the bootstrap viewid.
+                disk.crash();
+                self.bootstrap_viewid(mid)
+            }
+            None => self.cohorts[&mid].stable_viewid(),
+        };
+        self.crashed.insert(mid, fallback);
         self.net.crash(mid.0);
     }
 
-    /// Recover a crashed cohort: it restarts with `up_to_date = false`
-    /// and begins a view change.
+    /// Crash a durable cohort *and* destroy its disk: nothing survives,
+    /// not even the Section 4.2 stable viewid. On a no-disk cohort this
+    /// still erases the simulated stable viewid, modelling total media
+    /// loss either way.
+    pub fn crash_disk_loss(&mut self, mid: Mid) {
+        if self.crashed.contains_key(&mid) {
+            return;
+        }
+        if let Some(disk) = self.disks.get_mut(&mid) {
+            disk.wipe();
+        }
+        self.crashed.insert(mid, self.bootstrap_viewid(mid));
+        self.net.crash(mid.0);
+    }
+
+    /// Recover a crashed cohort from whatever its stable store hands
+    /// back: a durable cohort replays its disk (possibly rejoining up to
+    /// date — see `vsr_store`'s safety rule); otherwise it restarts with
+    /// the paper-minimum stable viewid, `up_to_date = false`, and begins
+    /// a view change.
     pub fn recover(&mut self, mid: Mid) {
-        let Some(stable) = self.crashed.remove(&mid) else { return };
+        let Some(fallback) = self.crashed.remove(&mid) else { return };
         self.net.recover(mid.0);
-        let mut cohort = Cohort::recover(self.params_for(mid), stable);
+        let recovered = match self.disks.get_mut(&mid) {
+            Some(disk) => disk.recover(fallback),
+            None => RecoveredState::viewid_only(fallback),
+        };
+        let mut cohort = Cohort::recover(self.params_for(mid), recovered);
+        self.metrics.records_replayed += cohort.records_replayed();
         let now = self.now();
         let effects = cohort.start(now);
         self.cohorts.insert(mid, cohort);
         self.apply_effects(mid, effects);
+    }
+
+    fn bootstrap_viewid(&self, mid: Mid) -> ViewId {
+        ViewId::initial(self.specs[&self.mid_group[&mid]].initial_primary)
     }
 
     /// Crash an unreplicated client agent permanently: its mail is
@@ -528,6 +589,11 @@ impl World {
         self.push_control(at, Control::Crash(mid));
     }
 
+    /// Schedule a crash-with-disk-loss at time `at`.
+    pub fn schedule_crash_disk_loss(&mut self, at: u64, mid: Mid) {
+        self.push_control(at, Control::CrashDiskLoss(mid));
+    }
+
     /// Schedule a recovery at time `at`.
     pub fn schedule_recover(&mut self, at: u64, mid: Mid) {
         self.push_control(at, Control::Recover(mid));
@@ -593,6 +659,7 @@ impl World {
     fn run_control(&mut self, now: u64, control: Control) {
         match control {
             Control::Crash(mid) => self.crash(mid),
+            Control::CrashDiskLoss(mid) => self.crash_disk_loss(mid),
             Control::Recover(mid) => self.recover(mid),
             Control::Partition(groups) => self.partition(&groups),
             Control::Heal => self.heal(),
@@ -668,6 +735,21 @@ impl World {
                 }
                 Effect::TxnResult { req_id, aid, outcome } => {
                     self.record_result(req_id, aid, outcome);
+                }
+                Effect::Persist(event) => {
+                    // Durable worlds write the cohort's WAL; without
+                    // disks the effect is dropped, which *is* the
+                    // paper's no-disk design.
+                    if let Some(disk) = self.disks.get_mut(&mid) {
+                        let before = disk.metrics();
+                        disk.persist(&event);
+                        let after = disk.metrics();
+                        self.metrics.disk_appends += after.appends - before.appends;
+                        self.metrics.disk_fsyncs += after.fsyncs - before.fsyncs;
+                        self.metrics.disk_bytes_written +=
+                            after.bytes_written - before.bytes_written;
+                        self.metrics.checkpoints_taken += after.checkpoints - before.checkpoints;
+                    }
                 }
                 Effect::Observe(observation) => {
                     match &observation {
@@ -780,6 +862,18 @@ impl World {
     /// Inspect a cohort (panics if the mid is unknown).
     pub fn cohort(&self, mid: Mid) -> &Cohort {
         &self.cohorts[&mid]
+    }
+
+    /// Inspect a cohort's simulated disk (`None` unless the world was
+    /// built with [`WorldBuilder::durable`]).
+    pub fn disk(&self, mid: Mid) -> Option<&SimDisk> {
+        self.disks.get(&mid)
+    }
+
+    /// Mutably access a cohort's simulated disk, e.g. to inject a torn
+    /// write or bit-flip corruption before a recovery.
+    pub fn disk_mut(&mut self, mid: Mid) -> Option<&mut SimDisk> {
+        self.disks.get_mut(&mid)
     }
 
     /// Whether a cohort is currently crashed.

@@ -1,0 +1,131 @@
+//! Durable-world integration tests: whole-group crashes against
+//! fault-injectable simulated disks.
+//!
+//! The paper's no-disk design treats a group-wide crash as a permanent
+//! catastrophe (Section 4.2: every volatile copy of forced information
+//! is gone). These tests pin down how the optional WAL changes that —
+//! and how it deliberately does *not* when the disks are destroyed or
+//! the fsync policy is too lazy to trust.
+
+use vsr_app::counter;
+use vsr_core::cohort::TxnOutcome;
+use vsr_core::config::CohortConfig;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_sim::world::{World, WorldBuilder};
+use vsr_store::FsyncPolicy;
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+const SERVER_MIDS: [Mid; 3] = [Mid(1), Mid(2), Mid(3)];
+
+fn durable_world(seed: u64, policy: FsyncPolicy) -> World {
+    WorldBuilder::new(seed)
+        .cohorts(CohortConfig::new())
+        .durable(policy)
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &SERVER_MIDS, || Box::new(counter::CounterModule))
+        .build()
+}
+
+/// Commit `n` increments sequentially, panicking if any fails.
+fn commit_increments(world: &mut World, n: u64) {
+    for i in 0..n {
+        let req = world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+        world.run_for(2_000);
+        assert!(
+            matches!(world.result(req).map(|r| &r.outcome), Some(TxnOutcome::Committed { .. })),
+            "increment {i} must commit"
+        );
+    }
+}
+
+/// Read the counter, returning `None` if the read does not commit.
+fn read_counter(world: &mut World) -> Option<u64> {
+    let req = world.submit(CLIENT, vec![counter::read(SERVER, 0)]);
+    world.run_for(8_000);
+    match world.result(req).map(|r| &r.outcome) {
+        Some(TxnOutcome::Committed { results }) => counter::decode_value(&results[0]).ok(),
+        _ => None,
+    }
+}
+
+#[test]
+fn full_group_crash_with_intact_disks_retains_all_commits() {
+    let mut world = durable_world(21, FsyncPolicy::EveryRecord);
+    commit_increments(&mut world, 5);
+    for mid in SERVER_MIDS {
+        world.crash(mid);
+    }
+    world.run_for(100);
+    for mid in SERVER_MIDS {
+        world.recover(mid);
+    }
+    world.run_for(10_000);
+    assert!(world.primary_of(SERVER).is_some(), "a view must re-form from replayed WALs");
+    assert_eq!(read_counter(&mut world), Some(5), "every committed increment survives");
+    assert!(world.verify().is_ok(), "{:?}", world.verify());
+    assert!(world.metrics().records_replayed > 0, "recovery must have replayed the logs");
+}
+
+#[test]
+fn full_group_crash_with_disk_loss_stays_wedged() {
+    let mut world = durable_world(22, FsyncPolicy::EveryRecord);
+    commit_increments(&mut world, 3);
+    for mid in SERVER_MIDS {
+        world.crash_disk_loss(mid);
+    }
+    world.run_for(100);
+    for mid in SERVER_MIDS {
+        world.recover(mid);
+    }
+    world.run_for(20_000);
+    // Nothing survived — not even the Section 4.2 stable viewid — so
+    // every cohort rejoins with a crash-acceptance and the formation
+    // rule correctly refuses to form a view.
+    assert!(world.primary_of(SERVER).is_none(), "no view may form after losing every disk");
+    assert!(world.verify().is_ok(), "wedged is not unsafe: {:?}", world.verify());
+}
+
+#[test]
+fn lazy_policy_group_crash_recovers_viewid_only_and_wedges() {
+    // With on-stable-viewid-only, the WAL tail above the sync watermark
+    // is lost on crash, so stores must not claim completeness and the
+    // cohorts rejoin exactly as the paper's design: crash-acceptance,
+    // viewid only. A whole-group crash therefore still wedges — the
+    // durable subsystem must not manufacture false confidence.
+    let mut world = durable_world(23, FsyncPolicy::OnStableViewIdOnly);
+    commit_increments(&mut world, 3);
+    for mid in SERVER_MIDS {
+        world.crash(mid);
+    }
+    world.run_for(100);
+    for mid in SERVER_MIDS {
+        world.recover(mid);
+    }
+    world.run_for(20_000);
+    assert!(
+        world.primary_of(SERVER).is_none(),
+        "an incomplete log must not be trusted to re-form a view"
+    );
+    assert!(world.verify().is_ok(), "{:?}", world.verify());
+}
+
+#[test]
+fn disk_counters_flow_into_world_metrics() {
+    let mut world = durable_world(24, FsyncPolicy::EveryRecord);
+    commit_increments(&mut world, 3);
+    let m = world.metrics();
+    assert!(m.disk_appends > 0, "records must hit the disks");
+    assert!(m.disk_fsyncs > 0, "fsync-per-record must fsync");
+    assert!(m.disk_bytes_written > 0);
+    assert_eq!(m.records_replayed, 0, "no recovery has happened yet");
+    let appends_before = m.disk_appends;
+    world.crash(Mid(1));
+    world.run_for(100);
+    world.recover(Mid(1));
+    world.run_for(5_000);
+    let m = world.metrics();
+    assert!(m.records_replayed > 0, "recovering m1 replays its journal");
+    assert!(m.disk_appends >= appends_before, "counters are cumulative");
+}

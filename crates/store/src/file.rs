@@ -1,0 +1,225 @@
+//! File-backed segmented write-ahead log.
+//!
+//! A store directory holds segments named `wal-NNNNNN.seg`, appended in
+//! index order. Opening a store always starts a *new* segment (index
+//! `max existing + 1`) so a crashed final write never shares a file with
+//! fresh appends. A checkpoint rotates to a new segment whose first
+//! frame is the checkpoint itself, then deletes the older segments —
+//! everything before a checkpoint is re-derivable from it, so the GC is
+//! safe once the checkpoint frame is fsynced.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{frame, scan, ScanEnd};
+use crate::{assemble, FsyncPolicy, Store, StoreMetrics};
+use vsr_core::durable::{DurableEvent, RecoveredState};
+use vsr_core::types::ViewId;
+
+/// Rotate to a new segment once the current one exceeds this many bytes.
+const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Segmented on-disk WAL implementing [`Store`].
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    /// Index of the segment currently being appended.
+    index: u64,
+    /// Open handle for the current segment.
+    segment: File,
+    /// Bytes written to the current segment so far.
+    written: u64,
+    /// Whether the current segment has unsynced appends.
+    dirty: bool,
+    metrics: StoreMetrics,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.seg"))
+}
+
+/// List existing segment indices in `dir`, ascending.
+fn segment_indices(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(idx) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".seg")) {
+            if let Ok(idx) = idx.parse::<u64>() {
+                indices.push(idx);
+            }
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store in `dir` with the default
+    /// segment size. Always begins a fresh segment; existing segments
+    /// are read only by [`recover`](Store::recover).
+    pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<Self> {
+        Self::open_with_segment_bytes(dir, policy, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`open`](FileStore::open) with an explicit rotation threshold
+    /// (useful for exercising rotation in tests).
+    pub fn open_with_segment_bytes(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let index = segment_indices(&dir)?.last().map_or(0, |i| i + 1);
+        let segment =
+            OpenOptions::new().create_new(true).append(true).open(segment_path(&dir, index))?;
+        Ok(FileStore {
+            dir,
+            policy,
+            segment_bytes,
+            index,
+            segment,
+            written: 0,
+            dirty: false,
+            metrics: StoreMetrics::default(),
+        })
+    }
+
+    /// Directory this store appends into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn sync(&mut self) {
+        if self.dirty {
+            self.segment.sync_data().expect("wal fsync");
+            self.dirty = false;
+            self.metrics.fsyncs += 1;
+        }
+    }
+
+    /// Begin a new segment at `index + 1`.
+    fn rotate(&mut self) {
+        // Don't let unsynced bytes linger in an abandoned segment where
+        // no later sync call would reach them.
+        self.sync();
+        self.index += 1;
+        self.segment = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.dir, self.index))
+            .expect("wal segment create");
+        self.written = 0;
+    }
+
+    /// Delete every segment older than the current one. Called after a
+    /// checkpoint frame is durably the first frame of the current
+    /// segment, which makes the older segments redundant.
+    fn gc_older_segments(&mut self) {
+        for idx in segment_indices(&self.dir).expect("wal dir list") {
+            if idx < self.index {
+                // Best-effort: a leftover segment is wasted space, not
+                // a correctness problem — recovery reads in order and
+                // the latest checkpoint wins.
+                let _ = fs::remove_file(segment_path(&self.dir, idx));
+            }
+        }
+    }
+
+    fn append(&mut self, event: &DurableEvent) {
+        let bytes = frame(event);
+        self.segment.write_all(&bytes).expect("wal append");
+        self.written += bytes.len() as u64;
+        self.dirty = true;
+        self.metrics.appends += 1;
+        self.metrics.bytes_written += bytes.len() as u64;
+    }
+}
+
+impl Store for FileStore {
+    fn persist(&mut self, event: &DurableEvent) {
+        match event {
+            DurableEvent::Checkpoint(_) => {
+                // Checkpoint: rotate so the checkpoint is the first
+                // frame of its segment, sync it, then GC the history it
+                // supersedes.
+                if self.written > 0 {
+                    self.rotate();
+                }
+                self.append(event);
+                self.metrics.checkpoints += 1;
+                self.sync();
+                self.gc_older_segments();
+                return;
+            }
+            DurableEvent::Sync => {}
+            _ => {
+                if self.written >= self.segment_bytes {
+                    self.rotate();
+                }
+                self.append(event);
+            }
+        }
+        if self.policy.syncs_on(event) {
+            self.sync();
+        }
+    }
+
+    fn recover(&mut self, fallback: ViewId) -> RecoveredState {
+        // Read every non-empty segment. Empty ones are skipped when
+        // deciding whether a torn frame is "final": `open` creates a
+        // fresh empty segment *before* recovery runs, and a genuinely
+        // torn last write of the previous life must not be demoted to
+        // mid-log corruption by that newer, still-empty file.
+        let mut segments = Vec::new();
+        for idx in segment_indices(&self.dir).expect("wal dir list") {
+            let mut bytes = Vec::new();
+            File::open(segment_path(&self.dir, idx))
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .expect("wal segment read");
+            if !bytes.is_empty() {
+                segments.push((idx, bytes));
+            }
+        }
+        let last = segments.last().map(|(idx, _)| *idx);
+        let mut events = Vec::new();
+        let mut clean = true;
+        for (idx, bytes) in &segments {
+            let (mut seg_events, end) = scan(bytes);
+            events.append(&mut seg_events);
+            match end {
+                ScanEnd::Clean => {}
+                ScanEnd::Torn { offset } if Some(*idx) == last => {
+                    // Benign interrupted final append: truncate it away
+                    // so later lives (appending to newer segments) don't
+                    // find it mid-log and fail safe spuriously.
+                    OpenOptions::new()
+                        .write(true)
+                        .open(segment_path(&self.dir, *idx))
+                        .and_then(|f| f.set_len(offset as u64))
+                        .expect("wal torn-tail truncate");
+                    break;
+                }
+                // A torn tail is only explainable in the final segment;
+                // mid-log it means a hole, which is corruption.
+                ScanEnd::Torn { .. } | ScanEnd::Corrupt { .. } => {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        assemble(events, clean, self.policy, fallback)
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        self.metrics
+    }
+}

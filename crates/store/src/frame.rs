@@ -1,0 +1,165 @@
+//! Log framing: `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! The CRC covers only the payload; the length is implicitly validated
+//! because a wrong length either truncates the payload (torn) or shifts
+//! the CRC window (mismatch). A scan distinguishes two failure modes:
+//!
+//! * **torn** — the segment ends mid-frame. The expected outcome of a
+//!   crash during an append; the partial frame was never acknowledged,
+//!   so truncating it is always safe.
+//! * **corrupt** — a frame is physically complete but its CRC or its
+//!   decoding fails (e.g. a flipped bit). The log after this point
+//!   cannot be trusted; recovery must fail safe rather than load
+//!   garbage.
+
+use vsr_core::durable::DurableEvent;
+use vsr_core::wire::{decode_durable_event, encode_durable_event};
+
+/// Bytes of framing overhead per record.
+pub const HEADER_BYTES: usize = 8;
+
+/// CRC-32 (ISO-HDLC, the zlib polynomial), table-driven, no dependencies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Frame a durable event for appending to a log.
+pub fn frame(event: &DurableEvent) -> Vec<u8> {
+    let payload = encode_durable_event(event);
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// How a scan of one segment ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// Every byte belonged to an intact frame.
+    Clean,
+    /// The segment ends mid-frame at `offset` (crash during an append).
+    Torn {
+        /// Byte offset of the incomplete frame.
+        offset: usize,
+    },
+    /// A complete frame at `offset` failed its CRC or did not decode.
+    Corrupt {
+        /// Byte offset of the bad frame.
+        offset: usize,
+    },
+}
+
+/// Decode every intact frame of a segment, in order, and report how the
+/// segment ended. Stops at the first torn or corrupt frame; whatever
+/// follows it is untrusted.
+pub fn scan(bytes: &[u8]) -> (Vec<DurableEvent>, ScanEnd) {
+    let mut events = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < HEADER_BYTES {
+            return (events, ScanEnd::Torn { offset: pos });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + HEADER_BYTES;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            return (events, ScanEnd::Torn { offset: pos });
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return (events, ScanEnd::Corrupt { offset: pos });
+        }
+        match decode_durable_event(payload) {
+            Ok(event) => events.push(event),
+            Err(_) => return (events, ScanEnd::Corrupt { offset: pos }),
+        }
+        pos = end;
+    }
+    (events, ScanEnd::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::types::{Mid, ViewId};
+
+    fn vid(c: u64) -> ViewId {
+        ViewId { counter: c, manager: Mid(1) }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn scan_roundtrips_frames() {
+        let mut log = Vec::new();
+        let events = [
+            DurableEvent::StableViewId(vid(1)),
+            DurableEvent::Sync,
+            DurableEvent::StableViewId(vid(2)),
+        ];
+        for e in &events {
+            log.extend_from_slice(&frame(e));
+        }
+        let (decoded, end) = scan(&log);
+        assert_eq!(end, ScanEnd::Clean);
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn torn_tail_detected_at_every_cut() {
+        let mut log = frame(&DurableEvent::StableViewId(vid(1)));
+        let first_len = log.len();
+        log.extend_from_slice(&frame(&DurableEvent::StableViewId(vid(2))));
+        for cut in first_len + 1..log.len() {
+            let (decoded, end) = scan(&log[..cut]);
+            assert_eq!(decoded.len(), 1, "cut {cut}");
+            assert_eq!(end, ScanEnd::Torn { offset: first_len }, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_not_torn() {
+        let mut log = frame(&DurableEvent::StableViewId(vid(1)));
+        let second_at = log.len();
+        log.extend_from_slice(&frame(&DurableEvent::StableViewId(vid(2))));
+        log.extend_from_slice(&frame(&DurableEvent::Sync));
+        // Flip a payload bit in the middle frame.
+        let target = second_at + HEADER_BYTES;
+        log[target] ^= 0x10;
+        let (decoded, end) = scan(&log);
+        assert_eq!(decoded, vec![DurableEvent::StableViewId(vid(1))]);
+        assert_eq!(end, ScanEnd::Corrupt { offset: second_at });
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        assert_eq!(scan(&[]), (Vec::new(), ScanEnd::Clean));
+    }
+}

@@ -1,0 +1,208 @@
+//! In-memory fault-injectable disk for the deterministic simulator.
+//!
+//! `SimDisk` models exactly the byte stream a [`FileStore`](crate::file)
+//! would write, plus a *sync watermark*: bytes at or past the watermark
+//! have been appended but not fsynced, and a [`crash`](SimDisk::crash)
+//! loses them. The nemesis can additionally tear the final frame
+//! ([`crash_torn`](SimDisk::crash_torn)), flip a bit
+//! ([`corrupt_bit`](SimDisk::corrupt_bit)), or lose the disk outright
+//! ([`wipe`](SimDisk::wipe)).
+
+use crate::frame::{frame, scan, ScanEnd};
+use crate::{assemble, FsyncPolicy, Store, StoreMetrics};
+use vsr_core::durable::{DurableEvent, RecoveredState};
+use vsr_core::types::ViewId;
+
+/// Simulated single-segment disk with a sync watermark.
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    policy: FsyncPolicy,
+    /// The full byte stream appended so far (segments concatenated — the
+    /// simulator has no reason to model file boundaries).
+    data: Vec<u8>,
+    /// Bytes below this offset have been synced and survive a crash.
+    synced: usize,
+    metrics: StoreMetrics,
+}
+
+impl SimDisk {
+    /// An empty disk with the given fsync policy.
+    pub fn new(policy: FsyncPolicy) -> Self {
+        SimDisk { policy, data: Vec::new(), synced: 0, metrics: StoreMetrics::default() }
+    }
+
+    /// Crash: the un-fsynced suffix is lost, as a real disk cache would
+    /// lose it on power failure.
+    pub fn crash(&mut self) {
+        self.data.truncate(self.synced);
+    }
+
+    /// Crash mid-append: the un-fsynced suffix is lost *except* for up
+    /// to `keep` bytes of it, modelling a torn final write that made it
+    /// partway to the platter. A no-op tear (keep ≥ suffix) degrades to
+    /// keeping the whole suffix.
+    pub fn crash_torn(&mut self, keep: usize) {
+        let end = (self.synced + keep).min(self.data.len());
+        self.data.truncate(end);
+    }
+
+    /// Flip one bit at `offset` (mod the disk size), modelling silent
+    /// media corruption. No-op on an empty disk.
+    pub fn corrupt_bit(&mut self, offset: usize) {
+        if !self.data.is_empty() {
+            let i = offset % self.data.len();
+            self.data[i] ^= 1 << (offset % 8);
+        }
+    }
+
+    /// Lose the disk entirely (crash-with-disk-loss).
+    pub fn wipe(&mut self) {
+        self.data.clear();
+        self.synced = 0;
+    }
+
+    /// Bytes currently on the disk (including un-fsynced suffix).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the disk holds no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes guaranteed to survive a crash.
+    pub fn synced_len(&self) -> usize {
+        self.synced
+    }
+}
+
+impl Store for SimDisk {
+    fn persist(&mut self, event: &DurableEvent) {
+        if !matches!(event, DurableEvent::Sync) {
+            let bytes = frame(event);
+            self.data.extend_from_slice(&bytes);
+            self.metrics.appends += 1;
+            self.metrics.bytes_written += bytes.len() as u64;
+            if matches!(event, DurableEvent::Checkpoint(_)) {
+                self.metrics.checkpoints += 1;
+            }
+        }
+        if self.policy.syncs_on(event) && self.synced < self.data.len() {
+            self.synced = self.data.len();
+            self.metrics.fsyncs += 1;
+        }
+    }
+
+    fn recover(&mut self, fallback: ViewId) -> RecoveredState {
+        let (events, end) = scan(&self.data);
+        let mut clean = !matches!(end, ScanEnd::Corrupt { .. });
+        // Recovery truncates a torn tail, as a file backend would.
+        if let ScanEnd::Torn { offset } = end {
+            // A "torn" frame that starts strictly below the sync
+            // watermark cannot be an interrupted final append — synced
+            // bytes are durable — so it is media corruption in disguise
+            // (e.g. a flipped bit in a length field making a mid-log
+            // frame appear to run past the end). Only a tear at or past
+            // the watermark is the benign unacknowledged-append case.
+            if offset < self.synced {
+                clean = false;
+            }
+            self.data.truncate(offset);
+        }
+        self.synced = self.data.len();
+        assemble(events, clean, self.policy, fallback)
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::types::Mid;
+
+    fn vid(c: u64) -> ViewId {
+        ViewId { counter: c, manager: Mid(0) }
+    }
+
+    #[test]
+    fn crash_loses_unsynced_suffix() {
+        let mut disk = SimDisk::new(FsyncPolicy::OnStableViewIdOnly);
+        disk.persist(&DurableEvent::StableViewId(vid(1))); // synced
+        let synced_len = disk.len();
+        disk.persist(&DurableEvent::Sync); // no-op under this policy
+        assert_eq!(disk.synced_len(), synced_len);
+        disk.crash();
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.stable_viewid, vid(1));
+    }
+
+    #[test]
+    fn every_record_survives_crash() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(1)));
+        disk.persist(&DurableEvent::StableViewId(vid(2)));
+        disk.crash();
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.stable_viewid, vid(2));
+        assert!(rs.complete);
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_not_corrupt() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(1)));
+        // Append without sync by switching policy mid-flight.
+        disk.policy = FsyncPolicy::OnStableViewIdOnly;
+        disk.persist(&DurableEvent::Sync);
+        let synced = disk.synced_len();
+        disk.policy = FsyncPolicy::EveryRecord;
+        // Simulate a torn unsynced append: extend raw bytes, then tear.
+        let extra = crate::frame::frame(&DurableEvent::StableViewId(vid(9)));
+        disk.data.extend_from_slice(&extra);
+        disk.crash_torn(3);
+        assert_eq!(disk.len(), synced + 3);
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.stable_viewid, vid(1));
+        assert!(rs.complete, "torn tail is safe, not corrupt");
+        assert_eq!(disk.len(), synced, "tail truncated on recovery");
+    }
+
+    #[test]
+    fn bit_flip_fails_safe() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(1)));
+        disk.persist(&DurableEvent::StableViewId(vid(2)));
+        disk.corrupt_bit(crate::frame::HEADER_BYTES + 2); // payload of frame 1
+        let rs = disk.recover(vid(0));
+        assert!(!rs.complete, "corruption must fail safe");
+    }
+
+    #[test]
+    fn wipe_loses_everything() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(5)));
+        disk.wipe();
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.stable_viewid, vid(0));
+        assert!(rs.checkpoint.is_none());
+    }
+
+    #[test]
+    fn metrics_count_appends_and_fsyncs() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(1)));
+        disk.persist(&DurableEvent::Sync); // barrier, no frame, already synced
+        let m = disk.metrics();
+        assert_eq!(m.appends, 1);
+        assert_eq!(m.fsyncs, 1);
+        assert!(m.bytes_written > 0);
+    }
+}

@@ -10,6 +10,8 @@
 //!
 //! * [`core`] — the protocol: viewstamps, cohorts, transactions, view
 //!   changes.
+//! * [`store`] — durable storage: CRC-framed write-ahead log and
+//!   checkpoints, file-backed and simulated-disk backends.
 //! * [`simnet`] — the deterministic network simulator.
 //! * [`app`] — replicated application modules.
 //! * [`sim`] — the simulation world, fault injection, and invariant
@@ -46,3 +48,4 @@ pub use vsr_core as core;
 pub use vsr_runtime as runtime;
 pub use vsr_sim as sim;
 pub use vsr_simnet as simnet;
+pub use vsr_store as store;

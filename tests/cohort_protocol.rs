@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use vsr_app::counter;
 use vsr_core::cohort::{Cohort, CohortParams, Effect, Observation, Status};
 use vsr_core::config::CohortConfig;
+use vsr_core::durable::RecoveredState;
 use vsr_core::messages::{CallOutcome, Message, QueryOutcome};
 use vsr_core::module::NullModule;
 use vsr_core::pset::PSet;
@@ -411,7 +412,7 @@ fn recovered_cohort_sends_crashed_acceptance() {
             peers,
             module: Box::new(counter::CounterModule),
         },
-        stable,
+        RecoveredState::viewid_only(stable),
     );
     recovered.start(0);
     assert!(!recovered.is_up_to_date());
@@ -456,7 +457,7 @@ fn crashed_cohort_never_becomes_primary_via_init_view() {
             peers,
             module: Box::new(counter::CounterModule),
         },
-        ViewId::initial(Mid(1)),
+        RecoveredState::viewid_only(ViewId::initial(Mid(1))),
     );
     recovered.start(0);
     let vid = ViewId { counter: 9, manager: Mid(3) };

@@ -6,6 +6,7 @@
 use vsr_core::types::Mid;
 use vsr_sim::fault::{FaultEvent, FaultPlan};
 use vsr_sim::nemesis::{run_plan, sweep, NemesisConfig};
+use vsr_store::FsyncPolicy;
 
 /// Fixed-seed sweep of 50 random nemesis plans over a 5-cohort group.
 /// Plans draw from the full fault vocabulary: crashes, symmetric and
@@ -65,6 +66,97 @@ fn sweep_seeds_cover_all_fault_classes() {
     assert!(class_drop, "no targeted message-class drop in 50 plans");
     assert!(loss, "no lossy link in 50 plans");
     assert!(partition, "no symmetric partition in 50 plans");
+}
+
+/// Fixed-seed sweep of 50 random plans with every cohort journaling to
+/// a fault-injectable simulated disk (fsync-per-record). The plan
+/// vocabulary gains crash-with-disk-loss, and the liveness oracle
+/// tightens automatically: a group-wide crash with *intact* disks
+/// recovers up to date and must re-form a view — wedging there is a
+/// liveness bug, not an excusable catastrophe. The only excusable
+/// catastrophes left are the ones that destroy the disks themselves, so
+/// the bound drops sharply versus the no-disk sweep.
+#[test]
+fn fifty_durable_plans_pass_both_oracles() {
+    let cfg =
+        NemesisConfig { durability: Some(FsyncPolicy::EveryRecord), ..NemesisConfig::default() };
+    match sweep(&cfg, 9_100, 50, 12, 2) {
+        Ok(stats) => {
+            eprintln!(
+                "durable sweep: {} recovered, {} catastrophic (disk loss)",
+                stats.passed, stats.catastrophic
+            );
+            assert_eq!(stats.passed + stats.catastrophic, 50);
+            assert!(
+                stats.catastrophic <= 5,
+                "durable sweep should only wedge on disk-loss draws, got {}/50 catastrophes",
+                stats.catastrophic
+            );
+        }
+        Err((plan, failure, repro)) => {
+            panic!(
+                "durable nemesis sweep failed: {failure}\nminimal plan: {plan:?}\nrepro:\n{repro}"
+            );
+        }
+    }
+}
+
+/// The durable generator actually draws crash-with-disk-loss — the
+/// tightened sweep is vacuous if every crash keeps its disk.
+#[test]
+fn durable_sweep_seeds_cover_disk_loss() {
+    let mids: Vec<Mid> = (1..=5).map(Mid).collect();
+    let (mut kept, mut lost) = (false, false);
+    for seed in 9_100..9_150u64 {
+        let plan = FaultPlan::random_nemesis_durable(seed, &mids, 200, 8_000, 12, 2, true);
+        for (_, event) in &plan.events {
+            match event {
+                FaultEvent::Crash(_) => kept = true,
+                FaultEvent::CrashDiskLoss(_) => lost = true,
+                _ => {}
+            }
+        }
+    }
+    assert!(kept, "no disk-intact crash in 50 durable plans");
+    assert!(lost, "no crash-with-disk-loss in 50 durable plans");
+}
+
+/// Promoted regression (was an excused Section 4.2 catastrophe in the
+/// no-disk design): crashing the *entire* group wipes every volatile
+/// copy of forced information, but with fsync-per-record WALs intact the
+/// cohorts replay their logs, answer normal acceptances, and re-form a
+/// view with every committed transaction — this must now pass outright.
+#[test]
+fn shrunk_full_group_crash_with_intact_disks_recovers() {
+    let cfg =
+        NemesisConfig { durability: Some(FsyncPolicy::EveryRecord), ..NemesisConfig::default() };
+    let plan = FaultPlan::new()
+        .at(200, FaultEvent::Crash(Mid(1)))
+        .at(200, FaultEvent::Crash(Mid(2)))
+        .at(200, FaultEvent::Crash(Mid(3)))
+        .at(200, FaultEvent::Crash(Mid(4)))
+        .at(200, FaultEvent::Crash(Mid(5)))
+        .at(2_000, FaultEvent::Crash(Mid(1)))
+        .at(2_000, FaultEvent::Crash(Mid(2)));
+    run_plan(&cfg, &plan).expect("whole-group crash with intact disks must recover");
+}
+
+/// The same whole-group crash with the disks destroyed reproduces the
+/// paper's catastrophe even in a durable world: stable storage is gone,
+/// so the formation rule refuses to form a view — and the oracle must
+/// classify that as the specified catastrophe, not silently pass.
+#[test]
+fn full_group_crash_with_disk_loss_stays_catastrophic() {
+    let cfg =
+        NemesisConfig { durability: Some(FsyncPolicy::EveryRecord), ..NemesisConfig::default() };
+    let mut plan = FaultPlan::new();
+    for m in 1..=5 {
+        plan = plan.at(200, FaultEvent::CrashDiskLoss(Mid(m)));
+    }
+    match run_plan(&cfg, &plan) {
+        Err(vsr_sim::nemesis::NemesisFailure::Catastrophe(_)) => {}
+        other => panic!("expected a catastrophe, got {other:?}"),
+    }
 }
 
 /// Regression produced by the shrinker: with healing disabled, losing a
