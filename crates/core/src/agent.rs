@@ -230,7 +230,35 @@ impl ClientAgent {
                 }
                 None => self.probe_group(group, &mut out),
             },
-            _ => {}
+            // An agent is not a cohort: group-directed traffic (calls,
+            // two-phase commit, buffer replication, view management) can
+            // only reach it misdirected or stale, and a ClientPing for an
+            // aid this agent no longer tracks falls through its guard
+            // above. Dropping these is the protocol's answer; listing
+            // them keeps this match exhaustive so a new message class
+            // must decide whether agents care.
+            Message::Call { .. }
+            | Message::Prepare { .. }
+            | Message::PrepareOk { .. }
+            | Message::PrepareRefuse { .. }
+            | Message::Commit { .. }
+            | Message::CommitDone { .. }
+            | Message::Abort { .. }
+            | Message::Query { .. }
+            | Message::QueryReply { .. }
+            | Message::ClientBegin { .. }
+            | Message::ClientCommit { .. }
+            | Message::ClientAbort { .. }
+            | Message::ClientPing { .. }
+            | Message::ClientPong { .. }
+            | Message::Probe { .. }
+            | Message::BufferSend { .. }
+            | Message::BufferAck { .. }
+            | Message::ImAlive { .. }
+            | Message::Invite { .. }
+            | Message::AcceptNormal { .. }
+            | Message::AcceptCrashed { .. }
+            | Message::InitView { .. } => {}
         }
         out
     }
@@ -250,7 +278,7 @@ impl ClientAgent {
     /// done.
     fn advance(&mut self, req: u64, out: &mut Vec<Effect>) {
         let Some(txn) = self.txns.get(&req) else { return };
-        let aid = txn.aid.expect("advancing transaction has an aid");
+        let aid = txn.aid.expect("invariant: an advancing transaction has an aid");
         if txn.next_op < txn.ops.len() {
             let seq = call_seq(txn.next_op, txn.call_generation);
             self.send_call(req, seq, out);
@@ -259,7 +287,7 @@ impl ClientAgent {
                 timer: Timer::AgentCallRetry { call_id: CallId { aid, seq }, attempt: 1 },
             });
         } else {
-            let txn = self.txns.get_mut(&req).expect("present");
+            let txn = self.txns.get_mut(&req).expect("invariant: checked by the get above");
             txn.phase = AgentPhase::Committing;
             self.send_commit(req, out);
             out.push(Effect::SetTimer {
@@ -275,7 +303,7 @@ impl ClientAgent {
 
     fn send_call(&mut self, req: u64, seq: u64, out: &mut Vec<Effect>) {
         let Some(txn) = self.txns.get(&req) else { return };
-        let aid = txn.aid.expect("running transaction has an aid");
+        let aid = txn.aid.expect("invariant: a running transaction has an aid");
         let op = txn.ops[call_op_index(seq)].clone();
         let (viewid, primary) = self.cached_target(op.group);
         out.push(Effect::Send {
@@ -291,7 +319,7 @@ impl ClientAgent {
 
     fn send_commit(&mut self, req: u64, out: &mut Vec<Effect>) {
         let Some(txn) = self.txns.get(&req) else { return };
-        let aid = txn.aid.expect("committing transaction has an aid");
+        let aid = txn.aid.expect("invariant: a committing transaction has an aid");
         let pset = txn.pset.clone();
         let (_, primary) = self.cached_target(self.coord_group);
         out.push(Effect::Send {
@@ -360,7 +388,7 @@ impl ClientAgent {
         if txn.phase != AgentPhase::Committing {
             return;
         }
-        let txn = self.txns.remove(&req).expect("present");
+        let txn = self.txns.remove(&req).expect("invariant: checked by the get above");
         self.by_aid.remove(&aid);
         let outcome = if committed {
             TxnOutcome::Committed { results: txn.results }
@@ -393,7 +421,10 @@ impl ClientAgent {
                     }
                 }
                 AgentPhase::Committing if group == self.coord_group => self.send_commit(req, out),
-                _ => {}
+                // Begin/commit traffic goes to the coordinator group
+                // only; a cache update for some other group changes
+                // nothing for transactions in those phases.
+                AgentPhase::Beginning | AgentPhase::Committing => {}
             }
         }
     }
@@ -458,13 +489,16 @@ impl ClientAgent {
                 }
                 let group = self.txns[&req].ops[call_op_index(call_id.seq)].group;
                 if attempt >= self.cfg.call_attempts {
-                    let txn = self.txns.get_mut(&req).expect("present");
+                    let txn = self
+                        .txns
+                        .get_mut(&req)
+                        .expect("invariant: checked by the is_some_and above");
                     if txn.call_generation < self.cfg.call_redo_attempts as u64 {
                         // Abort the call subaction and redo it as a new
                         // one (Section 3.6).
                         txn.call_generation += 1;
                         let seq = call_seq(txn.next_op, txn.call_generation);
-                        let aid = txn.aid.expect("running txn has an aid");
+                        let aid = txn.aid.expect("invariant: a running transaction has an aid");
                         self.send_call(req, seq, &mut out);
                         self.probe_group(group, &mut out);
                         out.push(Effect::SetTimer {
@@ -504,7 +538,10 @@ impl ClientAgent {
                 if attempt >= self.cfg.prepare_attempts * 2 {
                     // The outcome is genuinely unknown: the commit may
                     // have been decided by an unreachable coordinator.
-                    let txn = self.txns.remove(&req).expect("present");
+                    let txn = self
+                        .txns
+                        .remove(&req)
+                        .expect("invariant: checked by the is_some_and above");
                     self.by_aid.remove(&aid);
                     out.push(Effect::TxnResult {
                         req_id: txn.req_id,

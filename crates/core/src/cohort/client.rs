@@ -280,7 +280,7 @@ impl Cohort {
 
     pub(crate) fn on_call_reject(
         &mut self,
-        now: Tick,
+        _now: Tick,
         call_id: CallId,
         newer: Option<(ViewId, View)>,
         out: &mut Vec<Effect>,
@@ -308,12 +308,11 @@ impl Cohort {
             // first; the call-retry timer aborts if nothing turns up.
             self.probe_group(group, out);
         }
-        let _ = now;
     }
 
     pub(crate) fn on_call_retry(
         &mut self,
-        now: Tick,
+        _now: Tick,
         call_id: CallId,
         attempt: u32,
         out: &mut Vec<Effect>,
@@ -355,20 +354,19 @@ impl Cohort {
             after: self.retry_delay(self.cfg.call_retry_interval, attempt + 1, retry_kind::CALL),
             timer: Timer::CallRetry { call_id, attempt: attempt + 1 },
         });
-        let _ = now;
     }
 
     // ------------------------------------------------------------------
     // two-phase commit, coordinator side (Figure 2)
     // ------------------------------------------------------------------
 
-    fn start_prepare(&mut self, now: Tick, aid: Aid, out: &mut Vec<Effect>) {
+    fn start_prepare(&mut self, _now: Tick, aid: Aid, out: &mut Vec<Effect>) {
         let Some(txn) = self.coord.get_mut(&aid) else { return };
         let participants = txn.pset.participant_groups();
         if participants.is_empty() {
             // A transaction that made no calls commits trivially; there is
             // nothing to recover, so no records are needed.
-            let txn = self.coord.remove(&aid).expect("present");
+            let txn = self.coord.remove(&aid).expect("invariant: checked by the get_mut above");
             out.push(Effect::TxnResult {
                 req_id: txn.req_id,
                 aid: Some(aid),
@@ -383,7 +381,6 @@ impl Cohort {
             after: self.retry_delay(self.cfg.prepare_retry_interval, 1, retry_kind::PREPARE),
             timer: Timer::PrepareRetry { aid, attempt: 1 },
         });
-        let _ = now;
     }
 
     /// "Send prepare messages containing the aid and pset to the

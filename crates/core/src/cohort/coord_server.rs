@@ -41,7 +41,7 @@ impl Cohort {
     /// pset and answer with the outcome.
     pub(crate) fn on_client_commit(
         &mut self,
-        now: Tick,
+        _now: Tick,
         aid: Aid,
         pset: PSet,
         reply_to: Mid,
@@ -105,7 +105,6 @@ impl Cohort {
             after: self.retry_delay(self.cfg.prepare_retry_interval, 1, super::retry_kind::PREPARE),
             timer: Timer::PrepareRetry { aid, attempt: 1 },
         });
-        let _ = now;
     }
 
     /// Handle a `ClientAbort`: abort a delegated transaction.

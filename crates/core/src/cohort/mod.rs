@@ -825,7 +825,7 @@ impl Cohort {
     pub(crate) fn primary_add(&mut self, kind: EventKind, out: &mut Vec<Effect>) -> Viewstamp {
         debug_assert!(self.is_active_primary(), "primary_add on non-primary");
         let record_kind = kind.clone();
-        let buffer = self.buffer.as_mut().expect("active primary has a buffer");
+        let buffer = self.buffer.as_mut().expect("invariant: an active primary has a buffer");
         let vs = buffer.add(kind);
         self.history.advance(self.cur_viewid, vs.ts);
         let record = EventRecord { vs, kind: record_kind };
@@ -855,7 +855,7 @@ impl Cohort {
         // on-force fsync policy sync their log here (Section 3.7's
         // correspondence with conventional stable-storage forces).
         out.push(Effect::Persist(DurableEvent::Sync));
-        let buffer = self.buffer.as_mut().expect("active primary has a buffer");
+        let buffer = self.buffer.as_mut().expect("invariant: an active primary has a buffer");
         if buffer.force_to(vs, reason.clone()) {
             return vec![reason];
         }

@@ -164,8 +164,12 @@ impl Cohort {
                 let mut record_for_event = record;
                 // Assign the viewstamp by adding to the buffer; the add
                 // advances the timestamp generator atomically.
-                let vs_placeholder =
-                    self.buffer.as_ref().expect("active primary has a buffer").latest_ts().next();
+                let vs_placeholder = self
+                    .buffer
+                    .as_ref()
+                    .expect("invariant: an active primary has a buffer")
+                    .latest_ts()
+                    .next();
                 record_for_event.vs = Viewstamp::new(self.cur_viewid, vs_placeholder);
                 let vs = self
                     .primary_add(EventKind::CompletedCall { aid, record: record_for_event }, out);

@@ -132,7 +132,7 @@ pub(crate) fn form_view(responses: &BTreeMap<Mid, Acceptance>, majority: usize) 
         .find(|(_, _, was_primary)| *was_primary)
         .or_else(|| candidates.first())
         .map(|(mid, _, _)| *mid)
-        .expect("at least one candidate");
+        .expect("invariant: formation only runs with at least one normal acceptance");
     Formation::View { primary, members: responses.keys().copied().collect() }
 }
 
@@ -156,7 +156,7 @@ impl Cohort {
 
     /// Start (or restart) a view change with this cohort as manager:
     /// `make_invitations` of Figure 5.
-    pub(crate) fn start_view_change(&mut self, now: Tick, out: &mut Vec<Effect>) {
+    pub(crate) fn start_view_change(&mut self, _now: Tick, out: &mut Vec<Effect>) {
         self.status = Status::ViewManager;
         // "make_invitations creates a new viewid by pairing mymid with a
         // number greater than max_viewid.cnt and stores it in
@@ -184,13 +184,15 @@ impl Cohort {
             after: self.cfg.invite_timeout,
             timer: Timer::InviteTimeout { viewid },
         });
-        let _ = now;
     }
 
     pub(crate) fn own_acceptance(&self) -> Acceptance {
         if self.up_to_date {
             Acceptance::Normal {
-                latest: self.history.latest().expect("up-to-date cohort has a history"),
+                latest: self
+                    .history
+                    .latest()
+                    .expect("invariant: an up-to-date cohort has a history"),
                 was_primary: self.cur_view.primary() == self.mid,
             }
         } else {
@@ -220,7 +222,11 @@ impl Cohort {
                 VcState::Underling { viewid: accepted } if *accepted == viewid => {
                     self.send_acceptance(viewid, manager, out);
                 }
-                _ => {}
+                // Not an underling of this exact viewid: either we are
+                // managing a competing change ourselves or the duplicate
+                // raced a state transition; re-accepting would be wrong
+                // in both cases.
+                VcState::Underling { .. } | VcState::None | VcState::Manager { .. } => {}
             }
             return;
         }
@@ -538,7 +544,13 @@ impl Cohort {
                 {
                     Some((aid, plist.clone()))
                 }
-                _ => None,
+                // Committing records we coordinate ourselves (in
+                // self.coord) resumed above; finished transactions need
+                // no phase two.
+                TxnStatus::Committing { .. }
+                | TxnStatus::Committed
+                | TxnStatus::Aborted
+                | TxnStatus::Done => None,
             })
             .collect();
         for (aid, plist) in orphaned {
@@ -566,7 +578,9 @@ impl Cohort {
         self.start_view(now, view, out);
         let newview_vs = crate::types::Viewstamp::new(
             self.cur_viewid,
-            self.history.ts_for(self.cur_viewid).expect("new view open"),
+            self.history
+                .ts_for(self.cur_viewid)
+                .expect("invariant: start_view opened the new view"),
         );
         for reason in pending {
             for fired in self.primary_force(newview_vs, reason, out) {

@@ -67,7 +67,10 @@ impl History {
     /// `ts` would move the entry backwards — event records arrive in
     /// timestamp order, so knowledge only grows.
     pub fn advance(&mut self, vid: ViewId, ts: Timestamp) {
-        let last = self.entries.last_mut().expect("history: advance on empty history");
+        let last = self
+            .entries
+            .last_mut()
+            .expect("invariant: advance is never called on an empty history");
         assert_eq!(last.id, vid, "history: advance for non-current view");
         assert!(ts >= last.ts, "history: timestamp moved backwards ({} -> {})", last.ts, ts);
         last.ts = ts;

@@ -71,6 +71,7 @@ impl<'a> Decoder<'a> {
         let end = self.pos.checked_add(8).ok_or(DecodeError { context })?;
         let slice = self.buf.get(self.pos..end).ok_or(DecodeError { context })?;
         self.pos = end;
+        // vsr-lint: allow(expect_used, reason = "slice is exactly 8 bytes by the get() above")
         Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
     }
 

@@ -1,0 +1,77 @@
+//! `vsr-lint` — the workspace's static-analysis gate.
+//!
+//! The deterministic simulator, nemesis shrinking, and SimDisk
+//! crash/recovery twin all assume `vsr-core` and friends are
+//! deterministic and I/O-free; nothing used to enforce that beyond
+//! review. This crate parses every configured crate with a small
+//! self-contained Rust lexer (the offline build environment rules out
+//! `syn`) and enforces four rule families — determinism, sans-I/O,
+//! protocol shape, and error discipline. See [`rules`] for the rule
+//! catalog and DESIGN.md §10 for the rationale behind each rule.
+//!
+//! Run it as a binary (`cargo run -p vsr-lint -- --workspace`) or call
+//! [`run_workspace`] from tests.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use diag::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Lint every crate named in `config`, rooted at `workspace_root`.
+/// Returns all diagnostics; I/O or config-shape problems come back as
+/// `Err` strings.
+pub fn run_workspace(workspace_root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for (name, entry) in &config.crates {
+        let enabled =
+            rules::expand_rules(&entry.rules).map_err(|e| format!("[crates.{name}]: {e}"))?;
+        let src_dir = workspace_root.join(&entry.path).join("src");
+        if !src_dir.is_dir() {
+            return Err(format!("[crates.{name}]: `{}` has no src/ directory", entry.path));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files).map_err(|e| format!("[crates.{name}]: {e}"))?;
+        files.sort();
+        for file in files {
+            let src =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let display = file.strip_prefix(workspace_root).unwrap_or(&file).to_path_buf();
+            out.extend(rules::lint_source(&display, &src, &enabled, &config.watched_enums));
+        }
+    }
+    Ok(out)
+}
+
+/// Load `lint.toml`, looking in `start` and then each parent directory.
+pub fn load_config(start: &Path) -> Result<(PathBuf, Config), String> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let candidate = d.join("lint.toml");
+        if candidate.is_file() {
+            let text = std::fs::read_to_string(&candidate)
+                .map_err(|e| format!("{}: {e}", candidate.display()))?;
+            let cfg = Config::parse(&text).map_err(|e| e.to_string())?;
+            return Ok((d, cfg));
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(format!("no lint.toml found from {} upward", start.display()))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! CLI for the workspace lint gate.
+//!
+//! ```text
+//! vsr-lint --workspace [--config PATH] [--json]
+//! vsr-lint --rules FAMILY[,FAMILY…] [--watched Enum,…] [--json] FILE…
+//! ```
+//!
+//! The first form lints every crate `lint.toml` names and is what CI
+//! runs. The second lints individual files with an explicit rule set —
+//! it exists for the fixture self-tests and for poking at a rule by
+//! hand. Exit codes: 0 clean, 1 diagnostics found, 2 usage/config
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vsr_lint::{config::Config, load_config, rules, run_workspace};
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    config: Option<PathBuf>,
+    rules: Vec<String>,
+    watched: Vec<String>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        config: None,
+        rules: Vec::new(),
+        watched: Vec::new(),
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--config" => {
+                let v = it.next().ok_or("--config needs a path")?;
+                args.config = Some(PathBuf::from(v));
+            }
+            "--rules" => {
+                let v = it.next().ok_or("--rules needs a comma-separated list")?;
+                args.rules.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--watched" => {
+                let v = it.next().ok_or("--watched needs a comma-separated list")?;
+                args.watched.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                return Err("usage: vsr-lint --workspace [--config PATH] [--json]\n\
+                                   vsr-lint --rules FAMILY[,…] [--watched Enum,…] FILE…"
+                    .to_string());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("pass --workspace or at least one file (see --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = if args.workspace {
+        let start = args
+            .config
+            .as_deref()
+            .and_then(|c| c.parent())
+            .map(PathBuf::from)
+            .or_else(|| std::env::current_dir().ok())
+            .unwrap_or_else(|| PathBuf::from("."));
+        let loaded = if let Some(cfg_path) = &args.config {
+            std::fs::read_to_string(cfg_path)
+                .map_err(|e| format!("{}: {e}", cfg_path.display()))
+                .and_then(|text| Config::parse(&text).map_err(|e| e.to_string()))
+                .map(|cfg| (start.clone(), cfg))
+        } else {
+            load_config(&start)
+        };
+        let (root, cfg) = match loaded {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("vsr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run_workspace(&root, &cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("vsr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let enabled = match rules::expand_rules(&args.rules) {
+            Ok(e) if !e.is_empty() => e,
+            Ok(_) => {
+                eprintln!("vsr-lint: --rules is required when linting files directly");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("vsr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut out = Vec::new();
+        for file in &args.files {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("vsr-lint: {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            out.extend(rules::lint_source(file, &src, &enabled, &args.watched));
+        }
+        out
+    };
+
+    if args.json {
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 < diags.len() { "," } else { "" };
+            println!("  {}{comma}", d.render_json());
+        }
+        println!("]");
+    } else {
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        if diags.is_empty() {
+            eprintln!("vsr-lint: clean");
+        } else {
+            eprintln!("vsr-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

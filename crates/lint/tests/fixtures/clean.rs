@@ -1,0 +1,21 @@
+// Fixture: lints clean under every rule family. Exercises the three
+// sanctioned escape hatches: an `invariant:`-prefixed expect, a
+// reasoned allow directive, and test-only code (ignored wholesale).
+
+pub fn primary_id(primary: Option<u32>) -> u32 {
+    primary.expect("invariant: a formed view always has a primary")
+}
+
+pub fn boot_entropy() -> u64 {
+    // vsr-lint: allow(thread_rng, reason = "fixture: demonstrates a reasoned suppression")
+    seed_from(thread_rng())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

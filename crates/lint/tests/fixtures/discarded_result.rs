@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `discarded_result` diagnostic.
+
+pub fn fire_and_forget(tx: &Sender, msg: u64) {
+    let _ = tx.send(msg);
+}

@@ -1,0 +1,7 @@
+// Fixture: triggers exactly one `expect_used` diagnostic — the
+// message lacks the `invariant:` prefix that documents why failure is
+// impossible.
+
+pub fn primary_id(primary: Option<u32>) -> u32 {
+    primary.expect("should have a primary")
+}

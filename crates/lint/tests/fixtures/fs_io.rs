@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `fs_io` diagnostic.
+
+pub fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_default()
+}

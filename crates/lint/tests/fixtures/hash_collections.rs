@@ -1,0 +1,7 @@
+// Fixture: triggers exactly one `hash_collections` diagnostic.
+
+use std::collections::HashMap;
+
+pub fn members() -> usize {
+    0
+}

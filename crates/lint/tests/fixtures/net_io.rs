@@ -1,0 +1,7 @@
+// Fixture: triggers exactly one `net_io` diagnostic.
+
+use std::net::SocketAddr;
+
+pub fn port_of(addr: SocketAddr) -> u16 {
+    addr.port()
+}

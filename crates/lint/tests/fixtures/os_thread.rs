@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `os_thread` diagnostic.
+
+pub fn run_detached(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f);
+}

@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `print_io` diagnostic.
+
+pub fn report(commits: u64) {
+    println!("committed {commits}");
+}

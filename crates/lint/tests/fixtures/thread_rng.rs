@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `thread_rng` diagnostic.
+
+pub fn ambient_coin() -> bool {
+    rand::thread_rng().gen_bool(0.5)
+}

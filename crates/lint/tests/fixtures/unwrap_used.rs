@@ -1,0 +1,5 @@
+// Fixture: triggers exactly one `unwrap_used` diagnostic.
+
+pub fn primary_id(primary: Option<u32>) -> u32 {
+    primary.unwrap()
+}

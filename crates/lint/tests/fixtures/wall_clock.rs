@@ -1,0 +1,6 @@
+// Fixture: triggers exactly one `wall_clock` diagnostic.
+
+pub fn stamp() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

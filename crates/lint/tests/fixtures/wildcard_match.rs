@@ -1,0 +1,11 @@
+// Fixture: triggers exactly one `wildcard_match` diagnostic — the
+// match mentions the watched `Message` enum but hides variants behind
+// an unguarded `_` arm.
+
+pub fn classify(m: &Message) -> &'static str {
+    match m {
+        Message::Call { .. } => "call",
+        Message::Prepare { .. } => "prepare",
+        _ => "other",
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixture-backed tests for every lint rule, plus the two gate-level
+//! guarantees CI relies on: the real workspace lints clean, and the
+//! CLI exits nonzero when it finds anything.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use vsr_lint::{load_config, rules, run_workspace};
+
+const ALL_FAMILIES: &[&str] = &["determinism", "sans_io", "protocol_shape", "error_discipline"];
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<vsr_lint::diag::Diagnostic> {
+    let path = fixture_path(name);
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    let enabled: BTreeSet<&'static str> =
+        rules::expand_rules(&ALL_FAMILIES.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .expect("families expand");
+    let watched = vec!["Message".to_string(), "FaultEvent".to_string()];
+    rules::lint_source(&path, &src, &enabled, &watched)
+}
+
+/// Every fixture triggers exactly the one rule it is named after,
+/// even with every family enabled at once — proving the rules don't
+/// bleed into each other.
+#[test]
+fn each_fixture_triggers_exactly_its_rule() {
+    let cases = [
+        "wall_clock",
+        "os_thread",
+        "thread_rng",
+        "hash_collections",
+        "fs_io",
+        "net_io",
+        "print_io",
+        "wildcard_match",
+        "unwrap_used",
+        "expect_used",
+        "discarded_result",
+        "lint_directive",
+    ];
+    for rule in cases {
+        let diags = lint_fixture(&format!("{rule}.rs"));
+        assert_eq!(
+            diags.len(),
+            1,
+            "{rule}.rs should trigger exactly one diagnostic, got: {:?}",
+            diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+        );
+        assert_eq!(diags[0].rule, rule, "{rule}.rs triggered the wrong rule");
+    }
+}
+
+/// The clean fixture exercises all three escape hatches (invariant
+/// expect, reasoned allow, #[cfg(test)] region) and produces nothing.
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean.rs");
+    assert!(
+        diags.is_empty(),
+        "clean.rs should lint clean, got: {:?}",
+        diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+    );
+}
+
+/// The gate CI actually runs: the workspace's own crates, under the
+/// checked-in lint.toml, produce zero diagnostics.
+#[test]
+fn workspace_lints_clean() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (root, cfg) = load_config(start).expect("lint.toml found at workspace root");
+    let diags = run_workspace(&root, &cfg).expect("workspace lint runs");
+    assert!(
+        diags.is_empty(),
+        "workspace should lint clean, got:\n{}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// CLI contract: diagnostics mean exit code 1, a clean run exits 0.
+#[test]
+fn cli_exit_codes() {
+    let dirty = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "error_discipline"])
+        .arg(fixture_path("unwrap_used.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(dirty.status.code(), Some(1), "diagnostics must exit 1");
+
+    let clean = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "determinism,sans_io,protocol_shape,error_discipline"])
+        .args(["--watched", "Message,FaultEvent"])
+        .arg(fixture_path("clean.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(clean.status.code(), Some(0), "clean run must exit 0");
+
+    let usage = Command::new(env!("CARGO_BIN_EXE_vsr-lint")).output().expect("vsr-lint runs");
+    assert_eq!(usage.status.code(), Some(2), "missing args must exit 2");
+}
+
+/// `--json` emits a machine-readable array with the rule id in it.
+#[test]
+fn cli_json_output() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "determinism", "--json"])
+        .arg(fixture_path("wall_clock.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.trim_start().starts_with('['), "json output: {stdout}");
+    assert!(stdout.contains("\"wall_clock\""), "json output: {stdout}");
+}

@@ -100,6 +100,7 @@ struct Router {
 impl Router {
     fn send(&self, from: Mid, to: Mid, msg: Message) {
         if let Some(tx) = self.routes.read().get(&to) {
+            // vsr-lint: allow(discarded_result, reason = "a cohort that crashed between the route lookup and the send just loses the message, exactly like the network")
             let _ = tx.send(Inbox::Msg { from, msg });
         }
     }
@@ -178,7 +179,7 @@ impl CohortThread {
             // Fire all due timers.
             let now_instant = Instant::now();
             while self.timers.peek().is_some_and(|t| t.due <= now_instant) {
-                let entry = self.timers.pop().expect("peeked");
+                let entry = self.timers.pop().expect("invariant: peek returned Some");
                 let now = self.now_ticks();
                 let effects = self.cohort.on_timer(now, entry.timer);
                 self.apply(mid, effects);
@@ -201,6 +202,7 @@ impl CohortThread {
                 }
                 Effect::TxnResult { req_id, outcome, .. } => {
                     if let Some(reply) = self.replies.remove(&req_id) {
+                        // vsr-lint: allow(discarded_result, reason = "the submitter may have timed out and dropped its receiver")
                         let _ = reply.send(outcome);
                     }
                 }
@@ -211,6 +213,7 @@ impl CohortThread {
                 }
                 Effect::Observe(obs) => {
                     if let Some(tx) = &self.observations {
+                        // vsr-lint: allow(discarded_result, reason = "observations are best-effort telemetry; a closed drain must not stall the cohort")
                         let _ = tx.send((mid, obs));
                     }
                 }
@@ -375,6 +378,7 @@ impl Cluster {
             Durability::Mem(policy) => Box::new(SimDisk::new(*policy)),
             Durability::Files { dir, policy } => Box::new(
                 FileStore::open(dir.join(format!("cohort-{}", mid.0)), *policy)
+                    // vsr-lint: allow(expect_used, reason = "startup misconfiguration; crashing with the io::Error is the right behavior")
                     .expect("open cohort wal directory"),
             ),
         };
@@ -440,6 +444,7 @@ impl Cluster {
         let join = std::thread::Builder::new()
             .name(format!("cohort-{mid}"))
             .spawn(move || thread.run())
+            // vsr-lint: allow(expect_used, reason = "thread spawn failure at cluster construction is unrecoverable")
             .expect("spawn cohort thread");
         self.router.routes.write().insert(mid, tx.clone());
         self.handles.lock().insert(mid, Handle { tx, join, stable });
@@ -494,7 +499,9 @@ impl Cluster {
         self.router.routes.write().remove(&mid);
         if let Some(handle) = handle {
             let stable = *handle.stable.lock();
+            // vsr-lint: allow(discarded_result, reason = "crashing a cohort whose thread already exited is a no-op")
             let _ = handle.tx.send(Inbox::Stop);
+            // vsr-lint: allow(discarded_result, reason = "a crash-simulating thread may panic on its way down; the join result is the point of the crash")
             let _ = handle.join.join();
             self.stable_store.lock().insert(mid, stable);
         }
@@ -534,7 +541,9 @@ impl Cluster {
         let mids: Vec<Mid> = handles.keys().copied().collect();
         for mid in mids {
             if let Some(handle) = handles.remove(&mid) {
+                // vsr-lint: allow(discarded_result, reason = "shutdown of an already-stopped cohort is a no-op")
                 let _ = handle.tx.send(Inbox::Stop);
+                // vsr-lint: allow(discarded_result, reason = "join failure at shutdown means the thread already died; there is nothing left to clean up")
                 let _ = handle.join.join();
             }
         }

@@ -288,7 +288,18 @@ pub fn shrink(cfg: &NemesisConfig, plan: &FaultPlan) -> FaultPlan {
                 FaultEvent::Partition(groups) => groups.iter().map(Vec::len).sum(),
                 FaultEvent::OneWay { from, to } => from.len() + to.len(),
                 FaultEvent::SkewTimers { mids, .. } => mids.len(),
-                _ => 0,
+                // Single-node and whole-network events have no member
+                // lists to shrink.
+                FaultEvent::Crash(_)
+                | FaultEvent::CrashDiskLoss(_)
+                | FaultEvent::Recover(_)
+                | FaultEvent::Heal
+                | FaultEvent::HealOneWay
+                | FaultEvent::LinkLoss { .. }
+                | FaultEvent::ClearLinkLoss { .. }
+                | FaultEvent::SlowNode { .. }
+                | FaultEvent::DropClasses(_)
+                | FaultEvent::ClearDropClasses => 0,
             };
             let mut shrunk = false;
             for victim in 0..lists {
@@ -344,7 +355,20 @@ fn remove_nth_member(event: &mut FaultEvent, n: usize) -> bool {
             mids.remove(k);
             true
         }
-        _ => false,
+        // A skew cohort shrunk to one member stays as-is (the guard
+        // above fell through); the remaining events carry no member
+        // lists at all.
+        FaultEvent::SkewTimers { .. }
+        | FaultEvent::Crash(_)
+        | FaultEvent::CrashDiskLoss(_)
+        | FaultEvent::Recover(_)
+        | FaultEvent::Heal
+        | FaultEvent::HealOneWay
+        | FaultEvent::LinkLoss { .. }
+        | FaultEvent::ClearLinkLoss { .. }
+        | FaultEvent::SlowNode { .. }
+        | FaultEvent::DropClasses(_)
+        | FaultEvent::ClearDropClasses => false,
     }
 }
 
