@@ -1,4 +1,28 @@
 //! Run every experiment (E1-E12) and print the full report.
+//!
+//! With an output-directory argument, additionally dump a traced
+//! normal-case run through the structured-trace exporters:
+//! `e1-trace.jsonl` (schema-checked) and `e1-trace-chrome.json`
+//! (loadable in chrome://tracing / Perfetto).
 fn main() {
     print!("{}", vsr_bench::experiments::run_all());
+    if let Some(dir) = std::env::args().nth(1) {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create trace output directory");
+        let mut world = vsr_bench::helpers::vr_world(
+            1,
+            3,
+            vsr_simnet::NetConfig::reliable(1),
+            vsr_core::config::CohortConfig::new(),
+        );
+        let recorder = world.enable_tracing();
+        vsr_bench::helpers::run_sequential_batch(&mut world, 10, vsr_bench::helpers::write_ops);
+        let events = recorder.take();
+        let jsonl = vsr_obs::export_jsonl(&events);
+        vsr_obs::validate_jsonl(&jsonl).expect("trace JSONL is schema-valid");
+        std::fs::write(dir.join("e1-trace.jsonl"), &jsonl).expect("write JSONL trace");
+        std::fs::write(dir.join("e1-trace-chrome.json"), vsr_obs::export_chrome(&events))
+            .expect("write chrome trace");
+        eprintln!("wrote {} trace events to {}", events.len(), dir.display());
+    }
 }

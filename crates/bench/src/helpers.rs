@@ -63,7 +63,7 @@ pub fn run_sequential_batch(
     let msgs0 = world.metrics().total_msgs() - heartbeats(world);
     let fg0 = world.metrics().foreground_msgs;
     let commits0 = world.metrics().committed;
-    let lat0 = world.metrics().commit_latencies.len();
+    let lat0 = world.metrics().commit_latency.clone();
     for i in 0..n_txns {
         world.submit(CLIENT, make_ops(i));
         world.run_for(1_500);
@@ -71,13 +71,12 @@ pub fn run_sequential_batch(
     let msgs1 = world.metrics().total_msgs() - heartbeats(world);
     let m = world.metrics();
     let committed = m.committed - commits0;
-    let lats = &m.commit_latencies[lat0..];
+    // Latencies recorded inside the window: histogram delta against
+    // the pre-window snapshot. The delta's sum/count are exact, so the
+    // mean matches the old vec-slice computation exactly.
+    let lats = m.commit_latency.since(&lat0);
     BatchCost {
-        mean_latency: if lats.is_empty() {
-            f64::NAN
-        } else {
-            lats.iter().sum::<u64>() as f64 / lats.len() as f64
-        },
+        mean_latency: lats.mean().unwrap_or(f64::NAN),
         msgs_per_txn: (msgs1 - msgs0) as f64 / committed.max(1) as f64,
         fg_msgs_per_txn: (m.foreground_msgs - fg0) as f64 / committed.max(1) as f64,
         committed,

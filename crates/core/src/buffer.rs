@@ -58,6 +58,10 @@ pub struct CommBuffer<R> {
     /// fired when the sub-majority watermark reaches the timestamp.
     pending: Vec<(Timestamp, R)>,
     sub_majority: usize,
+    /// Cached sub-majority watermark, maintained incrementally by
+    /// [`on_ack`](CommBuffer::on_ack) so reading it is O(1) instead of
+    /// clone-and-sort per call.
+    watermark: Timestamp,
 }
 
 impl<R> CommBuffer<R> {
@@ -68,6 +72,9 @@ impl<R> CommBuffer<R> {
     /// — the number of backups whose acknowledgement makes an event known
     /// to a majority of the configuration.
     pub fn new(viewid: ViewId, backups: &[Mid], sub_majority: usize) -> Self {
+        // With a sub-majority of zero (single-cohort groups) every event
+        // is trivially covered; otherwise no event is covered yet.
+        let watermark = if sub_majority == 0 { Timestamp(u64::MAX) } else { Timestamp::ZERO };
         CommBuffer {
             viewid,
             next_ts: Timestamp::ZERO,
@@ -75,6 +82,7 @@ impl<R> CommBuffer<R> {
             acked: backups.iter().map(|&m| (m, Timestamp::ZERO)).collect(),
             pending: Vec::new(),
             sub_majority,
+            watermark,
         }
     }
 
@@ -124,7 +132,17 @@ impl<R> CommBuffer<R> {
     pub fn on_ack(&mut self, from: Mid, upto: Timestamp) -> Vec<R> {
         if let Some(prev) = self.acked.get_mut(&from) {
             if upto > *prev {
+                let old = *prev;
                 *prev = upto;
+                // Raising an ack that was already strictly above the
+                // watermark cannot move the k-th largest: that backup
+                // stays among the (at most k-1) values above it, so
+                // both the count of acks ≥ watermark and the count
+                // strictly above it are unchanged. Only an ack at or
+                // below the watermark can push it up — recompute then.
+                if self.sub_majority != 0 && old <= self.watermark {
+                    self.recompute_watermark();
+                }
             }
         }
         self.drain_satisfied()
@@ -134,15 +152,22 @@ impl<R> CommBuffer<R> {
     /// known to at least `sub_majority` backups. With a sub-majority of
     /// zero (single-cohort groups) every event is trivially covered.
     pub fn watermark(&self) -> Timestamp {
-        if self.sub_majority == 0 {
-            return Timestamp(u64::MAX);
-        }
+        self.watermark
+    }
+
+    /// Recompute the cached watermark from the ack table: the k-th
+    /// largest acknowledgement, k = `sub_majority`. O(b) via
+    /// `select_nth_unstable`, and only run for acks that can actually
+    /// move the watermark.
+    fn recompute_watermark(&mut self) {
+        debug_assert!(self.sub_majority > 0);
         if self.acked.len() < self.sub_majority {
-            return Timestamp::ZERO;
+            self.watermark = Timestamp::ZERO;
+            return;
         }
         let mut acks: Vec<Timestamp> = self.acked.values().copied().collect();
-        acks.sort_unstable_by(|a, b| b.cmp(a));
-        acks[self.sub_majority - 1]
+        let (_, kth, _) = acks.select_nth_unstable_by(self.sub_majority - 1, |a, b| b.cmp(a));
+        self.watermark = *kth;
     }
 
     /// Records with timestamps strictly greater than `after`, in
@@ -399,5 +424,44 @@ mod tests {
         b.force_to(vs, 5);
         assert_eq!(b.abandon_forces(), vec![5]);
         assert!(!b.has_pending_forces());
+    }
+
+    mod watermark_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The computation [`CommBuffer::watermark`] used before the
+        /// incremental cache: clone every ack and sort descending. The
+        /// proptest pins the cached value to this on every step.
+        fn naive_watermark(acked: &BTreeMap<Mid, Timestamp>, sub_majority: usize) -> Timestamp {
+            if sub_majority == 0 {
+                return Timestamp(u64::MAX);
+            }
+            if acked.len() < sub_majority {
+                return Timestamp::ZERO;
+            }
+            let mut acks: Vec<Timestamp> = acked.values().copied().collect();
+            acks.sort_unstable_by(|a, b| b.cmp(a));
+            acks[sub_majority - 1]
+        }
+
+        proptest! {
+            #[test]
+            fn cached_watermark_matches_naive_recomputation(
+                n_backups in 0usize..8,
+                sub_majority in 0usize..5,
+                acks in prop::collection::vec((0u64..10, 0u64..30), 0..64),
+            ) {
+                let backups: Vec<Mid> = (1..=n_backups as u64).map(Mid).collect();
+                let mut b: CommBuffer<u32> = CommBuffer::new(vid(), &backups, sub_majority);
+                prop_assert_eq!(b.watermark(), naive_watermark(&b.acked, sub_majority));
+                for (who, upto) in acks {
+                    // Mix acks from members and strangers; both paths
+                    // must keep the cache consistent.
+                    b.on_ack(Mid(who), Timestamp(upto));
+                    prop_assert_eq!(b.watermark(), naive_watermark(&b.acked, sub_majority));
+                }
+            }
+        }
     }
 }

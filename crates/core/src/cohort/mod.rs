@@ -50,6 +50,17 @@ pub enum Status {
     Underling,
 }
 
+impl Status {
+    /// Stable lowercase name, used by trace exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Status::Active => "active",
+            Status::ViewManager => "view-manager",
+            Status::Underling => "underling",
+        }
+    }
+}
+
 /// A timer the cohort asked its runtime to arm. Timers are never
 /// cancelled; each carries enough identity (viewids, call ids, attempt
 /// counters) for the handler to recognize and ignore stale firings.
@@ -147,6 +158,30 @@ pub enum Timer {
     },
 }
 
+impl Timer {
+    /// Stable lowercase name of the timer kind, used by trace
+    /// exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Timer::Heartbeat => "heartbeat",
+            Timer::BufferFlush => "buffer-flush",
+            Timer::CallRetry { .. } => "call-retry",
+            Timer::PrepareRetry { .. } => "prepare-retry",
+            Timer::CommitRetry { .. } => "commit-retry",
+            Timer::ForceCheck { .. } => "force-check",
+            Timer::LockWait { .. } => "lock-wait",
+            Timer::QueryTick { .. } => "query-tick",
+            Timer::InviteTimeout { .. } => "invite-timeout",
+            Timer::UnderlingTimeout { .. } => "underling-timeout",
+            Timer::ManagerRetry { .. } => "manager-retry",
+            Timer::ClientPingTimeout { .. } => "client-ping-timeout",
+            Timer::AgentBeginRetry { .. } => "agent-begin-retry",
+            Timer::AgentCallRetry { .. } => "agent-call-retry",
+            Timer::AgentCommitRetry { .. } => "agent-commit-retry",
+        }
+    }
+}
+
 /// Per-timer-kind salt constants for retry jitter: distinct timers of
 /// one cohort must not share a jitter draw, or their retries would
 /// collide instead of spreading.
@@ -235,6 +270,56 @@ pub enum Observation {
         mid: Mid,
         /// The proposed viewid.
         viewid: ViewId,
+    },
+    /// This cohort moved between view-management states (Figure 1's
+    /// `status`). Every transition flows through here, so harnesses can
+    /// reconstruct the full state machine timeline.
+    StatusChanged {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The status before the transition.
+        from: Status,
+        /// The status after.
+        to: Status,
+    },
+    /// The primary registered a force that could not complete
+    /// immediately and now waits on the sub-majority watermark
+    /// (Section 3: `force_to`).
+    ForceBegan {
+        /// The group.
+        group: GroupId,
+        /// The forcing primary.
+        mid: Mid,
+        /// The forced viewstamp.
+        vs: Viewstamp,
+    },
+    /// Pending forces completed: a backup acknowledgement moved the
+    /// sub-majority watermark past their timestamps.
+    ForceFired {
+        /// The group.
+        group: GroupId,
+        /// The primary.
+        mid: Mid,
+        /// The watermark that satisfied the forces.
+        vs: Viewstamp,
+        /// How many pending forces fired on this acknowledgement.
+        fired: u64,
+    },
+    /// The primary streamed its buffer to lagging backups, sharing one
+    /// record-window clone per distinct ack watermark. Emitted only
+    /// when sharing actually saved clones, to keep observation volume
+    /// proportional to useful work.
+    BufferFlushed {
+        /// The group.
+        group: GroupId,
+        /// The flushing primary.
+        mid: Mid,
+        /// `BufferSend` messages produced by this flush.
+        sends: u64,
+        /// Clones avoided versus the old one-clone-per-backup scheme.
+        clones_saved: u64,
     },
 }
 
@@ -815,6 +900,23 @@ impl Cohort {
         out
     }
 
+    /// Change Figure 1's `status`, emitting a
+    /// [`Observation::StatusChanged`] so harnesses can trace every
+    /// view-state transition. All transitions flow through here.
+    pub(crate) fn set_status(&mut self, to: Status, out: &mut Vec<Effect>) {
+        if self.status == to {
+            return;
+        }
+        let from = self.status;
+        self.status = to;
+        out.push(Effect::Observe(Observation::StatusChanged {
+            group: self.group,
+            mid: self.mid,
+            from,
+            to,
+        }));
+    }
+
     // ------------------------------------------------------------------
     // primary-side buffer plumbing
     // ------------------------------------------------------------------
@@ -859,6 +961,7 @@ impl Cohort {
         if buffer.force_to(vs, reason.clone()) {
             return vec![reason];
         }
+        out.push(Effect::Observe(Observation::ForceBegan { group: self.group, mid: self.mid, vs }));
         out.push(Effect::SetTimer {
             after: self.cfg.force_timeout,
             timer: Timer::ForceCheck { viewid: self.cur_viewid, ts: vs.ts },
@@ -868,20 +971,45 @@ impl Cohort {
     }
 
     /// Send every lagging backup the buffer records it has not yet
-    /// acknowledged.
+    /// acknowledged. Backups at the same ack watermark need the exact
+    /// same record window, so one shared clone per distinct watermark
+    /// serves them all instead of re-cloning per backup.
     pub(crate) fn flush_buffer(&mut self, out: &mut Vec<Effect>) {
         let Some(buffer) = self.buffer.as_ref() else { return };
         let viewid = buffer.viewid();
-        let lagging: Vec<Mid> = buffer.lagging_backups().collect();
-        for backup in lagging {
-            let records = buffer.records_after(buffer.acked_by(backup)).to_vec();
+        let lagging: Vec<(Mid, Timestamp)> =
+            buffer.lagging_backups().map(|m| (m, buffer.acked_by(m))).collect();
+        let mut shared: BTreeMap<Timestamp, std::sync::Arc<[EventRecord]>> = BTreeMap::new();
+        let mut sends = 0u64;
+        let mut clones_saved = 0u64;
+        for (backup, acked) in lagging {
+            let records = match shared.get(&acked) {
+                Some(records) => {
+                    clones_saved += 1;
+                    std::sync::Arc::clone(records)
+                }
+                None => {
+                    let records: std::sync::Arc<[EventRecord]> = buffer.records_after(acked).into();
+                    shared.insert(acked, std::sync::Arc::clone(&records));
+                    records
+                }
+            };
             if records.is_empty() {
                 continue;
             }
+            sends += 1;
             out.push(Effect::Send {
                 to: backup,
                 msg: Message::BufferSend { viewid, from: self.mid, records },
             });
+        }
+        if clones_saved > 0 {
+            out.push(Effect::Observe(Observation::BufferFlushed {
+                group: self.group,
+                mid: self.mid,
+                sends,
+                clones_saved,
+            }));
         }
     }
 
@@ -919,10 +1047,18 @@ impl Cohort {
         if !self.is_active_primary() || viewid != self.cur_viewid {
             return;
         }
-        let fired = match self.buffer.as_mut() {
-            Some(buffer) => buffer.on_ack(from, upto),
+        let (fired, watermark) = match self.buffer.as_mut() {
+            Some(buffer) => (buffer.on_ack(from, upto), buffer.watermark()),
             None => return,
         };
+        if !fired.is_empty() {
+            out.push(Effect::Observe(Observation::ForceFired {
+                group: self.group,
+                mid: self.mid,
+                vs: Viewstamp::new(self.cur_viewid, watermark),
+                fired: fired.len() as u64,
+            }));
+        }
         for reason in fired {
             self.fire_force_reason(now, reason, out);
         }
@@ -998,7 +1134,7 @@ impl Cohort {
         now: Tick,
         viewid: ViewId,
         from: Mid,
-        records: Vec<EventRecord>,
+        records: std::sync::Arc<[EventRecord]>,
         out: &mut Vec<Effect>,
     ) {
         // Unilateral view adjustment (Section 4.1): an active backup
@@ -1048,7 +1184,7 @@ impl Cohort {
             return;
         }
         let mut known = self.history.ts_for(self.cur_viewid).unwrap_or(Timestamp::ZERO);
-        for record in &records {
+        for record in records.iter() {
             if record.ts().0 <= known.0 {
                 continue; // duplicate
             }

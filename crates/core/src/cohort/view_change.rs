@@ -157,7 +157,7 @@ impl Cohort {
     /// Start (or restart) a view change with this cohort as manager:
     /// `make_invitations` of Figure 5.
     pub(crate) fn start_view_change(&mut self, _now: Tick, out: &mut Vec<Effect>) {
-        self.status = Status::ViewManager;
+        self.set_status(Status::ViewManager, out);
         // "make_invitations creates a new viewid by pairing mymid with a
         // number greater than max_viewid.cnt and stores it in
         // max_viewid."
@@ -234,7 +234,7 @@ impl Cohort {
         // an underling.
         self.max_viewid = viewid;
         self.send_acceptance(viewid, manager, out);
-        self.status = Status::Underling;
+        self.set_status(Status::Underling, out);
         self.vc = VcState::Underling { viewid };
         out.push(Effect::SetTimer {
             after: self.cfg.underling_timeout,
@@ -326,7 +326,7 @@ impl Cohort {
                     // "it sends an "init-view" message to the new
                     // primary, and becomes an underling."
                     out.push(Effect::Send { to: primary, msg: Message::InitView { viewid, view } });
-                    self.status = Status::Underling;
+                    self.set_status(Status::Underling, out);
                     self.vc = VcState::Underling { viewid };
                     out.push(Effect::SetTimer {
                         after: self.cfg.underling_timeout,
@@ -408,7 +408,7 @@ impl Cohort {
         })));
         self.records_since_checkpoint = 0;
         self.up_to_date = true;
-        self.status = Status::Active;
+        self.set_status(Status::Active, out);
         self.vc = VcState::None;
         self.manager_attempts = 0;
         for m in view.members() {
@@ -619,7 +619,7 @@ impl Cohort {
         })));
         self.records_since_checkpoint = 0;
         self.up_to_date = true;
-        self.status = Status::Active;
+        self.set_status(Status::Active, out);
         self.vc = VcState::None;
         self.manager_attempts = 0;
         self.buffer = None;

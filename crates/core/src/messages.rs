@@ -261,8 +261,10 @@ pub enum Message {
         viewid: ViewId,
         /// The sending primary.
         from: Mid,
-        /// Event records in timestamp order.
-        records: Vec<EventRecord>,
+        /// Event records in timestamp order. Shared (`Arc`) so the
+        /// primary can fan the same retransmission window out to every
+        /// backup at a given ack watermark without re-cloning it.
+        records: std::sync::Arc<[EventRecord]>,
     },
     /// Backup → primary: cumulative acknowledgement of buffer records.
     BufferAck {

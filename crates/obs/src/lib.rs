@@ -1,0 +1,43 @@
+//! vsr-obs: structured tracing and telemetry for Viewstamped
+//! Replication.
+//!
+//! The paper's evaluation is about *where time and messages go* —
+//! calls run at the primary (§3.7), forces wait on a sub-majority
+//! (§3), a view change costs one round (§4.1) — so the harnesses need
+//! to explain runs event-by-event, not just in aggregate. This crate
+//! provides the shared vocabulary:
+//!
+//! - [`TraceEvent`] / [`TraceKind`]: one structured record per
+//!   interesting moment (send, recv, timer, force-begin, force-fire,
+//!   view-state transition, disk append), captured through the
+//!   [`Recorder`] trait. The sans-I/O core emits protocol facts via
+//!   `Effect::Observe`; the sim `World` and runtime `Cluster` each
+//!   install a recorder and translate.
+//! - [`Histogram`]: fixed 64 × 32 log-bucketed latency histogram,
+//!   zero allocation on record, exact mean, ceil nearest-rank
+//!   percentiles.
+//! - [`Metrics`]: the counter set both harnesses report (moved here
+//!   from `vsr-sim` so the runtime can share it).
+//! - Exporters: [`export_jsonl`] and [`export_chrome`] produce
+//!   strings; [`validate_jsonl`] is the CI schema check;
+//!   [`render_timeline`] prints the causal timeline nemesis repros
+//!   embed.
+//!
+//! No dependencies beyond `vsr-core` (for the id types), no I/O, no
+//! wall-clock reads: the crate is enrolled in the `determinism` and
+//! `sans_io` lint families.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+
+pub use event::{render_timeline, NullRecorder, Recorder, SharedRecorder, TraceEvent, TraceKind};
+pub use export::{export_chrome, export_jsonl, parse_jsonl, validate_jsonl};
+pub use hist::Histogram;
+pub use json::{parse_json, write_json, JsonValue};
+pub use metrics::Metrics;

@@ -1,0 +1,225 @@
+//! Aggregate measurements, shared by the simulator and the thread
+//! runtime so both report the same counter set.
+//!
+//! Historically this lived in `vsr-sim` and kept every commit latency
+//! in an unbounded `Vec<u64>`; latencies now land in a fixed-size
+//! [`Histogram`] (zero allocation per sample), and the runtime
+//! `Cluster` populates the same struct the sim `World` does.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// Counters and samples a harness records from effects and
+/// observations.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages sent, by message name.
+    pub msgs: BTreeMap<&'static str, u64>,
+    /// Bytes sent, by message name.
+    pub bytes: BTreeMap<&'static str, u64>,
+    /// Foreground (request/response) messages.
+    pub foreground_msgs: u64,
+    /// Foreground (request/response) bytes.
+    pub foreground_bytes: u64,
+    /// Background replication traffic (buffer streaming, heartbeats).
+    pub background_msgs: u64,
+    /// View change protocol messages.
+    pub view_change_msgs: u64,
+    /// Transactions submitted.
+    pub submitted: u64,
+    /// Transactions committed (client-visible).
+    pub committed: u64,
+    /// Transactions aborted (client-visible).
+    pub aborted: u64,
+    /// Transactions whose outcome was unresolved at the client.
+    pub unresolved: u64,
+    /// Commit latencies in ticks (submission → committed report),
+    /// log-bucketed.
+    pub commit_latency: Histogram,
+    /// Number of view formations observed (one per new primary start).
+    pub view_formations: u64,
+    /// Prepares processed without waiting for a force (Section 3.7 fast
+    /// path).
+    pub prepares_fast: u64,
+    /// Prepares that had to wait for a force.
+    pub prepares_waited: u64,
+    /// Forces abandoned (each one triggers a view change).
+    pub forces_abandoned: u64,
+    /// Messages re-sent by retry timers (call, prepare, commit, view
+    /// manager, and agent retries): how hard recovery paths are working.
+    pub retransmissions: u64,
+    /// Protocol timeout firings (every timer except the periodic
+    /// heartbeat and buffer-flush ticks).
+    pub timeouts_fired: u64,
+    /// View-change attempts started (some fail and are retried; compare
+    /// with [`view_formations`](Metrics::view_formations) for the
+    /// success rate).
+    pub view_change_attempts: u64,
+    /// Record-window clones the primary's buffer flush avoided by
+    /// sharing one clone per distinct ack watermark.
+    pub buffer_clones_saved: u64,
+    /// WAL frames appended across all disks (durable configurations
+    /// only; zero under the paper's no-disk design).
+    pub disk_appends: u64,
+    /// Fsyncs issued across all disks.
+    pub disk_fsyncs: u64,
+    /// Bytes written across all disks, framing included.
+    pub disk_bytes_written: u64,
+    /// Checkpoint frames written across all disks.
+    pub checkpoints_taken: u64,
+    /// Log records replayed by recovering cohorts (counts only complete
+    /// recoveries; a paper-minimum viewid-only recovery replays none).
+    pub records_replayed: u64,
+}
+
+impl Metrics {
+    /// Total messages sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.values().sum()
+    }
+
+    /// Total bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Mean commit latency in ticks, if any transaction committed.
+    /// Exact: the histogram tracks the sample sum alongside buckets.
+    pub fn mean_commit_latency(&self) -> Option<f64> {
+        self.commit_latency.mean()
+    }
+
+    /// A latency percentile (0.0–1.0) by ceil nearest-rank, if any
+    /// transaction committed.
+    ///
+    /// The old vec-based computation rounded `(len-1)·p` to nearest,
+    /// which made p99 of 100 samples report the *second*-largest value
+    /// (index 98 of 99). Ceil nearest-rank (`ceil(len·p)`, 1-based)
+    /// reports the 99th.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        self.commit_latency.percentile(p)
+    }
+
+    /// Messages per committed transaction (foreground + background).
+    pub fn msgs_per_commit(&self) -> Option<f64> {
+        if self.committed == 0 {
+            return None;
+        }
+        Some(self.total_msgs() as f64 / self.committed as f64)
+    }
+
+    /// Fraction of prepares that took the no-wait fast path.
+    pub fn prepare_fast_fraction(&self) -> Option<f64> {
+        let total = self.prepares_fast + self.prepares_waited;
+        if total == 0 {
+            return None;
+        }
+        Some(self.prepares_fast as f64 / total as f64)
+    }
+
+    /// Every scalar counter with its stable name, in declaration
+    /// order. The sim-vs-runtime parity test keys on these names, so
+    /// both harnesses expose exactly this set.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("foreground_msgs", self.foreground_msgs),
+            ("foreground_bytes", self.foreground_bytes),
+            ("background_msgs", self.background_msgs),
+            ("view_change_msgs", self.view_change_msgs),
+            ("submitted", self.submitted),
+            ("committed", self.committed),
+            ("aborted", self.aborted),
+            ("unresolved", self.unresolved),
+            ("commit_latency_count", self.commit_latency.count()),
+            ("view_formations", self.view_formations),
+            ("prepares_fast", self.prepares_fast),
+            ("prepares_waited", self.prepares_waited),
+            ("forces_abandoned", self.forces_abandoned),
+            ("retransmissions", self.retransmissions),
+            ("timeouts_fired", self.timeouts_fired),
+            ("view_change_attempts", self.view_change_attempts),
+            ("buffer_clones_saved", self.buffer_clones_saved),
+            ("disk_appends", self.disk_appends),
+            ("disk_fsyncs", self.disk_fsyncs),
+            ("disk_bytes_written", self.disk_bytes_written),
+            ("checkpoints_taken", self.checkpoints_taken),
+            ("records_replayed", self.records_replayed),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_latencies(samples: &[u64]) -> Metrics {
+        let mut m = Metrics::default();
+        for &v in samples {
+            m.commit_latency.record(v);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_metrics_have_no_latency() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_commit_latency(), None);
+        assert_eq!(m.latency_percentile(0.5), None);
+        assert_eq!(m.msgs_per_commit(), None);
+        assert_eq!(m.prepare_fast_fraction(), None);
+        assert_eq!(m.total_msgs(), 0);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut m = with_latencies(&[10, 20, 30, 40]);
+        m.committed = 4;
+        assert_eq!(m.mean_commit_latency(), Some(25.0));
+        assert_eq!(m.latency_percentile(0.0), Some(10));
+        assert_eq!(m.latency_percentile(1.0), Some(40));
+        let p50 = m.latency_percentile(0.5).expect("has samples");
+        assert!((20..=30).contains(&p50));
+    }
+
+    #[test]
+    fn p99_of_1_to_100_is_99() {
+        // Regression: the old computation rounded (len-1)·p to nearest,
+        // so p99 of 100 samples returned sorted[98] — but only by luck
+        // (round(98.01) = 98 → value 99); for p50 it returned
+        // sorted[50] = 51 instead of the nearest-rank 50. Ceil
+        // nearest-rank pins both.
+        let m = with_latencies(&(1..=100).collect::<Vec<_>>());
+        assert_eq!(m.latency_percentile(0.99), Some(99));
+        assert_eq!(m.latency_percentile(0.5), Some(50));
+    }
+
+    #[test]
+    fn percentiles_match_old_vec_computation_on_small_samples() {
+        // E1-scale latencies (well under 32 ticks) are stored exactly,
+        // so the histogram reproduces the old sorted-vec values.
+        let samples = [8u64, 9, 9, 9, 10, 9, 8, 9, 9, 10];
+        let m = with_latencies(&samples);
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for (p, rank) in [(0.5, 5usize), (0.99, 10)] {
+            assert_eq!(m.latency_percentile(p), Some(sorted[rank - 1]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn fast_fraction() {
+        let m = Metrics { prepares_fast: 3, prepares_waited: 1, ..Metrics::default() };
+        assert_eq!(m.prepare_fast_fraction(), Some(0.75));
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let m = Metrics::default();
+        let names: Vec<_> = m.counters().into_iter().map(|(n, _)| n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

@@ -37,8 +37,9 @@ use vsr_core::config::CohortConfig;
 use vsr_core::durable::RecoveredState;
 use vsr_core::messages::Message;
 use vsr_core::module::Module;
-use vsr_core::types::{GroupId, Mid, ViewId};
+use vsr_core::types::{GroupId, Mid, ViewId, Viewstamp};
 use vsr_core::view::Configuration;
+use vsr_obs::{Metrics, Recorder, SharedRecorder, TraceEvent, TraceKind};
 use vsr_store::{FileStore, FsyncPolicy, SimDisk, Store, StoreMetrics};
 
 /// A module factory shared across threads (recovery re-instantiates the
@@ -106,6 +107,44 @@ impl Router {
     }
 }
 
+/// View-progress signal shared between cohort threads and submitters.
+///
+/// Every `Observation::ViewChanged` bumps the epoch and wakes everyone
+/// blocked in [`wait_past`](Progress::wait_past); a submitter that found
+/// no acting primary sleeps on it instead of unconditionally burning a
+/// fixed poll interval, so a completed view change un-blocks the next
+/// round immediately. Uses `std::sync` primitives because the waiters
+/// need a condition variable, not just a lock.
+#[derive(Default)]
+struct Progress {
+    epoch: std::sync::Mutex<u64>,
+    changed: std::sync::Condvar,
+}
+
+impl Progress {
+    /// The current epoch; pass it to [`wait_past`](Progress::wait_past).
+    fn current(&self) -> u64 {
+        *self.epoch.lock().expect("invariant: progress mutex is never poisoned")
+    }
+
+    /// Advance the epoch and wake every waiter.
+    fn bump(&self) {
+        let mut epoch = self.epoch.lock().expect("invariant: progress mutex is never poisoned");
+        *epoch += 1;
+        self.changed.notify_all();
+    }
+
+    /// Block until the epoch advances past `seen` or `timeout` elapses,
+    /// whichever comes first.
+    fn wait_past(&self, seen: u64, timeout: Duration) {
+        let guard = self.epoch.lock().expect("invariant: progress mutex is never poisoned");
+        let (_guard, _timed_out) = self
+            .changed
+            .wait_timeout_while(guard, timeout, |epoch| *epoch <= seen)
+            .expect("invariant: progress mutex is never poisoned");
+    }
+}
+
 struct TimerEntry {
     due: Instant,
     seq: u64,
@@ -142,11 +181,34 @@ struct CohortThread {
     stable: Arc<Mutex<ViewId>>,
     store: Option<SharedStore>,
     observations: Option<Sender<(Mid, Observation)>>,
+    metrics: Arc<Mutex<Metrics>>,
+    progress: Arc<Progress>,
+    recorder: Option<SharedRecorder>,
 }
 
 impl CohortThread {
     fn now_ticks(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Record a trace event stamped with this cohort's current
+    /// viewstamp (no-op unless the cluster enabled tracing).
+    fn trace(&mut self, kind: TraceKind) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let vs = self.cohort.history().latest();
+        self.trace_with_vs(vs, kind);
+    }
+
+    /// Record a trace event with an explicit viewstamp (used where the
+    /// observation itself carries the authoritative one).
+    fn trace_with_vs(&mut self, vs: Option<Viewstamp>, kind: TraceKind) {
+        let tick = self.epoch.elapsed().as_millis() as u64;
+        let cohort = self.cohort.mid();
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(TraceEvent { tick, cohort, vs, kind });
+        }
     }
 
     fn run(mut self) {
@@ -163,7 +225,9 @@ impl CohortThread {
             match self.rx.recv_timeout(timeout) {
                 Ok(Inbox::Msg { from, msg }) => {
                     let now = self.now_ticks();
+                    let msg_name = msg.name();
                     let effects = self.cohort.on_message(now, from, msg);
+                    self.trace(TraceKind::Recv { from, msg: msg_name });
                     self.apply(mid, effects);
                 }
                 Ok(Inbox::Request { req_id, ops, reply }) => {
@@ -181,7 +245,32 @@ impl CohortThread {
             while self.timers.peek().is_some_and(|t| t.due <= now_instant) {
                 let entry = self.timers.pop().expect("invariant: peek returned Some");
                 let now = self.now_ticks();
+                // Same accounting rules as the simulator: heartbeats and
+                // buffer flushes are steady-state background ticks, not
+                // timeouts; a retry timer's resulting sends are
+                // retransmissions.
+                if !matches!(entry.timer, Timer::Heartbeat | Timer::BufferFlush) {
+                    self.metrics.lock().timeouts_fired += 1;
+                }
+                let is_retry = matches!(
+                    entry.timer,
+                    Timer::CallRetry { .. }
+                        | Timer::PrepareRetry { .. }
+                        | Timer::CommitRetry { .. }
+                        | Timer::ManagerRetry { .. }
+                        | Timer::AgentBeginRetry { .. }
+                        | Timer::AgentCallRetry { .. }
+                        | Timer::AgentCommitRetry { .. }
+                );
+                let timer_name = entry.timer.name();
                 let effects = self.cohort.on_timer(now, entry.timer);
+                if !effects.is_empty() {
+                    self.trace(TraceKind::Timer { timer: timer_name });
+                }
+                if is_retry {
+                    self.metrics.lock().retransmissions +=
+                        effects.iter().filter(|e| matches!(e, Effect::Send { .. })).count() as u64;
+                }
                 self.apply(mid, effects);
             }
             *self.stable.lock() = self.cohort.stable_viewid();
@@ -191,7 +280,24 @@ impl CohortThread {
     fn apply(&mut self, mid: Mid, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => self.router.send(mid, to, msg),
+                Effect::Send { to, msg } => {
+                    let size = msg.wire_size() as u64;
+                    {
+                        let mut m = self.metrics.lock();
+                        *m.msgs.entry(msg.name()).or_default() += 1;
+                        *m.bytes.entry(msg.name()).or_default() += size;
+                        if msg.is_view_change() {
+                            m.view_change_msgs += 1;
+                        } else if msg.is_background() {
+                            m.background_msgs += 1;
+                        } else {
+                            m.foreground_msgs += 1;
+                            m.foreground_bytes += size;
+                        }
+                    }
+                    self.trace(TraceKind::Send { to, msg: msg.name() });
+                    self.router.send(mid, to, msg);
+                }
                 Effect::SetTimer { after, timer } => {
                     self.timer_seq += 1;
                     self.timers.push(TimerEntry {
@@ -208,10 +314,66 @@ impl CohortThread {
                 }
                 Effect::Persist(event) => {
                     if let Some(store) = &self.store {
-                        store.lock().persist(&event);
+                        let delta = {
+                            let mut store = store.lock();
+                            let before = store.metrics();
+                            store.persist(&event);
+                            store.metrics().since(&before)
+                        };
+                        {
+                            let mut m = self.metrics.lock();
+                            m.disk_appends += delta.appends;
+                            m.disk_fsyncs += delta.fsyncs;
+                            m.disk_bytes_written += delta.bytes_written;
+                            m.checkpoints_taken += delta.checkpoints;
+                        }
+                        if delta.appends > 0 {
+                            self.trace(TraceKind::DiskAppend { bytes: delta.bytes_written });
+                        }
                     }
                 }
                 Effect::Observe(obs) => {
+                    match &obs {
+                        Observation::ViewChanged { is_primary, .. } => {
+                            if *is_primary {
+                                self.metrics.lock().view_formations += 1;
+                            }
+                            // Wake submitters stuck waiting for a
+                            // primary: the view just (re)formed.
+                            self.progress.bump();
+                        }
+                        Observation::ViewChangeStarted { .. } => {
+                            self.metrics.lock().view_change_attempts += 1;
+                        }
+                        Observation::PrepareProcessed { waited, .. } => {
+                            let mut m = self.metrics.lock();
+                            if *waited {
+                                m.prepares_waited += 1;
+                            } else {
+                                m.prepares_fast += 1;
+                            }
+                        }
+                        Observation::ForceAbandoned { .. } => {
+                            self.metrics.lock().forces_abandoned += 1;
+                        }
+                        Observation::StatusChanged { from, to, .. } => {
+                            self.trace(TraceKind::ViewState { from: from.name(), to: to.name() });
+                        }
+                        Observation::ForceBegan { vs, .. } => {
+                            self.trace_with_vs(Some(*vs), TraceKind::ForceBegin);
+                        }
+                        Observation::ForceFired { vs, fired, .. } => {
+                            self.trace_with_vs(Some(*vs), TraceKind::ForceFire { fired: *fired });
+                        }
+                        Observation::BufferFlushed { clones_saved, .. } => {
+                            self.metrics.lock().buffer_clones_saved += *clones_saved;
+                        }
+                        Observation::TxnCommitted { .. } | Observation::TxnAborted { .. } => {
+                            // Client-visible outcomes are counted once,
+                            // in `Cluster::submit`, matching the sim's
+                            // client-side accounting.
+                        }
+                    }
                     if let Some(tx) = &self.observations {
                         // vsr-lint: allow(discarded_result, reason = "observations are best-effort telemetry; a closed drain must not stall the cohort")
                         let _ = tx.send((mid, obs));
@@ -233,6 +395,7 @@ pub struct ClusterBuilder {
     cfg: CohortConfig,
     groups: Vec<(GroupId, Vec<Mid>, SharedFactory)>,
     observations: bool,
+    tracing: bool,
     durability: Durability,
 }
 
@@ -255,8 +418,17 @@ impl ClusterBuilder {
             cfg: CohortConfig::new(),
             groups: Vec::new(),
             observations: false,
+            tracing: false,
             durability: Durability::None,
         }
+    }
+
+    /// Capture structured [`TraceEvent`]s from every cohort thread,
+    /// drainable via [`Cluster::trace_events`] — the runtime counterpart
+    /// of the simulator's `World::enable_tracing`.
+    pub fn tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Give every cohort an in-memory WAL ([`SimDisk`]) with the given
@@ -335,6 +507,9 @@ impl ClusterBuilder {
             stable_store: Mutex::new(BTreeMap::new()),
             stores: Mutex::new(BTreeMap::new()),
             durability: self.durability.clone(),
+            metrics: Arc::new(Mutex::new(Metrics::default())),
+            progress: Arc::new(Progress::default()),
+            recorder: self.tracing.then(SharedRecorder::new),
         };
         for (group, members, factory) in &self.groups {
             for &mid in members {
@@ -363,6 +538,15 @@ pub struct Cluster {
     /// cohort thread so a recovery can replay it.
     stores: Mutex<BTreeMap<Mid, SharedStore>>,
     durability: Durability,
+    /// The same counter set the simulator's `World` collects, populated
+    /// by cohort threads (traffic, observations, disk) and by
+    /// [`submit`](Cluster::submit) (client-visible outcomes, latency in
+    /// milliseconds).
+    metrics: Arc<Mutex<Metrics>>,
+    /// View-progress condvar submitters sleep on between retry rounds.
+    progress: Arc<Progress>,
+    /// Installed when the builder enabled [`tracing`](ClusterBuilder::tracing).
+    recorder: Option<SharedRecorder>,
 }
 
 impl Cluster {
@@ -427,6 +611,7 @@ impl Cluster {
             }
             None => Cohort::new(params),
         };
+        self.metrics.lock().records_replayed += cohort.records_replayed();
         let (tx, rx) = unbounded();
         let stable = Arc::new(Mutex::new(cohort.stable_viewid()));
         let thread = CohortThread {
@@ -440,6 +625,9 @@ impl Cluster {
             stable: stable.clone(),
             store,
             observations: self.obs_tx.clone(),
+            metrics: self.metrics.clone(),
+            progress: self.progress.clone(),
+            recorder: self.recorder.clone(),
         };
         let join = std::thread::Builder::new()
             .name(format!("cohort-{mid}"))
@@ -466,8 +654,31 @@ impl Cluster {
         let config =
             self.peers.get(&client_group).ok_or(SubmitError::UnknownGroup(client_group))?;
         let members: Vec<Mid> = config.members().to_vec();
+        self.metrics.lock().submitted += 1;
+        let t0 = Instant::now();
+        let result = self.submit_rounds(&members, &ops);
+        {
+            let mut m = self.metrics.lock();
+            match &result {
+                Ok(TxnOutcome::Committed { .. }) => {
+                    m.committed += 1;
+                    m.commit_latency.record(t0.elapsed().as_millis() as u64);
+                }
+                Ok(TxnOutcome::Aborted { .. }) => m.aborted += 1,
+                Ok(TxnOutcome::Unresolved) | Err(_) => m.unresolved += 1,
+            }
+        }
+        result
+    }
+
+    /// The retry loop behind [`submit`](Cluster::submit): try each
+    /// member until one acts as primary; between rounds, sleep on the
+    /// view-progress condvar so a completing view change wakes the
+    /// submitter immediately instead of costing a full poll interval.
+    fn submit_rounds(&self, members: &[Mid], ops: &[CallOp]) -> Result<TxnOutcome, SubmitError> {
         for _round in 0..20 {
-            for &mid in &members {
+            let epoch = self.progress.current();
+            for &mid in members {
                 let tx = { self.handles.lock().get(&mid).map(|h| h.tx.clone()) };
                 let Some(tx) = tx else { continue };
                 let req_id = {
@@ -476,7 +687,7 @@ impl Cluster {
                     *n
                 };
                 let (reply_tx, reply_rx) = bounded(1);
-                if tx.send(Inbox::Request { req_id, ops: ops.clone(), reply: reply_tx }).is_err() {
+                if tx.send(Inbox::Request { req_id, ops: ops.to_vec(), reply: reply_tx }).is_err() {
                     continue;
                 }
                 match reply_rx.recv_timeout(Duration::from_secs(5)) {
@@ -487,9 +698,22 @@ impl Cluster {
                     Err(_) => continue,
                 }
             }
-            std::thread::sleep(Duration::from_millis(100));
+            self.progress.wait_past(epoch, Duration::from_millis(100));
         }
         Err(SubmitError::Timeout)
+    }
+
+    /// A snapshot of the cluster's aggregate metrics — the same counter
+    /// set the simulator's `World::metrics` reports, with commit
+    /// latencies in milliseconds instead of ticks.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Drain the structured trace events captured so far. Empty unless
+    /// the cluster was built with [`ClusterBuilder::tracing`].
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.as_ref().map(SharedRecorder::take).unwrap_or_default()
     }
 
     /// Crash a cohort: its thread stops and its mail is dropped. The
@@ -738,6 +962,93 @@ mod tests {
             std::thread::sleep(Duration::from_millis(100));
         }
         assert!(ok);
+        c.shutdown();
+    }
+
+    #[test]
+    fn progress_wakeup_is_prompt() {
+        // The submit retry loop sleeps on this condvar between rounds;
+        // a bump must wake it long before the timeout expires.
+        let progress = Arc::new(Progress::default());
+        let seen = progress.current();
+        let bumper = progress.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            bumper.bump();
+        });
+        let t0 = Instant::now();
+        progress.wait_past(seen, Duration::from_secs(5));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "woken by the bump, not the timeout: waited {:?}",
+            t0.elapsed()
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn failover_submit_latency_is_bounded() {
+        // Regression for the busy-poll submit loop: after a primary
+        // crash, the retry rounds sleep on the view-progress condvar
+        // (waking as soon as the new view forms) instead of serializing
+        // unconditional 100ms naps, so a full failover stays well
+        // inside the old worst case of 20 rounds x 100ms on top of the
+        // view change itself.
+        let c = cluster();
+        assert!(matches!(
+            c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+            Ok(TxnOutcome::Committed { .. })
+        ));
+        c.crash(Mid(1));
+        let t0 = Instant::now();
+        let mut committed = false;
+        for _ in 0..20 {
+            if matches!(
+                c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+                Ok(TxnOutcome::Committed { .. })
+            ) {
+                committed = true;
+                break;
+            }
+        }
+        assert!(committed, "failover never completed");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "failover took {:?}, submit loop is not being woken",
+            t0.elapsed()
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_traces_are_collected() {
+        let c = ClusterBuilder::new()
+            .tracing()
+            .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+            .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
+            .start();
+        for _ in 0..3 {
+            assert!(matches!(
+                c.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+                Ok(TxnOutcome::Committed { .. })
+            ));
+        }
+        let m = c.metrics();
+        assert_eq!(m.submitted, 3);
+        assert_eq!(m.committed, 3);
+        assert_eq!(m.commit_latency.count(), 3);
+        assert!(m.foreground_msgs > 0, "request/response traffic counted");
+        assert!(m.total_msgs() >= m.foreground_msgs);
+        let events = c.trace_events();
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::Send { .. })),
+            "sends traced: {} events",
+            events.len()
+        );
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::Recv { .. })),
+            "deliveries traced"
+        );
         c.shutdown();
     }
 

@@ -1,141 +1,9 @@
 //! Aggregate measurements collected while a simulation runs.
+//!
+//! The [`Metrics`] struct itself lives in `vsr-obs` so the thread
+//! runtime can populate the identical counter set (and so commit
+//! latencies land in the shared log-bucketed [`Histogram`] instead of
+//! an unbounded vec). This module re-exports it under the historical
+//! path.
 
-use std::collections::BTreeMap;
-
-/// Counters and samples the world records from effects and observations.
-#[derive(Debug, Clone, Default)]
-pub struct Metrics {
-    /// Messages sent, by message name.
-    pub msgs: BTreeMap<&'static str, u64>,
-    /// Bytes sent, by message name.
-    pub bytes: BTreeMap<&'static str, u64>,
-    /// Foreground (request/response) messages.
-    pub foreground_msgs: u64,
-    /// Foreground (request/response) bytes.
-    pub foreground_bytes: u64,
-    /// Background replication traffic (buffer streaming, heartbeats).
-    pub background_msgs: u64,
-    /// View change protocol messages.
-    pub view_change_msgs: u64,
-    /// Transactions submitted.
-    pub submitted: u64,
-    /// Transactions committed (client-visible).
-    pub committed: u64,
-    /// Transactions aborted (client-visible).
-    pub aborted: u64,
-    /// Transactions whose outcome was unresolved at the client.
-    pub unresolved: u64,
-    /// Commit latencies in ticks (submission → committed report).
-    pub commit_latencies: Vec<u64>,
-    /// Number of view formations observed (one per new primary start).
-    pub view_formations: u64,
-    /// Prepares processed without waiting for a force (Section 3.7 fast
-    /// path).
-    pub prepares_fast: u64,
-    /// Prepares that had to wait for a force.
-    pub prepares_waited: u64,
-    /// Forces abandoned (each one triggers a view change).
-    pub forces_abandoned: u64,
-    /// Messages re-sent by retry timers (call, prepare, commit, view
-    /// manager, and agent retries): how hard recovery paths are working.
-    pub retransmissions: u64,
-    /// Protocol timeout firings (every timer except the periodic
-    /// heartbeat and buffer-flush ticks).
-    pub timeouts_fired: u64,
-    /// View-change attempts started (some fail and are retried; compare
-    /// with [`view_formations`](Metrics::view_formations) for the
-    /// success rate).
-    pub view_change_attempts: u64,
-    /// WAL frames appended across all simulated disks (durable worlds
-    /// only; zero when the world runs the paper's no-disk design).
-    pub disk_appends: u64,
-    /// Fsyncs issued across all simulated disks.
-    pub disk_fsyncs: u64,
-    /// Bytes written across all simulated disks, framing included.
-    pub disk_bytes_written: u64,
-    /// Checkpoint frames written across all simulated disks.
-    pub checkpoints_taken: u64,
-    /// Log records replayed by recovering cohorts (counts only complete
-    /// recoveries; a paper-minimum viewid-only recovery replays none).
-    pub records_replayed: u64,
-}
-
-impl Metrics {
-    /// Total messages sent.
-    pub fn total_msgs(&self) -> u64 {
-        self.msgs.values().sum()
-    }
-
-    /// Total bytes sent.
-    pub fn total_bytes(&self) -> u64 {
-        self.bytes.values().sum()
-    }
-
-    /// Mean commit latency in ticks, if any transaction committed.
-    pub fn mean_commit_latency(&self) -> Option<f64> {
-        if self.commit_latencies.is_empty() {
-            return None;
-        }
-        Some(self.commit_latencies.iter().sum::<u64>() as f64 / self.commit_latencies.len() as f64)
-    }
-
-    /// A latency percentile (0.0–1.0), if any transaction committed.
-    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
-        if self.commit_latencies.is_empty() {
-            return None;
-        }
-        let mut sorted = self.commit_latencies.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        Some(sorted[idx.min(sorted.len() - 1)])
-    }
-
-    /// Messages per committed transaction (foreground + background).
-    pub fn msgs_per_commit(&self) -> Option<f64> {
-        if self.committed == 0 {
-            return None;
-        }
-        Some(self.total_msgs() as f64 / self.committed as f64)
-    }
-
-    /// Fraction of prepares that took the no-wait fast path.
-    pub fn prepare_fast_fraction(&self) -> Option<f64> {
-        let total = self.prepares_fast + self.prepares_waited;
-        if total == 0 {
-            return None;
-        }
-        Some(self.prepares_fast as f64 / total as f64)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_metrics_have_no_latency() {
-        let m = Metrics::default();
-        assert_eq!(m.mean_commit_latency(), None);
-        assert_eq!(m.latency_percentile(0.5), None);
-        assert_eq!(m.msgs_per_commit(), None);
-        assert_eq!(m.prepare_fast_fraction(), None);
-        assert_eq!(m.total_msgs(), 0);
-    }
-
-    #[test]
-    fn latency_stats() {
-        let m =
-            Metrics { commit_latencies: vec![10, 20, 30, 40], committed: 4, ..Metrics::default() };
-        assert_eq!(m.mean_commit_latency(), Some(25.0));
-        assert_eq!(m.latency_percentile(0.0), Some(10));
-        assert_eq!(m.latency_percentile(1.0), Some(40));
-        let p50 = m.latency_percentile(0.5).unwrap();
-        assert!((20..=30).contains(&p50));
-    }
-
-    #[test]
-    fn fast_fraction() {
-        let m = Metrics { prepares_fast: 3, prepares_waited: 1, ..Metrics::default() };
-        assert_eq!(m.prepare_fast_fraction(), Some(0.75));
-    }
-}
+pub use vsr_obs::{Histogram, Metrics};

@@ -117,14 +117,11 @@ fn build_world(cfg: &NemesisConfig) -> World {
     builder.build()
 }
 
-/// Run one plan under `cfg` and check both oracles.
-///
-/// # Errors
-///
-/// Returns the first safety or liveness violation.
-pub fn run_plan(cfg: &NemesisConfig, plan: &FaultPlan) -> Result<(), NemesisFailure> {
-    let mut world = build_world(cfg);
-    plan.apply(&mut world);
+/// Drive `plan` and the standard workload through `world`: faults,
+/// spread transactions, the fault window, optional healing, and the
+/// quiescence period. Leaves the world ready for the oracles.
+fn drive(cfg: &NemesisConfig, plan: &FaultPlan, world: &mut World) {
+    plan.apply(world);
     let (start, end) = cfg.window;
     let interval = (end - start) / (cfg.txns.max(1) as u64);
     for i in 0..cfg.txns {
@@ -142,6 +139,16 @@ pub fn run_plan(cfg: &NemesisConfig, plan: &FaultPlan) -> Result<(), NemesisFail
         }
     }
     world.run_for(cfg.quiesce);
+}
+
+/// Run one plan under `cfg` and check both oracles.
+///
+/// # Errors
+///
+/// Returns the first safety or liveness violation.
+pub fn run_plan(cfg: &NemesisConfig, plan: &FaultPlan) -> Result<(), NemesisFailure> {
+    let mut world = build_world(cfg);
+    drive(cfg, plan, &mut world);
     world.verify().map_err(NemesisFailure::Safety)?;
     world.check_liveness().map_err(|f| {
         if f.catastrophic {
@@ -372,7 +379,53 @@ fn remove_nth_member(event: &mut FaultEvent, n: usize) -> bool {
     }
 }
 
-/// Render a shrunk plan as a ready-to-paste regression test body.
+/// Run one plan with structured tracing enabled, returning the full
+/// event stream and the oracle verdict. Exporter-friendly counterpart
+/// of [`run_plan`]: the CI trace smoke feeds the events to
+/// `vsr_obs::export_jsonl` / `export_chrome`.
+pub fn traced_run(
+    cfg: &NemesisConfig,
+    plan: &FaultPlan,
+) -> (Vec<vsr_obs::TraceEvent>, Result<(), NemesisFailure>) {
+    let mut world = build_world(cfg);
+    let recorder = world.enable_tracing();
+    drive(cfg, plan, &mut world);
+    let verdict = world.verify().map_err(NemesisFailure::Safety).and_then(|()| {
+        world.check_liveness().map_err(|f| {
+            if f.catastrophic {
+                NemesisFailure::Catastrophe(f.reason)
+            } else {
+                NemesisFailure::Liveness(f.reason)
+            }
+        })
+    });
+    (recorder.take(), verdict)
+}
+
+/// Re-run a plan with structured tracing enabled and render the causal
+/// timeline of the run's tail — the last `max_events` trace events
+/// (sends, deliveries, timer fires, force begin/fire, view-state
+/// transitions, disk appends), each stamped with tick, cohort, and
+/// viewstamp. The tail is where a failing run goes wrong: the events
+/// leading into the wedge or the divergent commit.
+pub fn traced_timeline(cfg: &NemesisConfig, plan: &FaultPlan, max_events: usize) -> String {
+    let (events, _verdict) = traced_run(cfg, plan);
+    let total = events.len();
+    let tail = &events[total.saturating_sub(max_events)..];
+    let mut out = String::new();
+    if total > tail.len() {
+        out.push_str(&format!("[{} earlier events elided; {total} total]\n", total - tail.len()));
+    }
+    out.push_str(&vsr_obs::render_timeline(tail));
+    out
+}
+
+/// How many trailing trace events a repro snippet's causal timeline
+/// shows.
+const REPRO_TIMELINE_EVENTS: usize = 60;
+
+/// Render a shrunk plan as a ready-to-paste regression test body,
+/// followed by the causal timeline of the failing run (as comments).
 pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFailure) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -404,6 +457,10 @@ pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFai
         out.push_str(&format!("\n    .at({time}, {})", render_event(event)));
     }
     out.push_str(";\nassert!(run_plan(&cfg, &plan).is_err());\n");
+    out.push_str("//\n// Causal timeline of the failing run (tick, cohort, viewstamp, event):\n");
+    for line in traced_timeline(cfg, plan, REPRO_TIMELINE_EVENTS).lines() {
+        out.push_str(&format!("//   {line}\n"));
+    }
     out
 }
 
@@ -504,6 +561,15 @@ mod tests {
         assert!(snippet.contains("FaultPlan::new()"));
         assert!(snippet.contains("FaultEvent::Crash"));
         assert!(snippet.contains("run_plan(&cfg, &plan)"));
+        // Every shrunk repro carries the causal timeline of the failing
+        // run: tick, cohort, viewstamp, and event kind per line.
+        assert!(snippet.contains("Causal timeline"), "snippet missing timeline:\n{snippet}");
+        let timeline: Vec<&str> = snippet.lines().filter(|l| l.starts_with("//   t=")).collect();
+        assert!(!timeline.is_empty(), "timeline has no event lines:\n{snippet}");
+        assert!(
+            timeline.iter().any(|l| l.contains(" m")),
+            "timeline lines must name a cohort:\n{snippet}"
+        );
     }
 
     #[test]

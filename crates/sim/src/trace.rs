@@ -42,6 +42,21 @@ pub fn timeline(observations: &[(u64, Observation)]) -> String {
                     if *waited { "waited for force" } else { "fast path" }
                 )
             }
+            Observation::StatusChanged { group, mid, from, to } => {
+                format!("{group} {mid} status {} -> {}", from.name(), to.name())
+            }
+            Observation::ForceBegan { group, mid, vs } => {
+                format!("{group} {mid} force began up to ts {} in {}", vs.ts.0, vs.id)
+            }
+            Observation::ForceFired { group, mid, vs, fired } => {
+                format!(
+                    "{group} {mid} {fired} force(s) fired at watermark {} in {}",
+                    vs.ts.0, vs.id
+                )
+            }
+            Observation::BufferFlushed { group, mid, sends, clones_saved } => {
+                format!("{group} {mid} flushed buffer: {sends} sends, {clones_saved} clones saved")
+            }
         };
         out.push_str(&format!("t={t:>8}  {line}\n"));
     }
@@ -165,14 +180,15 @@ mod tests {
 
     #[test]
     fn summary_lists_counts() {
-        let m = Metrics {
+        let mut m = Metrics {
             submitted: 10,
             committed: 8,
             aborted: 2,
-            commit_latencies: vec![5, 10],
             view_formations: 1,
             ..Metrics::default()
         };
+        m.commit_latency.record(5);
+        m.commit_latency.record(10);
         let s = summarize(&m);
         assert!(s.contains("10 submitted"));
         assert!(s.contains("8 committed"));

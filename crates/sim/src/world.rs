@@ -14,8 +14,10 @@ use vsr_core::config::CohortConfig;
 use vsr_core::durable::RecoveredState;
 use vsr_core::messages::Message;
 use vsr_core::module::Module;
+use vsr_core::types::Viewstamp;
 use vsr_core::types::{Aid, GroupId, Mid, ViewId};
 use vsr_core::view::Configuration;
+use vsr_obs::{Recorder, SharedRecorder, TraceEvent, TraceKind};
 use vsr_simnet::net::{Event, NetConfig, NetStats, SimNet};
 use vsr_store::{FsyncPolicy, SimDisk, Store};
 
@@ -153,6 +155,7 @@ impl WorldBuilder {
             next_control: 0,
             delivered_to: BTreeMap::new(),
             message_trace: None,
+            recorder: None,
         };
         for spec in &self.groups {
             for &mid in &spec.members {
@@ -239,6 +242,9 @@ pub struct World {
     delivered_to: BTreeMap<Mid, u64>,
     /// Optional message trace: ring buffer of the most recent sends.
     message_trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+    /// Optional structured trace recorder (see `vsr-obs`). `None` means
+    /// tracing is off and event capture costs nothing.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 /// One traced send: `(time, from, to, message name)`.
@@ -277,6 +283,43 @@ impl World {
         self.net.now()
     }
 
+    // ------------------------------------------------------------------
+    // structured tracing
+    // ------------------------------------------------------------------
+
+    /// Install a structured trace recorder. Every send, delivery, timer
+    /// fire, force begin/fire, view-state transition, and disk append
+    /// is recorded from now on.
+    pub fn install_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Convenience: install a [`SharedRecorder`] and return a handle to
+    /// drain the captured events from.
+    pub fn enable_tracing(&mut self) -> SharedRecorder {
+        let handle = SharedRecorder::new();
+        self.install_recorder(Box::new(handle.clone()));
+        handle
+    }
+
+    /// Record a trace event stamped with `cohort`'s current viewstamp.
+    fn trace(&mut self, cohort: Mid, kind: TraceKind) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let vs = self.cohorts.get(&cohort).and_then(|c| c.history().latest());
+        self.trace_with_vs(cohort, vs, kind);
+    }
+
+    /// Record a trace event with an explicit viewstamp (used where the
+    /// observation itself carries the authoritative one).
+    fn trace_with_vs(&mut self, cohort: Mid, vs: Option<Viewstamp>, kind: TraceKind) {
+        let now = self.net.now();
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(TraceEvent { tick: now, cohort, vs, kind });
+        }
+    }
+
     /// Process one event. Returns false when no events remain.
     pub fn step(&mut self) -> bool {
         let Some((now, event)) = self.net.pop() else { return false };
@@ -286,6 +329,7 @@ impl World {
                 if self.crashed.contains_key(&to) {
                     return true;
                 }
+                let msg_name = msg.name();
                 if let Some(cohort) = self.cohorts.get_mut(&to) {
                     // Heartbeats are constant-rate background noise;
                     // exclude them from per-node load accounting.
@@ -293,9 +337,11 @@ impl World {
                         *self.delivered_to.entry(to).or_default() += 1;
                     }
                     let effects = cohort.on_message(now, from, msg);
+                    self.trace(to, TraceKind::Recv { from, msg: msg_name });
                     self.apply_effects(to, effects);
                 } else if let Some(agent) = self.agents.get_mut(&to) {
                     let effects = agent.on_message(now, from, msg);
+                    self.trace(to, TraceKind::Recv { from, msg: msg_name });
                     self.apply_effects(to, effects);
                 }
             }
@@ -317,6 +363,7 @@ impl World {
                         | Timer::AgentCallRetry { .. }
                         | Timer::AgentCommitRetry { .. }
                 );
+                let timer_name = timer.name();
                 let effects = if let Some(cohort) = self.cohorts.get_mut(&mid) {
                     cohort.on_timer(now, timer)
                 } else if let Some(agent) = self.agents.get_mut(&mid) {
@@ -324,6 +371,9 @@ impl World {
                 } else {
                     Vec::new()
                 };
+                if !effects.is_empty() {
+                    self.trace(mid, TraceKind::Timer { timer: timer_name });
+                }
                 if is_retry {
                     self.metrics.retransmissions +=
                         effects.iter().filter(|e| matches!(e, Effect::Send { .. })).count() as u64;
@@ -718,6 +768,7 @@ impl World {
                         }
                         trace.push_back((self.net.now(), mid, to, msg.name()));
                     }
+                    self.trace(mid, TraceKind::Send { to, msg: msg.name() });
                     *self.metrics.msgs.entry(msg.name()).or_default() += 1;
                     *self.metrics.bytes.entry(msg.name()).or_default() += size as u64;
                     if msg.is_view_change() {
@@ -743,12 +794,14 @@ impl World {
                     if let Some(disk) = self.disks.get_mut(&mid) {
                         let before = disk.metrics();
                         disk.persist(&event);
-                        let after = disk.metrics();
-                        self.metrics.disk_appends += after.appends - before.appends;
-                        self.metrics.disk_fsyncs += after.fsyncs - before.fsyncs;
-                        self.metrics.disk_bytes_written +=
-                            after.bytes_written - before.bytes_written;
-                        self.metrics.checkpoints_taken += after.checkpoints - before.checkpoints;
+                        let delta = disk.metrics().since(&before);
+                        self.metrics.disk_appends += delta.appends;
+                        self.metrics.disk_fsyncs += delta.fsyncs;
+                        self.metrics.disk_bytes_written += delta.bytes_written;
+                        self.metrics.checkpoints_taken += delta.checkpoints;
+                        if delta.appends > 0 {
+                            self.trace(mid, TraceKind::DiskAppend { bytes: delta.bytes_written });
+                        }
                     }
                 }
                 Effect::Observe(observation) => {
@@ -769,6 +822,25 @@ impl World {
                         Observation::ViewChangeStarted { .. } => {
                             self.metrics.view_change_attempts += 1;
                         }
+                        Observation::StatusChanged { from, to, .. } => {
+                            self.trace(
+                                mid,
+                                TraceKind::ViewState { from: from.name(), to: to.name() },
+                            );
+                        }
+                        Observation::ForceBegan { vs, .. } => {
+                            self.trace_with_vs(mid, Some(*vs), TraceKind::ForceBegin);
+                        }
+                        Observation::ForceFired { vs, fired, .. } => {
+                            self.trace_with_vs(
+                                mid,
+                                Some(*vs),
+                                TraceKind::ForceFire { fired: *fired },
+                            );
+                        }
+                        Observation::BufferFlushed { clones_saved, .. } => {
+                            self.metrics.buffer_clones_saved += clones_saved;
+                        }
                         _ => {}
                     }
                     self.observations.push((self.net.now(), observation));
@@ -782,7 +854,7 @@ impl World {
             TxnOutcome::Committed { .. } => {
                 self.metrics.committed += 1;
                 if let Some(&t0) = self.submitted_at.get(&req_id) {
-                    self.metrics.commit_latencies.push(self.net.now() - t0);
+                    self.metrics.commit_latency.record(self.net.now() - t0);
                 }
             }
             TxnOutcome::Aborted { .. } => self.metrics.aborted += 1,

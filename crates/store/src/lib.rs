@@ -101,6 +101,21 @@ pub struct StoreMetrics {
     pub checkpoints: u64,
 }
 
+impl StoreMetrics {
+    /// Counter deltas accumulated since an `earlier` snapshot of this
+    /// store's metrics. Harnesses use this to attribute disk activity
+    /// to the persist effect that caused it (metrics aggregation and
+    /// `disk-append` trace events).
+    pub fn since(&self, earlier: &StoreMetrics) -> StoreMetrics {
+        StoreMetrics {
+            appends: self.appends.saturating_sub(earlier.appends),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+        }
+    }
+}
+
 /// A cohort's stable store: executes `Effect::Persist` and rebuilds a
 /// [`RecoveredState`] after a crash.
 ///

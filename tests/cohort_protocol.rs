@@ -98,6 +98,35 @@ fn stale_viewid_call_rejected_with_current_view() {
 }
 
 #[test]
+fn flush_shares_one_record_window_per_distinct_watermark() {
+    // Both backups lag at ack watermark zero after the first call, so
+    // the flush must hand them the *same* record-window allocation
+    // (one clone per distinct watermark, not one per backup) and report
+    // the saving in telemetry.
+    let mut primary = server_cohort(Mid(1));
+    let effects = primary.on_message(10, CLIENT_MID, call_msg(&primary, aid(0), 0));
+    let windows: Vec<_> = effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { msg: Message::BufferSend { records, .. }, .. } => Some(records),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(windows.len(), 2, "one BufferSend per lagging backup");
+    assert!(
+        std::sync::Arc::ptr_eq(windows[0], windows[1]),
+        "backups at the same watermark share one record window"
+    );
+    let flushed = effects.iter().find_map(|e| match e {
+        Effect::Observe(Observation::BufferFlushed { sends, clones_saved, .. }) => {
+            Some((*sends, *clones_saved))
+        }
+        _ => None,
+    });
+    assert_eq!(flushed, Some((2, 1)), "the saved clone is reported in telemetry");
+}
+
+#[test]
 fn call_reply_carries_pset_entry() {
     let mut primary = server_cohort(Mid(1));
     let effects = primary.on_message(10, CLIENT_MID, call_msg(&primary, aid(0), 0));
@@ -515,7 +544,7 @@ fn backup_ignores_gapped_records() {
                 (!later.is_empty()).then_some(Message::BufferSend {
                     viewid: *viewid,
                     from: *from,
-                    records: later,
+                    records: later.into(),
                 })
             }
             _ => None,

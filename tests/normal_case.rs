@@ -269,7 +269,7 @@ fn normal_case_runs_are_deterministic() {
         (
             world.metrics().total_msgs(),
             world.metrics().committed,
-            world.metrics().commit_latencies.clone(),
+            world.metrics().commit_latency.clone(),
         )
     };
     assert_eq!(run(99), run(99));

@@ -1,0 +1,101 @@
+//! Cross-harness observability tests: the simulator and the thread
+//! runtime report the same counter set for the same workload, and a
+//! traced run exports schema-valid JSONL and a parseable
+//! chrome://tracing document.
+
+use std::collections::BTreeSet;
+use vsr_app::counter;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_obs::{export_chrome, export_jsonl, parse_json, parse_jsonl, validate_jsonl, TraceKind};
+use vsr_runtime::ClusterBuilder;
+use vsr_sim::world::{World, WorldBuilder};
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+
+fn sim_world(seed: u64) -> World {
+    WorldBuilder::new(seed)
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
+        .build()
+}
+
+#[test]
+fn sim_and_runtime_report_identical_counter_sets() {
+    // The same workload on both harnesses: four sequential increments
+    // against a 3-cohort counter group.
+    let mut world = sim_world(7);
+    for _ in 0..4 {
+        world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+        world.run_for(1_500);
+    }
+    let sim = world.metrics().clone();
+
+    let cluster = ClusterBuilder::new()
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule))
+        .start();
+    for _ in 0..4 {
+        assert!(
+            cluster.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]).is_ok(),
+            "healthy cluster serves the workload"
+        );
+    }
+    let live = cluster.metrics();
+    cluster.shutdown();
+
+    let sim_names: BTreeSet<&str> = sim.counters().into_iter().map(|(n, _)| n).collect();
+    let live_names: BTreeSet<&str> = live.counters().into_iter().map(|(n, _)| n).collect();
+    assert_eq!(sim_names, live_names, "both harnesses report the same counter names");
+
+    // Client-visible outcomes match exactly on a fault-free run. The
+    // traffic counters are populated on both sides but differ in value:
+    // wall-clock heartbeat cadence vs simulated ticks.
+    assert_eq!(sim.submitted, 4);
+    assert_eq!(live.submitted, 4);
+    assert_eq!(sim.committed, 4);
+    assert_eq!(live.committed, 4);
+    assert_eq!(sim.commit_latency.count(), 4);
+    assert_eq!(live.commit_latency.count(), 4);
+    assert!(sim.foreground_msgs > 0 && live.foreground_msgs > 0);
+}
+
+#[test]
+fn traced_sim_run_round_trips_through_both_exporters() {
+    let mut world = sim_world(11);
+    let recorder = world.enable_tracing();
+    for _ in 0..2 {
+        world.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+        world.run_for(1_500);
+    }
+    let events = recorder.take();
+    assert!(!events.is_empty(), "a traced run captures events");
+    assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Send { .. })));
+    assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Recv { .. })));
+
+    // JSONL: every line passes the schema check and parses back.
+    let jsonl = export_jsonl(&events);
+    let validated = validate_jsonl(&jsonl).expect("exported JSONL is schema-valid");
+    assert_eq!(validated, events.len());
+    let parsed = parse_jsonl(&jsonl).expect("exported JSONL parses");
+    assert_eq!(parsed.len(), events.len());
+    for (line, event) in parsed.iter().zip(&events) {
+        assert_eq!(line.get("tick").and_then(|v| v.as_u64()), Some(event.tick));
+        assert_eq!(
+            line.get("kind").and_then(|v| v.as_str()),
+            Some(event.kind.name()),
+            "kind survives the round trip"
+        );
+    }
+
+    // chrome://tracing: one JSON document with a traceEvents array of
+    // the same length.
+    let chrome = export_chrome(&events);
+    let doc = parse_json(&chrome).expect("chrome export is valid JSON");
+    let trace_events = doc.get("traceEvents").expect("chrome export has traceEvents");
+    match trace_events {
+        vsr_obs::JsonValue::Arr(items) => assert_eq!(items.len(), events.len()),
+        other => panic!("traceEvents should be an array, got {other:?}"),
+    }
+}
