@@ -7,9 +7,11 @@
 //! reconstruct [`GroupState`] field-for-field, including parts with no
 //! public constructor.
 //!
-//! The only entry points stores need are
-//! [`encode_durable_event`] / [`decode_durable_event`]; the per-type
-//! helpers stay private so the encoding remains a single auditable unit.
+//! The entry points are [`encode_durable_event`] /
+//! [`decode_durable_event`] (everything a store appends to its log) and
+//! [`encode_message`] / [`decode_message`] (everything a transport puts
+//! on a socket); the per-type helpers stay private so the encoding
+//! remains a single auditable unit.
 
 use crate::durable::{Checkpoint, DurableEvent};
 use crate::event::{EventKind, EventRecord};
@@ -17,6 +19,8 @@ use crate::gstate::{
     CompletedCall, GroupState, LockMode, ObjectAccess, StoredObject, TxnStatus, Value,
 };
 use crate::history::History;
+use crate::messages::{CallOutcome, CallRefusal, Message, QueryOutcome};
+use crate::pset::PSet;
 use crate::types::{Aid, CallId, GroupId, Mid, ObjectId, Timestamp, ViewId, Viewstamp};
 use crate::view::View;
 use std::collections::BTreeMap;
@@ -518,6 +522,393 @@ pub fn decode_durable_event(buf: &[u8]) -> Result<DurableEvent, DecodeError> {
     Ok(event)
 }
 
+// ---------------------------------------------------------------------
+// protocol messages
+// ---------------------------------------------------------------------
+
+fn enc_string(e: &mut Encoder, s: &str) {
+    e.bytes(s.as_bytes());
+}
+
+fn dec_string(d: &mut Decoder<'_>, context: &'static str) -> Result<String, DecodeError> {
+    let bytes = d.bytes(context)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError { context })
+}
+
+fn enc_bool(e: &mut Encoder, b: bool) {
+    e.u64(u64::from(b));
+}
+
+fn dec_bool(d: &mut Decoder<'_>, context: &'static str) -> Result<bool, DecodeError> {
+    match d.u64(context)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError { context }),
+    }
+}
+
+fn enc_pset(e: &mut Encoder, ps: &PSet) {
+    e.u64(ps.len() as u64);
+    for (g, vs) in ps.iter() {
+        e.u64(g.0);
+        enc_viewstamp(e, vs);
+    }
+}
+
+fn dec_pset(d: &mut Decoder<'_>) -> Result<PSet, DecodeError> {
+    let n = d.len("pset.len")?;
+    let mut ps = PSet::new();
+    for _ in 0..n {
+        ps.insert(GroupId(d.u64("pset.group")?), dec_viewstamp(d)?);
+    }
+    Ok(ps)
+}
+
+fn enc_newer(e: &mut Encoder, newer: &Option<(ViewId, View)>) {
+    match newer {
+        None => e.u64(0),
+        Some((viewid, view)) => {
+            e.u64(1);
+            enc_viewid(e, *viewid);
+            enc_view(e, view);
+        }
+    }
+}
+
+fn dec_newer(d: &mut Decoder<'_>) -> Result<Option<(ViewId, View)>, DecodeError> {
+    match d.u64("newer.tag")? {
+        0 => Ok(None),
+        1 => Ok(Some((dec_viewid(d)?, dec_view(d)?))),
+        _ => Err(DecodeError { context: "newer.tag" }),
+    }
+}
+
+fn enc_call_outcome(e: &mut Encoder, outcome: &CallOutcome) {
+    match outcome {
+        CallOutcome::Ok { result, pset } => {
+            e.u64(0);
+            e.bytes(result);
+            enc_pset(e, pset);
+        }
+        CallOutcome::Refused(CallRefusal::LockTimeout) => e.u64(1),
+        CallOutcome::Refused(CallRefusal::Application(why)) => {
+            e.u64(2);
+            enc_string(e, why);
+        }
+    }
+}
+
+fn dec_call_outcome(d: &mut Decoder<'_>) -> Result<CallOutcome, DecodeError> {
+    Ok(match d.u64("call_outcome.tag")? {
+        0 => {
+            CallOutcome::Ok { result: d.bytes("call_outcome.result")?.to_vec(), pset: dec_pset(d)? }
+        }
+        1 => CallOutcome::Refused(CallRefusal::LockTimeout),
+        2 => CallOutcome::Refused(CallRefusal::Application(dec_string(d, "call_outcome.why")?)),
+        _ => return Err(DecodeError { context: "call_outcome.tag" }),
+    })
+}
+
+fn enc_query_outcome(e: &mut Encoder, outcome: QueryOutcome) {
+    e.u64(match outcome {
+        QueryOutcome::Committed => 0,
+        QueryOutcome::Aborted => 1,
+        QueryOutcome::Active => 2,
+        QueryOutcome::Unknown => 3,
+    });
+}
+
+fn dec_query_outcome(d: &mut Decoder<'_>) -> Result<QueryOutcome, DecodeError> {
+    Ok(match d.u64("query_outcome.tag")? {
+        0 => QueryOutcome::Committed,
+        1 => QueryOutcome::Aborted,
+        2 => QueryOutcome::Active,
+        3 => QueryOutcome::Unknown,
+        _ => return Err(DecodeError { context: "query_outcome.tag" }),
+    })
+}
+
+/// Encode a protocol [`Message`] as a self-contained byte string (the
+/// payload of one transport frame; framing and CRC belong to the
+/// transport, exactly as the durable-event codec leaves them to the
+/// store).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut e = Encoder::default();
+    match msg {
+        Message::Call { viewid, call_id, proc, args } => {
+            e.u64(0);
+            enc_viewid(&mut e, *viewid);
+            enc_call_id(&mut e, *call_id);
+            enc_string(&mut e, proc);
+            e.bytes(args);
+        }
+        Message::CallReply { call_id, outcome } => {
+            e.u64(1);
+            enc_call_id(&mut e, *call_id);
+            enc_call_outcome(&mut e, outcome);
+        }
+        Message::CallReject { call_id, newer } => {
+            e.u64(2);
+            enc_call_id(&mut e, *call_id);
+            enc_newer(&mut e, newer);
+        }
+        Message::Prepare { aid, pset, coordinator } => {
+            e.u64(3);
+            enc_aid(&mut e, *aid);
+            enc_pset(&mut e, pset);
+            e.u64(coordinator.0);
+        }
+        Message::PrepareOk { aid, group, read_only } => {
+            e.u64(4);
+            enc_aid(&mut e, *aid);
+            e.u64(group.0);
+            enc_bool(&mut e, *read_only);
+        }
+        Message::PrepareRefuse { aid, group } => {
+            e.u64(5);
+            enc_aid(&mut e, *aid);
+            e.u64(group.0);
+        }
+        Message::Commit { aid, coordinator } => {
+            e.u64(6);
+            enc_aid(&mut e, *aid);
+            e.u64(coordinator.0);
+        }
+        Message::CommitDone { aid, group } => {
+            e.u64(7);
+            enc_aid(&mut e, *aid);
+            e.u64(group.0);
+        }
+        Message::Abort { aid } => {
+            e.u64(8);
+            enc_aid(&mut e, *aid);
+        }
+        Message::Redirect { group, newer } => {
+            e.u64(9);
+            e.u64(group.0);
+            enc_newer(&mut e, newer);
+        }
+        Message::Query { aid, reply_to } => {
+            e.u64(10);
+            enc_aid(&mut e, *aid);
+            e.u64(reply_to.0);
+        }
+        Message::QueryReply { aid, outcome } => {
+            e.u64(11);
+            enc_aid(&mut e, *aid);
+            enc_query_outcome(&mut e, *outcome);
+        }
+        Message::ClientBegin { req, reply_to } => {
+            e.u64(12);
+            e.u64(*req);
+            e.u64(reply_to.0);
+        }
+        Message::ClientBeginAck { req, aid } => {
+            e.u64(13);
+            e.u64(*req);
+            enc_aid(&mut e, *aid);
+        }
+        Message::ClientCommit { aid, pset, reply_to } => {
+            e.u64(14);
+            enc_aid(&mut e, *aid);
+            enc_pset(&mut e, pset);
+            e.u64(reply_to.0);
+        }
+        Message::ClientAbort { aid } => {
+            e.u64(15);
+            enc_aid(&mut e, *aid);
+        }
+        Message::ClientOutcome { aid, committed } => {
+            e.u64(16);
+            enc_aid(&mut e, *aid);
+            enc_bool(&mut e, *committed);
+        }
+        Message::ClientPing { aid, reply_to } => {
+            e.u64(17);
+            enc_aid(&mut e, *aid);
+            e.u64(reply_to.0);
+        }
+        Message::ClientPong { aid } => {
+            e.u64(18);
+            enc_aid(&mut e, *aid);
+        }
+        Message::Probe { group, reply_to } => {
+            e.u64(19);
+            e.u64(group.0);
+            e.u64(reply_to.0);
+        }
+        Message::ProbeReply { group, viewid, view } => {
+            e.u64(20);
+            e.u64(group.0);
+            enc_viewid(&mut e, *viewid);
+            enc_view(&mut e, view);
+        }
+        Message::BufferSend { viewid, from, records } => {
+            e.u64(21);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+            e.u64(records.len() as u64);
+            for r in records.iter() {
+                enc_event_record(&mut e, r);
+            }
+        }
+        Message::BufferAck { viewid, from, upto } => {
+            e.u64(22);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+            e.u64(upto.0);
+        }
+        Message::ImAlive { from, viewid } => {
+            e.u64(23);
+            e.u64(from.0);
+            enc_viewid(&mut e, *viewid);
+        }
+        Message::Invite { viewid, manager } => {
+            e.u64(24);
+            enc_viewid(&mut e, *viewid);
+            e.u64(manager.0);
+        }
+        Message::AcceptNormal { viewid, from, latest, was_primary } => {
+            e.u64(25);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+            enc_viewstamp(&mut e, *latest);
+            enc_bool(&mut e, *was_primary);
+        }
+        Message::AcceptCrashed { viewid, from, stable_viewid } => {
+            e.u64(26);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+            enc_viewid(&mut e, *stable_viewid);
+        }
+        Message::InitView { viewid, view } => {
+            e.u64(27);
+            enc_viewid(&mut e, *viewid);
+            enc_view(&mut e, view);
+        }
+    }
+    e.buf
+}
+
+/// Decode a byte string produced by [`encode_message`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, trailing garbage, unknown tags,
+/// or payloads violating protocol invariants (a corrupt frame that slips
+/// past the transport CRC must fail, never load garbage).
+pub fn decode_message(buf: &[u8]) -> Result<Message, DecodeError> {
+    let mut d = Decoder::new(buf);
+    let msg = match d.u64("message.tag")? {
+        0 => Message::Call {
+            viewid: dec_viewid(&mut d)?,
+            call_id: dec_call_id(&mut d)?,
+            proc: dec_string(&mut d, "call.proc")?,
+            args: d.bytes("call.args")?.to_vec(),
+        },
+        1 => {
+            Message::CallReply { call_id: dec_call_id(&mut d)?, outcome: dec_call_outcome(&mut d)? }
+        }
+        2 => Message::CallReject { call_id: dec_call_id(&mut d)?, newer: dec_newer(&mut d)? },
+        3 => Message::Prepare {
+            aid: dec_aid(&mut d)?,
+            pset: dec_pset(&mut d)?,
+            coordinator: Mid(d.u64("prepare.coordinator")?),
+        },
+        4 => Message::PrepareOk {
+            aid: dec_aid(&mut d)?,
+            group: GroupId(d.u64("prepare_ok.group")?),
+            read_only: dec_bool(&mut d, "prepare_ok.read_only")?,
+        },
+        5 => Message::PrepareRefuse {
+            aid: dec_aid(&mut d)?,
+            group: GroupId(d.u64("prepare_refuse.group")?),
+        },
+        6 => Message::Commit {
+            aid: dec_aid(&mut d)?,
+            coordinator: Mid(d.u64("commit.coordinator")?),
+        },
+        7 => Message::CommitDone {
+            aid: dec_aid(&mut d)?,
+            group: GroupId(d.u64("commit_done.group")?),
+        },
+        8 => Message::Abort { aid: dec_aid(&mut d)? },
+        9 => Message::Redirect {
+            group: GroupId(d.u64("redirect.group")?),
+            newer: dec_newer(&mut d)?,
+        },
+        10 => Message::Query { aid: dec_aid(&mut d)?, reply_to: Mid(d.u64("query.reply_to")?) },
+        11 => Message::QueryReply { aid: dec_aid(&mut d)?, outcome: dec_query_outcome(&mut d)? },
+        12 => Message::ClientBegin {
+            req: d.u64("client_begin.req")?,
+            reply_to: Mid(d.u64("client_begin.reply_to")?),
+        },
+        13 => {
+            Message::ClientBeginAck { req: d.u64("client_begin_ack.req")?, aid: dec_aid(&mut d)? }
+        }
+        14 => Message::ClientCommit {
+            aid: dec_aid(&mut d)?,
+            pset: dec_pset(&mut d)?,
+            reply_to: Mid(d.u64("client_commit.reply_to")?),
+        },
+        15 => Message::ClientAbort { aid: dec_aid(&mut d)? },
+        16 => Message::ClientOutcome {
+            aid: dec_aid(&mut d)?,
+            committed: dec_bool(&mut d, "client_outcome.committed")?,
+        },
+        17 => Message::ClientPing {
+            aid: dec_aid(&mut d)?,
+            reply_to: Mid(d.u64("client_ping.reply_to")?),
+        },
+        18 => Message::ClientPong { aid: dec_aid(&mut d)? },
+        19 => Message::Probe {
+            group: GroupId(d.u64("probe.group")?),
+            reply_to: Mid(d.u64("probe.reply_to")?),
+        },
+        20 => Message::ProbeReply {
+            group: GroupId(d.u64("probe_reply.group")?),
+            viewid: dec_viewid(&mut d)?,
+            view: dec_view(&mut d)?,
+        },
+        21 => {
+            let viewid = dec_viewid(&mut d)?;
+            let from = Mid(d.u64("buffer_send.from")?);
+            let n = d.len("buffer_send.records.len")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(dec_event_record(&mut d)?);
+            }
+            Message::BufferSend { viewid, from, records: records.into() }
+        }
+        22 => Message::BufferAck {
+            viewid: dec_viewid(&mut d)?,
+            from: Mid(d.u64("buffer_ack.from")?),
+            upto: Timestamp(d.u64("buffer_ack.upto")?),
+        },
+        23 => Message::ImAlive { from: Mid(d.u64("im_alive.from")?), viewid: dec_viewid(&mut d)? },
+        24 => {
+            Message::Invite { viewid: dec_viewid(&mut d)?, manager: Mid(d.u64("invite.manager")?) }
+        }
+        25 => Message::AcceptNormal {
+            viewid: dec_viewid(&mut d)?,
+            from: Mid(d.u64("accept_normal.from")?),
+            latest: dec_viewstamp(&mut d)?,
+            was_primary: dec_bool(&mut d, "accept_normal.was_primary")?,
+        },
+        26 => Message::AcceptCrashed {
+            viewid: dec_viewid(&mut d)?,
+            from: Mid(d.u64("accept_crashed.from")?),
+            stable_viewid: dec_viewid(&mut d)?,
+        },
+        27 => Message::InitView { viewid: dec_viewid(&mut d)?, view: dec_view(&mut d)? },
+        _ => return Err(DecodeError { context: "message.tag" }),
+    };
+    if !d.is_exhausted() {
+        return Err(DecodeError { context: "message.trailing" });
+    }
+    Ok(msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,5 +1057,114 @@ mod tests {
         enc_aid(&mut e, aid(0));
         e.u64(u64::MAX); // dropped.len — absurd
         assert!(decode_durable_event(&e.buf).is_err());
+    }
+
+    // ------------------------------------------------- message codec
+
+    /// One instance of every `Message` variant, with non-trivial payloads
+    /// where the variant has them.
+    fn sample_messages() -> Vec<Message> {
+        use crate::view::View;
+        let view = View::new(Mid(1), vec![Mid(0), Mid(2)]);
+        let ps: PSet = [(GroupId(1), vs(1, 2)), (GroupId(2), vs(1, 4)), (GroupId(1), vs(2, 1))]
+            .into_iter()
+            .collect();
+        let call_id = CallId { aid: aid(3), seq: 7 };
+        vec![
+            Message::Call {
+                viewid: vid(1),
+                call_id,
+                proc: "transfer".into(),
+                args: vec![0, 1, 2, 255],
+            },
+            Message::CallReply {
+                call_id,
+                outcome: CallOutcome::Ok { result: vec![9, 9], pset: ps.clone() },
+            },
+            Message::CallReply { call_id, outcome: CallOutcome::Refused(CallRefusal::LockTimeout) },
+            Message::CallReply {
+                call_id,
+                outcome: CallOutcome::Refused(CallRefusal::Application("no such proc".into())),
+            },
+            Message::CallReject { call_id, newer: None },
+            Message::CallReject { call_id, newer: Some((vid(4), view.clone())) },
+            Message::Prepare { aid: aid(1), pset: ps.clone(), coordinator: Mid(5) },
+            Message::PrepareOk { aid: aid(1), group: GroupId(2), read_only: true },
+            Message::PrepareRefuse { aid: aid(1), group: GroupId(2) },
+            Message::Commit { aid: aid(1), coordinator: Mid(5) },
+            Message::CommitDone { aid: aid(1), group: GroupId(2) },
+            Message::Abort { aid: aid(1) },
+            Message::Redirect { group: GroupId(2), newer: Some((vid(3), view.clone())) },
+            Message::Query { aid: aid(1), reply_to: Mid(4) },
+            Message::QueryReply { aid: aid(1), outcome: QueryOutcome::Unknown },
+            Message::ClientBegin { req: 42, reply_to: Mid(9) },
+            Message::ClientBeginAck { req: 42, aid: aid(2) },
+            Message::ClientCommit { aid: aid(2), pset: ps, reply_to: Mid(9) },
+            Message::ClientAbort { aid: aid(2) },
+            Message::ClientOutcome { aid: aid(2), committed: true },
+            Message::ClientPing { aid: aid(2), reply_to: Mid(9) },
+            Message::ClientPong { aid: aid(2) },
+            Message::Probe { group: GroupId(2), reply_to: Mid(9) },
+            Message::ProbeReply { group: GroupId(2), viewid: vid(2), view: view.clone() },
+            Message::BufferSend {
+                viewid: vid(2),
+                from: Mid(1),
+                records: vec![
+                    EventRecord { vs: vs(2, 1), kind: EventKind::Committed { aid: aid(1) } },
+                    EventRecord {
+                        vs: vs(2, 2),
+                        kind: EventKind::CompletedCall { aid: aid(1), record: sample_call(0) },
+                    },
+                ]
+                .into(),
+            },
+            Message::BufferAck { viewid: vid(2), from: Mid(2), upto: Timestamp(17) },
+            Message::ImAlive { from: Mid(0), viewid: vid(2) },
+            Message::Invite { viewid: vid(5), manager: Mid(2) },
+            Message::AcceptNormal {
+                viewid: vid(5),
+                from: Mid(0),
+                latest: vs(2, 9),
+                was_primary: false,
+            },
+            Message::AcceptCrashed { viewid: vid(5), from: Mid(0), stable_viewid: vid(2) },
+            Message::InitView { viewid: vid(5), view },
+        ]
+    }
+
+    #[test]
+    fn every_message_variant_roundtrips() {
+        for msg in sample_messages() {
+            let decoded = decode_message(&encode_message(&msg)).expect("roundtrip decodes");
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn message_truncation_fails() {
+        for msg in sample_messages() {
+            let bytes = encode_message(&msg);
+            for cut in [0, 1, 8, bytes.len() / 2, bytes.len().saturating_sub(1)] {
+                if cut < bytes.len() {
+                    assert!(
+                        decode_message(&bytes[..cut]).is_err(),
+                        "cut at {cut} of {} must fail",
+                        msg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_trailing_garbage_fails() {
+        let mut bytes = encode_message(&Message::Abort { aid: aid(1) });
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes).unwrap_err().context, "message.trailing");
+    }
+
+    #[test]
+    fn message_unknown_tag_fails() {
+        assert!(decode_message(&999u64.to_le_bytes()).is_err());
     }
 }

@@ -1,0 +1,252 @@
+//! Socket frame format and incremental reassembly.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(payload): u32 LE][payload]
+//! payload = [sender mid: u64 LE][vsr_core::wire::encode_message bytes]
+//! ```
+//!
+//! — the same header shape as the WAL's `vsr_store::frame` (and the
+//! same CRC-32), so one integrity discipline covers disk and network.
+//! The sender mid travels in every frame: links need no handshake, and
+//! a frame is meaningful on whatever connection it arrives over.
+//!
+//! Decoding is fail-safe, mirroring the durable-event codec: a bad
+//! length, CRC mismatch, or malformed message body is an error, never
+//! garbage. A TCP stream that fails to decode cannot be resynchronized
+//! (there is no frame delimiter to hunt for), so callers treat any
+//! [`FrameError`] as fatal for that connection and reconnect.
+
+use std::fmt;
+
+use vsr_core::messages::Message;
+use vsr_core::types::Mid;
+use vsr_core::wire::{decode_message, encode_message};
+use vsr_store::frame::crc32;
+
+/// Bytes of `[len][crc]` preceding each payload.
+pub const HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single payload. Nothing the protocol sends
+/// approaches this; its purpose is to reject a garbage length prefix
+/// before it turns into a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Why a byte stream failed to yield a frame. All variants are fatal
+/// for the connection they arrive on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`] or is too short to
+    /// hold the sender mid.
+    BadLength {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The payload does not match its CRC.
+    CrcMismatch,
+    /// The CRC passed but the message body failed to decode — which
+    /// means sender and receiver disagree about the codec, not that
+    /// bytes flipped in flight.
+    Malformed {
+        /// The decoder context that failed (see `vsr_core::wire`).
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadLength { len } => write!(f, "frame length {len} out of bounds"),
+            FrameError::CrcMismatch => write!(f, "frame payload failed its CRC"),
+            FrameError::Malformed { context } => {
+                write!(f, "frame payload malformed while decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one message as a complete frame, ready for `write_all`.
+pub fn frame_message(from: Mid, msg: &Message) -> Vec<u8> {
+    let body = encode_message(msg);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&from.0.to_le_bytes());
+    payload.extend_from_slice(&body);
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Incremental frame reassembly over an arbitrary chunking of the byte
+/// stream. Feed whatever `read` returned with [`extend`](FrameBuf::extend),
+/// then drain complete frames with [`next_frame`](FrameBuf::next_frame).
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted away once it outgrows the live tail.
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet consumed as a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Is a frame sitting half-received? Read-deadline tracking keys on
+    /// this: an idle connection is fine, a stalled partial frame is a
+    /// half-open link.
+    pub fn has_partial(&self) -> bool {
+        self.pending_bytes() > 0
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes". Any `Err` is fatal for the
+    /// connection: resynchronizing an undelimited stream is impossible.
+    pub fn next_frame(&mut self) -> Result<Option<(Mid, Message)>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if !(8..=MAX_FRAME_BYTES).contains(&len) {
+            return Err(FrameError::BadLength { len });
+        }
+        if avail.len() < HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let want = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        let payload = &avail[HEADER_BYTES..HEADER_BYTES + len];
+        if crc32(payload) != want {
+            return Err(FrameError::CrcMismatch);
+        }
+        let from = Mid(u64::from_le_bytes([
+            payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+            payload[7],
+        ]));
+        let msg = decode_message(&payload[8..])
+            .map_err(|e| FrameError::Malformed { context: e.context })?;
+        self.pos += HEADER_BYTES + len;
+        // Compact once the consumed prefix dominates, so a long-lived
+        // connection does not grow its buffer without bound.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some((from, msg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsr_core::messages::Message;
+    use vsr_core::types::GroupId;
+
+    fn probe() -> Message {
+        Message::Probe { group: GroupId(2), reply_to: Mid(9) }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = frame_message(Mid(7), &probe());
+        let mut fb = FrameBuf::new();
+        fb.extend(&bytes);
+        let (from, msg) = fb.next_frame().expect("decodes").expect("complete");
+        assert_eq!(from, Mid(7));
+        assert_eq!(msg, probe());
+        assert!(fb.next_frame().expect("no error on empty").is_none());
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn byte_at_a_time_chunking() {
+        let bytes = frame_message(Mid(7), &probe());
+        let mut fb = FrameBuf::new();
+        for (i, b) in bytes.iter().enumerate() {
+            fb.extend(std::slice::from_ref(b));
+            let got = fb.next_frame().expect("no error");
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "complete too early at byte {i}");
+                assert!(fb.has_partial());
+            } else {
+                assert_eq!(got, Some((Mid(7), probe())));
+            }
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_read() {
+        let mut bytes = frame_message(Mid(1), &probe());
+        bytes.extend_from_slice(&frame_message(Mid(2), &probe()));
+        let mut fb = FrameBuf::new();
+        fb.extend(&bytes);
+        assert_eq!(fb.next_frame().expect("ok").map(|(m, _)| m), Some(Mid(1)));
+        assert_eq!(fb.next_frame().expect("ok").map(|(m, _)| m), Some(Mid(2)));
+        assert!(fb.next_frame().expect("ok").is_none());
+    }
+
+    #[test]
+    fn flipped_bit_is_a_crc_mismatch() {
+        let bytes = frame_message(Mid(7), &probe());
+        for bit in 0..(bytes.len() * 8) {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut fb = FrameBuf::new();
+            fb.extend(&bad);
+            match fb.next_frame() {
+                Err(_) => {}
+                Ok(None) => {} // flip grew the length prefix: truncated, still safe
+                Ok(Some((from, msg))) => {
+                    panic!("bit {bit} decoded as {from:?}/{}", msg.name())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        fb.extend(&[0, 0, 0, 0]);
+        assert!(matches!(fb.next_frame(), Err(FrameError::BadLength { .. })));
+    }
+
+    #[test]
+    fn undersized_length_rejected() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&4u32.to_le_bytes());
+        fb.extend(&[0u8; 8]);
+        assert!(matches!(fb.next_frame(), Err(FrameError::BadLength { len: 4 })));
+    }
+
+    #[test]
+    fn compaction_keeps_decoding_correct() {
+        let one = frame_message(Mid(7), &probe());
+        let mut fb = FrameBuf::new();
+        let n = 1 + 8192 / one.len();
+        for _ in 0..n {
+            fb.extend(&one);
+        }
+        for _ in 0..n {
+            assert!(fb.next_frame().expect("ok").is_some());
+        }
+        assert!(fb.next_frame().expect("ok").is_none());
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+}

@@ -71,6 +71,28 @@ pub struct Metrics {
     /// Log records replayed by recovering cohorts (counts only complete
     /// recoveries; a paper-minimum viewid-only recovery replays none).
     pub records_replayed: u64,
+    /// In-process mail dropped by a full bounded cohort mailbox or
+    /// observation drain (drop-oldest overflow policy; zero while
+    /// consumers keep up).
+    pub mailbox_drops: u64,
+    /// Message frames written to peer sockets (networked transport
+    /// only; zero for in-process and simulated runs).
+    pub net_frames_sent: u64,
+    /// Message frames received and decoded from peer sockets.
+    pub net_frames_recvd: u64,
+    /// Socket (re)connection attempts made by peer links after an
+    /// established connection failed.
+    pub net_reconnects: u64,
+    /// Inbound frames rejected by the CRC or the message decoder; each
+    /// one also drops its connection, because a corrupt byte stream
+    /// cannot be resynchronized.
+    pub net_crc_rejects: u64,
+    /// Outbound frames dropped by a full per-peer bounded queue
+    /// (drop-oldest overflow policy).
+    pub net_queue_drops: u64,
+    /// Read/write deadline expiries on peer sockets (gray-slow peers
+    /// degrade to timeouts instead of wedging the cohort thread).
+    pub net_deadline_hits: u64,
 }
 
 impl Metrics {
@@ -145,6 +167,13 @@ impl Metrics {
             ("disk_bytes_written", self.disk_bytes_written),
             ("checkpoints_taken", self.checkpoints_taken),
             ("records_replayed", self.records_replayed),
+            ("mailbox_drops", self.mailbox_drops),
+            ("net_frames_sent", self.net_frames_sent),
+            ("net_frames_recvd", self.net_frames_recvd),
+            ("net_reconnects", self.net_reconnects),
+            ("net_crc_rejects", self.net_crc_rejects),
+            ("net_queue_drops", self.net_queue_drops),
+            ("net_deadline_hits", self.net_deadline_hits),
         ]
     }
 }

@@ -2,8 +2,15 @@
 //!
 //! Runs the same sans-I/O [`Cohort`](vsr_core::cohort::Cohort#) state
 //! machines as the simulator, but on real threads with real clocks:
-//! each cohort owns a thread, messages travel over crossbeam channels,
-//! and timers run on a per-thread timer wheel (1 tick = 1 millisecond).
+//! each cohort owns a thread, messages land in bounded drop-oldest
+//! mailboxes (vsr-net's [`BoundedQueue`] — the same backpressure policy
+//! the TCP transport uses), and timers run on a per-thread timer wheel
+//! (1 tick = 1 millisecond).
+//!
+//! By default messages hop between mailboxes in-process. With
+//! [`ClusterBuilder::networked`] the router hands every inter-cohort
+//! message to a vsr-net [`Endpoint`] instead, and it travels over a
+//! real TCP connection — same cohorts, same effects, real sockets.
 //!
 //! The runtime exists for the runnable examples: start a cluster, submit
 //! transactions, crash and recover cohorts, and watch view changes
@@ -26,9 +33,10 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,6 +47,8 @@ use vsr_core::messages::Message;
 use vsr_core::module::Module;
 use vsr_core::types::{GroupId, Mid, ViewId, Viewstamp};
 use vsr_core::view::Configuration;
+use vsr_net::socket::DeliverFn;
+use vsr_net::{AddrMap, BoundedQueue, Endpoint, NetConfig, NetCounters, NetMetrics, RecvError};
 use vsr_obs::{Metrics, Recorder, SharedRecorder, TraceEvent, TraceKind};
 use vsr_store::{FileStore, FsyncPolicy, SimDisk, Store, StoreMetrics};
 
@@ -68,8 +78,16 @@ enum Durability {
 /// Errors surfaced by [`Cluster::submit`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// No member of the client group produced an outcome in time.
-    Timeout,
+    /// No member of the client group produced an outcome within the
+    /// submit deadline (see [`ClusterBuilder::submit_deadline`]).
+    Timeout {
+        /// How many retry rounds ran before giving up.
+        rounds: u32,
+        /// The member whose reply was being awaited when a deadline
+        /// last expired — the cohort to look at first. `None` means no
+        /// member ever accepted the request (all crashed/stopped).
+        last_peer: Option<Mid>,
+    },
     /// The group id is unknown.
     UnknownGroup(GroupId),
 }
@@ -77,7 +95,12 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Timeout => write!(f, "no cohort answered the submission in time"),
+            SubmitError::Timeout { rounds, last_peer: Some(mid) } => {
+                write!(f, "no outcome within the deadline after {rounds} rounds (last waited on cohort {mid})")
+            }
+            SubmitError::Timeout { rounds, last_peer: None } => {
+                write!(f, "no cohort accepted the submission in {rounds} rounds")
+            }
             SubmitError::UnknownGroup(g) => write!(f, "unknown group {g}"),
         }
     }
@@ -91,18 +114,46 @@ enum Inbox {
     Stop,
 }
 
+/// A cohort's bounded inbox. `Msg` entries are droppable (the network
+/// may drop them anyway); `Request` and `Stop` are critical.
+type Mailbox = Arc<BoundedQueue<Inbox>>;
+
 /// Routes messages between cohort threads; absent entries are crashed
 /// cohorts (their mail is dropped, like the simulator's).
-#[derive(Default)]
+///
+/// In networked mode every inter-cohort message leaves through the
+/// *sender's* [`Endpoint`] and re-enters via
+/// [`deliver_local`](Router::deliver_local) on the receiver's reader
+/// thread — the in-process route map then only performs final delivery
+/// into the destination mailbox.
 struct Router {
-    routes: RwLock<BTreeMap<Mid, Sender<Inbox>>>,
+    routes: RwLock<BTreeMap<Mid, Mailbox>>,
+    endpoints: RwLock<BTreeMap<Mid, Arc<Endpoint>>>,
+    networked: bool,
 }
 
 impl Router {
+    fn new(networked: bool) -> Self {
+        Router { routes: RwLock::default(), endpoints: RwLock::default(), networked }
+    }
+
     fn send(&self, from: Mid, to: Mid, msg: Message) {
-        if let Some(tx) = self.routes.read().get(&to) {
-            // vsr-lint: allow(discarded_result, reason = "a cohort that crashed between the route lookup and the send just loses the message, exactly like the network")
-            let _ = tx.send(Inbox::Msg { from, msg });
+        if self.networked && to != from {
+            // A crashed sender's endpoint is already gone; its mail
+            // vanishes, exactly like the network's would.
+            if let Some(ep) = self.endpoints.read().get(&from) {
+                ep.send(to, &msg);
+            }
+            return;
+        }
+        self.deliver_local(from, to, msg);
+    }
+
+    /// Final hop: push into the destination mailbox (drop-oldest on
+    /// overflow; a missing route is a crashed cohort and drops mail).
+    fn deliver_local(&self, from: Mid, to: Mid, msg: Message) {
+        if let Some(mailbox) = self.routes.read().get(&to) {
+            mailbox.push(Inbox::Msg { from, msg });
         }
     }
 }
@@ -172,7 +223,7 @@ impl PartialOrd for TimerEntry {
 
 struct CohortThread {
     cohort: Cohort,
-    rx: Receiver<Inbox>,
+    rx: Mailbox,
     router: Arc<Router>,
     epoch: Instant,
     timers: BinaryHeap<TimerEntry>,
@@ -180,7 +231,7 @@ struct CohortThread {
     replies: BTreeMap<u64, Sender<TxnOutcome>>,
     stable: Arc<Mutex<ViewId>>,
     store: Option<SharedStore>,
-    observations: Option<Sender<(Mid, Observation)>>,
+    observations: Option<Arc<BoundedQueue<(Mid, Observation)>>>,
     metrics: Arc<Mutex<Metrics>>,
     progress: Arc<Progress>,
     recorder: Option<SharedRecorder>,
@@ -237,8 +288,8 @@ impl CohortThread {
                     self.apply(mid, effects);
                 }
                 Ok(Inbox::Stop) => break,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvError::TimedOut) => {}
+                Err(RecvError::Closed) => break,
             }
             // Fire all due timers.
             let now_instant = Instant::now();
@@ -375,8 +426,10 @@ impl CohortThread {
                         }
                     }
                     if let Some(tx) = &self.observations {
-                        // vsr-lint: allow(discarded_result, reason = "observations are best-effort telemetry; a closed drain must not stall the cohort")
-                        let _ = tx.send((mid, obs));
+                        // Best-effort telemetry: a full drain evicts its
+                        // oldest entry (counted as a mailbox drop) and
+                        // never stalls the cohort.
+                        tx.push((mid, obs));
                     }
                 }
             }
@@ -385,9 +438,19 @@ impl CohortThread {
 }
 
 struct Handle {
-    tx: Sender<Inbox>,
+    tx: Mailbox,
     join: JoinHandle<()>,
     stable: Arc<Mutex<ViewId>>,
+}
+
+/// Everything the networked transport adds to a cluster: the address
+/// book, per-cohort endpoints, and counters accumulated from torn-down
+/// (crashed) endpoints so totals survive recovery cycles.
+struct NetState {
+    addrs: Mutex<AddrMap>,
+    cfg: NetConfig,
+    endpoints: Mutex<BTreeMap<Mid, Arc<Endpoint>>>,
+    base: Mutex<NetCounters>,
 }
 
 /// Builder for a [`Cluster`].
@@ -397,6 +460,10 @@ pub struct ClusterBuilder {
     observations: bool,
     tracing: bool,
     durability: Durability,
+    mailbox_capacity: usize,
+    submit_deadline: Duration,
+    net_addrs: Option<AddrMap>,
+    net_cfg: NetConfig,
 }
 
 impl Default for ClusterBuilder {
@@ -420,7 +487,53 @@ impl ClusterBuilder {
             observations: false,
             tracing: false,
             durability: Durability::None,
+            mailbox_capacity: 4096,
+            submit_deadline: Duration::from_secs(5),
+            net_addrs: None,
+            net_cfg: NetConfig::new(),
         }
+    }
+
+    /// Capacity of each cohort's bounded mailbox (and of the
+    /// observation drain). Overflow evicts the oldest droppable entry
+    /// and counts it in the `mailbox_drops` metric — the same
+    /// drop-oldest policy the TCP transport applies to its per-peer
+    /// queues, so in-process and networked runs share one backpressure
+    /// story.
+    pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// How long [`Cluster::submit`] waits for each member's outcome
+    /// before moving to the next member/round (default 5 s). On
+    /// expiry, [`SubmitError::Timeout`] reports the round count and
+    /// the last peer waited on.
+    pub fn submit_deadline(mut self, deadline: Duration) -> Self {
+        self.submit_deadline = deadline;
+        self
+    }
+
+    /// Route every inter-cohort message over real TCP using vsr-net.
+    /// `addrs` says where each cohort listens and where peers dial it
+    /// (route a cohort through a [`vsr_net::ChaosProxy`] with
+    /// [`AddrMap::dial_via`]). The sans-I/O core is untouched: cohorts
+    /// emit the same `Effect::Send`s, the router hands them to a
+    /// socket instead of a mailbox. Transport retry/backoff reuses the
+    /// cluster's [`CohortConfig`] retry knobs.
+    pub fn networked(mut self, addrs: AddrMap) -> Self {
+        self.net_addrs = Some(addrs);
+        self
+    }
+
+    /// Override transport tuning (queue capacity, deadlines, reconnect
+    /// base). Only meaningful together with
+    /// [`networked`](ClusterBuilder::networked); the `retry` field is
+    /// replaced by the cluster's cohort config at start so transport
+    /// and protocol back off by one policy.
+    pub fn net_config(mut self, cfg: NetConfig) -> Self {
+        self.net_cfg = cfg;
+        self
     }
 
     /// Capture structured [`TraceEvent`]s from every cohort thread,
@@ -477,14 +590,27 @@ impl ClusterBuilder {
 
     /// Spawn all cohort threads and return the running cluster.
     pub fn start(self) -> Cluster {
-        let router = Arc::new(Router::default());
+        let router = Arc::new(Router::new(self.net_addrs.is_some()));
         let epoch = Instant::now();
         let mut peers = BTreeMap::new();
         for (group, members, _) in &self.groups {
             peers.insert(*group, Configuration::new(*group, members.clone()));
         }
-        let (obs_tx, obs_rx) = unbounded();
-        let obs_tx = self.observations.then_some(obs_tx);
+        let mailbox_drops = Arc::new(AtomicU64::new(0));
+        let obs_rx = BoundedQueue::new(self.mailbox_capacity, Arc::clone(&mailbox_drops));
+        let obs_tx = self.observations.then(|| Arc::clone(&obs_rx));
+        let net = self.net_addrs.map(|addrs| {
+            // One retry/backoff policy: the transport jitters and caps
+            // its reconnects with the same knobs as protocol retries.
+            let mut cfg = self.net_cfg.clone();
+            cfg.retry = self.cfg.clone();
+            NetState {
+                addrs: Mutex::new(addrs),
+                cfg,
+                endpoints: Mutex::new(BTreeMap::new()),
+                base: Mutex::new(NetCounters::default()),
+            }
+        });
         let cluster = Cluster {
             router,
             handles: Mutex::new(BTreeMap::new()),
@@ -510,6 +636,10 @@ impl ClusterBuilder {
             metrics: Arc::new(Mutex::new(Metrics::default())),
             progress: Arc::new(Progress::default()),
             recorder: self.tracing.then(SharedRecorder::new),
+            mailbox_capacity: self.mailbox_capacity,
+            mailbox_drops,
+            submit_deadline: self.submit_deadline,
+            net,
         };
         for (group, members, factory) in &self.groups {
             for &mid in members {
@@ -529,8 +659,8 @@ pub struct Cluster {
     cfg: CohortConfig,
     epoch: Instant,
     next_req: Mutex<u64>,
-    observations: Receiver<(Mid, Observation)>,
-    obs_tx: Option<Sender<(Mid, Observation)>>,
+    observations: Arc<BoundedQueue<(Mid, Observation)>>,
+    obs_tx: Option<Arc<BoundedQueue<(Mid, Observation)>>>,
     /// Simulated stable storage for the no-disk design: the last stable
     /// viewid of each crashed cohort, read back at recovery.
     stable_store: Mutex<BTreeMap<Mid, ViewId>>,
@@ -547,6 +677,16 @@ pub struct Cluster {
     progress: Arc<Progress>,
     /// Installed when the builder enabled [`tracing`](ClusterBuilder::tracing).
     recorder: Option<SharedRecorder>,
+    /// Capacity for cohort mailboxes (shared with any spawned endpoint's
+    /// per-peer queues via [`NetConfig`]).
+    mailbox_capacity: usize,
+    /// Oldest-entry evictions across every mailbox and the observation
+    /// drain; surfaced as `mailbox_drops` in [`metrics`](Cluster::metrics).
+    mailbox_drops: Arc<AtomicU64>,
+    /// Per-round outcome deadline for [`submit`](Cluster::submit).
+    submit_deadline: Duration,
+    /// Present when the cluster routes messages over TCP.
+    net: Option<NetState>,
 }
 
 impl Cluster {
@@ -612,11 +752,49 @@ impl Cluster {
             None => Cohort::new(params),
         };
         self.metrics.lock().records_replayed += cohort.records_replayed();
-        let (tx, rx) = unbounded();
+        let mailbox = BoundedQueue::new(self.mailbox_capacity, Arc::clone(&self.mailbox_drops));
+        self.router.routes.write().insert(mid, Arc::clone(&mailbox));
+        // Networked clusters give every cohort its own transport
+        // endpoint before its thread starts; inbound frames land back in
+        // the local mailbox via the router's final-delivery hop.
+        if let Some(net) = &self.net {
+            let (listener, bind_addr, dials) = {
+                let mut addrs = net.addrs.lock();
+                (addrs.take_listener(mid), addrs.bind_addr(mid), addrs.dial_addrs())
+            };
+            let bind_addr = bind_addr
+                // vsr-lint: allow(expect_used, reason = "a networked cluster whose address book misses a cohort is a startup misconfiguration")
+                .expect("address book entry for cohort");
+            let net_metrics = Arc::new(NetMetrics::default());
+            let router = Arc::clone(&self.router);
+            let deliver: DeliverFn =
+                Arc::new(move |from, msg| router.deliver_local(from, mid, msg));
+            let endpoint = match listener {
+                // A pre-bound listener (AddrMap::loopback) is adopted
+                // as-is; otherwise bind the configured address, retrying
+                // briefly so a recovery can win the race against its old
+                // incarnation's accept thread releasing the port.
+                Some(l) => Endpoint::start(mid, l, &dials, net.cfg.clone(), net_metrics, deliver),
+                None => Endpoint::bind(
+                    mid,
+                    bind_addr,
+                    &dials,
+                    net.cfg.clone(),
+                    net_metrics,
+                    deliver,
+                    Duration::from_secs(5),
+                ),
+            }
+            // vsr-lint: allow(expect_used, reason = "failing to bind the configured transport address is a startup misconfiguration; crashing with the io::Error is the right behavior")
+            .expect("start cohort transport endpoint");
+            let endpoint = Arc::new(endpoint);
+            net.endpoints.lock().insert(mid, Arc::clone(&endpoint));
+            self.router.endpoints.write().insert(mid, endpoint);
+        }
         let stable = Arc::new(Mutex::new(cohort.stable_viewid()));
         let thread = CohortThread {
             cohort,
-            rx,
+            rx: Arc::clone(&mailbox),
             router: self.router.clone(),
             epoch: self.epoch,
             timers: BinaryHeap::new(),
@@ -634,8 +812,7 @@ impl Cluster {
             .spawn(move || thread.run())
             // vsr-lint: allow(expect_used, reason = "thread spawn failure at cluster construction is unrecoverable")
             .expect("spawn cohort thread");
-        self.router.routes.write().insert(mid, tx.clone());
-        self.handles.lock().insert(mid, Handle { tx, join, stable });
+        self.handles.lock().insert(mid, Handle { tx: mailbox, join, stable });
     }
 
     /// Submit a transaction to `client_group` and block until an outcome
@@ -676,7 +853,9 @@ impl Cluster {
     /// view-progress condvar so a completing view change wakes the
     /// submitter immediately instead of costing a full poll interval.
     fn submit_rounds(&self, members: &[Mid], ops: &[CallOp]) -> Result<TxnOutcome, SubmitError> {
-        for _round in 0..20 {
+        const ROUNDS: u32 = 20;
+        let mut last_peer = None;
+        for _round in 0..ROUNDS {
             let epoch = self.progress.current();
             for &mid in members {
                 let tx = { self.handles.lock().get(&mid).map(|h| h.tx.clone()) };
@@ -687,27 +866,52 @@ impl Cluster {
                     *n
                 };
                 let (reply_tx, reply_rx) = bounded(1);
-                if tx.send(Inbox::Request { req_id, ops: ops.to_vec(), reply: reply_tx }).is_err() {
-                    continue;
+                // Critical: a request must never be evicted by message
+                // backpressure (the client would silently lose it).
+                if !tx.push_critical(Inbox::Request { req_id, ops: ops.to_vec(), reply: reply_tx })
+                {
+                    continue; // mailbox closed: the cohort is stopping
                 }
-                match reply_rx.recv_timeout(Duration::from_secs(5)) {
+                match reply_rx.recv_timeout(self.submit_deadline) {
                     Ok(TxnOutcome::Aborted {
                         reason: vsr_core::cohort::AbortReason::NotPrimary,
                     }) => continue,
                     Ok(outcome) => return Ok(outcome),
-                    Err(_) => continue,
+                    Err(_) => {
+                        // This member accepted the request but produced
+                        // no outcome inside the deadline — remember it
+                        // as the cohort to investigate first.
+                        last_peer = Some(mid);
+                        continue;
+                    }
                 }
             }
             self.progress.wait_past(epoch, Duration::from_millis(100));
         }
-        Err(SubmitError::Timeout)
+        Err(SubmitError::Timeout { rounds: ROUNDS, last_peer })
     }
 
     /// A snapshot of the cluster's aggregate metrics — the same counter
     /// set the simulator's `World::metrics` reports, with commit
-    /// latencies in milliseconds instead of ticks.
+    /// latencies in milliseconds instead of ticks. Transport counters
+    /// (networked clusters) fold in live endpoints plus the accumulated
+    /// totals of endpoints torn down by earlier crashes.
     pub fn metrics(&self) -> Metrics {
-        self.metrics.lock().clone()
+        let mut m = self.metrics.lock().clone();
+        m.mailbox_drops = self.mailbox_drops.load(Ordering::Relaxed);
+        if let Some(net) = &self.net {
+            let mut totals = *net.base.lock();
+            for endpoint in net.endpoints.lock().values() {
+                totals.add(endpoint.metrics().snapshot());
+            }
+            m.net_frames_sent = totals.frames_sent;
+            m.net_frames_recvd = totals.frames_recvd;
+            m.net_reconnects = totals.reconnects;
+            m.net_crc_rejects = totals.crc_rejects;
+            m.net_queue_drops = totals.queue_drops;
+            m.net_deadline_hits = totals.deadline_hits;
+        }
+        m
     }
 
     /// Drain the structured trace events captured so far. Empty unless
@@ -716,15 +920,31 @@ impl Cluster {
         self.recorder.as_ref().map(SharedRecorder::take).unwrap_or_default()
     }
 
-    /// Crash a cohort: its thread stops and its mail is dropped. The
-    /// stable viewid is captured for a later [`recover`](Self::recover).
+    /// Tear down a cohort's transport endpoint (networked clusters
+    /// only), folding its counters into the accumulated base so totals
+    /// survive the crash/recover cycle.
+    fn teardown_endpoint(&self, mid: Mid) {
+        let Some(net) = &self.net else { return };
+        self.router.endpoints.write().remove(&mid);
+        let endpoint = net.endpoints.lock().remove(&mid);
+        if let Some(endpoint) = endpoint {
+            endpoint.shutdown();
+            net.base.lock().add(endpoint.metrics().snapshot());
+        }
+    }
+
+    /// Crash a cohort: its thread stops, its endpoint (if networked)
+    /// closes — peers see resets and begin reconnect backoff — and its
+    /// mail is dropped. The stable viewid is captured for a later
+    /// [`recover`](Self::recover).
     pub fn crash(&self, mid: Mid) {
         let handle = self.handles.lock().remove(&mid);
         self.router.routes.write().remove(&mid);
+        self.teardown_endpoint(mid);
         if let Some(handle) = handle {
             let stable = *handle.stable.lock();
-            // vsr-lint: allow(discarded_result, reason = "crashing a cohort whose thread already exited is a no-op")
-            let _ = handle.tx.send(Inbox::Stop);
+            handle.tx.push_critical(Inbox::Stop);
+            handle.tx.close();
             // vsr-lint: allow(discarded_result, reason = "a crash-simulating thread may panic on its way down; the join result is the point of the crash")
             let _ = handle.join.join();
             self.stable_store.lock().insert(mid, stable);
@@ -756,17 +976,23 @@ impl Cluster {
     /// Drain any observations collected so far (requires
     /// [`ClusterBuilder::observe`]).
     pub fn observations(&self) -> Vec<(Mid, Observation)> {
-        self.observations.try_iter().collect()
+        std::iter::from_fn(|| self.observations.try_recv()).collect()
     }
 
-    /// Stop every cohort thread and dismantle the cluster.
+    /// Stop every cohort thread (and transport endpoint) and dismantle
+    /// the cluster.
     pub fn shutdown(self) {
+        let mids: Vec<Mid> = self.handles.lock().keys().copied().collect();
+        // Endpoints first: with the sockets gone no new mail arrives,
+        // so cohort threads drain and stop promptly.
+        for &mid in &mids {
+            self.teardown_endpoint(mid);
+        }
         let mut handles = self.handles.lock();
-        let mids: Vec<Mid> = handles.keys().copied().collect();
         for mid in mids {
             if let Some(handle) = handles.remove(&mid) {
-                // vsr-lint: allow(discarded_result, reason = "shutdown of an already-stopped cohort is a no-op")
-                let _ = handle.tx.send(Inbox::Stop);
+                handle.tx.push_critical(Inbox::Stop);
+                handle.tx.close();
                 // vsr-lint: allow(discarded_result, reason = "join failure at shutdown means the thread already died; there is nothing left to clean up")
                 let _ = handle.join.join();
             }

@@ -1,0 +1,102 @@
+//! Networked cluster: the same replicated counter, but every
+//! inter-cohort message travels over a real TCP connection — and one
+//! backup's traffic is routed through a chaos proxy that partitions and
+//! corrupts it on command.
+//!
+//! `ClusterBuilder::networked` swaps the in-process router for vsr-net
+//! endpoints. The sans-I/O cohorts are untouched: they emit the same
+//! `Effect::Send`s; the effects just land on sockets. Links reconnect
+//! with the protocol's own capped backoff, full queues drop oldest (the
+//! retry timers own reliability), and every transport event lands in
+//! the shared metrics counter set.
+//!
+//! Run with: `cargo run --example networked_cluster`
+
+use std::time::Duration;
+
+use viewstamped_replication::app::counter::{self, CounterModule};
+use viewstamped_replication::core::cohort::TxnOutcome;
+use viewstamped_replication::core::module::NullModule;
+use viewstamped_replication::core::types::{GroupId, Mid};
+use viewstamped_replication::net::{AddrMap, ChaosProxy};
+use viewstamped_replication::runtime::{Cluster, ClusterBuilder};
+use viewstamped_replication::store::FsyncPolicy;
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+
+fn incr(cluster: &Cluster) -> Option<u64> {
+    for _ in 0..30 {
+        if let Ok(TxnOutcome::Committed { results }) =
+            cluster.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)])
+        {
+            return counter::decode_value(&results[0]).ok();
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    None
+}
+
+fn main() {
+    println!("== networked cluster (loopback TCP + chaos proxy) ==\n");
+
+    // Ephemeral loopback listeners for every cohort; the map holds the
+    // sockets until the cluster adopts them, so ports cannot be stolen.
+    let mut addrs = AddrMap::loopback(&[Mid(10), Mid(1), Mid(2), Mid(3)]).expect("bind loopback");
+
+    // Front backup Mid(3) with a chaos proxy: peers dial the proxy, the
+    // proxy forwards to the cohort's real listener — until told not to.
+    let proxy = ChaosProxy::spawn(addrs.bind_addr(Mid(3)).expect("mapped"), 42).expect("proxy");
+    addrs.dial_via(Mid(3), proxy.addr());
+
+    let cluster = ClusterBuilder::new()
+        .networked(addrs)
+        .durable(FsyncPolicy::EveryRecord)
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(CounterModule))
+        .start();
+
+    println!("clean TCP traffic:");
+    for i in 1..=2 {
+        match incr(&cluster) {
+            Some(v) => println!("  txn {i}: counter -> {v} (committed over sockets)"),
+            None => println!("  txn {i}: failed (unexpected)"),
+        }
+    }
+
+    println!("\npartitioning backup Mid(3) (black hole — writes still succeed):");
+    proxy.set_partitioned(true);
+    match incr(&cluster) {
+        Some(v) => println!("  counter -> {v} (majority carries on without it)"),
+        None => println!("  commit failed (unexpected: a majority is healthy)"),
+    }
+    proxy.set_partitioned(false);
+
+    println!("\ncorrupting every byte chunk into Mid(3):");
+    proxy.set_corrupt_permille(1000);
+    std::thread::sleep(Duration::from_millis(300));
+    proxy.set_corrupt_permille(0);
+    match incr(&cluster) {
+        Some(v) => println!("  counter -> {v} (CRC rejected garbage; links reconnected)"),
+        None => println!("  commit failed (unexpected)"),
+    }
+
+    println!("\ncrashing the primary Mid(1) mid-traffic:");
+    cluster.crash(Mid(1));
+    match incr(&cluster) {
+        Some(v) => println!("  counter -> {v} (view change elected a new primary over TCP)"),
+        None => println!("  commit failed (unexpected)"),
+    }
+    cluster.recover(Mid(1));
+    println!("  Mid(1) recovered: WAL replayed, endpoint re-bound, links re-formed");
+
+    let m = cluster.metrics();
+    println!("\ntransport counters (shared vsr-obs set):");
+    for (name, value) in m.counters() {
+        if name.starts_with("net_") || name == "mailbox_drops" {
+            println!("  {name:>18}: {value}");
+        }
+    }
+    println!("\ncommitted {} transactions, zero lost", m.committed);
+    cluster.shutdown();
+}

@@ -19,6 +19,8 @@
 //! * [`baselines`] — voting, replicated RPC, Isis-like, primary/backup
 //!   pair, unreplicated, virtual partitions.
 //! * [`runtime`] — the threaded live runtime.
+//! * [`net`] — the real TCP transport: CRC-framed message links with
+//!   reconnection, bounded backpressure, and a chaos proxy.
 //!
 //! See the `examples/` directory for runnable scenarios and
 //! `EXPERIMENTS.md` for the paper-claim reproductions.
@@ -45,6 +47,7 @@
 pub use vsr_app as app;
 pub use vsr_baselines as baselines;
 pub use vsr_core as core;
+pub use vsr_net as net;
 pub use vsr_runtime as runtime;
 pub use vsr_sim as sim;
 pub use vsr_simnet as simnet;

@@ -1,0 +1,197 @@
+//! The networked soak: a real-TCP cluster driven through chaos-proxy
+//! faults and cohort kill/restart cycles, asserting zero
+//! committed-transaction loss.
+//!
+//! This is the acceptance scenario for the vsr-net transport: a
+//! 3-cohort counter group (plus a client group) on loopback sockets,
+//! every server cohort fronted by a [`ChaosProxy`], with a durable WAL
+//! per cohort. The soak walks through per-link loss, an asymmetric
+//! partition, byte corruption, and two kill/restart cycles while a
+//! client keeps submitting increments. Because each committed increment
+//! returns the counter's new value, committed state loss is directly
+//! observable: the sequence of returned values must be strictly
+//! increasing across every fault and restart.
+
+use std::time::{Duration, Instant};
+
+use vsr_app::counter;
+use vsr_core::cohort::TxnOutcome;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_net::{AddrMap, ChaosProxy, NetConfig};
+use vsr_obs::export_jsonl;
+use vsr_runtime::ClusterBuilder;
+use vsr_store::FsyncPolicy;
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+const CLIENT_MID: Mid = Mid(10);
+const SERVERS: [Mid; 3] = [Mid(1), Mid(2), Mid(3)];
+
+/// Drive submissions until one commits (or the attempt budget runs
+/// out), returning the committed counter value.
+fn commit_one(cluster: &vsr_runtime::Cluster, deadline: Duration) -> Option<u64> {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        match cluster.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]) {
+            Ok(TxnOutcome::Committed { results }) => {
+                return Some(counter::decode_value(&results[0]).expect("counter value decodes"));
+            }
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    None
+}
+
+#[test]
+fn networked_soak_survives_chaos_and_restarts_without_losing_commits() {
+    // --- topology: loopback listeners, each server fronted by a proxy.
+    let mut addrs =
+        AddrMap::loopback(&[CLIENT_MID, SERVERS[0], SERVERS[1], SERVERS[2]]).expect("bind");
+    let proxies: Vec<ChaosProxy> = SERVERS
+        .iter()
+        .enumerate()
+        .map(|(i, &mid)| {
+            let upstream = addrs.bind_addr(mid).expect("server mapped");
+            let proxy = ChaosProxy::spawn(upstream, 0xBAD5EED + i as u64).expect("proxy spawns");
+            addrs.dial_via(mid, proxy.addr());
+            proxy
+        })
+        .collect();
+
+    let mut net_cfg = NetConfig::new();
+    net_cfg.reconnect_base_ms = 25;
+    let cluster = ClusterBuilder::new()
+        .networked(addrs)
+        .net_config(net_cfg)
+        .durable(FsyncPolicy::EveryRecord)
+        .tracing()
+        .submit_deadline(Duration::from_secs(2))
+        .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
+        .group(SERVER, &SERVERS, || Box::new(counter::CounterModule))
+        .start();
+
+    // Every committed value, in commit order. The counter increments by
+    // one per committed transaction, so values must strictly increase —
+    // a regression would mean a committed transaction was lost.
+    let mut committed = Vec::new();
+    let mut commit_or_die = |phase: &str, budget: Duration| {
+        let v = commit_one(&cluster, budget)
+            .unwrap_or_else(|| panic!("phase '{phase}': no commit within {budget:?}"));
+        committed.push((phase.to_string(), v));
+    };
+
+    // --- phase 1: clean TCP traffic.
+    for _ in 0..3 {
+        commit_or_die("clean", Duration::from_secs(20));
+    }
+
+    // --- phase 2: 10% per-chunk loss into one backup. Loss desyncs the
+    // stream, forcing CRC teardowns and reconnects; commits continue.
+    proxies[1].set_loss_permille(100);
+    for _ in 0..2 {
+        commit_or_die("loss", Duration::from_secs(30));
+    }
+    proxies[1].set_loss_permille(0);
+
+    // --- phase 3: black-hole partition of the other backup (half-open
+    // links: its peers' writes keep succeeding). A majority remains, so
+    // commits must continue; heal afterwards.
+    proxies[2].set_partitioned(true);
+    for _ in 0..2 {
+        commit_or_die("partition", Duration::from_secs(30));
+    }
+    proxies[2].set_partitioned(false);
+
+    // --- phase 4: corrupt every chunk through the primary's proxy
+    // until the CRC observably rejects (background heartbeats keep
+    // chunks flowing), then lift the toxic and commit through the
+    // reconnected links.
+    proxies[0].set_corrupt_permille(1000);
+    let t0 = Instant::now();
+    while cluster.metrics().net_crc_rejects == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(30), "corruption never tripped the CRC");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    proxies[0].set_corrupt_permille(0);
+    commit_or_die("corruption", Duration::from_secs(30));
+
+    // --- phase 5: two kill/restart cycles mid-traffic. Each crash
+    // closes the cohort's endpoint (peers see resets and reconnect);
+    // recovery replays the WAL and rebinds the same address.
+    for (cycle, &victim) in [SERVERS[0], SERVERS[1]].iter().enumerate() {
+        cluster.crash(victim);
+        commit_or_die(&format!("kill-{cycle}"), Duration::from_secs(40));
+        cluster.recover(victim);
+        commit_or_die(&format!("restart-{cycle}"), Duration::from_secs(40));
+    }
+
+    // --- zero committed-transaction loss: strictly increasing values.
+    for pair in committed.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1,
+            "committed value regressed across {:?} -> {:?}: a committed transaction was lost \
+             (full sequence: {committed:?})",
+            pair[0],
+            pair[1],
+        );
+    }
+    assert!(
+        committed.last().expect("phases committed").1 >= committed.len() as u64,
+        "final counter below the number of committed increments: {committed:?}"
+    );
+
+    // --- transport counters land in the shared vsr-obs counter set.
+    let metrics = cluster.metrics();
+    let counters: std::collections::BTreeMap<&str, u64> = metrics.counters().into_iter().collect();
+    for name in [
+        "net_frames_sent",
+        "net_frames_recvd",
+        "net_reconnects",
+        "net_crc_rejects",
+        "net_queue_drops",
+        "net_deadline_hits",
+        "mailbox_drops",
+    ] {
+        assert!(counters.contains_key(name), "{name} missing from the shared counter set");
+    }
+    assert!(counters["net_frames_sent"] > 0, "traffic went over TCP: {counters:?}");
+    assert!(counters["net_frames_recvd"] > 0);
+    assert!(
+        counters["net_reconnects"] > 0,
+        "kill/restart cycles and CRC teardowns forced reconnects"
+    );
+    assert!(counters["net_crc_rejects"] > 0, "the corruption phase tripped the CRC");
+    assert!(metrics.committed >= committed.len() as u64);
+
+    // --- JSONL trace artifact for the CI soak job.
+    let events = cluster.trace_events();
+    assert!(!events.is_empty(), "tracing captured the soak");
+    let out_dir = std::path::Path::new("target/net-soak");
+    std::fs::create_dir_all(out_dir).expect("create artifact dir");
+    std::fs::write(out_dir.join("trace.jsonl"), export_jsonl(&events)).expect("write artifact");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn networked_cluster_matches_in_process_semantics() {
+    // The transport swap is invisible to the protocol: a plain
+    // networked cluster (no proxies, no faults) behaves exactly like
+    // the in-process one for commit and failover.
+    let addrs = AddrMap::loopback(&[CLIENT_MID, SERVERS[0], SERVERS[1], SERVERS[2]])
+        .expect("bind loopback");
+    let cluster = ClusterBuilder::new()
+        .networked(addrs)
+        .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
+        .group(SERVER, &SERVERS, || Box::new(counter::CounterModule))
+        .start();
+    let first = commit_one(&cluster, Duration::from_secs(20)).expect("clean commit");
+    assert_eq!(first, 1);
+    cluster.crash(SERVERS[0]);
+    let after = commit_one(&cluster, Duration::from_secs(40)).expect("commit after failover");
+    assert_eq!(after, 2, "state survived the failover over TCP");
+    let m = cluster.metrics();
+    assert!(m.net_frames_sent > 0 && m.net_frames_recvd > 0);
+    cluster.shutdown();
+}
