@@ -1,0 +1,11 @@
+//! Run experiment A5 and print its table; with a path argument, also
+//! write the points as the `BENCH_snapshot.json` baseline.
+fn main() {
+    let points = vsr_bench::experiments::a5::measure_all();
+    print!("{}", vsr_bench::experiments::a5::render(&points));
+    if let Some(path) = std::env::args().nth(1) {
+        let json = vsr_bench::experiments::a5::to_json(&points);
+        std::fs::write(&path, json).expect("write baseline json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -10,6 +10,7 @@ pub mod a1;
 pub mod a2;
 pub mod a3;
 pub mod a4;
+pub mod a5;
 pub mod e1;
 pub mod e10;
 pub mod e11;
@@ -42,5 +43,6 @@ pub fn run_all() -> String {
     out.push_str(&a2::run());
     out.push_str(&a3::run());
     out.push_str(&a4::run());
+    out.push_str(&a5::run());
     out
 }

@@ -258,7 +258,9 @@ impl ClientAgent {
             | Message::Invite { .. }
             | Message::AcceptNormal { .. }
             | Message::AcceptCrashed { .. }
-            | Message::InitView { .. } => {}
+            | Message::InitView { .. }
+            | Message::GetChunk { .. }
+            | Message::Chunk { .. } => {}
         }
         out
     }

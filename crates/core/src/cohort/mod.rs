@@ -31,6 +31,7 @@ use crate::history::History;
 use crate::locks::LockTable;
 use crate::messages::Message;
 use crate::module::Module;
+use crate::snapshot::{SnapDigest, Snapshot, SnapshotRef};
 use crate::types::{Aid, CallId, GroupId, Mid, Tick, Timestamp, ViewId, Viewstamp};
 use crate::view::{Configuration, View};
 use client::CoordTxn;
@@ -156,6 +157,17 @@ pub enum Timer {
         /// Sends so far.
         attempt: u32,
     },
+    /// Fetching cohort: a requested snapshot chunk has not arrived;
+    /// re-request it from the transfer source.
+    ChunkRetry {
+        /// The snapshot being fetched.
+        digest: SnapDigest,
+        /// The chunk index that was outstanding when the timer was armed.
+        index: u32,
+        /// The fetch's attempt counter when the timer was armed (stale
+        /// firings are recognized by a counter mismatch).
+        attempt: u32,
+    },
 }
 
 impl Timer {
@@ -178,6 +190,7 @@ impl Timer {
             Timer::AgentBeginRetry { .. } => "agent-begin-retry",
             Timer::AgentCallRetry { .. } => "agent-call-retry",
             Timer::AgentCommitRetry { .. } => "agent-commit-retry",
+            Timer::ChunkRetry { .. } => "chunk-retry",
         }
     }
 }
@@ -200,6 +213,8 @@ pub(crate) mod retry_kind {
     pub(crate) const AGENT_CALL: u64 = 6;
     /// Agent `ClientCommit` retries.
     pub(crate) const AGENT_COMMIT: u64 = 7;
+    /// Snapshot chunk re-requests during state transfer.
+    pub(crate) const CHUNK: u64 = 8;
 }
 
 /// Structured observability events, emitted so harnesses can check
@@ -321,6 +336,57 @@ pub enum Observation {
         /// Clones avoided versus the old one-clone-per-backup scheme.
         clones_saved: u64,
     },
+    /// The cohort materialized a content-addressed snapshot of its state
+    /// (at a timestamp boundary, or ad hoc when starting a view with no
+    /// stable snapshot).
+    SnapshotTaken {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// The last viewstamp reflected in the snapshot.
+        vs: Viewstamp,
+        /// Size of the snapshot's canonical encoding.
+        bytes: u64,
+    },
+    /// A chunked state transfer completed and the fetched snapshot (plus
+    /// the newview delta) was installed.
+    SnapshotInstalled {
+        /// The group.
+        group: GroupId,
+        /// The fetching cohort.
+        mid: Mid,
+        /// How many chunks the transfer comprised.
+        chunks: u32,
+        /// Ticks from the first chunk request to installation.
+        ticks: Tick,
+    },
+    /// An incoming snapshot chunk failed its CRC and was dropped; the
+    /// retry timer will re-request it.
+    ChunkCorruptDropped {
+        /// The group.
+        group: GroupId,
+        /// The fetching cohort.
+        mid: Mid,
+    },
+    /// A chunk request went unanswered and was retransmitted.
+    ChunkRetried {
+        /// The group.
+        group: GroupId,
+        /// The fetching cohort.
+        mid: Mid,
+    },
+    /// Status-map entries were garbage-collected by a *done* record:
+    /// phase two finished, so the transaction's outcome can never again
+    /// be queried by a participant that took part in it (DESIGN §14).
+    StatusesGced {
+        /// The group.
+        group: GroupId,
+        /// This cohort.
+        mid: Mid,
+        /// Entries removed.
+        n: u64,
+    },
 }
 
 /// An output of the state machine for its runtime to execute.
@@ -383,6 +449,47 @@ pub(crate) enum ForceReason {
     /// a sub-majority (the `eager_force_calls` mode of Section 6).
     CallReply { call_id: CallId, to: Mid },
 }
+
+/// A chunked snapshot fetch in progress: this cohort received a newview
+/// record referencing a base snapshot it does not hold, and is pulling
+/// the snapshot bytes from the record's sender one chunk at a time.
+/// Installation of the new view is deferred until the transfer
+/// completes (no ack is sent, so the primary keeps retransmitting and
+/// the view-change timeouts stay armed as the escape hatch).
+#[derive(Debug)]
+pub(crate) struct FetchState {
+    /// Reassembles the snapshot bytes; tracks the digest and next index.
+    pub(crate) asm: vsr_snap::Assembler,
+    /// Who to request chunks from (the cohort that sent the newview).
+    pub(crate) source: Mid,
+    /// When the fetch began (for transfer-duration observability).
+    pub(crate) started_at: Tick,
+    /// Retransmissions so far; drives backoff and the give-up cap.
+    pub(crate) attempts: u32,
+    /// The deferred installation.
+    pub(crate) pending: PendingInstall,
+}
+
+/// The newview record whose installation awaits a snapshot fetch.
+#[derive(Debug)]
+pub(crate) struct PendingInstall {
+    /// The view the record opens.
+    pub(crate) viewid: ViewId,
+    /// The full newview event record (kind is always
+    /// `EventKind::NewView`); kept whole so completion can persist,
+    /// advance, and acknowledge it exactly as the immediate path does.
+    pub(crate) record: EventRecord,
+}
+
+/// How many fetch attempts (initial request + retries of any one chunk)
+/// before a transfer is abandoned and the ordinary view-change timeouts
+/// take over.
+const MAX_CHUNK_ATTEMPTS: u32 = 10;
+
+/// How many recent snapshots a cohort retains for serving chunks (older
+/// ones are dropped; a peer fetching a dropped snapshot falls back to
+/// the view-change timeouts and catches the next newview).
+const SNAP_RETAIN: usize = 2;
 
 /// A call parked on a lock conflict, retried when locks are released.
 #[derive(Debug, Clone)]
@@ -459,6 +566,20 @@ pub struct Cohort {
     pub(crate) resumed: BTreeMap<Aid, BTreeSet<GroupId>>,
     pub(crate) next_txn_seq: u64,
     pub(crate) cache: BTreeMap<GroupId, (ViewId, View)>,
+
+    // --- snapshots & state transfer ---
+    /// Recently materialized (or fetched) snapshots, oldest first;
+    /// bounded by [`SNAP_RETAIN`]. Served to peers via `GetChunk`.
+    pub(crate) snaps: Vec<std::sync::Arc<Snapshot>>,
+    /// The newest stable snapshot reference — what this cohort's newview
+    /// records anchor their deltas on when it becomes primary.
+    pub(crate) last_snap: Option<SnapshotRef>,
+    /// Event records applied since `last_snap` (the would-be newview
+    /// delta). Maintained only when `snapshot_interval > 0`; may span
+    /// views. Never contains newview records.
+    pub(crate) delta_log: Vec<EventRecord>,
+    /// An in-progress chunked snapshot fetch, if any.
+    pub(crate) fetch: Option<FetchState>,
 
     // --- durability bookkeeping ---
     /// Event records applied since the last checkpoint persist effect;
@@ -541,6 +662,10 @@ impl Cohort {
             resumed: BTreeMap::new(),
             next_txn_seq: 0,
             cache: BTreeMap::new(),
+            snaps: Vec::new(),
+            last_snap: None,
+            delta_log: Vec::new(),
+            fetch: None,
             records_since_checkpoint: 0,
             records_replayed: 0,
             vc: VcState::None,
@@ -640,6 +765,10 @@ impl Cohort {
             resumed: BTreeMap::new(),
             next_txn_seq: 0,
             cache: BTreeMap::new(),
+            snaps: Vec::new(),
+            last_snap: None,
+            delta_log: Vec::new(),
+            fetch: None,
             records_since_checkpoint: 0,
             records_replayed: 0,
             vc: VcState::None,
@@ -769,6 +898,30 @@ impl Cohort {
         self.buffer.as_ref().map(|b| b.len())
     }
 
+    /// How many snapshots this cohort currently retains for serving
+    /// chunked state transfers (bounded by the retention window).
+    pub fn snapshot_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// The newest stable snapshot reference, if one exists.
+    pub fn last_snapshot(&self) -> Option<SnapshotRef> {
+        self.last_snap
+    }
+
+    /// Whether a chunked snapshot fetch is currently in progress.
+    pub fn fetch_in_progress(&self) -> bool {
+        self.fetch.is_some()
+    }
+
+    /// The event records applied since the newest stable snapshot — the
+    /// delta a newview started right now would carry instead of a full
+    /// state clone. Exposed for harness assertions and the payload-size
+    /// experiment (A5).
+    pub fn delta_log(&self) -> &[EventRecord] {
+        &self.delta_log
+    }
+
     // ------------------------------------------------------------------
     // input dispatch
     // ------------------------------------------------------------------
@@ -835,6 +988,14 @@ impl Cohort {
                 self.on_buffer_ack(now, viewid, from, upto, &mut out)
             }
 
+            // snapshot state transfer
+            Message::GetChunk { digest, index, reply_to } => {
+                self.on_get_chunk(digest, index, reply_to, &mut out)
+            }
+            Message::Chunk { digest, index, total, crc, payload } => {
+                self.on_chunk(now, digest, index, total, crc, &payload, &mut out)
+            }
+
             // failure detection
             Message::ImAlive { viewid, .. } => {
                 // last_heard was already updated; additionally, a
@@ -892,6 +1053,9 @@ impl Cohort {
             Timer::UnderlingTimeout { viewid } => self.on_underling_timeout(now, viewid, &mut out),
             Timer::ManagerRetry { viewid } => self.on_manager_retry(now, viewid, &mut out),
             Timer::ClientPingTimeout { aid } => self.on_client_ping_timeout(aid, &mut out),
+            Timer::ChunkRetry { digest, index, attempt } => {
+                self.on_chunk_retry(digest, index, attempt, &mut out)
+            }
             // Agent timers never reach a cohort.
             Timer::AgentBeginRetry { .. }
             | Timer::AgentCallRetry { .. }
@@ -935,7 +1099,9 @@ impl Cohort {
         // downstream (sends, acks) makes it externally visible.
         out.push(Effect::Persist(DurableEvent::Record(record.clone())));
         self.apply_gstate_record(&record, out);
+        self.note_applied(&record);
         self.checkpoint_tick(out);
+        self.maybe_snapshot(vs, out);
         if self.cfg.buffer_flush_interval == 0 {
             self.flush_buffer(out);
         }
@@ -1148,12 +1314,15 @@ impl Cohort {
             && viewid >= self.max_viewid
         {
             if let Some(first) = records.first() {
-                if let EventKind::NewView { view, history, gstate } = &first.kind {
+                if let EventKind::NewView { view, .. } = &first.kind {
                     if view.primary() == from && view.contains(self.mid) {
-                        let (view, history, gstate) =
-                            (view.clone(), history.clone(), gstate.clone());
                         self.max_viewid = viewid;
-                        self.install_new_view(now, viewid, view, history, gstate, out);
+                        if !self.install_from_newview(now, viewid, first, from, out) {
+                            // Missing the base snapshot: a chunk fetch is
+                            // under way and installation is deferred. No
+                            // ack — the primary keeps retransmitting.
+                            return;
+                        }
                         // Fall through to apply the rest below.
                     }
                 }
@@ -1162,17 +1331,14 @@ impl Cohort {
         // An underling waiting on `max_viewid` becomes active when the
         // newview record arrives (Figure 5, await_view).
         if self.status == Status::Underling && viewid == self.max_viewid {
-            if let Some(first) = records.first() {
-                if let EventKind::NewView { view, history, gstate } = &first.kind {
-                    let (view, history, gstate) = (view.clone(), history.clone(), gstate.clone());
-                    self.install_new_view(now, viewid, view, history, gstate, out);
-                    // Fall through to apply the rest of the records below.
-                } else {
-                    return;
-                }
-            } else {
+            let Some(first) = records.first() else { return };
+            if !matches!(first.kind, EventKind::NewView { .. }) {
                 return;
             }
+            if !self.install_from_newview(now, viewid, first, from, out) {
+                return;
+            }
+            // Fall through to apply the rest of the records below.
         }
         if self.status != Status::Active
             || viewid != self.cur_viewid
@@ -1195,12 +1361,19 @@ impl Cohort {
             // record count toward a sub-majority, so it must be durable
             // first.
             out.push(Effect::Persist(DurableEvent::Record(record.clone())));
-            if !matches!(record.kind, EventKind::NewView { .. }) {
+            let is_newview = matches!(record.kind, EventKind::NewView { .. });
+            if !is_newview {
                 self.apply_gstate_record(record, out);
+                self.note_applied(record);
             }
             known = record.ts();
             self.history.advance(self.cur_viewid, known);
             self.checkpoint_tick(out);
+            if !is_newview {
+                // Same boundary rule as the primary's `add` path, so
+                // replicas materialize identical snapshots in lockstep.
+                self.maybe_snapshot(record.vs, out);
+            }
         }
         out.push(Effect::Send {
             to: from,
@@ -1226,6 +1399,335 @@ impl Cohort {
             history: self.history.clone(),
             gstate: self.gstate.clone(),
         })));
+    }
+
+    // ------------------------------------------------------------------
+    // snapshots & chunked state transfer
+    // ------------------------------------------------------------------
+
+    /// Track an applied record in the delta log (the records a future
+    /// newview from this cohort would ship on top of `last_snap`). A
+    /// no-op when boundary snapshots are disabled — then every newview
+    /// ships an ad-hoc snapshot reference with an empty delta and the
+    /// log must not grow.
+    fn note_applied(&mut self, record: &EventRecord) {
+        if self.cfg.snapshot_interval > 0 {
+            self.delta_log.push(record.clone());
+        }
+    }
+
+    /// At a snapshot boundary (`ts % snapshot_interval == 0`),
+    /// materialize a snapshot of the current state. Runs identically at
+    /// the primary (add time) and backups (delivery time), so replicas
+    /// produce byte-identical snapshots with equal digests, in lockstep.
+    ///
+    /// Snapshot stability drives compaction: the same boundary emits a
+    /// WAL checkpoint, so the store never replays (or retains) records
+    /// the snapshot already covers, and the delta log restarts here.
+    fn maybe_snapshot(&mut self, vs: Viewstamp, out: &mut Vec<Effect>) {
+        let interval = self.cfg.snapshot_interval;
+        if interval == 0 || vs.ts.0 == 0 || !vs.ts.0.is_multiple_of(interval) {
+            return;
+        }
+        self.take_snapshot(vs, out);
+        self.records_since_checkpoint = 0;
+        out.push(Effect::Persist(DurableEvent::Checkpoint(Checkpoint {
+            viewid: self.cur_viewid,
+            view: self.cur_view.clone(),
+            history: self.history.clone(),
+            gstate: self.gstate.clone(),
+        })));
+    }
+
+    /// Materialize a snapshot of the current state, retain it for
+    /// serving, and make it the anchor for future newview deltas.
+    pub(crate) fn take_snapshot(&mut self, vs: Viewstamp, out: &mut Vec<Effect>) -> SnapshotRef {
+        let snap = Snapshot::materialize(vs, &self.history, &self.gstate);
+        let snap_ref = snap.to_ref();
+        out.push(Effect::Observe(Observation::SnapshotTaken {
+            group: self.group,
+            mid: self.mid,
+            vs,
+            bytes: snap.bytes.len() as u64,
+        }));
+        self.store_snapshot(snap);
+        self.last_snap = Some(snap_ref);
+        self.delta_log.clear();
+        snap_ref
+    }
+
+    /// Insert a snapshot into the bounded retention window (oldest out).
+    fn store_snapshot(&mut self, snap: std::sync::Arc<Snapshot>) {
+        if self.snaps.iter().any(|s| s.digest == snap.digest) {
+            return;
+        }
+        self.snaps.push(snap);
+        while self.snaps.len() > SNAP_RETAIN {
+            self.snaps.remove(0);
+        }
+    }
+
+    /// Try to install the view carried by a newview record.
+    ///
+    /// Returns `true` if the installation happened (the caller's record
+    /// loop then persists, advances past, and acknowledges the newview
+    /// record itself). Returns `false` when the base snapshot is missing
+    /// and a chunked fetch was started (or is already running) — the
+    /// installation is deferred to [`Self::finish_fetch`] and the caller
+    /// must not acknowledge anything.
+    fn install_from_newview(
+        &mut self,
+        now: Tick,
+        viewid: ViewId,
+        first: &EventRecord,
+        from: Mid,
+        out: &mut Vec<Effect>,
+    ) -> bool {
+        let EventKind::NewView { view, history, base, delta } = &first.kind else {
+            return false;
+        };
+        // Already fetching exactly this installation? Stay the course.
+        if let Some(f) = &self.fetch {
+            if f.pending.viewid == viewid && f.asm.digest() == base.digest {
+                return false;
+            }
+        }
+        // (a) Do we hold the base snapshot (boundary or previously
+        // fetched)?
+        let mut resolved = self.snaps.iter().find(|s| s.digest == base.digest).cloned();
+        // (b) A caught-up cohort *is* the snapshot: materialize the
+        // current state and compare digests. This is the common no-op
+        // view change — nothing was lost, so the base the new primary
+        // snapshotted equals our own state and we install with zero
+        // transfer.
+        if resolved.is_none() && self.up_to_date {
+            if let Some(vs) = self.history.latest() {
+                let own = Snapshot::materialize(vs, &self.history, &self.gstate);
+                if own.digest == base.digest {
+                    resolved = Some(own);
+                }
+            }
+        }
+        match resolved {
+            Some(snap) => {
+                self.fetch = None;
+                let (view, history) = (view.clone(), history.clone());
+                let (base, delta) = (*base, std::sync::Arc::clone(delta));
+                self.install_resolved(now, viewid, view, history, &snap, base, &delta, out);
+                true
+            }
+            None => {
+                // (c) Genuinely behind: fetch the snapshot bytes in
+                // bounded, CRC-checked chunks from whoever sent us the
+                // record, then install.
+                self.fetch = Some(FetchState {
+                    asm: vsr_snap::Assembler::new(base.digest, self.cfg.snapshot_chunk_bytes),
+                    source: from,
+                    started_at: now,
+                    attempts: 0,
+                    pending: PendingInstall { viewid, record: first.clone() },
+                });
+                self.request_chunk(0, out);
+                false
+            }
+        }
+    }
+
+    /// Install a new view whose base snapshot is in hand: reconstruct
+    /// the group state as `base.gstate + delta`, switch views, and
+    /// re-anchor the delta log.
+    #[allow(clippy::too_many_arguments)]
+    fn install_resolved(
+        &mut self,
+        now: Tick,
+        viewid: ViewId,
+        view: View,
+        history: History,
+        snap: &std::sync::Arc<Snapshot>,
+        base: SnapshotRef,
+        delta: &[EventRecord],
+        out: &mut Vec<Effect>,
+    ) {
+        let mut gstate = snap.gstate.clone();
+        for r in delta {
+            // Pure replay: reconstructing the primary's state must not
+            // re-emit the observations the original application emitted.
+            gstate.apply_record(&r.kind);
+        }
+        self.store_snapshot(std::sync::Arc::clone(snap));
+        self.install_new_view(now, viewid, view, history, gstate, out);
+        if self.cfg.snapshot_interval > 0 {
+            self.last_snap = Some(base);
+            self.delta_log = delta.to_vec();
+        } else {
+            self.last_snap = None;
+            self.delta_log.clear();
+        }
+    }
+
+    /// Serve one chunk of a retained snapshot. Unknown digests and
+    /// out-of-range indexes are ignored (stale requests; the fetching
+    /// side recovers through its retry timer and view-change timeouts).
+    fn on_get_chunk(&self, digest: SnapDigest, index: u32, reply_to: Mid, out: &mut Vec<Effect>) {
+        let Some(snap) = self.snaps.iter().find(|s| s.digest == digest) else { return };
+        let Some(c) = vsr_snap::chunk(&snap.bytes, index, self.cfg.snapshot_chunk_bytes) else {
+            return;
+        };
+        out.push(Effect::Send {
+            to: reply_to,
+            msg: Message::Chunk {
+                digest,
+                index: c.index,
+                total: c.total,
+                crc: c.crc,
+                payload: c.payload.to_vec(),
+            },
+        });
+    }
+
+    /// A snapshot chunk arrived for an in-progress fetch.
+    #[allow(clippy::too_many_arguments)] // mirrors Message::Chunk's fields
+    fn on_chunk(
+        &mut self,
+        now: Tick,
+        digest: SnapDigest,
+        index: u32,
+        total: u32,
+        crc: u32,
+        payload: &[u8],
+        out: &mut Vec<Effect>,
+    ) {
+        use vsr_snap::{ChunkError, Progress};
+        let Some(fetch) = self.fetch.as_mut() else { return };
+        if fetch.asm.digest() != digest {
+            return; // stray chunk from an abandoned transfer
+        }
+        match fetch.asm.accept(index, total, crc, payload) {
+            Ok(Progress::Need(next)) => {
+                fetch.attempts = 0;
+                self.request_chunk(next, out);
+            }
+            Ok(Progress::Complete(bytes)) => {
+                let fetch = self.fetch.take().expect("invariant: fetch presence checked above");
+                // Digest-verified bytes that still fail to decode mean
+                // the snapshot itself was malformed at the source;
+                // abandon the fetch and let the view-change timeouts
+                // drive recovery.
+                if let Ok(snap) = Snapshot::decode(&bytes) {
+                    self.finish_fetch(now, fetch, snap, out);
+                }
+            }
+            Err(ChunkError::Corrupt) => {
+                // CRC mismatch: drop the chunk. The retry timer armed
+                // with the request will re-request this index.
+                out.push(Effect::Observe(Observation::ChunkCorruptDropped {
+                    group: self.group,
+                    mid: self.mid,
+                }));
+            }
+            Err(ChunkError::DigestMismatch) => {
+                // Every per-chunk CRC passed but the assembled bytes do
+                // not hash to the requested digest (an adversarial relay
+                // fixing CRCs, or a source serving wrong bytes). The
+                // assembler has reset the transfer; start over.
+                out.push(Effect::Observe(Observation::ChunkCorruptDropped {
+                    group: self.group,
+                    mid: self.mid,
+                }));
+                self.request_chunk(0, out);
+            }
+            // Duplicate, reordered, or size-violating chunks: drop.
+            Err(ChunkError::WrongIndex | ChunkError::BadTotal | ChunkError::BadSize) => {}
+        }
+    }
+
+    /// Send a `GetChunk` for `index` and arm its retry timer.
+    fn request_chunk(&mut self, index: u32, out: &mut Vec<Effect>) {
+        let Some(fetch) = self.fetch.as_ref() else { return };
+        let digest = fetch.asm.digest();
+        let attempt = fetch.attempts;
+        out.push(Effect::Send {
+            to: fetch.source,
+            msg: Message::GetChunk { digest, index, reply_to: self.mid },
+        });
+        out.push(Effect::SetTimer {
+            after: self.retry_delay(self.cfg.chunk_retry_interval, attempt + 1, retry_kind::CHUNK),
+            timer: Timer::ChunkRetry { digest, index, attempt },
+        });
+    }
+
+    /// A chunk request went unanswered. Stale firings (progress was
+    /// made, the transfer moved on, or a newer retry is armed) are
+    /// recognized by digest/index/attempt mismatch and ignored.
+    fn on_chunk_retry(
+        &mut self,
+        digest: SnapDigest,
+        index: u32,
+        attempt: u32,
+        out: &mut Vec<Effect>,
+    ) {
+        let Some(fetch) = self.fetch.as_ref() else { return };
+        if fetch.asm.digest() != digest
+            || fetch.asm.next_index() != index
+            || fetch.attempts != attempt
+        {
+            return;
+        }
+        if attempt + 1 >= MAX_CHUNK_ATTEMPTS {
+            // The source stopped answering. Abandon the transfer; the
+            // underling/suspect timeouts stay armed and will drive a
+            // fresh view change with a fresh newview to fetch against.
+            self.fetch = None;
+            return;
+        }
+        if let Some(f) = self.fetch.as_mut() {
+            f.attempts += 1;
+        }
+        out.push(Effect::Observe(Observation::ChunkRetried { group: self.group, mid: self.mid }));
+        self.request_chunk(index, out);
+    }
+
+    /// A chunked transfer completed: install the fetched snapshot plus
+    /// the deferred newview record, then acknowledge it.
+    fn finish_fetch(
+        &mut self,
+        now: Tick,
+        fetch: FetchState,
+        snap: std::sync::Arc<Snapshot>,
+        out: &mut Vec<Effect>,
+    ) {
+        let FetchState { pending, started_at, .. } = fetch;
+        let PendingInstall { viewid, record } = pending;
+        // The world may have moved on while chunks were in flight.
+        if viewid != self.max_viewid {
+            return;
+        }
+        if self.status == Status::Active && self.cur_viewid == viewid {
+            return; // already installed by other means
+        }
+        let EventKind::NewView { view, history, base, delta } = &record.kind else {
+            debug_assert!(false, "pending install holds a non-newview record");
+            return;
+        };
+        let (view, history) = (view.clone(), history.clone());
+        let (base, delta) = (*base, std::sync::Arc::clone(delta));
+        let chunks = vsr_snap::chunk_count(snap.bytes.len(), self.cfg.snapshot_chunk_bytes);
+        self.install_resolved(now, viewid, view.clone(), history, &snap, base, &delta, out);
+        // Persist, advance past, and acknowledge the newview record
+        // itself — exactly what the immediate path's record loop does.
+        out.push(Effect::Persist(DurableEvent::Record(record.clone())));
+        self.history.advance(viewid, record.ts());
+        self.checkpoint_tick(out);
+        out.push(Effect::Observe(Observation::SnapshotInstalled {
+            group: self.group,
+            mid: self.mid,
+            chunks,
+            ticks: now.saturating_sub(started_at),
+        }));
+        out.push(Effect::Send {
+            to: view.primary(),
+            msg: Message::BufferAck { viewid, from: self.mid, upto: record.ts() },
+        });
     }
 
     /// Apply an event record's gstate transition. Used identically by the
@@ -1260,7 +1762,18 @@ impl Cohort {
                 }));
             }
             EventKind::Done { aid } => {
-                self.gstate.set_status(*aid, crate::gstate::TxnStatus::Done);
+                // Phase two is complete: every participant acknowledged
+                // the outcome, so no protocol-relevant query for this
+                // transaction can still arrive. Retire its status entry
+                // instead of storing `Done` — this is what keeps the
+                // status map from growing without bound.
+                if self.gstate.retire(*aid) {
+                    out.push(Effect::Observe(Observation::StatusesGced {
+                        group: self.group,
+                        mid: self.mid,
+                        n: 1,
+                    }));
+                }
             }
             EventKind::CallsDropped { aid, dropped } => {
                 self.gstate.drop_calls(*aid, dropped);

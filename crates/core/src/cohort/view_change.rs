@@ -158,6 +158,10 @@ impl Cohort {
     /// `make_invitations` of Figure 5.
     pub(crate) fn start_view_change(&mut self, _now: Tick, out: &mut Vec<Effect>) {
         self.set_status(Status::ViewManager, out);
+        // A manager abandons any in-flight state transfer: the pending
+        // newview it was fetching against is stale once max_viewid
+        // advances.
+        self.fetch = None;
         // "make_invitations creates a new viewid by pairing mymid with a
         // number greater than max_viewid.cnt and stores it in
         // max_viewid."
@@ -393,6 +397,28 @@ impl Cohort {
     fn start_view(&mut self, now: Tick, view: View, out: &mut Vec<Effect>) {
         debug_assert_eq!(view.primary(), self.mid);
         let viewid = self.max_viewid;
+        self.fetch = None;
+        // Resolve the snapshot base the newview record will reference —
+        // before any view mutation, so an ad-hoc snapshot captures the
+        // state the new view starts from. If the last boundary snapshot
+        // is still fresh (its delta has not outgrown one interval), ship
+        // its digest plus the delta of records since it; otherwise
+        // materialize the current state and ship an empty delta. Either
+        // way backups holding (or matching) the base install without a
+        // byte of state transfer.
+        let interval = self.cfg.snapshot_interval;
+        let fresh =
+            interval > 0 && self.last_snap.is_some() && (self.delta_log.len() as u64) < interval;
+        let (base, delta): (_, std::sync::Arc<[EventRecord]>) = if fresh {
+            let base = self.last_snap.expect("invariant: freshness requires a last snapshot");
+            (base, self.delta_log.as_slice().into())
+        } else {
+            let vs = self
+                .history
+                .latest()
+                .expect("invariant: only an up-to-date cohort becomes primary");
+            (self.take_snapshot(vs, out), std::sync::Arc::from(Vec::<EventRecord>::new()))
+        };
         self.cur_viewid = viewid;
         self.cur_view = view.clone();
         self.history.open_view(viewid);
@@ -423,11 +449,13 @@ impl Cohort {
         let mut buffer = CommBuffer::new(viewid, view.backups(), self.configuration.sub_majority());
         // "It initializes the buffer to contain a single "newview" event
         // record; this record contains cur_view, history, and gstate."
-        let newview_kind = EventKind::NewView {
-            view: view.clone(),
-            history: self.history.clone(),
-            gstate: self.gstate.clone(),
-        };
+        // The gstate travels by reference: a snapshot digest plus the
+        // delta of event records applied since that snapshot, so the
+        // record costs O(delta) instead of O(state) — and cloning the
+        // kind below shares the delta through the Arc instead of deep-
+        // copying the whole group state twice.
+        let newview_kind =
+            EventKind::NewView { view: view.clone(), history: self.history.clone(), base, delta };
         let newview_vs = buffer.add(newview_kind.clone());
         self.history.advance(viewid, newview_vs.ts);
         out.push(Effect::Persist(DurableEvent::Record(EventRecord {
@@ -621,6 +649,7 @@ impl Cohort {
         self.up_to_date = true;
         self.set_status(Status::Active, out);
         self.vc = VcState::None;
+        self.fetch = None;
         self.manager_attempts = 0;
         self.buffer = None;
         self.locks.clear();

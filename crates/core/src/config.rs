@@ -116,6 +116,23 @@ pub struct CohortConfig {
     /// mid-view snapshots, and runtimes without a store ignore persist
     /// effects entirely.
     pub checkpoint_interval: u64,
+    /// Snapshots: materialize a content-addressed snapshot of the group
+    /// state whenever an applied record's timestamp is a multiple of this
+    /// interval. Snapshot boundaries are derived purely from viewstamps,
+    /// so every replica materializes byte-identical snapshots without
+    /// coordination; newview records then reference the snapshot digest
+    /// and carry only the delta of records since it. `0` disables
+    /// boundary snapshots — each view change ships an ad-hoc snapshot
+    /// reference with an empty delta, and backups that match the digest
+    /// install with zero transfer.
+    pub snapshot_interval: u64,
+    /// State transfer: payload size bound for one snapshot chunk, in
+    /// bytes. Must agree across the group (the requester's assembler and
+    /// the server's chunker both use their local value).
+    pub snapshot_chunk_bytes: usize,
+    /// State transfer: how long a fetching cohort waits for a requested
+    /// chunk before re-requesting it (with the standard retry backoff).
+    pub chunk_retry_interval: u64,
 }
 
 impl CohortConfig {
@@ -146,6 +163,9 @@ impl CohortConfig {
             eager_force_calls: false,
             unilateral_exclusion: false,
             checkpoint_interval: 0,
+            snapshot_interval: 64,
+            snapshot_chunk_bytes: vsr_snap::DEFAULT_CHUNK_BYTES,
+            chunk_retry_interval: 40,
         }
     }
 
@@ -199,6 +219,8 @@ mod tests {
         assert!(c.force_timeout > c.buffer_flush_interval);
         assert!(c.call_attempts >= 1);
         assert!(!c.eager_force_calls, "paper default is background mode");
+        assert!(c.snapshot_chunk_bytes > 0, "zero chunk size would stall transfers");
+        assert!(c.snapshot_interval >= 2, "a newview record (ts 1) must never be a boundary");
         assert_eq!(c, CohortConfig::default());
     }
 

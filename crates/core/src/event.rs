@@ -6,7 +6,7 @@
 //! occurrence as an event. … An event record identifies the type of the
 //! event, and contains other relevant information about the event."
 
-use crate::gstate::{CompletedCall, GroupState};
+use crate::gstate::CompletedCall;
 use crate::history::History;
 use crate::types::{Aid, GroupId, Timestamp, Viewstamp};
 use crate::view::View;
@@ -66,17 +66,29 @@ pub enum EventKind {
         dropped: Vec<crate::types::CallId>,
     },
     /// The first record of every view ("newview", Section 4): carries the
-    /// new view, the history, and the group state so that backups —
-    /// including recovered cohorts with `up_to_date = false` — can install
-    /// the latest state.
+    /// new view and history, plus a content-addressed reference to a base
+    /// snapshot and the delta of event records applied since it, so that
+    /// backups — including recovered cohorts with `up_to_date = false` —
+    /// can install the latest state.
+    ///
+    /// The paper ships the full group state here; we ship `base + delta`
+    /// instead. A cohort holding the base snapshot (or whose own state
+    /// digests to it) reconstructs the group state by replaying the delta;
+    /// one that is missing it fetches the snapshot bytes in CRC-checked
+    /// chunks (`Message::GetChunk` / `Message::Chunk`) before installing.
     NewView {
         /// The new view.
         view: View,
         /// The new primary's history (already containing the new view's
         /// entry).
         history: History,
-        /// Full group state snapshot.
-        gstate: GroupState,
+        /// The base snapshot the delta applies on top of.
+        base: crate::snapshot::SnapshotRef,
+        /// Event records applied since `base`, in viewstamp order. Shared
+        /// behind `Arc` so buffering, persisting, and retransmitting the
+        /// record never re-clones the payload. Never contains nested
+        /// newview records.
+        delta: std::sync::Arc<[EventRecord]>,
     },
 }
 
@@ -140,11 +152,17 @@ mod tests {
     fn aid_extraction() {
         assert_eq!(EventKind::Committed { aid: aid() }.aid(), Some(aid()));
         assert_eq!(EventKind::Aborted { aid: aid() }.aid(), Some(aid()));
+        let snap = crate::snapshot::Snapshot::materialize(
+            Viewstamp::default(),
+            &History::new(),
+            &crate::gstate::GroupState::new(),
+        );
         assert_eq!(
             EventKind::NewView {
                 view: View::new(Mid(0), vec![]),
                 history: History::new(),
-                gstate: GroupState::new(),
+                base: snap.to_ref(),
+                delta: std::sync::Arc::from(Vec::new()),
             }
             .aid(),
             None

@@ -325,6 +325,49 @@ impl GroupState {
     pub fn statuses(&self) -> impl Iterator<Item = (Aid, &TxnStatus)> + '_ {
         self.statuses.iter().map(|(&aid, s)| (aid, s))
     }
+
+    /// How many transactions currently have a recorded status.
+    pub fn status_count(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Garbage-collect a finished transaction's status entry.
+    ///
+    /// Called when the *done* record is applied: phase two is complete,
+    /// every participant has acknowledged the outcome, so no query for
+    /// this transaction can arrive that the protocol still needs to
+    /// answer — the status map would otherwise grow without bound
+    /// (DESIGN §14). Returns whether an entry was actually removed.
+    pub fn retire(&mut self, aid: Aid) -> bool {
+        self.statuses.remove(&aid).is_some()
+    }
+
+    /// Apply one event record's state transition, with no observability
+    /// side effects.
+    ///
+    /// This is the pure replay core shared by delta application (a
+    /// newview record's `base + delta`) and crash recovery: replaying a
+    /// delta must reproduce exactly the state the primary had, without
+    /// re-emitting the observations the original application emitted.
+    /// Newview records carry no gstate transition and are skipped.
+    pub fn apply_record(&mut self, kind: &crate::event::EventKind) {
+        use crate::event::EventKind;
+        match kind {
+            EventKind::CompletedCall { aid, record } => self.store_call(*aid, record.clone()),
+            EventKind::Committing { aid, plist } => {
+                self.set_status(*aid, TxnStatus::Committing { plist: plist.clone() });
+            }
+            EventKind::Committed { aid } => {
+                self.install_commit(*aid);
+            }
+            EventKind::Aborted { aid } => self.discard_abort(*aid),
+            EventKind::Done { aid } => {
+                self.retire(*aid);
+            }
+            EventKind::CallsDropped { aid, dropped } => self.drop_calls(*aid, dropped),
+            EventKind::NewView { .. } => {}
+        }
+    }
 }
 
 #[cfg(test)]

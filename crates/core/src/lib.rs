@@ -80,6 +80,7 @@ pub mod locks;
 pub mod messages;
 pub mod module;
 pub mod pset;
+pub mod snapshot;
 pub mod types;
 pub mod view;
 pub mod wire;

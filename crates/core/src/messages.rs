@@ -8,6 +8,7 @@
 
 use crate::event::EventRecord;
 use crate::pset::PSet;
+use crate::snapshot::SnapDigest;
 use crate::types::{Aid, CallId, GroupId, Mid, Timestamp, ViewId, Viewstamp};
 use crate::view::View;
 use serde::{Deserialize, Serialize};
@@ -327,6 +328,36 @@ pub enum Message {
         /// The new view's membership.
         view: View,
     },
+
+    // ----------------------------------- snapshot state transfer (§4 +)
+    /// Fetching cohort → snapshot holder: request one chunk of the
+    /// snapshot named by `digest`. Sent when a newview record references
+    /// a base snapshot the receiver does not hold; transfers proceed
+    /// stop-and-wait, one outstanding chunk at a time.
+    GetChunk {
+        /// Content digest of the wanted snapshot.
+        digest: SnapDigest,
+        /// Zero-based chunk index being requested.
+        index: u32,
+        /// Where to send the chunk.
+        reply_to: Mid,
+    },
+    /// Snapshot holder → fetching cohort: one bounded, CRC-checked chunk
+    /// of a snapshot's canonical bytes. Corrupt or out-of-order chunks
+    /// are dropped by the receiver's assembler; the retry timer
+    /// re-requests.
+    Chunk {
+        /// Content digest of the snapshot the chunk belongs to.
+        digest: SnapDigest,
+        /// Zero-based chunk index.
+        index: u32,
+        /// Total number of chunks in the transfer.
+        total: u32,
+        /// CRC-32C of `payload`.
+        crc: u32,
+        /// The chunk's bytes (at most the group's configured chunk size).
+        payload: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -361,6 +392,8 @@ impl Message {
             Message::AcceptNormal { .. } => "accept-normal",
             Message::AcceptCrashed { .. } => "accept-crashed",
             Message::InitView { .. } => "init-view",
+            Message::GetChunk { .. } => "get-chunk",
+            Message::Chunk { .. } => "chunk",
         }
     }
 
@@ -376,11 +409,16 @@ impl Message {
     }
 
     /// Whether this message is background replication traffic (buffer
-    /// streaming or heartbeats) rather than foreground request traffic.
+    /// streaming, heartbeats, or snapshot state transfer) rather than
+    /// foreground request traffic.
     pub fn is_background(&self) -> bool {
         matches!(
             self,
-            Message::BufferSend { .. } | Message::BufferAck { .. } | Message::ImAlive { .. }
+            Message::BufferSend { .. }
+                | Message::BufferAck { .. }
+                | Message::ImAlive { .. }
+                | Message::GetChunk { .. }
+                | Message::Chunk { .. }
         )
     }
 
@@ -431,6 +469,8 @@ impl Message {
             Message::AcceptNormal { .. } => HDR + VIEWID + ID + VS + 1,
             Message::AcceptCrashed { .. } => HDR + VIEWID + ID + VIEWID,
             Message::InitView { view, .. } => HDR + VIEWID + 8 * view.len(),
+            Message::GetChunk { .. } => HDR + 16 + ID + ID,
+            Message::Chunk { payload, .. } => HDR + 16 + 3 * ID + payload.len(),
         }
     }
 }
@@ -473,6 +513,9 @@ mod tests {
         let abort = Message::Abort { aid: aid() };
         assert!(!abort.is_background());
         assert!(!abort.is_view_change());
+        let chunk = Message::GetChunk { digest: SnapDigest::of(b"s"), index: 0, reply_to: Mid(1) };
+        assert!(chunk.is_background());
+        assert!(!chunk.is_view_change());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Content-addressed snapshots of a group's replicated state.
+//!
+//! The 1988 paper's view change (Figure 5) has the new primary ship its
+//! *entire* group state and history to every underling inside the
+//! newview event record. That is correct but O(state) per view change,
+//! even when the underlings already hold byte-identical state. This
+//! module provides the compaction layer on top:
+//!
+//! * Cohorts periodically *materialize* a [`Snapshot`] — the pre-encoded
+//!   bytes of `(viewstamp, history, gstate)` plus a content digest —
+//!   at timestamp boundaries (`ts % snapshot_interval == 0`). Because
+//!   every replica applies the same records in the same order, replicas
+//!   materialize **byte-identical snapshots with equal digests** without
+//!   any coordination.
+//! * Newview records then carry a [`SnapshotRef`] (digest + viewstamp)
+//!   and the *delta* of event records since that snapshot, instead of a
+//!   full state clone. A cohort holding the referenced snapshot — or
+//!   whose own current state hashes to the same digest — installs the
+//!   view with zero state transfer.
+//! * A cohort that is genuinely behind fetches the snapshot bytes in
+//!   bounded, CRC-checked chunks (`Message::GetChunk` / `Message::Chunk`,
+//!   reassembled by [`vsr_snap::Assembler`]).
+//!
+//! Snapshot stability also drives compaction: when a boundary snapshot
+//! is taken, the cohort emits a WAL checkpoint at the same viewstamp, so
+//! the durable log never needs to retain records older than the newest
+//! snapshot the group can serve.
+
+use std::sync::Arc;
+
+use crate::gstate::GroupState;
+use crate::history::History;
+use crate::types::Viewstamp;
+use crate::wire::{self, DecodeError};
+
+pub use vsr_snap::{crc32c, SnapDigest};
+
+/// A reference to a snapshot by content: enough for a peer to decide
+/// whether it already has (or *is*) the state, and to fetch it if not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotRef {
+    /// Content digest of the snapshot's encoded bytes.
+    pub digest: SnapDigest,
+    /// The viewstamp of the last event reflected in the snapshot.
+    pub vs: Viewstamp,
+}
+
+/// A materialized snapshot: the decoded state (for local installs) and
+/// the canonical encoded bytes (for digesting and chunked serving).
+///
+/// Snapshots are immutable once materialized and shared behind `Arc` —
+/// holding one in the cohort's retention window and serving chunks from
+/// it never copies the state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Viewstamp of the last event reflected in this snapshot.
+    pub vs: Viewstamp,
+    /// The cohort's view history at `vs`.
+    pub history: History,
+    /// The group state at `vs`.
+    pub gstate: GroupState,
+    /// Canonical encoding of `(vs, history, gstate)`; the bytes that
+    /// are digested and served in chunks.
+    pub bytes: Arc<[u8]>,
+    /// `SnapDigest::of(bytes)`, precomputed.
+    pub digest: SnapDigest,
+}
+
+impl Snapshot {
+    /// Encode and digest the current state into a snapshot.
+    ///
+    /// Deterministic: two replicas whose `(vs, history, gstate)` are
+    /// equal produce byte-identical snapshots with equal digests.
+    pub fn materialize(vs: Viewstamp, history: &History, gstate: &GroupState) -> Arc<Snapshot> {
+        let bytes: Arc<[u8]> = wire::encode_snapshot(vs, history, gstate).into();
+        let digest = SnapDigest::of(&bytes);
+        Arc::new(Snapshot { vs, history: history.clone(), gstate: gstate.clone(), bytes, digest })
+    }
+
+    /// Decode a snapshot from bytes received via chunked state transfer.
+    ///
+    /// The caller is expected to have verified the digest end-to-end
+    /// already (the assembler does); this recomputes it from the bytes
+    /// it was given, so a `Snapshot`'s `digest` always matches `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Arc<Snapshot>, DecodeError> {
+        let (vs, history, gstate) = wire::decode_snapshot(bytes)?;
+        let digest = SnapDigest::of(bytes);
+        Ok(Arc::new(Snapshot { vs, history, gstate, bytes: bytes.to_vec().into(), digest }))
+    }
+
+    /// The content reference peers use to name this snapshot.
+    pub fn to_ref(&self) -> SnapshotRef {
+        SnapshotRef { digest: self.digest, vs: self.vs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Mid, Timestamp, ViewId};
+
+    fn sample_state() -> (Viewstamp, History, GroupState) {
+        let vid = ViewId::initial(Mid(0));
+        let mut history = History::new();
+        history.open_view(vid);
+        history.advance(vid, Timestamp(3));
+        let gstate = GroupState::new();
+        let vs = Viewstamp::new(vid, Timestamp(3));
+        (vs, history, gstate)
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let (vs, history, gstate) = sample_state();
+        let a = Snapshot::materialize(vs, &history, &gstate);
+        let b = Snapshot::materialize(vs, &history, &gstate);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn decode_inverts_materialize() {
+        let (vs, history, gstate) = sample_state();
+        let snap = Snapshot::materialize(vs, &history, &gstate);
+        let back = Snapshot::decode(&snap.bytes).expect("decodes");
+        assert_eq!(back.vs, snap.vs);
+        assert_eq!(back.history, snap.history);
+        assert_eq!(back.gstate, snap.gstate);
+        assert_eq!(back.digest, snap.digest);
+    }
+
+    #[test]
+    fn different_state_different_digest() {
+        let (vs, mut history, gstate) = sample_state();
+        let a = Snapshot::materialize(vs, &history, &gstate);
+        let vid = ViewId::initial(Mid(0));
+        history.advance(vid, Timestamp(4));
+        let vs2 = Viewstamp::new(vid, Timestamp(4));
+        let b = Snapshot::materialize(vs2, &history, &gstate);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn truncated_bytes_fail_to_decode() {
+        let (vs, history, gstate) = sample_state();
+        let snap = Snapshot::materialize(vs, &history, &gstate);
+        for cut in 0..snap.bytes.len() {
+            assert!(Snapshot::decode(&snap.bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -21,6 +21,7 @@ use crate::gstate::{
 use crate::history::History;
 use crate::messages::{CallOutcome, CallRefusal, Message, QueryOutcome};
 use crate::pset::PSet;
+use crate::snapshot::{SnapDigest, SnapshotRef};
 use crate::types::{Aid, CallId, GroupId, Mid, ObjectId, Timestamp, ViewId, Viewstamp};
 use crate::view::View;
 use std::collections::BTreeMap;
@@ -416,17 +417,27 @@ fn enc_event_kind(e: &mut Encoder, k: &EventKind) {
                 enc_call_id(e, *c);
             }
         }
-        EventKind::NewView { view, history, gstate } => {
+        EventKind::NewView { view, history, base, delta } => {
             e.u64(6);
             enc_view(e, view);
             enc_history(e, history);
-            enc_gstate(e, gstate);
+            enc_digest(e, base.digest);
+            enc_viewstamp(e, base.vs);
+            e.u64(delta.len() as u64);
+            for r in delta.iter() {
+                enc_event_record(e, r);
+            }
         }
     }
 }
 
 fn dec_event_kind(d: &mut Decoder<'_>) -> Result<EventKind, DecodeError> {
-    Ok(match d.u64("event.tag")? {
+    let tag = d.u64("event.tag")?;
+    dec_event_kind_tagged(d, tag)
+}
+
+fn dec_event_kind_tagged(d: &mut Decoder<'_>, tag: u64) -> Result<EventKind, DecodeError> {
+    Ok(match tag {
         0 => EventKind::CompletedCall { aid: dec_aid(d)?, record: dec_completed_call(d)? },
         1 => {
             let aid = dec_aid(d)?;
@@ -449,13 +460,46 @@ fn dec_event_kind(d: &mut Decoder<'_>) -> Result<EventKind, DecodeError> {
             }
             EventKind::CallsDropped { aid, dropped }
         }
-        6 => EventKind::NewView {
-            view: dec_view(d)?,
-            history: dec_history(d)?,
-            gstate: dec_gstate(d)?,
-        },
+        6 => {
+            let view = dec_view(d)?;
+            let history = dec_history(d)?;
+            let digest = dec_digest(d)?;
+            let vs = dec_viewstamp(d)?;
+            let n = d.len("newview.delta.len")?;
+            let mut delta = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rvs = dec_viewstamp(d)?;
+                let rtag = d.u64("event.tag")?;
+                // A newview record never nests inside a delta — rejecting
+                // the tag *before* recursing keeps decoding depth flat no
+                // matter what a corrupt frame claims.
+                if rtag == 6 {
+                    return Err(DecodeError { context: "newview.delta.kind" });
+                }
+                delta.push(EventRecord { vs: rvs, kind: dec_event_kind_tagged(d, rtag)? });
+            }
+            EventKind::NewView {
+                view,
+                history,
+                base: SnapshotRef { digest, vs },
+                delta: delta.into(),
+            }
+        }
         _ => return Err(DecodeError { context: "event.tag" }),
     })
+}
+
+fn enc_digest(e: &mut Encoder, digest: SnapDigest) {
+    e.buf.extend_from_slice(&digest.0);
+}
+
+fn dec_digest(d: &mut Decoder<'_>) -> Result<SnapDigest, DecodeError> {
+    let context = "digest";
+    let end = d.pos.checked_add(16).ok_or(DecodeError { context })?;
+    let slice = d.buf.get(d.pos..end).ok_or(DecodeError { context })?;
+    d.pos = end;
+    // vsr-lint: allow(expect_used, reason = "slice is exactly 16 bytes by the get() above")
+    Ok(SnapDigest(slice.try_into().expect("16 bytes")))
 }
 
 fn enc_event_record(e: &mut Encoder, r: &EventRecord) {
@@ -465,6 +509,35 @@ fn enc_event_record(e: &mut Encoder, r: &EventRecord) {
 
 fn dec_event_record(d: &mut Decoder<'_>) -> Result<EventRecord, DecodeError> {
     Ok(EventRecord { vs: dec_viewstamp(d)?, kind: dec_event_kind(d)? })
+}
+
+// ---------------------------------------------------------------------
+// snapshots
+// ---------------------------------------------------------------------
+
+/// Canonical encoding of a snapshot: `(viewstamp, history, gstate)`.
+/// These are the bytes that get digested and served in chunks, so the
+/// encoding must be deterministic — it is, because every container in
+/// the state is ordered (`Vec`s and `BTreeMap`s, never hash maps).
+pub(crate) fn encode_snapshot(vs: Viewstamp, history: &History, gstate: &GroupState) -> Vec<u8> {
+    let mut e = Encoder::default();
+    enc_viewstamp(&mut e, vs);
+    enc_history(&mut e, history);
+    enc_gstate(&mut e, gstate);
+    e.buf
+}
+
+/// Decode snapshot bytes produced by [`encode_snapshot`] (typically
+/// reassembled from a chunked state transfer). Rejects trailing garbage.
+pub(crate) fn decode_snapshot(buf: &[u8]) -> Result<(Viewstamp, History, GroupState), DecodeError> {
+    let mut d = Decoder::new(buf);
+    let vs = dec_viewstamp(&mut d)?;
+    let history = dec_history(&mut d)?;
+    let gstate = dec_gstate(&mut d)?;
+    if !d.is_exhausted() {
+        return Err(DecodeError { context: "snapshot.trailing" });
+    }
+    Ok((vs, history, gstate))
 }
 
 // ---------------------------------------------------------------------
@@ -786,8 +859,28 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             enc_viewid(&mut e, *viewid);
             enc_view(&mut e, view);
         }
+        Message::GetChunk { digest, index, reply_to } => {
+            e.u64(28);
+            enc_digest(&mut e, *digest);
+            e.u64(u64::from(*index));
+            e.u64(reply_to.0);
+        }
+        Message::Chunk { digest, index, total, crc, payload } => {
+            e.u64(29);
+            enc_digest(&mut e, *digest);
+            e.u64(u64::from(*index));
+            e.u64(u64::from(*total));
+            e.u64(u64::from(*crc));
+            e.bytes(payload);
+        }
     }
     e.buf
+}
+
+/// Decode a `u64` field that must fit in a `u32` (chunk indexes, counts,
+/// and CRCs are 32-bit on the wire's host types).
+fn dec_u32(d: &mut Decoder<'_>, context: &'static str) -> Result<u32, DecodeError> {
+    u32::try_from(d.u64(context)?).map_err(|_| DecodeError { context })
 }
 
 /// Decode a byte string produced by [`encode_message`].
@@ -901,6 +994,18 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, DecodeError> {
             stable_viewid: dec_viewid(&mut d)?,
         },
         27 => Message::InitView { viewid: dec_viewid(&mut d)?, view: dec_view(&mut d)? },
+        28 => Message::GetChunk {
+            digest: dec_digest(&mut d)?,
+            index: dec_u32(&mut d, "get_chunk.index")?,
+            reply_to: Mid(d.u64("get_chunk.reply_to")?),
+        },
+        29 => Message::Chunk {
+            digest: dec_digest(&mut d)?,
+            index: dec_u32(&mut d, "chunk.index")?,
+            total: dec_u32(&mut d, "chunk.total")?,
+            crc: dec_u32(&mut d, "chunk.crc")?,
+            payload: d.bytes("chunk.payload")?.to_vec(),
+        },
         _ => return Err(DecodeError { context: "message.tag" }),
     };
     if !d.is_exhausted() {
@@ -966,6 +1071,24 @@ mod tests {
         decode_durable_event(&encode_durable_event(event)).expect("roundtrip decodes")
     }
 
+    fn sample_newview() -> EventKind {
+        let history: History = [vs(0, 4), vs(2, 0)].into_iter().collect();
+        let snap = crate::snapshot::Snapshot::materialize(vs(0, 4), &history, &sample_gstate());
+        EventKind::NewView {
+            view: View::new(Mid(1), vec![Mid(0), Mid(2)]),
+            history,
+            base: snap.to_ref(),
+            delta: vec![
+                EventRecord { vs: vs(0, 5), kind: EventKind::Committed { aid: aid(1) } },
+                EventRecord {
+                    vs: vs(0, 6),
+                    kind: EventKind::CompletedCall { aid: aid(1), record: sample_call(0) },
+                },
+            ]
+            .into(),
+        }
+    }
+
     #[test]
     fn record_roundtrips() {
         for kind in [
@@ -976,15 +1099,43 @@ mod tests {
             EventKind::Aborted { aid: aid(3) },
             EventKind::Done { aid: aid(4) },
             EventKind::CallsDropped { aid: aid(5), dropped: vec![CallId { aid: aid(5), seq: 1 }] },
-            EventKind::NewView {
-                view: View::new(Mid(1), vec![Mid(0), Mid(2)]),
-                history: [vs(0, 4), vs(2, 0)].into_iter().collect(),
-                gstate: sample_gstate(),
-            },
+            sample_newview(),
         ] {
             let event = DurableEvent::Record(EventRecord { vs: vs(2, 5), kind });
             assert_eq!(roundtrip(&event), event);
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let history: History = [vs(0, 4), vs(2, 0)].into_iter().collect();
+        let bytes = encode_snapshot(vs(2, 0), &history, &sample_gstate());
+        let (dvs, dhistory, dgstate) = decode_snapshot(&bytes).expect("snapshot decodes");
+        assert_eq!(dvs, vs(2, 0));
+        assert_eq!(dhistory, history);
+        assert_eq!(dgstate, sample_gstate());
+        for cut in [0, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn nested_newview_in_delta_is_rejected() {
+        // A newview record must never carry another newview in its delta;
+        // hand-craft one and check the decoder refuses before recursing.
+        let mut e = Encoder::default();
+        e.u64(0); // DurableEvent::Record
+        enc_viewstamp(&mut e, vs(2, 5));
+        e.u64(6); // EventKind::NewView
+        enc_view(&mut e, &View::new(Mid(1), vec![Mid(0)]));
+        e.u64(1); // history.len
+        enc_viewstamp(&mut e, vs(2, 0));
+        enc_digest(&mut e, SnapDigest::of(b"whatever"));
+        enc_viewstamp(&mut e, vs(2, 0));
+        e.u64(1); // delta.len
+        enc_viewstamp(&mut e, vs(2, 1));
+        e.u64(6); // nested NewView tag
+        assert_eq!(decode_durable_event(&e.buf).unwrap_err().context, "newview.delta.kind");
     }
 
     #[test]
@@ -1043,8 +1194,7 @@ mod tests {
         enc_view(&mut e, &View::new(Mid(1), vec![Mid(0)]));
         e.u64(2); // history.len
         enc_viewstamp(&mut e, vs(3, 1));
-        enc_viewstamp(&mut e, vs(1, 1)); // regresses
-        enc_gstate(&mut e, &GroupState::new());
+        enc_viewstamp(&mut e, vs(1, 1)); // regresses — decode stops here
         assert_eq!(decode_durable_event(&e.buf).unwrap_err().context, "history.order");
     }
 
@@ -1129,6 +1279,19 @@ mod tests {
             },
             Message::AcceptCrashed { viewid: vid(5), from: Mid(0), stable_viewid: vid(2) },
             Message::InitView { viewid: vid(5), view },
+            Message::BufferSend {
+                viewid: vid(2),
+                from: Mid(1),
+                records: vec![EventRecord { vs: vs(2, 1), kind: sample_newview() }].into(),
+            },
+            Message::GetChunk { digest: SnapDigest::of(b"snapshot"), index: 3, reply_to: Mid(2) },
+            Message::Chunk {
+                digest: SnapDigest::of(b"snapshot"),
+                index: 3,
+                total: 9,
+                crc: 0xdead_beef,
+                payload: vec![1, 2, 3, 4, 5],
+            },
         ]
     }
 

@@ -37,7 +37,7 @@ fn aid(seq: u64) -> Aid {
 
 /// The number of `Message` variants `message_from` can produce; tags
 /// are taken modulo this, so `0..VARIANTS` enumerates all of them.
-const VARIANTS: u64 = 28;
+const VARIANTS: u64 = 30;
 
 /// Decode a sampled `(tag, a, b, data, flag)` tuple into a `Message`,
 /// covering every variant with payloads that vary with the sample.
@@ -114,7 +114,19 @@ fn message_from(tag: u64, a: u64, b: u64, data: &[u8], flag: bool) -> Message {
             was_primary: flag,
         },
         26 => Message::AcceptCrashed { viewid: vid(a + 1), from: Mid(b), stable_viewid: vid(a) },
-        _ => Message::InitView { viewid: vid(a), view },
+        27 => Message::InitView { viewid: vid(a), view },
+        28 => Message::GetChunk {
+            digest: vsr_core::snapshot::SnapDigest::of(data),
+            index: (a % 1000) as u32,
+            reply_to: Mid(b),
+        },
+        _ => Message::Chunk {
+            digest: vsr_core::snapshot::SnapDigest::of(data),
+            index: (a % 1000) as u32,
+            total: (1 + b % 1000) as u32,
+            crc: vsr_core::snapshot::crc32c(data),
+            payload: data.to_vec(),
+        },
     }
 }
 

@@ -71,6 +71,28 @@ pub struct Metrics {
     /// Log records replayed by recovering cohorts (counts only complete
     /// recoveries; a paper-minimum viewid-only recovery replays none).
     pub records_replayed: u64,
+    /// Snapshots materialized (boundary snapshots plus ad-hoc snapshots
+    /// taken when a new primary starts a view without a fresh one).
+    pub snapshots_taken: u64,
+    /// Snapshots installed after a chunked state transfer. Digest-match
+    /// and already-held installs cost nothing and are not counted.
+    pub snapshots_installed: u64,
+    /// Snapshot chunks served (`chunk` messages sent).
+    pub snapshot_chunks_sent: u64,
+    /// Snapshot chunks received by fetching cohorts.
+    pub snapshot_chunks_received: u64,
+    /// Chunk requests re-sent because the previous request went
+    /// unanswered.
+    pub snapshot_chunk_retries: u64,
+    /// Chunks dropped for a CRC mismatch, or whole transfers restarted
+    /// for an assembled-digest mismatch.
+    pub snapshot_chunks_corrupt: u64,
+    /// `Done` transaction status entries garbage-collected out of the
+    /// group state (one per retired aid; bounds status-map growth).
+    pub statuses_gced: u64,
+    /// Chunked state-transfer durations in ticks (first chunk request →
+    /// snapshot installed), log-bucketed.
+    pub transfer_ticks: Histogram,
     /// In-process mail dropped by a full bounded cohort mailbox or
     /// observation drain (drop-oldest overflow policy; zero while
     /// consumers keep up).
@@ -167,6 +189,14 @@ impl Metrics {
             ("disk_bytes_written", self.disk_bytes_written),
             ("checkpoints_taken", self.checkpoints_taken),
             ("records_replayed", self.records_replayed),
+            ("snapshots_taken", self.snapshots_taken),
+            ("snapshots_installed", self.snapshots_installed),
+            ("snapshot_chunks_sent", self.snapshot_chunks_sent),
+            ("snapshot_chunks_received", self.snapshot_chunks_received),
+            ("snapshot_chunk_retries", self.snapshot_chunk_retries),
+            ("snapshot_chunks_corrupt", self.snapshot_chunks_corrupt),
+            ("snapshot_transfer_count", self.transfer_ticks.count()),
+            ("statuses_gced", self.statuses_gced),
             ("mailbox_drops", self.mailbox_drops),
             ("net_frames_sent", self.net_frames_sent),
             ("net_frames_recvd", self.net_frames_recvd),

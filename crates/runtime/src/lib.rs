@@ -277,6 +277,9 @@ impl CohortThread {
                 Ok(Inbox::Msg { from, msg }) => {
                     let now = self.now_ticks();
                     let msg_name = msg.name();
+                    if matches!(msg, Message::Chunk { .. }) {
+                        self.metrics.lock().snapshot_chunks_received += 1;
+                    }
                     let effects = self.cohort.on_message(now, from, msg);
                     self.trace(TraceKind::Recv { from, msg: msg_name });
                     self.apply(mid, effects);
@@ -312,6 +315,7 @@ impl CohortThread {
                         | Timer::AgentBeginRetry { .. }
                         | Timer::AgentCallRetry { .. }
                         | Timer::AgentCommitRetry { .. }
+                        | Timer::ChunkRetry { .. }
                 );
                 let timer_name = entry.timer.name();
                 let effects = self.cohort.on_timer(now, entry.timer);
@@ -344,6 +348,9 @@ impl CohortThread {
                         } else {
                             m.foreground_msgs += 1;
                             m.foreground_bytes += size;
+                        }
+                        if matches!(msg, Message::Chunk { .. }) {
+                            m.snapshot_chunks_sent += 1;
                         }
                     }
                     self.trace(TraceKind::Send { to, msg: msg.name() });
@@ -418,6 +425,23 @@ impl CohortThread {
                         }
                         Observation::BufferFlushed { clones_saved, .. } => {
                             self.metrics.lock().buffer_clones_saved += *clones_saved;
+                        }
+                        Observation::SnapshotTaken { .. } => {
+                            self.metrics.lock().snapshots_taken += 1;
+                        }
+                        Observation::SnapshotInstalled { ticks, .. } => {
+                            let mut m = self.metrics.lock();
+                            m.snapshots_installed += 1;
+                            m.transfer_ticks.record(*ticks);
+                        }
+                        Observation::ChunkCorruptDropped { .. } => {
+                            self.metrics.lock().snapshot_chunks_corrupt += 1;
+                        }
+                        Observation::ChunkRetried { .. } => {
+                            self.metrics.lock().snapshot_chunk_retries += 1;
+                        }
+                        Observation::StatusesGced { n, .. } => {
+                            self.metrics.lock().statuses_gced += *n;
                         }
                         Observation::TxnCommitted { .. } | Observation::TxnAborted { .. } => {
                             // Client-visible outcomes are counted once,

@@ -72,6 +72,10 @@ pub enum FaultEvent {
     DropClasses(Vec<String>),
     /// End a message-class drop window.
     ClearDropClasses,
+    /// Corrupt the next `n` in-flight snapshot chunks (one flipped
+    /// payload byte each). The per-chunk CRC must catch every one; a
+    /// fetching cohort re-requests the affected index.
+    CorruptChunks(u32),
 }
 
 /// A schedule of fault events at absolute times.
@@ -125,6 +129,7 @@ impl FaultPlan {
                 }
                 FaultEvent::DropClasses(names) => world.schedule_drop_classes(*time, names.clone()),
                 FaultEvent::ClearDropClasses => world.schedule_clear_drop_classes(*time),
+                FaultEvent::CorruptChunks(n) => world.schedule_corrupt_chunks(*time, *n),
             }
         }
     }

@@ -306,7 +306,8 @@ pub fn shrink(cfg: &NemesisConfig, plan: &FaultPlan) -> FaultPlan {
                 | FaultEvent::ClearLinkLoss { .. }
                 | FaultEvent::SlowNode { .. }
                 | FaultEvent::DropClasses(_)
-                | FaultEvent::ClearDropClasses => 0,
+                | FaultEvent::ClearDropClasses
+                | FaultEvent::CorruptChunks(_) => 0,
             };
             let mut shrunk = false;
             for victim in 0..lists {
@@ -375,7 +376,8 @@ fn remove_nth_member(event: &mut FaultEvent, n: usize) -> bool {
         | FaultEvent::ClearLinkLoss { .. }
         | FaultEvent::SlowNode { .. }
         | FaultEvent::DropClasses(_)
-        | FaultEvent::ClearDropClasses => false,
+        | FaultEvent::ClearDropClasses
+        | FaultEvent::CorruptChunks(_) => false,
     }
 }
 
@@ -502,6 +504,7 @@ fn render_event(event: &FaultEvent) -> String {
             format!("FaultEvent::DropClasses(vec![{}])", inner.join(", "))
         }
         FaultEvent::ClearDropClasses => "FaultEvent::ClearDropClasses".to_string(),
+        FaultEvent::CorruptChunks(n) => format!("FaultEvent::CorruptChunks({n})"),
     }
 }
 

@@ -57,6 +57,21 @@ pub fn timeline(observations: &[(u64, Observation)]) -> String {
             Observation::BufferFlushed { group, mid, sends, clones_saved } => {
                 format!("{group} {mid} flushed buffer: {sends} sends, {clones_saved} clones saved")
             }
+            Observation::SnapshotTaken { group, mid, vs, bytes } => {
+                format!("{group} {mid} snapshot at ts {} in {} ({bytes} bytes)", vs.ts.0, vs.id)
+            }
+            Observation::SnapshotInstalled { group, mid, chunks, ticks } => {
+                format!("{group} {mid} installed fetched snapshot ({chunks} chunks, {ticks} ticks)")
+            }
+            Observation::ChunkCorruptDropped { group, mid } => {
+                format!("{group} {mid} dropped a corrupt snapshot chunk")
+            }
+            Observation::ChunkRetried { group, mid } => {
+                format!("{group} {mid} re-requested an unanswered snapshot chunk")
+            }
+            Observation::StatusesGced { group, mid, n } => {
+                format!("{group} {mid} garbage-collected {n} done status entr(y/ies)")
+            }
         };
         out.push_str(&format!("t={t:>8}  {line}\n"));
     }

@@ -154,6 +154,7 @@ impl WorldBuilder {
             controls: BTreeMap::new(),
             next_control: 0,
             delivered_to: BTreeMap::new(),
+            corrupt_chunks_budget: 0,
             message_trace: None,
             recorder: None,
         };
@@ -198,6 +199,7 @@ enum Control {
     SkewTimers { mids: Vec<Mid>, num: u64, den: u64 },
     DropClasses(Vec<String>),
     ClearDropClasses,
+    CorruptChunks(u32),
     Submit { group: GroupId, ops: Vec<CallOp>, req_id: u64 },
 }
 
@@ -240,6 +242,9 @@ pub struct World {
     controls: BTreeMap<u64, Control>,
     next_control: u64,
     delivered_to: BTreeMap<Mid, u64>,
+    /// Nemesis budget: how many of the next in-flight snapshot chunks
+    /// to corrupt at delivery (one flipped payload byte each).
+    corrupt_chunks_budget: u32,
     /// Optional message trace: ring buffer of the most recent sends.
     message_trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
     /// Optional structured trace recorder (see `vsr-obs`). `None` means
@@ -329,12 +334,30 @@ impl World {
                 if self.crashed.contains_key(&to) {
                     return true;
                 }
+                // Nemesis chunk corruption: flip a payload byte of an
+                // in-flight snapshot chunk (the per-chunk CRC must catch
+                // it; the fetcher re-requests the index).
+                let msg = match msg {
+                    Message::Chunk { digest, index, total, crc, mut payload }
+                        if self.corrupt_chunks_budget > 0 =>
+                    {
+                        self.corrupt_chunks_budget -= 1;
+                        if let Some(b) = payload.first_mut() {
+                            *b ^= 0xA5;
+                        }
+                        Message::Chunk { digest, index, total, crc, payload }
+                    }
+                    other => other,
+                };
                 let msg_name = msg.name();
                 if let Some(cohort) = self.cohorts.get_mut(&to) {
                     // Heartbeats are constant-rate background noise;
                     // exclude them from per-node load accounting.
                     if !matches!(msg, Message::ImAlive { .. }) {
                         *self.delivered_to.entry(to).or_default() += 1;
+                    }
+                    if matches!(msg, Message::Chunk { .. }) {
+                        self.metrics.snapshot_chunks_received += 1;
                     }
                     let effects = cohort.on_message(now, from, msg);
                     self.trace(to, TraceKind::Recv { from, msg: msg_name });
@@ -362,6 +385,7 @@ impl World {
                         | Timer::AgentBeginRetry { .. }
                         | Timer::AgentCallRetry { .. }
                         | Timer::AgentCommitRetry { .. }
+                        | Timer::ChunkRetry { .. }
                 );
                 let timer_name = timer.name();
                 let effects = if let Some(cohort) = self.cohorts.get_mut(&mid) {
@@ -699,6 +723,18 @@ impl World {
         self.push_control(at, Control::ClearDropClasses);
     }
 
+    /// Corrupt the next `n` in-flight snapshot chunks (one flipped
+    /// payload byte each) starting now. The per-chunk CRC must catch
+    /// every one; fetchers re-request the affected index.
+    pub fn corrupt_chunks(&mut self, n: u32) {
+        self.corrupt_chunks_budget = self.corrupt_chunks_budget.saturating_add(n);
+    }
+
+    /// Schedule a chunk-corruption window of `n` chunks at time `at`.
+    pub fn schedule_corrupt_chunks(&mut self, at: u64, n: u32) {
+        self.push_control(at, Control::CorruptChunks(n));
+    }
+
     fn push_control(&mut self, at: u64, control: Control) {
         let id = self.next_control;
         self.next_control += 1;
@@ -730,6 +766,7 @@ impl World {
                 self.set_class_drop(&refs);
             }
             Control::ClearDropClasses => self.clear_class_drop(),
+            Control::CorruptChunks(n) => self.corrupt_chunks(n),
             Control::Submit { group, ops, req_id } => {
                 self.submitted_at.insert(req_id, now);
                 self.metrics.submitted += 1;
@@ -778,6 +815,9 @@ impl World {
                     } else {
                         self.metrics.foreground_msgs += 1;
                         self.metrics.foreground_bytes += size as u64;
+                    }
+                    if matches!(msg, Message::Chunk { .. }) {
+                        self.metrics.snapshot_chunks_sent += 1;
                     }
                     self.net.send_dup(mid.0, to.0, msg, size);
                 }
@@ -840,6 +880,22 @@ impl World {
                         }
                         Observation::BufferFlushed { clones_saved, .. } => {
                             self.metrics.buffer_clones_saved += clones_saved;
+                        }
+                        Observation::SnapshotTaken { .. } => {
+                            self.metrics.snapshots_taken += 1;
+                        }
+                        Observation::SnapshotInstalled { ticks, .. } => {
+                            self.metrics.snapshots_installed += 1;
+                            self.metrics.transfer_ticks.record(*ticks);
+                        }
+                        Observation::ChunkCorruptDropped { .. } => {
+                            self.metrics.snapshot_chunks_corrupt += 1;
+                        }
+                        Observation::ChunkRetried { .. } => {
+                            self.metrics.snapshot_chunk_retries += 1;
+                        }
+                        Observation::StatusesGced { n, .. } => {
+                            self.metrics.statuses_gced += n;
                         }
                         _ => {}
                     }

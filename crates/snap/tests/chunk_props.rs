@@ -1,0 +1,147 @@
+//! Property tests for snapshot chunking and reassembly, mirroring
+//! `crates/store/tests/wal_props.rs` (durable codec) and
+//! `crates/net/tests/codec_props.rs` (transport codec).
+//!
+//! Invariants under arbitrary blobs, chunk sizes, and damage:
+//!
+//! 1. **Round trip** — any blob survives chunk → assemble bit-for-bit,
+//!    for any chunk size.
+//! 2. **Truncation fails** — a transfer missing its tail never
+//!    completes (the assembler keeps asking for the next index).
+//! 3. **Bit flips never deliver** — flipping any bit of any chunk's
+//!    payload is rejected by the CRC; flipping payload *and* fixing the
+//!    CRC is still caught by the end-to-end digest.
+
+use proptest::prelude::*;
+use vsr_snap::{chunk, chunk_count, crc32c, Assembler, ChunkError, Progress, SnapDigest};
+
+fn run_transfer(bytes: &[u8], chunk_bytes: usize) -> Vec<u8> {
+    let mut asm = Assembler::new(SnapDigest::of(bytes), chunk_bytes);
+    loop {
+        let c = chunk(bytes, asm.next_index(), chunk_bytes).expect("index in range");
+        match asm.accept(c.index, c.total, c.crc, c.payload).expect("clean chunk accepted") {
+            Progress::Need(_) => {}
+            Progress::Complete(out) => return out,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_blob_roundtrips(
+        blob in prop::collection::vec(any::<u8>(), 0..4096),
+        chunk_bytes in 1usize..512,
+    ) {
+        prop_assert_eq!(run_transfer(&blob, chunk_bytes), blob);
+    }
+
+    #[test]
+    fn chunk_count_matches_enumeration(
+        len in 0usize..10_000,
+        chunk_bytes in 1usize..512,
+    ) {
+        let blob = vec![0xA5u8; len];
+        let total = chunk_count(len, chunk_bytes);
+        for i in 0..total {
+            prop_assert!(chunk(&blob, i, chunk_bytes).is_some());
+        }
+        prop_assert!(chunk(&blob, total, chunk_bytes).is_none());
+        let bytes: usize = (0..total)
+            .map(|i| chunk(&blob, i, chunk_bytes).expect("in range").payload.len())
+            .sum();
+        prop_assert_eq!(bytes, len);
+    }
+
+    #[test]
+    fn truncated_transfer_never_completes(
+        blob in prop::collection::vec(any::<u8>(), 64..2048),
+        chunk_bytes in 1usize..64,
+    ) {
+        let total = chunk_count(blob.len(), chunk_bytes);
+        prop_assume!(total >= 2);
+        let mut asm = Assembler::new(SnapDigest::of(&blob), chunk_bytes);
+        // Deliver every chunk but the last; the transfer must still be
+        // incomplete and waiting on exactly the missing index.
+        for i in 0..total - 1 {
+            let c = chunk(&blob, i, chunk_bytes).expect("in range");
+            match asm.accept(c.index, c.total, c.crc, c.payload).expect("clean chunk") {
+                Progress::Need(next) => prop_assert_eq!(next, i + 1),
+                Progress::Complete(_) => prop_assert!(false, "completed without final chunk"),
+            }
+        }
+        prop_assert_eq!(asm.next_index(), total - 1);
+    }
+
+    #[test]
+    fn bit_flipped_chunk_is_rejected_by_crc(
+        blob in prop::collection::vec(any::<u8>(), 1..2048),
+        chunk_bytes in 1usize..256,
+        pick in any::<u64>(),
+        bit in any::<u64>(),
+    ) {
+        let total = chunk_count(blob.len(), chunk_bytes);
+        let target = (pick % u64::from(total)) as u32;
+        // Drive the assembler up to the target chunk, then damage it.
+        let mut asm = Assembler::new(SnapDigest::of(&blob), chunk_bytes);
+        for i in 0..target {
+            let c = chunk(&blob, i, chunk_bytes).expect("in range");
+            prop_assert_eq!(
+                asm.accept(c.index, c.total, c.crc, c.payload).expect("clean chunk"),
+                Progress::Need(i + 1)
+            );
+        }
+        let c = chunk(&blob, target, chunk_bytes).expect("in range");
+        prop_assume!(!c.payload.is_empty());
+        let mut bad = c.payload.to_vec();
+        let flip = (bit % (bad.len() as u64 * 8)) as usize;
+        bad[flip / 8] ^= 1 << (flip % 8);
+        prop_assert_eq!(asm.accept(c.index, c.total, c.crc, &bad), Err(ChunkError::Corrupt));
+        // The clean chunk still lands afterwards: corruption is not
+        // sticky.
+        prop_assert!(asm.accept(c.index, c.total, c.crc, c.payload).is_ok());
+    }
+
+    #[test]
+    fn crc_fixed_flip_is_caught_by_digest(
+        blob in prop::collection::vec(any::<u8>(), 1..1024),
+        chunk_bytes in 1usize..128,
+        pick in any::<u64>(),
+        bit in any::<u64>(),
+    ) {
+        // An adversarial relay flips a payload bit and recomputes the
+        // per-chunk CRC. Per-chunk checks pass; the end-to-end digest
+        // must reject the assembled bytes (and reset the transfer).
+        let total = chunk_count(blob.len(), chunk_bytes);
+        let target = (pick % u64::from(total)) as u32;
+        let mut asm = Assembler::new(SnapDigest::of(&blob), chunk_bytes);
+        let mut completed = false;
+        for i in 0..total {
+            let c = chunk(&blob, i, chunk_bytes).expect("in range");
+            let (crc, payload) = if i == target && !c.payload.is_empty() {
+                let mut bad = c.payload.to_vec();
+                let flip = (bit % (bad.len() as u64 * 8)) as usize;
+                bad[flip / 8] ^= 1 << (flip % 8);
+                (crc32c(&bad), bad)
+            } else {
+                (c.crc, c.payload.to_vec())
+            };
+            match asm.accept(c.index, c.total, crc, &payload) {
+                Ok(Progress::Need(_)) => {}
+                Ok(Progress::Complete(out)) => {
+                    // Only legal if the flip never happened (empty
+                    // target payload).
+                    prop_assert_eq!(&out, &blob);
+                    completed = true;
+                }
+                Err(e) => {
+                    prop_assert_eq!(e, ChunkError::DigestMismatch);
+                    prop_assert_eq!(asm.next_index(), 0, "mismatch resets the transfer");
+                    completed = true;
+                }
+            }
+        }
+        prop_assert!(completed, "transfer neither completed nor detected damage");
+    }
+}
