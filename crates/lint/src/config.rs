@@ -18,6 +18,31 @@ pub struct CrateRules {
     pub rules: Vec<String>,
 }
 
+/// The `[flow]` section: which crates play which role in the
+/// cross-file flow analysis (see `crate::flow`).
+#[derive(Debug, Clone, Default)]
+pub struct FlowConfig {
+    /// Flow rule families/ids to enable (`handler_coverage`,
+    /// `effect_discipline`, `telemetry_registry`, `lock_order`).
+    pub rules: Vec<String>,
+    /// Enums whose variants need construction + core-handler coverage.
+    pub handler_enums: Vec<String>,
+    /// The effect enum every harness must apply in full.
+    pub effect_enum: String,
+    /// The trace-kind enum every telemetry match must cover.
+    pub trace_enum: String,
+    /// The counter struct whose `counters()` registry is checked.
+    pub metrics_struct: String,
+    /// The crate defining the protocol enums (handlers live here).
+    pub core: String,
+    /// Crates that each run the full effect loop.
+    pub harnesses: Vec<String>,
+    /// The crate defining Metrics/TraceKind and the exporters.
+    pub telemetry: String,
+    /// Crates whose lock acquisition orders are checked pairwise.
+    pub lock_order: Vec<String>,
+}
+
 /// The parsed configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -25,6 +50,8 @@ pub struct Config {
     pub crates: BTreeMap<String, CrateRules>,
     /// Enum names whose matches must be exhaustive (no `_ =>`).
     pub watched_enums: Vec<String>,
+    /// Cross-file flow analysis configuration.
+    pub flow: FlowConfig,
 }
 
 /// A parse failure with its line.
@@ -85,6 +112,23 @@ impl Config {
                 Some("protocol") if key == "watched_enums" => {
                     cfg.watched_enums = parse_string_array(value, lineno)?;
                 }
+                Some("flow") => match key {
+                    "rules" => cfg.flow.rules = parse_string_array(value, lineno)?,
+                    "handler_enums" => cfg.flow.handler_enums = parse_string_array(value, lineno)?,
+                    "effect_enum" => cfg.flow.effect_enum = parse_string(value, lineno)?,
+                    "trace_enum" => cfg.flow.trace_enum = parse_string(value, lineno)?,
+                    "metrics_struct" => cfg.flow.metrics_struct = parse_string(value, lineno)?,
+                    "core" => cfg.flow.core = parse_string(value, lineno)?,
+                    "harnesses" => cfg.flow.harnesses = parse_string_array(value, lineno)?,
+                    "telemetry" => cfg.flow.telemetry = parse_string(value, lineno)?,
+                    "lock_order" => cfg.flow.lock_order = parse_string_array(value, lineno)?,
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown flow key `{other}`"),
+                        })
+                    }
+                },
                 Some(s) if s.starts_with("crates.") => {
                     let krate = s.trim_start_matches("crates.").to_string();
                     let entry = cfg.crates.entry(krate).or_default();
@@ -197,5 +241,27 @@ rules = ["determinism", "sans_io"]
     fn junk_is_an_error() {
         assert!(Config::parse("wat\n").is_err());
         assert!(Config::parse("[crates.x]\npath = unquoted\n").is_err());
+    }
+
+    #[test]
+    fn parses_flow_section() {
+        let cfg = Config::parse(
+            "[flow]\nrules = [\"handler_coverage\", \"lock_order\"]\n\
+             handler_enums = [\"Message\", \"Timer\"]\neffect_enum = \"Effect\"\n\
+             trace_enum = \"TraceKind\"\nmetrics_struct = \"Metrics\"\ncore = \"vsr-core\"\n\
+             harnesses = [\"vsr-sim\", \"vsr-runtime\"]\ntelemetry = \"vsr-obs\"\n\
+             lock_order = [\"vsr-runtime\", \"vsr-net\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.flow.rules, ["handler_coverage", "lock_order"]);
+        assert_eq!(cfg.flow.core, "vsr-core");
+        assert_eq!(cfg.flow.harnesses, ["vsr-sim", "vsr-runtime"]);
+        assert_eq!(cfg.flow.lock_order, ["vsr-runtime", "vsr-net"]);
+    }
+
+    #[test]
+    fn unknown_flow_key_is_an_error() {
+        let err = Config::parse("[flow]\ncores = \"x\"\n").expect_err("rejects");
+        assert!(err.message.contains("unknown flow key"));
     }
 }

@@ -1,0 +1,826 @@
+//! Cross-file flow rules.
+//!
+//! Token rules check one file at a time; these passes check the shape
+//! of the *protocol loop* across crates, using the item-level facts
+//! from [`crate::parse`]:
+//!
+//! * `handler_coverage` — `dead_variant` / `unhandled_variant`: every
+//!   variant of a handler enum (`Message`, `Timer`) must be
+//!   constructed somewhere outside tests and matched by a handler in
+//!   the core crate. A variant nobody builds is dead protocol surface;
+//!   a variant no core handler matches is a silent drop.
+//! * `effect_discipline` — `effect_parity`: every `Effect` variant
+//!   must have an apply arm in *each* harness crate (the sim `World`
+//!   effect loop and the runtime cohort thread). Rust exhaustiveness
+//!   already forces full matches, so what this catches is the
+//!   wildcard-arm shortcut that silently ignores a new effect in one
+//!   harness only.
+//! * `telemetry_registry` — `counter_registry` / `trace_schema`: every
+//!   `u64` field of the `Metrics` struct must be registered in
+//!   `counters()` and incremented (or assigned) somewhere; every
+//!   `match` over `TraceKind` in the telemetry crate must name every
+//!   kind, and every kind-name string must appear in the exporters'
+//!   schema tables.
+//! * `lock_order` — `lock_order_inversion`: per crate, build each
+//!   function's guard-acquisition sequence from `.lock()` call sites
+//!   and flag lock pairs taken in opposite orders by two functions.
+//!
+//! Approximations are documented in DESIGN.md §10.2: handler/effect
+//! analysis keys on `Enum::Variant` paths (no type inference), counter
+//! sites key on field names, and lock order is intra-function with
+//! receiver-field names standing in for lock identity.
+
+use crate::config::FlowConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{EnumDef, ParsedFile, StructDef};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One analyzed file as the flow passes see it.
+pub struct FlowFile<'a> {
+    /// Workspace-relative path used in diagnostics.
+    pub display: &'a Path,
+    /// Token stream.
+    pub toks: &'a [Tok],
+    /// Test-region mask.
+    pub excluded: &'a [bool],
+    /// Item-level parse.
+    pub parsed: &'a ParsedFile,
+}
+
+/// The flow configuration used when linting standalone files (fixture
+/// tests, `vsr-lint FILE…`): the file plays every role, under the
+/// workspace's conventional names.
+pub fn single_file_config() -> FlowConfig {
+    FlowConfig {
+        rules: Vec::new(),
+        handler_enums: vec!["Message".to_string(), "Timer".to_string()],
+        effect_enum: "Effect".to_string(),
+        trace_enum: "TraceKind".to_string(),
+        metrics_struct: "Metrics".to_string(),
+        core: String::new(),
+        harnesses: vec![String::new()],
+        telemetry: String::new(),
+        lock_order: vec![String::new()],
+    }
+}
+
+/// Run the enabled flow rules over one standalone file, which serves
+/// as core, harness, telemetry, and lock-order domain at once.
+pub fn run_single_file(
+    display: &Path,
+    toks: &[Tok],
+    excluded: &[bool],
+    parsed: &ParsedFile,
+    enabled: &BTreeSet<&'static str>,
+) -> Vec<Diagnostic> {
+    let cfg = single_file_config();
+    let mut units = BTreeMap::new();
+    units.insert(String::new(), vec![FlowFile { display, toks, excluded, parsed }]);
+    // A standalone file can never fail role validation.
+    run(&cfg, enabled, &units).unwrap_or_default()
+}
+
+/// Run the enabled flow rules over the workspace's units. `units` maps
+/// crate name → its analyzed files; the roles in `cfg` must name keys
+/// of that map.
+pub fn run(
+    cfg: &FlowConfig,
+    enabled: &BTreeSet<&'static str>,
+    units: &BTreeMap<String, Vec<FlowFile>>,
+) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    let handler = enabled.contains("dead_variant") || enabled.contains("unhandled_variant");
+    if handler {
+        let core = role(units, &cfg.core, "flow.core")?;
+        for ename in &cfg.handler_enums {
+            handler_coverage(cfg, enabled, units, core, ename, &mut out);
+        }
+    }
+    if enabled.contains("effect_parity") {
+        let core = role(units, &cfg.core, "flow.core")?;
+        for h in &cfg.harnesses {
+            let files = role(units, h, "flow.harnesses")?;
+            effect_parity(&cfg.effect_enum, h, core, files, &mut out);
+        }
+    }
+    if enabled.contains("counter_registry") {
+        let telemetry = role(units, &cfg.telemetry, "flow.telemetry")?;
+        counter_registry(&cfg.metrics_struct, telemetry, units, &mut out);
+    }
+    if enabled.contains("trace_schema") {
+        let telemetry = role(units, &cfg.telemetry, "flow.telemetry")?;
+        trace_schema(&cfg.trace_enum, telemetry, &mut out);
+    }
+    if enabled.contains("lock_order_inversion") {
+        for krate in &cfg.lock_order {
+            let files = role(units, krate, "flow.lock_order")?;
+            lock_order(krate, files, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+fn role<'u, 'a>(
+    units: &'u BTreeMap<String, Vec<FlowFile<'a>>>,
+    name: &str,
+    key: &str,
+) -> Result<&'u [FlowFile<'a>], String> {
+    units.get(name).map(Vec::as_slice).ok_or_else(|| {
+        format!(
+            "{key}: crate `{name}` is not analyzed — it must appear in [crates.*] with a \
+             non-empty rule list"
+        )
+    })
+}
+
+fn mk(
+    path: &Path,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    note: &'static str,
+) -> Diagnostic {
+    Diagnostic { rule, file: path.to_path_buf(), line, message, note }
+}
+
+/// Find the (non-test) definition of `name` among `files`.
+fn find_enum<'a>(files: &'a [FlowFile], name: &str) -> Option<(&'a Path, &'a EnumDef)> {
+    files.iter().find_map(|f| {
+        f.parsed.enums.iter().find(|e| !e.excluded && e.name == name).map(|e| (f.display, e))
+    })
+}
+
+fn find_struct<'a>(files: &'a [FlowFile], name: &str) -> Option<(&'a FlowFile<'a>, &'a StructDef)> {
+    files.iter().find_map(|f| {
+        f.parsed.structs.iter().find(|s| !s.excluded && s.name == name).map(|s| (f, s))
+    })
+}
+
+/// Is token `i` in `f` the enum name of an `Enum::Variant` path to one
+/// of `variants`? Returns the variant name.
+fn variant_path<'a>(
+    f: &FlowFile,
+    i: usize,
+    ename: &str,
+    variants: &'a BTreeSet<&str>,
+) -> Option<&'a str> {
+    if !f.toks[i].is_ident(ename) {
+        return None;
+    }
+    if !matches!(f.toks.get(i + 1), Some(t) if t.is_punct("::")) {
+        return None;
+    }
+    // `<Enum>::Variant` and `Enum::<…>` do not occur in this codebase;
+    // a plain two-segment path is the construction/pattern shape.
+    let v = f.toks.get(i + 2)?;
+    if v.kind != TokKind::Ident {
+        return None;
+    }
+    variants.get(v.text.as_str()).copied()
+}
+
+// ------------------------------------------------------- handler_coverage
+
+fn handler_coverage(
+    cfg: &FlowConfig,
+    enabled: &BTreeSet<&'static str>,
+    units: &BTreeMap<String, Vec<FlowFile>>,
+    core: &[FlowFile],
+    ename: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((def_path, def)) = find_enum(core, ename) else { return };
+    let variants: BTreeSet<&str> = def.variants.iter().map(|(n, _)| n.as_str()).collect();
+    let mut constructed: BTreeSet<&str> = BTreeSet::new();
+    let mut matched: BTreeSet<&str> = BTreeSet::new();
+    for (unit, files) in units {
+        let is_core = unit == &cfg.core;
+        for f in files {
+            for i in 0..f.toks.len() {
+                if f.excluded[i] {
+                    continue;
+                }
+                let Some(v) = variant_path(f, i, ename, &variants) else { continue };
+                if f.parsed.pattern[i] {
+                    if is_core {
+                        matched.insert(v);
+                    }
+                } else {
+                    constructed.insert(v);
+                }
+            }
+        }
+    }
+    for (v, line) in &def.variants {
+        if enabled.contains("dead_variant") && !constructed.contains(v.as_str()) {
+            out.push(mk(
+                def_path,
+                *line,
+                "dead_variant",
+                format!("`{ename}::{v}` is constructed nowhere outside tests"),
+                "a variant no sender or timer-arm ever builds is dead protocol surface; \
+                 delete it or wire up its producer",
+            ));
+        }
+        if enabled.contains("unhandled_variant") && !matched.contains(v.as_str()) {
+            out.push(mk(
+                def_path,
+                *line,
+                "unhandled_variant",
+                format!("`{ename}::{v}` is never matched by a core handler"),
+                "every constructed variant must reach a pattern in the core state machine \
+                 (on_message / on_timer); an unmatched variant is a silent drop",
+            ));
+        }
+    }
+}
+
+// -------------------------------------------------------- effect_parity
+
+fn effect_parity(
+    ename: &str,
+    harness: &str,
+    core: &[FlowFile],
+    files: &[FlowFile],
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((def_path, def)) = find_enum(core, ename) else { return };
+    let variants: BTreeSet<&str> = def.variants.iter().map(|(n, _)| n.as_str()).collect();
+    let mut applied: BTreeSet<&str> = BTreeSet::new();
+    let mut anchor: Option<(PathBuf, u32)> = None;
+    for f in files {
+        for m in &f.parsed.matches {
+            if m.excluded {
+                continue;
+            }
+            let mut names_effect = false;
+            for arm in &m.arms {
+                for i in arm.pat.0..arm.pat.1 {
+                    if let Some(v) = variant_path(f, i, ename, &variants) {
+                        applied.insert(v);
+                        names_effect = true;
+                    }
+                }
+            }
+            if names_effect && anchor.is_none() {
+                anchor = Some((f.display.to_path_buf(), m.line));
+            }
+        }
+    }
+    let label = if harness.is_empty() { "this file".to_string() } else { format!("`{harness}`") };
+    let Some((anchor_path, anchor_line)) = anchor else {
+        out.push(mk(
+            def_path,
+            def.line,
+            "effect_parity",
+            format!("harness {label} has no `match` over `{ename}` — effects are never applied"),
+            "every harness must run the core's effect loop; a harness that applies nothing \
+             diverges from the simulation on the first effect",
+        ));
+        return;
+    };
+    for (v, _) in &def.variants {
+        if !applied.contains(v.as_str()) {
+            out.push(mk(
+                &anchor_path,
+                anchor_line,
+                "effect_parity",
+                format!("`{ename}::{v}` has no apply arm in harness {label}"),
+                "the sim World and the runtime cohort thread must apply the identical \
+                 effect set; a one-sided arm is silent sim/runtime divergence",
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------- telemetry_registry
+
+/// The fields `counters()` registers: every ident following `self .`
+/// in the body of a fn named `counters` in the telemetry unit.
+fn registered_fields(telemetry: &[FlowFile]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in telemetry {
+        for func in &f.parsed.fns {
+            if func.excluded || func.name != "counters" {
+                continue;
+            }
+            let (start, end) = func.body;
+            for i in start..end {
+                if f.toks[i].is_ident("self")
+                    && matches!(f.toks.get(i + 1), Some(t) if t.is_punct("."))
+                {
+                    if let Some(field) = f.toks.get(i + 2) {
+                        if field.kind == TokKind::Ident {
+                            out.insert(field.text.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does any analyzed file mutate `.{field}` via `+=` or plain `=`?
+/// Counter updates take both shapes: harness loops increment, while
+/// `Cluster::metrics()` assigns accumulated transport totals.
+fn has_increment_site(field: &str, units: &BTreeMap<String, Vec<FlowFile>>) -> bool {
+    for files in units.values() {
+        for f in files {
+            for i in 0..f.toks.len() {
+                if f.excluded[i] || !f.toks[i].is_ident(field) {
+                    continue;
+                }
+                if !matches!(i.checked_sub(1).and_then(|p| f.toks.get(p)), Some(t) if t.is_punct("."))
+                {
+                    continue;
+                }
+                match (f.toks.get(i + 1), f.toks.get(i + 2)) {
+                    (Some(a), Some(b)) if a.is_punct("+") && b.is_punct("=") => return true,
+                    (Some(a), Some(b)) if a.is_punct("=") && !b.is_punct("=") => return true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    false
+}
+
+fn counter_registry(
+    metrics_struct: &str,
+    telemetry: &[FlowFile],
+    units: &BTreeMap<String, Vec<FlowFile>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((def_file, def)) = find_struct(telemetry, metrics_struct) else { return };
+    let registered = registered_fields(telemetry);
+    for (field, ty, line) in &def.fields {
+        if ty != "u64" {
+            continue; // histograms and maps register derived entries
+        }
+        if !registered.contains(field) {
+            out.push(mk(
+                def_file.display,
+                *line,
+                "counter_registry",
+                format!(
+                    "counter field `{field}` is not registered in `{metrics_struct}::counters()`"
+                ),
+                "counters() is the exporters' schema: a counter outside it never reaches a \
+                 trace artifact or parity test",
+            ));
+        } else if !has_increment_site(field, units) {
+            out.push(mk(
+                def_file.display,
+                *line,
+                "counter_registry",
+                format!("counter `{field}` is registered but never incremented or assigned"),
+                "a registered counter nobody updates exports as a permanently-zero signal \
+                 and hides the instrumentation gap it was added to close",
+            ));
+        }
+    }
+}
+
+fn trace_schema(trace_enum: &str, telemetry: &[FlowFile], out: &mut Vec<Diagnostic>) {
+    let Some((def_path, def)) = find_enum(telemetry, trace_enum) else { return };
+    let variants: BTreeSet<&str> = def.variants.iter().map(|(n, _)| n.as_str()).collect();
+    // Every match over the trace enum must name every kind: the
+    // exporters and the timeline renderer all claim full coverage.
+    for f in telemetry {
+        for m in &f.parsed.matches {
+            if m.excluded {
+                continue;
+            }
+            let mut named: BTreeSet<&str> = BTreeSet::new();
+            for arm in &m.arms {
+                for i in arm.pat.0..arm.pat.1 {
+                    if let Some(v) = variant_path(f, i, trace_enum, &variants) {
+                        named.insert(v);
+                    }
+                }
+            }
+            if named.is_empty() {
+                continue;
+            }
+            let missing: Vec<&str> =
+                variants.iter().filter(|v| !named.contains(*v)).copied().collect();
+            if !missing.is_empty() {
+                out.push(mk(
+                    f.display,
+                    m.line,
+                    "trace_schema",
+                    format!(
+                        "`match` over `{trace_enum}` does not cover `{}`",
+                        missing.join("`, `")
+                    ),
+                    "exporters and renderers must handle every trace kind, or post-mortem \
+                     timelines silently drop events of the missing kinds",
+                ));
+            }
+        }
+    }
+    // Kind-name strings (the `name()` arm literals) must appear in at
+    // least one *other* telemetry file — that is where the exporters'
+    // schema tables (KIND_FIELDS) live. Only meaningful across files.
+    if telemetry.len() < 2 {
+        return;
+    }
+    let Some(def_file) = telemetry.iter().find(|f| f.display == def_path) else { return };
+    let mut kind_names: Vec<(String, u32)> = Vec::new();
+    for m in &def_file.parsed.matches {
+        if m.excluded {
+            continue;
+        }
+        for arm in &m.arms {
+            let names_trace = (arm.pat.0..arm.pat.1)
+                .any(|i| variant_path(def_file, i, trace_enum, &variants).is_some());
+            // The arm body's first token: pat.1 is the `=>`.
+            if let Some(body) = def_file.toks.get(arm.pat.1 + 1) {
+                if names_trace && body.kind == TokKind::Str {
+                    kind_names.push((body.text.clone(), body.line));
+                }
+            }
+        }
+    }
+    for (name, line) in kind_names {
+        let elsewhere = telemetry.iter().filter(|f| f.display != def_path).any(|f| {
+            f.toks
+                .iter()
+                .enumerate()
+                .any(|(i, t)| !f.excluded[i] && t.kind == TokKind::Str && t.text == name)
+        });
+        if !elsewhere {
+            out.push(mk(
+                def_path,
+                line,
+                "trace_schema",
+                format!("trace kind name \"{name}\" appears in no exporter schema table"),
+                "every kind name must be listed in the exporters' field tables \
+                 (KIND_FIELDS) or validate_jsonl will reject events of that kind",
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ lock_order
+
+/// One `A acquired while B held` edge, with its first site.
+struct LockEdge {
+    held: String,
+    taken: String,
+    func: String,
+    file: PathBuf,
+    line: u32,
+}
+
+/// Collect per-function guard-acquisition edges for one crate and flag
+/// pairwise-inconsistent orders. Lock identity is the receiver field
+/// name before `.lock()` (`self.metrics.lock()` → `metrics`), scoped
+/// per crate so same-named fields in different crates never alias.
+fn lock_order(krate: &str, files: &[FlowFile], out: &mut Vec<Diagnostic>) {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for f in files {
+        for func in &f.parsed.fns {
+            if func.excluded {
+                continue;
+            }
+            scan_fn_locks(f, func.name.as_str(), func.body, &mut edges);
+        }
+    }
+    // Deduplicate to the first site of each directed pair.
+    let mut first: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        first.entry((e.held.clone(), e.taken.clone())).or_insert(i);
+    }
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in &edges {
+        let fwd = (e.held.clone(), e.taken.clone());
+        let rev = (e.taken.clone(), e.held.clone());
+        let Some(&ri) = first.get(&rev) else { continue };
+        let key = if fwd.0 <= fwd.1 { fwd.clone() } else { rev.clone() };
+        if !reported.insert(key) {
+            continue;
+        }
+        // Anchor on the later-seen direction so the diagnostic lands
+        // on the function that deviates from the established order.
+        let (site, other) = if first[&fwd] > ri {
+            (&edges[first[&fwd]], &edges[ri])
+        } else {
+            (&edges[ri], &edges[first[&fwd]])
+        };
+        let label = if krate.is_empty() { String::new() } else { format!(" in `{krate}`") };
+        out.push(mk(
+            &site.file,
+            site.line,
+            "lock_order_inversion",
+            format!(
+                "`{}` locks `{}` while holding `{}`, but `{}` ({}:{}) acquires them in the \
+                 opposite order{label}",
+                site.func,
+                site.taken,
+                site.held,
+                other.func,
+                other.file.display(),
+                other.line
+            ),
+            "two functions taking the same pair of locks in opposite orders can deadlock \
+             under thread interleaving; pick one global acquisition order",
+        ));
+    }
+}
+
+/// Walk one function body, tracking which lock receivers are plausibly
+/// held at each `.lock()` site.
+///
+/// Scope model: `let g = ….lock();` binds the guard until its enclosing
+/// block closes — but only when `.lock()` is the *terminal* call of the
+/// initializer with no leading `*`: `let n = *m.lock();` copies out and
+/// `let v = m.lock().remove(k);` binds the chained call's result, so in
+/// both the guard is a temporary dying at the `;`. Unbound guards
+/// (`self.metrics.lock().x += 1`) likewise die at the `;`, except
+/// match/if/for head temporaries, which live through the block they
+/// open. `drop(guard_name)` releases the most recent lock bound to that
+/// name. This is intra-function only — locks held across calls are
+/// invisible, which is the documented approximation.
+fn scan_fn_locks(f: &FlowFile, func: &str, body: (usize, usize), edges: &mut Vec<LockEdge>) {
+    // Each scope holds (receiver name, binding name if let-bound).
+    let mut scopes: Vec<Vec<(String, Option<String>)>> = vec![Vec::new()];
+    // Statement temporaries: (receiver, token index of `.lock()`'s `)`).
+    let mut stmt: Vec<(String, usize)> = Vec::new();
+    let mut stmt_let: Option<String> = None; // binding name of the current `let`
+    let mut stmt_deref = false; // initializer starts with `*` (copies out)
+    let mut i = body.0 + 1;
+    while i < body.1 {
+        let t = &f.toks[i];
+        if t.is_punct("{") {
+            // Statement temporaries live through the block they open
+            // (match scrutinees, if conditions): move them into the
+            // new scope so they die at its close.
+            let moved = std::mem::take(&mut stmt);
+            scopes.push(moved.into_iter().map(|(r, _)| (r, None)).collect());
+            stmt_let = None;
+        } else if t.is_punct("}") {
+            scopes.pop();
+            if scopes.is_empty() {
+                scopes.push(Vec::new());
+            }
+            stmt.clear();
+            stmt_let = None;
+        } else if t.is_punct(";") {
+            // A guard binds into the block scope only when its `)` sits
+            // directly before this `;` (terminal `.lock()`) and nothing
+            // dereferenced it; every other guard is a temporary and
+            // dies here.
+            let bind = stmt_let.take();
+            if let Some(top) = scopes.last_mut() {
+                for (r, close) in stmt.drain(..) {
+                    if let Some(bind) = bind.as_ref().filter(|_| !stmt_deref && close + 1 == i) {
+                        top.push((r, Some(bind.clone())));
+                    }
+                }
+            }
+            stmt_deref = false;
+        } else if t.is_punct("=") && stmt_let.is_some() {
+            stmt_deref = matches!(f.toks.get(i + 1), Some(x) if x.is_punct("*"));
+        } else if t.is_ident("let") {
+            // Record the binding name (first plain ident of the pattern).
+            stmt_let = f.toks.get(i + 1).and_then(|x| {
+                if x.is_ident("mut") {
+                    f.toks.get(i + 2).map(|y| y.text.clone())
+                } else if x.kind == TokKind::Ident {
+                    Some(x.text.clone())
+                } else {
+                    None
+                }
+            });
+            stmt_deref = false;
+        } else if t.is_ident("drop")
+            && matches!(f.toks.get(i + 1), Some(x) if x.is_punct("("))
+            && matches!(f.toks.get(i + 3), Some(x) if x.is_punct(")"))
+        {
+            if let Some(name) = f.toks.get(i + 2) {
+                if name.kind == TokKind::Ident {
+                    for scope in scopes.iter_mut().rev() {
+                        if let Some(pos) =
+                            scope.iter().rposition(|(_, b)| b.as_deref() == Some(&name.text))
+                        {
+                            scope.remove(pos);
+                            break;
+                        }
+                    }
+                }
+            }
+        } else if t.is_ident("lock")
+            && matches!(f.toks.get(i + 1), Some(x) if x.is_punct("("))
+            && matches!(f.toks.get(i + 2), Some(x) if x.is_punct(")"))
+            && matches!(i.checked_sub(1).and_then(|p| f.toks.get(p)), Some(x) if x.is_punct("."))
+        {
+            // Receiver: the ident before the `.` (`self.metrics.lock()`
+            // → `metrics`). A call-result receiver has no stable name;
+            // skip it.
+            let recv = i
+                .checked_sub(2)
+                .and_then(|p| f.toks.get(p))
+                .filter(|x| x.kind == TokKind::Ident && !x.is_ident("self"))
+                .map(|x| x.text.clone());
+            if let Some(recv) = recv {
+                // Record edges from every held lock (scoped + statement
+                // temporaries) to the new acquisition.
+                for (held, _) in scopes.iter().flatten() {
+                    if held != &recv {
+                        edges.push(LockEdge {
+                            held: held.clone(),
+                            taken: recv.clone(),
+                            func: func.to_string(),
+                            file: f.display.to_path_buf(),
+                            line: t.line,
+                        });
+                    }
+                }
+                for (held, _) in &stmt {
+                    if held != &recv {
+                        edges.push(LockEdge {
+                            held: held.clone(),
+                            taken: recv.clone(),
+                            func: func.to_string(),
+                            file: f.display.to_path_buf(),
+                            line: t.line,
+                        });
+                    }
+                }
+                stmt.push((recv, i + 2));
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_regions};
+    use crate::parse::parse;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str, rules: &[&str]) -> Vec<Diagnostic> {
+        let file = lex(src);
+        let excluded = test_regions(&file.tokens);
+        let parsed = parse(&file.tokens, &excluded);
+        let enabled: BTreeSet<&'static str> =
+            crate::rules::expand_rules(&rules.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .expect("known rules");
+        run_single_file(&PathBuf::from("t.rs"), &file.tokens, &excluded, &parsed, &enabled)
+    }
+
+    #[test]
+    fn dead_variant_flags_unconstructed() {
+        let src = "enum Message { Used, Dead }\n\
+                   fn send() -> Message { Message::Used }\n\
+                   fn on_message(m: Message) { match m { Message::Used => go(), Message::Dead => go() } }";
+        let d = run_on(src, &["handler_coverage"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "dead_variant");
+        assert!(d[0].message.contains("Message::Dead"));
+    }
+
+    #[test]
+    fn unhandled_variant_flags_unmatched() {
+        let src = "enum Timer { Tick, Orphan }\n\
+                   fn arm() { set(Timer::Tick); set(Timer::Orphan); }\n\
+                   fn on_timer(t: Timer) { match t { Timer::Tick => fire(), Timer::Orphan => fire() } }\n\
+                   fn only_tick(t: &Timer) -> bool { matches!(t, Timer::Tick) }";
+        assert!(run_on(src, &["handler_coverage"]).is_empty());
+        let bad = src.replace(", Timer::Orphan => fire()", "");
+        let d = run_on(&bad, &["handler_coverage"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "unhandled_variant");
+        assert!(d[0].message.contains("Timer::Orphan"));
+    }
+
+    #[test]
+    fn test_only_constructions_do_not_count() {
+        let src = "enum Message { A }\n\
+                   fn on_message(m: Message) { match m { Message::A => go() } }\n\
+                   #[cfg(test)]\nmod t { fn c() -> Message { Message::A } }";
+        let d = run_on(src, &["handler_coverage"]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "dead_variant");
+    }
+
+    #[test]
+    fn effect_parity_flags_wildcard_gap() {
+        let src = "enum Effect { Send, SetTimer, Observe }\n\
+                   fn apply(e: Effect) { match e { Effect::Send => s(), Effect::Observe => o(), _ => {} } }";
+        let d = run_on(src, &["effect_discipline"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "effect_parity");
+        assert!(d[0].message.contains("Effect::SetTimer"));
+    }
+
+    #[test]
+    fn effect_parity_accepts_full_coverage_across_matches() {
+        let src = "enum Effect { Send, Observe }\n\
+                   fn apply_net(e: &Effect) { match e { Effect::Send => s(), _ => {} } }\n\
+                   fn apply_rest(e: Effect) { match e { Effect::Observe => o(), Effect::Send => s() } }";
+        assert!(run_on(src, &["effect_discipline"]).is_empty());
+    }
+
+    #[test]
+    fn counter_registry_flags_unregistered_and_unincremented() {
+        let src = "struct Metrics { hits: u64, misses: u64, silent: u64 }\n\
+                   impl Metrics { fn counters(&self) -> V { vec![(\"hits\", self.hits), (\"misses\", self.misses)] } }\n\
+                   fn bump(m: &mut Metrics) { m.hits += 1; m.misses = m.misses.max(1); }";
+        let d = run_on(src, &["telemetry_registry"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "counter_registry");
+        assert!(d[0].message.contains("`silent`"));
+        assert!(d[0].message.contains("not registered"));
+    }
+
+    #[test]
+    fn counter_registry_flags_never_incremented() {
+        let src = "struct Metrics { hits: u64 }\n\
+                   impl Metrics { fn counters(&self) -> V { vec![(\"hits\", self.hits)] } }\n\
+                   fn read(m: &Metrics) -> u64 { m.hits }";
+        let d = run_on(src, &["telemetry_registry"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never incremented"));
+    }
+
+    #[test]
+    fn comparison_is_not_an_increment_site() {
+        let src = "struct Metrics { hits: u64 }\n\
+                   impl Metrics { fn counters(&self) -> V { vec![(\"hits\", self.hits)] } }\n\
+                   fn check(m: &Metrics) -> bool { m.hits == 3 }";
+        let d = run_on(src, &["telemetry_registry"]);
+        assert_eq!(d.len(), 1, "`==` must not satisfy the increment check: {d:?}");
+    }
+
+    #[test]
+    fn trace_schema_flags_partial_exporter_match() {
+        let src = "enum TraceKind { Send, Recv }\n\
+                   fn export(k: &TraceKind) -> u32 { match k { TraceKind::Send => 1, TraceKind::Recv => 2 } }\n\
+                   fn partial(k: &TraceKind) -> u32 { match k { TraceKind::Send => 1, _ => 0 } }";
+        let d = run_on(src, &["telemetry_registry"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "trace_schema");
+        assert!(d[0].message.contains("Recv"));
+    }
+
+    #[test]
+    fn lock_order_inversion_flags_opposite_orders() {
+        let src = "fn a(s: &S) { let g1 = s.store.lock(); let g2 = s.metrics.lock(); use2(g1, g2); }\n\
+                   fn b(s: &S) { let g2 = s.metrics.lock(); let g1 = s.store.lock(); use2(g1, g2); }";
+        let d = run_on(src, &["lock_order"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock_order_inversion");
+        assert!(d[0].message.contains("opposite order"));
+    }
+
+    #[test]
+    fn consistent_order_and_scoped_release_are_clean() {
+        // `a` drops its store guard (block close) before metrics;
+        // `b` takes metrics alone — no pair is ever held both ways.
+        let src = "fn a(s: &S) { { let g = s.store.lock(); g.put(); } let m = s.metrics.lock(); m.bump(); }\n\
+                   fn b(s: &S) { let m = s.metrics.lock(); m.bump(); let g = s.store.lock(); g.put(); }";
+        assert!(run_on(src, &["lock_order"]).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn a(s: &S) { let g = s.store.lock(); drop(g); let m = s.metrics.lock(); m.bump(); }\n\
+                   fn b(s: &S) { let m = s.metrics.lock(); drop(m); let g = s.store.lock(); g.put(); }";
+        assert!(run_on(src, &["lock_order"]).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_guard_dies_at_semicolon() {
+        let src = "fn a(s: &S) { s.store.lock().put(); let m = s.metrics.lock(); m.bump(); }\n\
+                   fn b(s: &S) { s.metrics.lock().bump(); let g = s.store.lock(); g.put(); }";
+        assert!(run_on(src, &["lock_order"]).is_empty());
+    }
+
+    #[test]
+    fn deref_copy_and_chained_call_do_not_bind_the_guard() {
+        // Regression for Cluster::metrics / teardown_endpoint: in
+        // `let t = *s.base.lock();` the guard is a temporary behind a
+        // deref copy, and in `let e = s.endpoints.lock().remove(&k);`
+        // the binding holds the chained call's result — neither keeps
+        // the lock past the `;`, so these orders never actually invert.
+        let src = "fn a(s: &S) { let t = *s.base.lock(); for e in s.endpoints.lock().values() { t.add(e); } }\n\
+                   fn b(s: &S) { let e = s.endpoints.lock().remove(&k); s.base.lock().add(e); }";
+        assert!(run_on(src, &["lock_order"]).is_empty());
+    }
+
+    #[test]
+    fn terminal_lock_binding_still_holds_across_statements() {
+        let src = "fn a(s: &S) { let g = s.base.lock(); s.endpoints.lock().clear(); g.bump(); }\n\
+                   fn b(s: &S) { let g = s.endpoints.lock(); s.base.lock().clear(); g.bump(); }";
+        let d = run_on(src, &["lock_order"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock_order_inversion");
+    }
+}

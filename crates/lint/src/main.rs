@@ -1,19 +1,22 @@
 //! CLI for the workspace lint gate.
 //!
 //! ```text
-//! vsr-lint --workspace [--config PATH] [--json]
-//! vsr-lint --rules FAMILY[,FAMILY…] [--watched Enum,…] [--json] FILE…
+//! vsr-lint --workspace [--config PATH] [--rule NAME[,…]] [--json]
+//! vsr-lint --rules FAMILY[,FAMILY…] [--watched Enum,…] [--rule NAME[,…]] [--json] FILE…
 //! ```
 //!
-//! The first form lints every crate `lint.toml` names and is what CI
-//! runs. The second lints individual files with an explicit rule set —
-//! it exists for the fixture self-tests and for poking at a rule by
-//! hand. Exit codes: 0 clean, 1 diagnostics found, 2 usage/config
-//! error.
+//! The first form lints every crate `lint.toml` names (token rules per
+//! crate, flow rules across them) and is what CI runs. The second
+//! lints individual files with an explicit rule set — it exists for
+//! the fixture self-tests and for poking at a rule by hand; in that
+//! mode each file stands in for every flow role. `--rule` filters the
+//! *output* to the named families or rule ids (CI log triage); `--json`
+//! emits a summary object with per-family counts. Exit codes: 0 clean,
+//! 1 diagnostics found, 2 usage/config error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use vsr_lint::{config::Config, load_config, rules, run_workspace};
+use vsr_lint::{config::Config, diag::Diagnostic, lint_file, load_config, rules, run_workspace};
 
 struct Args {
     workspace: bool,
@@ -21,6 +24,7 @@ struct Args {
     config: Option<PathBuf>,
     rules: Vec<String>,
     watched: Vec<String>,
+    rule_filter: Vec<String>,
     files: Vec<PathBuf>,
 }
 
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         rules: Vec::new(),
         watched: Vec::new(),
+        rule_filter: Vec::new(),
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -50,9 +55,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--watched needs a comma-separated list")?;
                 args.watched.extend(v.split(',').map(|s| s.trim().to_string()));
             }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a rule or family name")?;
+                args.rule_filter.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
             "--help" | "-h" => {
-                return Err("usage: vsr-lint --workspace [--config PATH] [--json]\n\
-                                   vsr-lint --rules FAMILY[,…] [--watched Enum,…] FILE…"
+                return Err("usage: vsr-lint --workspace [--config PATH] [--rule NAME[,…]] [--json]\n\
+                                   vsr-lint --rules FAMILY[,…] [--watched Enum,…] [--rule NAME[,…]] FILE…"
                     .to_string());
             }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -63,6 +72,47 @@ fn parse_args() -> Result<Args, String> {
         return Err("pass --workspace or at least one file (see --help)".to_string());
     }
     Ok(args)
+}
+
+/// Keep only diagnostics matching the `--rule` names (families, rule
+/// ids, or `lint_directive`).
+fn apply_filter(diags: Vec<Diagnostic>, filter: &[String]) -> Result<Vec<Diagnostic>, String> {
+    if filter.is_empty() {
+        return Ok(diags);
+    }
+    let mut keep_directive = false;
+    let mut names = Vec::new();
+    for f in filter {
+        if f == "lint_directive" {
+            keep_directive = true;
+        } else {
+            names.push(f.clone());
+        }
+    }
+    let ids = rules::expand_rules(&names)?;
+    Ok(diags
+        .into_iter()
+        .filter(|d| ids.contains(d.rule) || (keep_directive && d.rule == "lint_directive"))
+        .collect())
+}
+
+/// The `--json` summary: per-family counts plus the findings array.
+fn render_json_summary(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"counts\": {");
+    let families: Vec<&str> =
+        rules::FAMILIES.iter().map(|(f, _)| *f).chain(std::iter::once("lint_directive")).collect();
+    for (i, family) in families.iter().enumerate() {
+        let n = diags.iter().filter(|d| rules::family_of(d.rule) == *family).count();
+        let comma = if i + 1 < families.len() { "," } else { "" };
+        s.push_str(&format!("\n    \"{family}\": {n}{comma}"));
+    }
+    s.push_str(&format!("\n  }},\n  \"total\": {},\n  \"findings\": [", diags.len()));
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 < diags.len() { "," } else { "" };
+        s.push_str(&format!("\n    {}{comma}", d.render_json()));
+    }
+    s.push_str("\n  ]\n}");
+    s
 }
 
 fn main() -> ExitCode {
@@ -125,18 +175,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            out.extend(rules::lint_source(file, &src, &enabled, &args.watched));
+            out.extend(lint_file(file, &src, &enabled, &args.watched));
         }
         out
     };
 
-    if args.json {
-        println!("[");
-        for (i, d) in diags.iter().enumerate() {
-            let comma = if i + 1 < diags.len() { "," } else { "" };
-            println!("  {}{comma}", d.render_json());
+    let diags = match apply_filter(diags, &args.rule_filter) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("vsr-lint: --rule: {e}");
+            return ExitCode::from(2);
         }
-        println!("]");
+    };
+
+    if args.json {
+        println!("{}", render_json_summary(&diags));
     } else {
         for d in &diags {
             eprintln!("{}", d.render());

@@ -27,16 +27,35 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, test_regions, SourceFile, Tok, TokKind};
+use crate::parse::{parse, ParsedFile};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-/// Rule families, in the order `lint.toml` names them.
+/// Rule families, in the order `lint.toml` names them. The first four
+/// are per-file token rules; the last four are the cross-file flow
+/// rules in [`crate::flow`], enabled through the `[flow]` section (or
+/// per-file with the file standing in for every role).
 pub const FAMILIES: &[(&str, &[&str])] = &[
     ("determinism", &["wall_clock", "os_thread", "thread_rng", "hash_collections"]),
     ("sans_io", &["fs_io", "net_io", "print_io"]),
     ("protocol_shape", &["wildcard_match"]),
     ("error_discipline", &["unwrap_used", "expect_used", "discarded_result"]),
+    ("handler_coverage", &["dead_variant", "unhandled_variant"]),
+    ("effect_discipline", &["effect_parity"]),
+    ("telemetry_registry", &["counter_registry", "trace_schema"]),
+    ("lock_order", &["lock_order_inversion"]),
 ];
+
+/// The family a rule id belongs to (`lint_directive` hygiene findings
+/// report under their own name).
+pub fn family_of(rule: &str) -> &'static str {
+    for (family, rules) in FAMILIES {
+        if rules.contains(&rule) {
+            return family;
+        }
+    }
+    "lint_directive"
+}
 
 /// Expand family names (or individual rule ids) into the rule id set.
 /// Returns an error naming the first unknown entry.
@@ -58,8 +77,10 @@ pub fn expand_rules(names: &[String]) -> Result<BTreeSet<&'static str>, String> 
     Ok(out)
 }
 
-/// Lint one file's source text. `display_path` is what diagnostics
-/// print (workspace-relative); `enabled` is the expanded rule set.
+/// Lint one file's source text with the token rules only.
+/// `display_path` is what diagnostics print (workspace-relative);
+/// `enabled` is the expanded rule set. Flow rules need unit context —
+/// use [`crate::lint_file`] to get both on a standalone file.
 pub fn lint_source(
     display_path: &Path,
     src: &str,
@@ -68,8 +89,23 @@ pub fn lint_source(
 ) -> Vec<Diagnostic> {
     let file = lex(src);
     let excluded = test_regions(&file.tokens);
+    let parsed = parse(&file.tokens, &excluded);
+    let raw = token_rules(display_path, &file.tokens, &excluded, &parsed, enabled, watched_enums);
+    apply_suppressions(display_path, &file, raw)
+}
+
+/// Run the per-file token rules, returning raw (unsuppressed)
+/// diagnostics so callers can merge in flow findings before applying
+/// the file's allow directives.
+pub fn token_rules(
+    display_path: &Path,
+    toks: &[Tok],
+    excluded: &[bool],
+    parsed: &ParsedFile,
+    enabled: &BTreeSet<&'static str>,
+    watched_enums: &[String],
+) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
-    let toks = &file.tokens;
 
     for i in 0..toks.len() {
         if excluded[i] {
@@ -209,10 +245,10 @@ pub fn lint_source(
     }
 
     if enabled.contains("wildcard_match") && !watched_enums.is_empty() {
-        check_matches(display_path, toks, &excluded, watched_enums, &mut raw);
+        check_matches(display_path, toks, parsed, watched_enums, &mut raw);
     }
 
-    apply_suppressions(display_path, &file, raw)
+    raw
 }
 
 fn mk(
@@ -261,31 +297,23 @@ fn peek2(toks: &[Tok], i: usize) -> Option<&str> {
 
 // ---------------------------------------------------------------- matches
 
-/// One parsed match arm: its pattern tokens (indices into the stream)
-/// and the line the pattern starts on.
-struct Arm {
-    pat: (usize, usize),
-    line: u32,
-    guarded: bool,
-}
-
 /// Scan every `match` expression; flag unguarded `_ =>` arms in
 /// matches whose patterns reference a watched enum.
 fn check_matches(
     path: &Path,
     toks: &[Tok],
-    excluded: &[bool],
+    parsed: &ParsedFile,
     watched: &[String],
     out: &mut Vec<Diagnostic>,
 ) {
-    for i in 0..toks.len() {
-        if excluded[i] || !toks[i].is_ident("match") {
+    for m in &parsed.matches {
+        if m.excluded {
             continue;
         }
-        let Some(arms) = parse_arms(toks, i) else { continue };
+        let arms = &m.arms;
         // Which watched enums do the arm patterns name?
         let mut named: Vec<&str> = Vec::new();
-        for arm in &arms {
+        for arm in arms {
             for k in arm.pat.0..arm.pat.1 {
                 if toks[k].kind == TokKind::Ident
                     && matches!(toks.get(k + 1), Some(n) if n.is_punct("::"))
@@ -299,7 +327,7 @@ fn check_matches(
         if named.is_empty() {
             continue;
         }
-        for arm in &arms {
+        for arm in arms {
             let width = arm.pat.1 - arm.pat.0;
             if arm.guarded || width != 1 {
                 continue;
@@ -319,125 +347,13 @@ fn check_matches(
     }
 }
 
-/// Parse the arms of the `match` whose keyword is at index `i`.
-/// Returns None when `i` does not begin a well-formed match expression.
-fn parse_arms(toks: &[Tok], i: usize) -> Option<Vec<Arm>> {
-    // Scrutinee: everything up to the first `{` at bracket depth 0.
-    let mut j = i + 1;
-    let mut depth = 0i32;
-    loop {
-        let t = toks.get(j)?;
-        if t.is_punct("(") || t.is_punct("[") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") {
-            depth -= 1;
-            if depth < 0 {
-                return None;
-            }
-        } else if t.is_punct("{") && depth == 0 {
-            break;
-        } else if t.is_punct(";") && depth == 0 {
-            return None;
-        }
-        j += 1;
-    }
-
-    #[derive(PartialEq)]
-    enum State {
-        Pat,
-        Body,
-        AfterBlock,
-    }
-    let mut arms = Vec::new();
-    let mut d = 1i32; // inside the match braces
-    let mut state = State::Pat;
-    let mut pat_start = j + 1;
-    let mut guarded = false;
-    let mut body_first = false; // next Body token is the body's first
-    let mut body_is_block = false; // body began with `{` (may omit the comma)
-    let mut k = j + 1;
-    while let Some(t) = toks.get(k) {
-        let opens = t.is_punct("{") || t.is_punct("(") || t.is_punct("[");
-        let closes = t.is_punct("}") || t.is_punct(")") || t.is_punct("]");
-        match state {
-            State::Pat => {
-                if t.is_punct("=>") && d == 1 {
-                    arms.push(Arm { pat: (pat_start, k), line: toks[pat_start].line, guarded });
-                    guarded = false;
-                    state = State::Body;
-                    body_first = true;
-                    body_is_block = false;
-                } else if t.is_ident("if") && d == 1 {
-                    guarded = true;
-                } else if t.is_punct("}") && d == 1 {
-                    break; // trailing comma then close
-                }
-            }
-            State::Body => {
-                // Only a body that *starts* with `{` is a block body
-                // (allowed to omit its trailing comma); a `{` later in
-                // an expression body is a struct literal / nested block
-                // and the depth counter alone tracks it.
-                if body_first && t.is_punct("{") {
-                    body_is_block = true;
-                }
-                body_first = false;
-                if t.is_punct(",") && d == 1 {
-                    state = State::Pat;
-                    pat_start = k + 1;
-                } else if t.is_punct("}") && d == 1 {
-                    break; // body runs to the match close
-                }
-            }
-            State::AfterBlock => {
-                if t.is_punct(",") {
-                    state = State::Pat;
-                    pat_start = k + 1;
-                    k += 1;
-                    continue;
-                } else if t.is_punct("}") && d == 1 {
-                    break;
-                } else {
-                    state = State::Pat;
-                    pat_start = k;
-                    // Re-examine this token as pattern start.
-                    continue;
-                }
-            }
-        }
-        if opens {
-            d += 1;
-        }
-        if closes {
-            d -= 1;
-            if d == 0 {
-                break;
-            }
-            if state == State::Body && body_is_block && d == 1 {
-                state = State::AfterBlock;
-                body_is_block = false;
-            }
-        }
-        k += 1;
-    }
-    // Guards were flagged but their tokens remain inside `pat`; narrow
-    // each guarded pattern to the tokens before its `if`.
-    for arm in &mut arms {
-        if arm.guarded {
-            if let Some(off) = toks[arm.pat.0..arm.pat.1].iter().position(|t| t.is_ident("if")) {
-                arm.pat.1 = arm.pat.0 + off;
-            }
-        }
-    }
-    Some(arms)
-}
-
 // ----------------------------------------------------------- suppression
 
 /// Apply allow/allow-file directives, and turn directive hygiene
 /// problems (malformed, reason-less, or unused allows) into
-/// diagnostics of their own.
-fn apply_suppressions(path: &Path, file: &SourceFile, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// diagnostics of their own. Callers merge token and flow findings for
+/// a file first, so an allow consumed by either kind counts as used.
+pub fn apply_suppressions(path: &Path, file: &SourceFile, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut used = vec![false; file.allows.len()];
     let mut out: Vec<Diagnostic> = Vec::new();
     for d in raw {

@@ -1,0 +1,21 @@
+// Fixture: triggers exactly one `counter_registry` diagnostic — the
+// `drops` counter is incremented but missing from `counters()`, so it
+// would never reach an exporter.
+
+pub struct Metrics {
+    pub frames: u64,
+    pub drops: u64,
+}
+
+impl Metrics {
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("frames", self.frames)]
+    }
+
+    pub fn record_frame(&mut self, dropped: bool) {
+        self.frames += 1;
+        if dropped {
+            self.drops += 1;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: triggers exactly one `dead_variant` diagnostic — the file
+// stands in for every flow role, defines the handler enum `Message`,
+// matches both variants in its handler, but only ever constructs
+// `Ping`; `Ghost` is dead protocol surface.
+
+pub enum Message {
+    Ping,
+    Ghost,
+}
+
+pub fn on_message(m: Message) -> u32 {
+    match m {
+        Message::Ping => 1,
+        Message::Ghost => 2,
+    }
+}
+
+pub fn heartbeat() -> Message {
+    Message::Ping
+}

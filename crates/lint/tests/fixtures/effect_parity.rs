@@ -1,0 +1,20 @@
+// Fixture: triggers exactly one `effect_parity` diagnostic — the
+// harness effect loop names `Send` and `SetTimer` but has no apply
+// arm for `Commit`, the wildcard-shortcut gap the rule exists for.
+
+pub enum Effect {
+    Send,
+    SetTimer,
+    Commit,
+}
+
+pub fn apply(effects: Vec<Effect>) -> u32 {
+    let mut applied = 0;
+    for e in effects {
+        applied += match e {
+            Effect::Send => 1,
+            Effect::SetTimer => 2,
+        };
+    }
+    applied
+}

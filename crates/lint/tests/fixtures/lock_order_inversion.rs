@@ -1,0 +1,15 @@
+// Fixture: triggers exactly one `lock_order_inversion` diagnostic —
+// `flush` takes log before stats, `report` takes stats before log;
+// under thread interleaving the pair can deadlock.
+
+pub fn flush(s: &Shared) {
+    let log = s.log.lock();
+    let mut stats = s.stats.lock();
+    stats.note(log.len());
+}
+
+pub fn report(s: &Shared) -> String {
+    let stats = s.stats.lock();
+    let log = s.log.lock();
+    stats.render(log.len())
+}

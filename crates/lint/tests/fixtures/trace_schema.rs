@@ -1,0 +1,14 @@
+// Fixture: triggers exactly one `trace_schema` diagnostic — the
+// exporter's match over `TraceKind` names `Send` but not `Recv`, so
+// recv events would vanish from the rendered timeline.
+
+pub enum TraceKind {
+    Send,
+    Recv,
+}
+
+pub fn name(k: &TraceKind) -> &'static str {
+    match k {
+        TraceKind::Send => "send",
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: triggers exactly one `unhandled_variant` diagnostic — both
+// `Message` variants are constructed, but the core handler only
+// matches `Ping`; a `Gone` on the wire is silently dropped.
+
+pub enum Message {
+    Ping,
+    Gone,
+}
+
+pub fn on_message(m: Message) -> u32 {
+    match m {
+        Message::Ping => 1,
+    }
+}
+
+pub fn send_both(out: &mut Vec<Message>) {
+    out.push(Message::Ping);
+    out.push(Message::Gone);
+}

@@ -1,13 +1,23 @@
-//! Fixture-backed tests for every lint rule, plus the two gate-level
-//! guarantees CI relies on: the real workspace lints clean, and the
-//! CLI exits nonzero when it finds anything.
+//! Fixture-backed tests for every lint rule, plus the gate-level
+//! guarantees CI relies on: the real workspace lints clean under all
+//! eight families, lint.toml cannot go stale, and the CLI's exit
+//! codes, `--rule` filter, and `--json` summary behave.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use vsr_lint::{load_config, rules, run_workspace};
+use vsr_lint::{check_membership, lint_file, load_config, rules, run_workspace};
 
-const ALL_FAMILIES: &[&str] = &["determinism", "sans_io", "protocol_shape", "error_discipline"];
+const ALL_FAMILIES: &[&str] = &[
+    "determinism",
+    "sans_io",
+    "protocol_shape",
+    "error_discipline",
+    "handler_coverage",
+    "effect_discipline",
+    "telemetry_registry",
+    "lock_order",
+];
 
 fn fixture_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
@@ -20,12 +30,12 @@ fn lint_fixture(name: &str) -> Vec<vsr_lint::diag::Diagnostic> {
         rules::expand_rules(&ALL_FAMILIES.iter().map(|s| s.to_string()).collect::<Vec<_>>())
             .expect("families expand");
     let watched = vec!["Message".to_string(), "FaultEvent".to_string()];
-    rules::lint_source(&path, &src, &enabled, &watched)
+    lint_file(&path, &src, &enabled, &watched)
 }
 
 /// Every fixture triggers exactly the one rule it is named after,
-/// even with every family enabled at once — proving the rules don't
-/// bleed into each other.
+/// even with every family — token and flow — enabled at once, proving
+/// the rules don't bleed into each other.
 #[test]
 fn each_fixture_triggers_exactly_its_rule() {
     let cases = [
@@ -41,6 +51,12 @@ fn each_fixture_triggers_exactly_its_rule() {
         "expect_used",
         "discarded_result",
         "lint_directive",
+        "dead_variant",
+        "unhandled_variant",
+        "effect_parity",
+        "counter_registry",
+        "trace_schema",
+        "lock_order_inversion",
     ];
     for rule in cases {
         let diags = lint_fixture(&format!("{rule}.rs"));
@@ -67,7 +83,8 @@ fn clean_fixture_is_clean() {
 }
 
 /// The gate CI actually runs: the workspace's own crates, under the
-/// checked-in lint.toml, produce zero diagnostics.
+/// checked-in lint.toml with all eight families enabled, produce zero
+/// diagnostics.
 #[test]
 fn workspace_lints_clean() {
     let start = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -78,6 +95,33 @@ fn workspace_lints_clean() {
         "workspace should lint clean, got:\n{}",
         diags.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
     );
+}
+
+/// Staleness gate: deleting a crate's entry from the config turns the
+/// run into a hard error naming that crate, so a new workspace member
+/// can never ship unenrolled.
+#[test]
+fn stale_config_is_an_error() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (root, mut cfg) = load_config(start).expect("lint.toml found at workspace root");
+    cfg.crates.remove("vsr-snap").expect("vsr-snap is enrolled");
+    let err = check_membership(&root, &cfg).expect_err("missing member must error");
+    assert!(err.contains("vsr-snap"), "error should name the missing crate: {err}");
+    assert!(err.contains("stale"), "error should say the config is stale: {err}");
+    let err = run_workspace(&root, &cfg).expect_err("run_workspace enforces membership");
+    assert!(err.contains("vsr-snap"), "run_workspace should surface it too: {err}");
+}
+
+/// A flow role must be an analyzed crate: pointing `[flow] core` at a
+/// crate enrolled with `rules = []` is a config error, not a silent
+/// no-op pass.
+#[test]
+fn flow_role_must_be_analyzed() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (root, mut cfg) = load_config(start).expect("lint.toml found at workspace root");
+    cfg.flow.core = "vsr-bench".to_string(); // enrolled, rules = []
+    let err = run_workspace(&root, &cfg).expect_err("unanalyzed role must error");
+    assert!(err.contains("vsr-bench"), "error should name the role crate: {err}");
 }
 
 /// CLI contract: diagnostics mean exit code 1, a clean run exits 0.
@@ -91,7 +135,7 @@ fn cli_exit_codes() {
     assert_eq!(dirty.status.code(), Some(1), "diagnostics must exit 1");
 
     let clean = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
-        .args(["--rules", "determinism,sans_io,protocol_shape,error_discipline"])
+        .args(["--rules", ALL_FAMILIES.join(",").as_str()])
         .args(["--watched", "Message,FaultEvent"])
         .arg(fixture_path("clean.rs"))
         .output()
@@ -102,7 +146,34 @@ fn cli_exit_codes() {
     assert_eq!(usage.status.code(), Some(2), "missing args must exit 2");
 }
 
-/// `--json` emits a machine-readable array with the rule id in it.
+/// `--rule` filters the output: a wall-clock finding vanishes under an
+/// `error_discipline` filter (exit 0) and survives its own (exit 1).
+#[test]
+fn cli_rule_filter() {
+    let filtered = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "determinism", "--rule", "error_discipline"])
+        .arg(fixture_path("wall_clock.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(filtered.status.code(), Some(0), "filtered-out finding must exit 0");
+
+    let kept = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "determinism", "--rule", "wall_clock"])
+        .arg(fixture_path("wall_clock.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(kept.status.code(), Some(1), "matching finding must exit 1");
+
+    let bogus = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
+        .args(["--rules", "determinism", "--rule", "no_such_rule"])
+        .arg(fixture_path("wall_clock.rs"))
+        .output()
+        .expect("vsr-lint runs");
+    assert_eq!(bogus.status.code(), Some(2), "unknown filter name must exit 2");
+}
+
+/// `--json` emits a summary object: per-family counts plus the
+/// findings array with rule ids.
 #[test]
 fn cli_json_output() {
     let out = Command::new(env!("CARGO_BIN_EXE_vsr-lint"))
@@ -112,6 +183,10 @@ fn cli_json_output() {
         .expect("vsr-lint runs");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8");
-    assert!(stdout.trim_start().starts_with('['), "json output: {stdout}");
+    assert!(stdout.trim_start().starts_with('{'), "json output: {stdout}");
+    assert!(stdout.contains("\"counts\""), "json output: {stdout}");
+    assert!(stdout.contains("\"determinism\": 1"), "json output: {stdout}");
+    assert!(stdout.contains("\"lock_order\": 0"), "json output: {stdout}");
+    assert!(stdout.contains("\"total\": 1"), "json output: {stdout}");
     assert!(stdout.contains("\"wall_clock\""), "json output: {stdout}");
 }

@@ -156,8 +156,14 @@ fn every_variant_roundtrips_raw_and_framed() {
     }
 }
 
+/// `PROPTEST_CASES` overrides the default sweep size; the Miri CI job
+/// sets it low because interpreted execution is ~100× slower.
+fn case_budget(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_cases(case_budget(192)))]
 
     #[test]
     fn any_message_roundtrips((tag, a, b, data, flag) in msg_inputs()) {

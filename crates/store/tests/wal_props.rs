@@ -73,8 +73,14 @@ fn max_stable_viewid(events: &[DurableEvent], fallback: ViewId) -> ViewId {
         .max(fallback)
 }
 
+/// `PROPTEST_CASES` overrides the default sweep size; the Miri CI job
+/// sets it low because interpreted execution is ~100× slower.
+fn case_budget(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(case_budget(64)))]
 
     #[test]
     fn round_trip_every_record(ops in prop::collection::vec(0u64..64, 1..48)) {
