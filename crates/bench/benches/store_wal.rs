@@ -37,7 +37,7 @@ fn bench_simdisk_append(c: &mut Criterion) {
             let mut ts = 0u64;
             b.iter(|| {
                 ts += 1;
-                disk.persist(black_box(&DurableEvent::Record(sample_record(ts))));
+                disk.persist(black_box(&DurableEvent::Record(sample_record(ts)))).unwrap();
             });
         });
     }
@@ -58,7 +58,7 @@ fn bench_filestore_append(c: &mut Criterion) {
             let mut ts = 0u64;
             b.iter(|| {
                 ts += 1;
-                store.persist(black_box(&DurableEvent::Record(sample_record(ts))));
+                store.persist(black_box(&DurableEvent::Record(sample_record(ts)))).unwrap();
             });
             drop(store);
             let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,330 @@
+//! A6 — Commit pipelining & group commit: throughput and tail latency
+//! vs concurrent clients × durability/transport setup, on the live
+//! thread runtime (real clocks, real threads — the only experiment
+//! that measures wall time rather than simulated ticks).
+//!
+//! The paper's primary runs one two-phase commit at a time; this
+//! codebase pipelines: the primary accepts concurrent transactions,
+//! a cohort's handler pass drains its whole mailbox under one deferred
+//! buffer flush, the WAL's `FsyncPolicy::Group` covers every record a
+//! pass appended with a single fsync, and the TCP writer drains its
+//! whole per-peer queue into one vectored write. A closed-loop driver
+//! with N client threads measures what that buys:
+//!
+//! * committed transactions per second and p50/p99 commit latency,
+//!   per client count, per setup;
+//! * group-commit effectiveness: covering fsyncs and mean records per
+//!   fsync (durable setups);
+//! * writer coalescing: frames that rode a shared vectored write
+//!   (networked setup).
+//!
+//! `exp_a6 <path>` additionally writes the points as JSON — the
+//! `BENCH_pipeline.json` trajectory recorded by CI. Wall-clock numbers
+//! vary across machines; the *ratios* (scaling with clients, durable
+//! vs in-memory) are the experiment's claims.
+
+use crate::table::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use vsr_app::counter;
+use vsr_core::cohort::TxnOutcome;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_net::AddrMap;
+use vsr_runtime::{Cluster, ClusterBuilder};
+use vsr_store::FsyncPolicy;
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+const CLIENT_MID: Mid = Mid(10);
+const SERVERS: [Mid; 3] = [Mid(1), Mid(2), Mid(3)];
+
+/// Concurrent client counts swept by the experiment. The sweep runs to
+/// 32 clients — the group-commit batch bound — so the durable setups
+/// get enough concurrency to actually fill a `max_batch`-sized fsync.
+pub const CLIENT_COUNTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Group-commit batch bound used by the durable-group setup.
+pub const GROUP_MAX_BATCH: u32 = 32;
+
+/// Cluster configurations compared by the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// In-process mailboxes, no WAL: the transport/durability floor.
+    InMemory,
+    /// File-backed WAL, fsync on every record (the pre-pipelining
+    /// durable configuration).
+    DurableEvery,
+    /// File-backed WAL, group commit: one covering fsync per handler
+    /// pass, at most [`GROUP_MAX_BATCH`] records deferred.
+    DurableGroup,
+    /// Real TCP loopback transport, no WAL: exercises writer-thread
+    /// frame coalescing.
+    Networked,
+}
+
+/// Every setup, in report order.
+pub const SETUPS: [Setup; 4] =
+    [Setup::InMemory, Setup::DurableEvery, Setup::DurableGroup, Setup::Networked];
+
+impl Setup {
+    /// Stable name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Setup::InMemory => "in-memory",
+            Setup::DurableEvery => "durable-every",
+            Setup::DurableGroup => "durable-group",
+            Setup::Networked => "networked",
+        }
+    }
+}
+
+/// One measured (setup, clients) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Which cluster configuration ran.
+    pub setup: &'static str,
+    /// Concurrent closed-loop client threads.
+    pub clients: u32,
+    /// Transactions committed inside the measurement window.
+    pub committed: u64,
+    /// Measurement window in milliseconds (actual, not requested).
+    pub elapsed_ms: u64,
+    /// Committed transactions per second.
+    pub throughput: u64,
+    /// Median commit latency in milliseconds.
+    pub p50_ms: u64,
+    /// 99th-percentile commit latency in milliseconds.
+    pub p99_ms: u64,
+    /// Covering group-commit fsyncs (durable setups; zero otherwise).
+    pub group_fsyncs: u64,
+    /// Mean records made durable per covering fsync.
+    pub records_per_fsync: f64,
+    /// Outbound frames that rode a shared vectored write (networked
+    /// setup; zero otherwise).
+    pub frames_coalesced: u64,
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vsr-a6-{}-{}-{}", std::process::id(), tag, n))
+}
+
+fn build(setup: Setup, dir: &std::path::Path) -> Cluster {
+    let mut cfg = vsr_core::config::CohortConfig::new();
+    // Decouple snapshot cost from the pipelining claim: the library
+    // default (64, sized for the simulator's fault-injection coverage)
+    // would materialize a full state snapshot hundreds of times per
+    // second at these commit rates and dominate the single core this
+    // experiment runs on. Snapshot/transfer costs are measured by
+    // A3/A5; here the cadence is relaxed so throughput reflects the
+    // commit pipeline.
+    cfg.snapshot_interval = 4096;
+    let builder = ClusterBuilder::new()
+        .cohorts(cfg)
+        .submit_deadline(Duration::from_secs(10))
+        .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
+        .group(SERVER, &SERVERS, || Box::new(counter::CounterModule));
+    match setup {
+        Setup::InMemory => builder.start(),
+        Setup::DurableEvery => builder.durable_files(dir, FsyncPolicy::EveryRecord).start(),
+        Setup::DurableGroup => builder
+            .durable_files(dir, FsyncPolicy::Group { max_batch: GROUP_MAX_BATCH, max_delay_ms: 5 })
+            .start(),
+        Setup::Networked => {
+            let addrs = AddrMap::loopback(&[CLIENT_MID, SERVERS[0], SERVERS[1], SERVERS[2]])
+                .expect("bind loopback listeners");
+            builder.networked(addrs).start()
+        }
+    }
+}
+
+/// Run one (setup, clients) cell: N closed-loop client threads
+/// submitting increments against a fresh 3-cohort counter group for
+/// `window` of wall time.
+pub fn measure(setup: Setup, clients: u32, window: Duration) -> LoadPoint {
+    let dir = unique_dir(setup.name());
+    let cluster = build(setup, &dir);
+
+    // Warm up: one committed transaction proves the bootstrap view
+    // formed; its latency sample is noise the percentiles can absorb.
+    let mut warmed = false;
+    for _ in 0..50 {
+        if matches!(
+            cluster.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]),
+            Ok(TxnOutcome::Committed { .. })
+        ) {
+            warmed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(warmed, "cluster never formed its bootstrap view");
+
+    let committed = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..clients {
+            let cluster = &cluster;
+            let committed = &committed;
+            s.spawn(move || {
+                // Distinct objects per thread: contention stays in the
+                // commit pipeline, not in a single counter's value
+                // dependency chain.
+                let object = u64::from(tid) + 1;
+                while t0.elapsed() < window {
+                    if matches!(
+                        cluster.submit(CLIENT, vec![counter::incr(SERVER, object, 1)]),
+                        Ok(TxnOutcome::Committed { .. })
+                    ) {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let m = cluster.metrics();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let committed = committed.into_inner();
+    let elapsed_ms = elapsed.as_millis().max(1) as u64;
+    LoadPoint {
+        setup: setup.name(),
+        clients,
+        committed,
+        elapsed_ms,
+        throughput: committed * 1_000 / elapsed_ms,
+        p50_ms: m.latency_percentile(0.50).unwrap_or(0),
+        p99_ms: m.latency_percentile(0.99).unwrap_or(0),
+        group_fsyncs: m.group_fsyncs,
+        records_per_fsync: m.records_per_fsync.mean().unwrap_or(0.0),
+        frames_coalesced: m.net_frames_coalesced,
+    }
+}
+
+/// The full sweep: every setup × every client count.
+pub fn measure_all(window: Duration) -> Vec<LoadPoint> {
+    SETUPS
+        .iter()
+        .flat_map(|&setup| CLIENT_COUNTS.iter().map(move |&n| measure(setup, n, window)))
+        .collect()
+}
+
+/// Render the measured points as the experiment table.
+pub fn render(points: &[LoadPoint]) -> String {
+    let mut table = Table::new(
+        "A6 — Commit pipelining & group commit: throughput and tail latency vs \
+         concurrent clients (live runtime, wall clock)",
+        &[
+            "setup",
+            "clients",
+            "tx/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "group fsyncs",
+            "recs/fsync",
+            "frames coalesced",
+        ],
+    );
+    for p in points {
+        table.row([
+            p.setup.to_string(),
+            p.clients.to_string(),
+            p.throughput.to_string(),
+            p.p50_ms.to_string(),
+            p.p99_ms.to_string(),
+            p.group_fsyncs.to_string(),
+            format!("{:.1}", p.records_per_fsync),
+            p.frames_coalesced.to_string(),
+        ]);
+    }
+    table.note(
+        "Claim (DESIGN §15): a pipelined primary turns client concurrency into \
+         throughput — tx/s grows with clients while the serial design would \
+         plateau at 1/RTT — and group commit keeps durable throughput near the \
+         in-memory line by amortizing one covering fsync over every record a \
+         handler pass appends (recs/fsync approaches the burst size). On the \
+         TCP transport the writer drains its whole per-peer queue into one \
+         vectored write; coalesced frames are the syscalls saved.",
+    );
+    table.render()
+}
+
+/// Serialize the points as the `BENCH_pipeline.json` trajectory.
+pub fn to_json(points: &[LoadPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"A6\",\n  \"title\": \
+         \"pipelining & group commit: throughput vs clients x setup\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"setup\": \"{}\", \"clients\": {}, \"committed\": {}, \
+             \"elapsed_ms\": {}, \"throughput\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"group_fsyncs\": {}, \"records_per_fsync\": {:.2}, \
+             \"frames_coalesced\": {}}}{}\n",
+            p.setup,
+            p.clients,
+            p.committed,
+            p.elapsed_ms,
+            p.throughput,
+            p.p50_ms,
+            p.p99_ms,
+            p.group_fsyncs,
+            p.records_per_fsync,
+            p.frames_coalesced,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the experiment with the standard window, returning the table.
+pub fn run() -> String {
+    render(&measure_all(Duration::from_millis(1_000)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_clients_raise_in_memory_throughput() {
+        let one = measure(Setup::InMemory, 1, Duration::from_millis(500));
+        let eight = measure(Setup::InMemory, 8, Duration::from_millis(500));
+        assert!(one.committed > 0 && eight.committed > 0, "both cells commit");
+        // The full ≥2× acceptance ratio is asserted on the release-mode
+        // CI run; a debug-mode unit test on a loaded machine only
+        // checks the direction of the effect.
+        assert!(
+            eight.throughput > one.throughput,
+            "8 clients must out-commit 1 ({} vs {} tx/s)",
+            eight.throughput,
+            one.throughput
+        );
+    }
+
+    #[test]
+    fn group_commit_batches_records_per_fsync() {
+        let p = measure(Setup::DurableGroup, 8, Duration::from_millis(500));
+        assert!(p.committed > 0, "durable group cell commits");
+        assert!(p.group_fsyncs > 0, "covering fsyncs happened");
+        assert!(
+            p.records_per_fsync >= 1.0,
+            "every covering fsync covered at least one record ({})",
+            p.records_per_fsync
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = [measure(Setup::InMemory, 2, Duration::from_millis(200))];
+        let json = to_json(&points);
+        assert!(json.contains("\"experiment\": \"A6\""));
+        assert!(json.contains("\"setup\": \"in-memory\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

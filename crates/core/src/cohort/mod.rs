@@ -589,6 +589,16 @@ pub struct Cohort {
     /// a paper-minimum recovery); read by harness metrics.
     pub(crate) records_replayed: u64,
 
+    // --- pipelined handler passes ---
+    /// Whether a harness-driven handler pass is open (see
+    /// [`Cohort::begin_pass`]). While open, the immediate buffer
+    /// flushes that `primary_add`/`primary_force` would emit are
+    /// coalesced into one flush at [`Cohort::end_pass`].
+    pub(crate) pass_active: bool,
+    /// A flush was requested during the open pass and is owed at
+    /// `end_pass`.
+    pub(crate) flush_deferred: bool,
+
     // --- view change volatile state ---
     pub(crate) vc: VcState,
     /// Heartbeats spent deferring to a higher-priority manager candidate
@@ -668,6 +678,8 @@ impl Cohort {
             fetch: None,
             records_since_checkpoint: 0,
             records_replayed: 0,
+            pass_active: false,
+            flush_deferred: false,
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
@@ -771,6 +783,8 @@ impl Cohort {
             fetch: None,
             records_since_checkpoint: 0,
             records_replayed: 0,
+            pass_active: false,
+            flush_deferred: false,
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
@@ -920,6 +934,47 @@ impl Cohort {
     /// experiment (A5).
     pub fn delta_log(&self) -> &[EventRecord] {
         &self.delta_log
+    }
+
+    /// Coordinator transactions currently in flight on this cohort.
+    /// The pipelined harnesses sample this into the in-flight
+    /// histogram; nothing in the protocol bounds it to 1 — per-txn
+    /// force reasons in the communication buffer keep interleaved
+    /// timestamps correct (see DESIGN.md §15).
+    pub fn inflight_txns(&self) -> usize {
+        self.coord.len()
+    }
+
+    // ------------------------------------------------------------------
+    // pipelined handler passes
+    // ------------------------------------------------------------------
+
+    /// Open a handler pass. Until [`end_pass`](Cohort::end_pass), the
+    /// immediate `BufferSend` flushes that `primary_add` (in
+    /// immediate-flush mode) and `primary_force` would emit are
+    /// coalesced: the pass sets a deferred-flush flag instead, and
+    /// `end_pass` emits *one* flush whose per-backup payload covers
+    /// every record since that backup's ack watermark. Correct because
+    /// a `BufferSend` for watermark `w` subsumes any earlier send for
+    /// `w' ≥ w` — suppressing the intermediate sends is
+    /// indistinguishable from message loss, which the protocol already
+    /// tolerates. Harnesses that process inputs one at a time never
+    /// need to call this; effects then flush exactly as before.
+    pub fn begin_pass(&mut self) {
+        self.pass_active = true;
+    }
+
+    /// Close the pass opened by [`begin_pass`](Cohort::begin_pass) and
+    /// return the coalesced flush effects (empty when no flush was
+    /// deferred or this cohort stopped being an active primary
+    /// mid-pass — the buffer it would have flushed is gone).
+    pub fn end_pass(&mut self) -> Vec<Effect> {
+        self.pass_active = false;
+        let mut out = Vec::new();
+        if core::mem::take(&mut self.flush_deferred) && self.is_active_primary() {
+            self.flush_buffer(&mut out);
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -1103,7 +1158,11 @@ impl Cohort {
         self.checkpoint_tick(out);
         self.maybe_snapshot(vs, out);
         if self.cfg.buffer_flush_interval == 0 {
-            self.flush_buffer(out);
+            if self.pass_active {
+                self.flush_deferred = true;
+            } else {
+                self.flush_buffer(out);
+            }
         }
         vs
     }
@@ -1132,7 +1191,14 @@ impl Cohort {
             after: self.cfg.force_timeout,
             timer: Timer::ForceCheck { viewid: self.cur_viewid, ts: vs.ts },
         });
-        self.flush_buffer(out);
+        if self.pass_active {
+            // The pass's single coalesced flush at `end_pass` covers
+            // this force's records too; the abandonment timer above is
+            // already armed, so only latency (not safety) rides on it.
+            self.flush_deferred = true;
+        } else {
+            self.flush_buffer(out);
+        }
         Vec::new()
     }
 

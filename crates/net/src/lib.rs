@@ -43,11 +43,10 @@ pub mod socket;
 pub use chaos::ChaosProxy;
 pub use frame::{frame_message, FrameBuf, FrameError, HEADER_BYTES, MAX_FRAME_BYTES};
 pub use link::{LinkFsm, LinkState};
-pub use queue::{BoundedQueue, RecvError};
+pub use queue::{BoundedQueue, DropCounters, RecvError};
 pub use socket::{AddrMap, Endpoint};
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use vsr_core::config::CohortConfig;
 
@@ -115,11 +114,17 @@ pub struct NetMetrics {
     /// Inbound frames rejected by CRC or decoder; each also drops its
     /// connection, because a corrupt byte stream cannot be resynced.
     pub crc_rejects: AtomicU64,
-    /// Outbound frames dropped by a full per-peer bounded queue.
-    /// Shared (`Arc`) so the queues themselves count into it.
-    pub queue_drops: Arc<AtomicU64>,
+    /// Outbound-queue overflow accounting, shared with the per-peer
+    /// bounded queues themselves: evictions (oldest frame dropped to
+    /// admit a newer one) and rejections (new frame refused by a queue
+    /// full of critical entries) are counted separately.
+    pub queue: DropCounters,
     /// Read/write deadline expiries that tore down a link.
     pub deadline_hits: AtomicU64,
+    /// Frames that rode an already-scheduled vectored write instead of
+    /// costing their own syscall wakeup: for a writer pass that drains
+    /// `n` frames in one `writev`-style write, `n - 1` count here.
+    pub frames_coalesced: AtomicU64,
 }
 
 /// A plain-value snapshot of [`NetMetrics`], safe to accumulate across
@@ -134,10 +139,14 @@ pub struct NetCounters {
     pub reconnects: u64,
     /// See [`NetMetrics::crc_rejects`].
     pub crc_rejects: u64,
-    /// See [`NetMetrics::queue_drops`].
+    /// Outbound-queue evictions (see [`NetMetrics::queue`]).
     pub queue_drops: u64,
+    /// Outbound-queue rejected pushes (see [`NetMetrics::queue`]).
+    pub queue_rejections: u64,
     /// See [`NetMetrics::deadline_hits`].
     pub deadline_hits: u64,
+    /// See [`NetMetrics::frames_coalesced`].
+    pub frames_coalesced: u64,
 }
 
 impl NetMetrics {
@@ -149,8 +158,10 @@ impl NetMetrics {
             frames_recvd: self.frames_recvd.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
-            queue_drops: self.queue_drops.load(Ordering::Relaxed),
+            queue_drops: self.queue.evictions(),
+            queue_rejections: self.queue.rejections(),
             deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,7 +175,9 @@ impl NetCounters {
         self.reconnects += other.reconnects;
         self.crc_rejects += other.crc_rejects;
         self.queue_drops += other.queue_drops;
+        self.queue_rejections += other.queue_rejections;
         self.deadline_hits += other.deadline_hits;
+        self.frames_coalesced += other.frames_coalesced;
     }
 }
 
@@ -179,8 +192,15 @@ mod tests {
         m.frames_recvd.store(2, Ordering::Relaxed);
         m.reconnects.store(3, Ordering::Relaxed);
         m.crc_rejects.store(4, Ordering::Relaxed);
-        m.queue_drops.store(5, Ordering::Relaxed);
         m.deadline_hits.store(6, Ordering::Relaxed);
+        m.frames_coalesced.store(7, Ordering::Relaxed);
+        // Drive the shared queue counters through a real queue so the
+        // snapshot reflects both overflow outcomes.
+        let q: std::sync::Arc<BoundedQueue<u8>> = BoundedQueue::new(1, m.queue.clone());
+        assert!(q.push(1) && q.push(2)); // eviction
+        assert_eq!(q.try_recv(), Some(2));
+        assert!(q.push_critical(3));
+        assert!(!q.push(4)); // rejection: only the critical entry remains
         let s = m.snapshot();
         assert_eq!(
             s,
@@ -189,13 +209,17 @@ mod tests {
                 frames_recvd: 2,
                 reconnects: 3,
                 crc_rejects: 4,
-                queue_drops: 5,
+                queue_drops: 1,
+                queue_rejections: 1,
                 deadline_hits: 6,
+                frames_coalesced: 7,
             }
         );
         let mut acc = s;
         acc.add(s);
         assert_eq!(acc.frames_sent, 2);
         assert_eq!(acc.deadline_hits, 12);
+        assert_eq!(acc.queue_rejections, 2);
+        assert_eq!(acc.frames_coalesced, 14);
     }
 }

@@ -37,20 +37,52 @@ struct State<T> {
     closed: bool,
 }
 
+/// Shared overflow accounting for a family of queues. Two outcomes,
+/// two counters: an *eviction* admits the new item by dropping the
+/// oldest droppable resident (lost-old), a *rejection* refuses the new
+/// item because every resident is critical (lost-new). Conflating them
+/// would hide which side of the queue is losing traffic — an operator
+/// tuning capacity needs to know whether backpressure is shedding
+/// stale retransmissions (benign) or refusing fresh work (not).
+#[derive(Debug, Clone, Default)]
+pub struct DropCounters {
+    evictions: Arc<AtomicU64>,
+    rejections: Arc<AtomicU64>,
+}
+
+impl DropCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        DropCounters::default()
+    }
+
+    /// Successful-eviction total (oldest droppable entry removed to
+    /// admit a newer push).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Rejected-push total (queue full of critical entries; the new
+    /// item was refused).
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+}
+
 /// A bounded multi-producer queue with drop-oldest overflow. See the
 /// module docs for the policy rationale.
 pub struct BoundedQueue<T> {
     capacity: usize,
-    drops: Arc<AtomicU64>,
+    drops: DropCounters,
     state: Mutex<State<T>>,
     ready: Condvar,
 }
 
 impl<T> BoundedQueue<T> {
     /// A queue holding at most `capacity` droppable entries (minimum
-    /// 1). Overflow drops increment `drops` — pass a counter shared
-    /// with the harness's metrics so drops are observable, not silent.
-    pub fn new(capacity: usize, drops: Arc<AtomicU64>) -> Arc<Self> {
+    /// 1). Overflow outcomes increment `drops` — pass counters shared
+    /// with the harness's metrics so losses are observable, not silent.
+    pub fn new(capacity: usize, drops: DropCounters) -> Arc<Self> {
         Arc::new(BoundedQueue {
             capacity: capacity.max(1),
             drops,
@@ -80,11 +112,13 @@ impl<T> BoundedQueue<T> {
             match s.items.iter().position(|(_, droppable)| *droppable) {
                 Some(oldest) => {
                     s.items.remove(oldest);
-                    self.drops.fetch_add(1, Ordering::Relaxed);
+                    self.drops.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => {
-                    // Every resident entry outranks this one.
-                    self.drops.fetch_add(1, Ordering::Relaxed);
+                    // Every resident entry outranks this one: the new
+                    // item is refused, which is a different loss than
+                    // an eviction and counted separately.
+                    self.drops.rejections.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
             }
@@ -147,9 +181,16 @@ impl<T> BoundedQueue<T> {
         self.ready.notify_all();
     }
 
-    /// Total overflow drops counted by this queue's shared counter.
-    pub fn drop_count(&self) -> u64 {
-        self.drops.load(Ordering::Relaxed)
+    /// Evictions counted by this queue's shared counters (oldest
+    /// droppable entry removed to admit a newer push).
+    pub fn evicted_count(&self) -> u64 {
+        self.drops.evictions()
+    }
+
+    /// Rejected pushes counted by this queue's shared counters (new
+    /// item refused because every resident entry is critical).
+    pub fn rejected_count(&self) -> u64 {
+        self.drops.rejections()
     }
 }
 
@@ -158,7 +199,7 @@ mod tests {
     use super::*;
 
     fn q(capacity: usize) -> Arc<BoundedQueue<u32>> {
-        BoundedQueue::new(capacity, Arc::new(AtomicU64::new(0)))
+        BoundedQueue::new(capacity, DropCounters::new())
     }
 
     #[test]
@@ -171,7 +212,8 @@ mod tests {
             assert_eq!(q.recv_timeout(Duration::from_millis(10)), Ok(i));
         }
         assert_eq!(q.recv_timeout(Duration::from_millis(1)), Err(RecvError::TimedOut));
-        assert_eq!(q.drop_count(), 0);
+        assert_eq!(q.evicted_count(), 0);
+        assert_eq!(q.rejected_count(), 0);
     }
 
     #[test]
@@ -180,7 +222,8 @@ mod tests {
         assert!(q.push(1));
         assert!(q.push(2));
         assert!(q.push(3)); // evicts 1
-        assert_eq!(q.drop_count(), 1);
+        assert_eq!(q.evicted_count(), 1);
+        assert_eq!(q.rejected_count(), 0, "an eviction is not a rejection");
         assert_eq!(q.try_recv(), Some(2));
         assert_eq!(q.try_recv(), Some(3));
     }
@@ -191,9 +234,10 @@ mod tests {
         assert!(q.push_critical(10));
         assert!(q.push_critical(11));
         // Queue is at capacity with nothing evictable: the droppable
-        // push is refused and counted.
+        // push is refused and counted as a rejection, not an eviction.
         assert!(!q.push(1));
-        assert_eq!(q.drop_count(), 1);
+        assert_eq!(q.rejected_count(), 1);
+        assert_eq!(q.evicted_count(), 0, "nothing was evicted");
         // Critical pushes still land, past capacity.
         assert!(q.push_critical(12));
         assert_eq!(q.len(), 3);
@@ -201,7 +245,8 @@ mod tests {
         // Mixed: droppable 2 admitted by evicting nothing (len 2 == cap
         // after the pop? 11,12 remain → full; 11,12 are critical → refuse).
         assert!(!q.push(2));
-        assert_eq!(q.drop_count(), 2);
+        assert_eq!(q.rejected_count(), 2);
+        assert_eq!(q.evicted_count(), 0);
     }
 
     #[test]
@@ -212,7 +257,8 @@ mod tests {
         assert!(q.push(2)); // evicts 1, not the critical head
         assert_eq!(q.try_recv(), Some(10));
         assert_eq!(q.try_recv(), Some(2));
-        assert_eq!(q.drop_count(), 1);
+        assert_eq!(q.evicted_count(), 1);
+        assert_eq!(q.rejected_count(), 0);
     }
 
     #[test]
@@ -239,12 +285,21 @@ mod tests {
     }
 
     #[test]
-    fn shared_drop_counter_aggregates_across_queues() {
-        let drops = Arc::new(AtomicU64::new(0));
-        let a: Arc<BoundedQueue<u32>> = BoundedQueue::new(1, Arc::clone(&drops));
-        let b: Arc<BoundedQueue<u32>> = BoundedQueue::new(1, Arc::clone(&drops));
+    fn shared_drop_counters_aggregate_across_queues() {
+        let drops = DropCounters::new();
+        let a: Arc<BoundedQueue<u32>> = BoundedQueue::new(1, drops.clone());
+        let b: Arc<BoundedQueue<u32>> = BoundedQueue::new(1, drops.clone());
         assert!(a.push(1) && a.push(2));
         assert!(b.push(1) && b.push(2));
-        assert_eq!(drops.load(Ordering::Relaxed), 2);
+        assert_eq!(drops.evictions(), 2);
+        // Rejections aggregate through the same shared handle: drain
+        // each queue, fill it with a critical entry, then push.
+        assert_eq!(a.try_recv(), Some(2));
+        assert_eq!(b.try_recv(), Some(2));
+        assert!(a.push_critical(9) && b.push_critical(9));
+        assert!(!a.push(3));
+        assert!(!b.push(3));
+        assert_eq!(drops.rejections(), 2);
+        assert_eq!(drops.evictions(), 2, "rejections did not bump evictions");
     }
 }

@@ -45,6 +45,45 @@ const POLL_MS: u64 = 50;
 /// Granularity of backoff sleeps (so shutdown is never stuck behind a
 /// long reconnect delay).
 const BACKOFF_SLICE_MS: u64 = 20;
+/// Caps on one writer pass's coalesced batch: total payload bytes and
+/// frame count. Bounds both the vectored-write slice array and how
+/// long a batch can monopolize the socket before deadline checks run.
+const MAX_COALESCED_BYTES: usize = 256 * 1024;
+const MAX_COALESCED_FRAMES: usize = 1024;
+
+/// Write every byte of every buffer with vectored writes, tracking a
+/// `(buffer index, offset)` cursor across short writes.
+/// `Write::write_all_vectored` / `IoSlice::advance_slices` would do
+/// this but are nightly-unstable, so the loop is hand-rolled: rebuild
+/// the slice array from the cursor after each write.
+fn write_vectored_all(sock: &mut TcpStream, bufs: &[Vec<u8>]) -> io::Result<()> {
+    let mut idx = 0;
+    let mut off = 0;
+    let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(bufs.len());
+    while idx < bufs.len() {
+        slices.clear();
+        slices.push(io::IoSlice::new(&bufs[idx][off..]));
+        for buf in &bufs[idx + 1..] {
+            slices.push(io::IoSlice::new(buf));
+        }
+        let mut n = sock.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::from(io::ErrorKind::WriteZero));
+        }
+        while n > 0 && idx < bufs.len() {
+            let left = bufs[idx].len() - off;
+            if n >= left {
+                n -= left;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Callback invoked by reader threads for every decoded frame:
 /// `(sender mid, message)`. Runs on the reader thread — implementations
@@ -199,10 +238,7 @@ impl Endpoint {
             if peer == local {
                 continue;
             }
-            let queue = BoundedQueue::new(
-                shared.cfg.queue_capacity,
-                Arc::clone(&shared.metrics.queue_drops),
-            );
+            let queue = BoundedQueue::new(shared.cfg.queue_capacity, shared.metrics.queue.clone());
             let writer = {
                 let shared = Arc::clone(&shared);
                 let queue = Arc::clone(&queue);
@@ -416,16 +452,37 @@ fn writer_loop(
             }
             LinkState::Established => {
                 match queue.recv_timeout(Duration::from_millis(POLL_MS)) {
-                    Ok(bytes) => {
+                    Ok(first) => {
+                        // Coalesce: drain whatever else the cohort has
+                        // queued for this peer (bounded so one slow
+                        // pass cannot hold the batch open forever) and
+                        // push it all in one vectored write instead of
+                        // one syscall per frame.
+                        let mut batch = Vec::with_capacity(8);
+                        let mut batch_bytes = first.len();
+                        batch.push(first);
+                        while batch_bytes < MAX_COALESCED_BYTES
+                            && batch.len() < MAX_COALESCED_FRAMES
+                        {
+                            match queue.try_recv() {
+                                Some(bytes) => {
+                                    batch_bytes += bytes.len();
+                                    batch.push(bytes);
+                                }
+                                None => break,
+                            }
+                        }
                         let result = match sock.as_mut() {
-                            Some(s) => s.write_all(&bytes),
+                            Some(s) => write_vectored_all(s, &batch),
                             // Established without a socket cannot
                             // happen; treat it as an I/O failure.
                             None => Err(io::Error::from(io::ErrorKind::NotConnected)),
                         };
                         match result {
                             Ok(()) => {
-                                shared.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
+                                let n = batch.len() as u64;
+                                shared.metrics.frames_sent.fetch_add(n, Ordering::Relaxed);
+                                shared.metrics.frames_coalesced.fetch_add(n - 1, Ordering::Relaxed);
                             }
                             Err(e)
                                 if matches!(
@@ -435,7 +492,7 @@ fn writer_loop(
                             {
                                 // Gray-slow peer: the write deadline
                                 // fired. Half-open → tear down. The
-                                // frame in flight is lost, like any
+                                // frames in flight are lost, like any
                                 // network drop.
                                 shared.metrics.deadline_hits.fetch_add(1, Ordering::Relaxed);
                                 fsm.stalled();

@@ -115,6 +115,25 @@ pub struct Metrics {
     /// Read/write deadline expiries on peer sockets (gray-slow peers
     /// degrade to timeouts instead of wedging the cohort thread).
     pub net_deadline_hits: u64,
+    /// In-process mail *refused* by a bounded mailbox full of critical
+    /// entries (lost-new, vs `mailbox_drops`' lost-old evictions).
+    pub mailbox_rejections: u64,
+    /// Outbound frames refused by a per-peer queue full of critical
+    /// entries (lost-new, vs `net_queue_drops`' lost-old evictions).
+    pub net_queue_rejections: u64,
+    /// Outbound frames that rode an already-scheduled vectored write
+    /// instead of costing their own writer wakeup (a writer pass that
+    /// drains n frames in one write counts n-1 here).
+    pub net_frames_coalesced: u64,
+    /// Covering fsyncs issued by group commit: one sync making a whole
+    /// batch of appended records durable at once.
+    pub group_fsyncs: u64,
+    /// Records made durable per covering group-commit fsync,
+    /// log-bucketed (batch size distribution).
+    pub records_per_fsync: Histogram,
+    /// Coordinator transactions in flight on the primary, sampled at
+    /// each handler pass, log-bucketed (pipelining depth distribution).
+    pub inflight_txns: Histogram,
 }
 
 impl Metrics {
@@ -204,6 +223,12 @@ impl Metrics {
             ("net_crc_rejects", self.net_crc_rejects),
             ("net_queue_drops", self.net_queue_drops),
             ("net_deadline_hits", self.net_deadline_hits),
+            ("mailbox_rejections", self.mailbox_rejections),
+            ("net_queue_rejections", self.net_queue_rejections),
+            ("net_frames_coalesced", self.net_frames_coalesced),
+            ("group_fsyncs", self.group_fsyncs),
+            ("records_per_fsync_count", self.records_per_fsync.count()),
+            ("inflight_txns_count", self.inflight_txns.count()),
         ]
     }
 }

@@ -33,10 +33,9 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BinaryHeap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,9 +47,11 @@ use vsr_core::module::Module;
 use vsr_core::types::{GroupId, Mid, ViewId, Viewstamp};
 use vsr_core::view::Configuration;
 use vsr_net::socket::DeliverFn;
-use vsr_net::{AddrMap, BoundedQueue, Endpoint, NetConfig, NetCounters, NetMetrics, RecvError};
+use vsr_net::{
+    AddrMap, BoundedQueue, DropCounters, Endpoint, NetConfig, NetCounters, NetMetrics, RecvError,
+};
 use vsr_obs::{Metrics, Recorder, SharedRecorder, TraceEvent, TraceKind};
-use vsr_store::{FileStore, FsyncPolicy, SimDisk, Store, StoreMetrics};
+use vsr_store::{FileStore, FsyncPolicy, SimDisk, Store, StoreError, StoreMetrics};
 
 /// A module factory shared across threads (recovery re-instantiates the
 /// module).
@@ -79,9 +80,10 @@ enum Durability {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// No member of the client group produced an outcome within the
-    /// submit deadline (see [`ClusterBuilder::submit_deadline`]).
+    /// total submit budget (see [`ClusterBuilder::submit_deadline`]).
     Timeout {
-        /// How many retry rounds ran before giving up.
+        /// How many retry rounds actually ran before the wall-clock
+        /// budget expired.
         rounds: u32,
         /// The member whose reply was being awaited when a deadline
         /// last expired — the cohort to look at first. `None` means no
@@ -109,8 +111,28 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 enum Inbox {
-    Msg { from: Mid, msg: Message },
-    Request { req_id: u64, ops: Vec<CallOp>, reply: Sender<TxnOutcome> },
+    Msg {
+        from: Mid,
+        msg: Message,
+    },
+    Request {
+        req_id: u64,
+        ops: Vec<CallOp>,
+        reply: Sender<TxnOutcome>,
+    },
+    /// The flusher thread's covering fsync returned: every record
+    /// appended up to the `upto` watermark is durable and the effects
+    /// parked behind them may go out. `covered` is the frame count the
+    /// sync retired, for the group-commit histograms.
+    Synced {
+        upto: u64,
+        covered: u64,
+    },
+    /// The covering fsync failed; fatal to the cohort (nothing it was
+    /// meant to cover may be acknowledged).
+    SyncFailed {
+        err: StoreError,
+    },
     Stop,
 }
 
@@ -235,7 +257,50 @@ struct CohortThread {
     metrics: Arc<Mutex<Metrics>>,
     progress: Arc<Progress>,
     recorder: Option<SharedRecorder>,
+    /// Group commit: effects whose visibility promises durability —
+    /// protocol sends and client replies — parked until the fsync
+    /// covering the records they depend on has happened. Each entry
+    /// is stamped with the value of `appended` when it was parked;
+    /// stamps are nondecreasing, so a covering fsync up to watermark
+    /// `w` releases exactly the prefix with stamp ≤ `w`.
+    deferred: Vec<(u64, Effect)>,
+    /// Records this cohort has appended to its WAL, mirroring the
+    /// store's `appends` counter (initialized from it at spawn so the
+    /// two never diverge). The flusher stamps its completions against
+    /// the same counter.
+    appended: u64,
+    /// Highest append watermark confirmed durable — by a flusher
+    /// completion, or by a cut-through sync inside the store. Effects
+    /// defer while `appended > synced_upto`.
+    synced_upto: u64,
+    /// Set while re-applying a released batch, so the deferral guard
+    /// lets the now-durable effects through even though newer records
+    /// may already be dirty again.
+    releasing: bool,
+    /// Wake token for the self-chaining flusher thread (present when
+    /// the store hands out detached sync handles). The flusher loops
+    /// covering fsyncs back-to-back until the log is clean, so a token
+    /// is only needed on the clean → dirty transition; a full channel
+    /// means a wake is already pending. Dropping the sender (cohort
+    /// thread exit) stops the flusher.
+    flusher_wake: Option<Sender<()>>,
+    /// When the oldest currently-unsynced WAL record was appended;
+    /// `None` means every appended record is covered by an fsync.
+    /// Only meaningful for inline-syncing stores (no flusher).
+    dirty_since: Option<Instant>,
+    /// Upper bound on how long appended records may wait for their
+    /// covering fsync (`FsyncPolicy::Group`'s `max_delay_ms`; zero for
+    /// the eager policies, which never leave records unsynced).
+    group_max_delay: Duration,
+    /// A WAL write or fsync failed; the thread stops instead of acking
+    /// state that may not be durable.
+    store_failed: bool,
 }
+
+/// How many mailbox entries one handler pass may drain before timers
+/// and the group-commit flush get a turn. Bounds the latency a
+/// saturating producer can impose on timer fires.
+const MAX_PASS_ITEMS: usize = 128;
 
 impl CohortThread {
     fn now_ticks(&self) -> u64 {
@@ -267,32 +332,69 @@ impl CohortThread {
         let now = self.now_ticks();
         let start_effects = self.cohort.start(now);
         self.apply(mid, start_effects);
-        loop {
+        'main: loop {
             let timeout = self
                 .timers
                 .peek()
                 .map(|t| t.due.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(50));
-            match self.rx.recv_timeout(timeout) {
-                Ok(Inbox::Msg { from, msg }) => {
-                    let now = self.now_ticks();
-                    let msg_name = msg.name();
-                    if matches!(msg, Message::Chunk { .. }) {
-                        self.metrics.lock().snapshot_chunks_received += 1;
-                    }
-                    let effects = self.cohort.on_message(now, from, msg);
-                    self.trace(TraceKind::Recv { from, msg: msg_name });
-                    self.apply(mid, effects);
-                }
-                Ok(Inbox::Request { req_id, ops, reply }) => {
-                    self.replies.insert(req_id, reply);
-                    let now = self.now_ticks();
-                    let effects = self.cohort.begin_transaction(now, req_id, ops);
-                    self.apply(mid, effects);
-                }
-                Ok(Inbox::Stop) => break,
-                Err(RecvError::TimedOut) => {}
+            let mut next = match self.rx.recv_timeout(timeout) {
+                Ok(item) => Some(item),
+                Err(RecvError::TimedOut) => None,
                 Err(RecvError::Closed) => break,
+            };
+            if next.is_some() {
+                // One handler pass: drain the waiting mailbox batch
+                // under a single deferred buffer flush, so one
+                // coalesced BufferSend per backup — and, with group
+                // commit, one covering fsync — serves every request
+                // and message the pass admitted.
+                self.cohort.begin_pass();
+                let mut drained = 0;
+                while let Some(item) = next.take() {
+                    match item {
+                        Inbox::Msg { from, msg } => {
+                            let now = self.now_ticks();
+                            let msg_name = msg.name();
+                            if matches!(msg, Message::Chunk { .. }) {
+                                self.metrics.lock().snapshot_chunks_received += 1;
+                            }
+                            let effects = self.cohort.on_message(now, from, msg);
+                            self.trace(TraceKind::Recv { from, msg: msg_name });
+                            self.apply(mid, effects);
+                        }
+                        Inbox::Request { req_id, ops, reply } => {
+                            self.replies.insert(req_id, reply);
+                            let now = self.now_ticks();
+                            let effects = self.cohort.begin_transaction(now, req_id, ops);
+                            // The pipelining depth clients actually
+                            // reach: sampled as each request joins the
+                            // in-flight set.
+                            self.metrics
+                                .lock()
+                                .inflight_txns
+                                .record(self.cohort.inflight_txns() as u64);
+                            self.apply(mid, effects);
+                        }
+                        Inbox::Synced { upto, covered } => {
+                            self.on_sync_complete(mid, upto, covered);
+                        }
+                        Inbox::SyncFailed { err } => {
+                            self.fatal_store_error(err);
+                        }
+                        Inbox::Stop => {
+                            let end = self.cohort.end_pass();
+                            self.apply(mid, end);
+                            break 'main;
+                        }
+                    }
+                    drained += 1;
+                    if drained < MAX_PASS_ITEMS {
+                        next = self.rx.try_recv();
+                    }
+                }
+                let end = self.cohort.end_pass();
+                self.apply(mid, end);
             }
             // Fire all due timers.
             let now_instant = Instant::now();
@@ -328,12 +430,63 @@ impl CohortThread {
                 }
                 self.apply(mid, effects);
             }
+            // Group commit: get the covering fsync going for
+            // everything this pass appended. With a flusher thread
+            // (stores that detach sync handles) a wake token suffices
+            // — the flusher chains covering fsyncs back-to-back until
+            // the log is clean, so a full channel means it is already
+            // on it. Inline-syncing stores flush here, once the
+            // mailbox goes idle (the batch is as large as the burst)
+            // or the oldest unsynced record has aged `max_delay`.
+            if let Some(wake) = &self.flusher_wake {
+                if self.appended > self.synced_upto {
+                    // vsr-lint: allow(discarded_result, reason = "a full channel means a wake is already pending; a closed one means the flusher died and its SyncFailed is in the mailbox")
+                    let _ = wake.try_send(());
+                }
+            } else if self
+                .dirty_since
+                .is_some_and(|t| t.elapsed() >= self.group_max_delay || self.rx.is_empty())
+            {
+                self.flush_store(mid);
+            }
+            if self.store_failed {
+                // The WAL is gone; stop acking and let the cluster
+                // crash/recover this cohort from the synced prefix.
+                break;
+            }
             *self.stable.lock() = self.cohort.stable_viewid();
         }
     }
 
     fn apply(&mut self, mid: Mid, effects: Vec<Effect>) {
         for effect in effects {
+            if self.store_failed {
+                // A fatal store error already dropped the deferred
+                // batch; nothing later may leak out either.
+                return;
+            }
+            // Group commit: while appended records await their
+            // covering fsync, anything that *asserts durability* to the
+            // outside — acks, votes, replies, client outcomes — is
+            // parked in order behind the flush, stamped with the
+            // append watermark it may depend on. `BufferSend` is
+            // exempt: replication traffic promises nothing (only the
+            // backup's ack, sent after *its* covering fsync, counts
+            // toward the sub-majority), so shipping records early
+            // overlaps the primary's fsync with the backups' instead
+            // of serializing them. Timers and observations also run
+            // immediately.
+            if self.appended > self.synced_upto
+                && !self.releasing
+                && match &effect {
+                    Effect::Send { msg, .. } => !matches!(msg, Message::BufferSend { .. }),
+                    Effect::TxnResult { .. } => true,
+                    _ => false,
+                }
+            {
+                self.deferred.push((self.appended, effect));
+                continue;
+            }
             match effect {
                 Effect::Send { to, msg } => {
                     let size = msg.wire_size() as u64;
@@ -372,21 +525,45 @@ impl CohortThread {
                 }
                 Effect::Persist(event) => {
                     if let Some(store) = &self.store {
-                        let delta = {
+                        let (result, delta, pre_unsynced, post_unsynced) = {
                             let mut store = store.lock();
                             let before = store.metrics();
-                            store.persist(&event);
-                            store.metrics().since(&before)
+                            let pre = store.unsynced_records();
+                            let result = store.persist(&event);
+                            (result, store.metrics().since(&before), pre, store.unsynced_records())
                         };
+                        if let Err(err) = result {
+                            self.fatal_store_error(err);
+                            return;
+                        }
                         {
                             let mut m = self.metrics.lock();
                             m.disk_appends += delta.appends;
                             m.disk_fsyncs += delta.fsyncs;
                             m.disk_bytes_written += delta.bytes_written;
                             m.checkpoints_taken += delta.checkpoints;
+                            // An fsync that covered previously deferred
+                            // records is a group commit, whether the
+                            // batch threshold or a cut-through event
+                            // (stable viewid, checkpoint) triggered it.
+                            if delta.fsyncs > 0 && pre_unsynced > 0 {
+                                m.group_fsyncs += delta.fsyncs;
+                                m.records_per_fsync.record(pre_unsynced + delta.appends);
+                            }
                         }
+                        self.appended += delta.appends;
                         if delta.appends > 0 {
                             self.trace(TraceKind::DiskAppend { bytes: delta.bytes_written });
+                        }
+                        if post_unsynced > 0 {
+                            self.dirty_since.get_or_insert_with(Instant::now);
+                        } else {
+                            // The store synced inline (cut-through
+                            // viewid/checkpoint, batch bound, or an
+                            // eager policy): everything appended so
+                            // far is durable and may go out.
+                            self.dirty_since = None;
+                            self.advance_synced(mid, self.appended);
                         }
                     }
                 }
@@ -459,6 +636,142 @@ impl CohortThread {
             }
         }
     }
+
+    /// Advance the durable watermark and re-apply the parked prefix it
+    /// releases (stamp ≤ watermark). Called only once the records up
+    /// to `upto` are durable, so the batch flows straight through
+    /// `apply` even while newer records are dirty again.
+    fn advance_synced(&mut self, mid: Mid, upto: u64) {
+        if upto > self.synced_upto {
+            self.synced_upto = upto;
+        }
+        let n = self.deferred.partition_point(|(stamp, _)| *stamp <= self.synced_upto);
+        if n == 0 {
+            return;
+        }
+        let released: Vec<Effect> = self.deferred.drain(..n).map(|(_, effect)| effect).collect();
+        self.releasing = true;
+        self.apply(mid, released);
+        self.releasing = false;
+    }
+
+    /// Issue the covering fsync for every record appended since the
+    /// last sync and release everything parked behind it. A failed
+    /// fsync is fatal: nothing it was meant to cover may be acked.
+    /// Only called for inline-syncing stores — cohorts with a flusher
+    /// thread never flush on their own thread.
+    fn flush_store(&mut self, mid: Mid) {
+        let Some(store) = self.store.clone() else {
+            self.dirty_since = None;
+            return;
+        };
+        let (result, covered, delta) = {
+            let mut store = store.lock();
+            let covered = store.unsynced_records();
+            let before = store.metrics();
+            let result = store.flush();
+            (result, covered, store.metrics().since(&before))
+        };
+        match result {
+            Ok(()) => {
+                {
+                    let mut m = self.metrics.lock();
+                    m.disk_fsyncs += delta.fsyncs;
+                    if delta.fsyncs > 0 && covered > 0 {
+                        m.group_fsyncs += delta.fsyncs;
+                        m.records_per_fsync.record(covered);
+                    }
+                }
+                self.dirty_since = None;
+                self.advance_synced(mid, self.appended);
+            }
+            Err(err) => self.fatal_store_error(err),
+        }
+    }
+
+    /// A flusher completion: the covering fsync for every record up to
+    /// the `upto` watermark succeeded (the flusher already retired the
+    /// frames in the store). Account the group commit and release the
+    /// parked prefix.
+    fn on_sync_complete(&mut self, mid: Mid, upto: u64, covered: u64) {
+        if self.store_failed {
+            return;
+        }
+        {
+            let mut m = self.metrics.lock();
+            m.disk_fsyncs += 1;
+            m.group_fsyncs += 1;
+            m.records_per_fsync.record(covered);
+        }
+        if upto >= self.appended {
+            self.dirty_since = None;
+        }
+        self.advance_synced(mid, upto);
+    }
+
+    /// A WAL append or fsync failed. Nothing the failed operation was
+    /// meant to cover may become visible: the parked sends and replies
+    /// are dropped (submitters time out and try another member), and
+    /// the run loop stops — the runtime analogue of the process crash
+    /// the paper assumes on stable-storage failure.
+    /// [`Cluster::recover`] restarts the cohort from the synced WAL
+    /// prefix.
+    fn fatal_store_error(&mut self, _err: StoreError) {
+        self.deferred.clear();
+        self.releasing = false;
+        self.replies.clear();
+        self.dirty_since = None;
+        self.store_failed = true;
+    }
+}
+
+/// Body of a cohort's flusher thread: wait for a wake token, then
+/// chain covering fsyncs until the log is clean. Each cycle detaches a
+/// [`vsr_store::SyncHandle`] under the store lock (with the covered
+/// frame count and append watermark), fsyncs *outside* the lock while
+/// the cohort thread keeps appending the next batch, retires the
+/// covered frames, and posts the completion as a critical mailbox
+/// entry (never evicted by backpressure). A failed fsync is posted as
+/// fatal and stops the thread: nothing it was meant to cover may be
+/// acknowledged.
+///
+/// Cadence: the chain is self-driving — after each fsync it re-probes
+/// immediately and only sleeps on the wake channel once the log is
+/// clean, so consecutive covering fsyncs need no cohort roundtrip and
+/// each one covers whatever accumulated while the previous was on the
+/// device. Alternatives measured worse (DESIGN §15): waiting for a
+/// fresh pass-end wake between syncs idles the disk for a full
+/// roundtrip per batch, and sleeping to accumulate bigger batches
+/// costs more than the fsync it tries to amortize on kernels whose
+/// minimum real sleep exceeds the fsync latency.
+fn flusher_loop(store: &SharedStore, mailbox: &Mailbox, wake: &Receiver<()>) {
+    while wake.recv().is_ok() {
+        loop {
+            let job = {
+                let mut store = store.lock();
+                let covered = store.unsynced_records();
+                if covered == 0 {
+                    break;
+                }
+                let upto = store.metrics().appends;
+                store.sync_handle().map(|handle| (handle, covered, upto))
+            };
+            let Some((handle, covered, upto)) = job else { break };
+            match handle.sync() {
+                Ok(()) => {
+                    store.lock().note_synced(covered);
+                    if !mailbox.push_critical(Inbox::Synced { upto, covered }) {
+                        return; // mailbox closed: the cohort is gone
+                    }
+                }
+                Err(err) => {
+                    // vsr-lint: allow(discarded_result, reason = "a closed mailbox means the cohort is already gone; there is nobody left to tell")
+                    let _ = mailbox.push_critical(Inbox::SyncFailed { err });
+                    return;
+                }
+            }
+        }
+    }
 }
 
 struct Handle {
@@ -520,19 +833,21 @@ impl ClusterBuilder {
 
     /// Capacity of each cohort's bounded mailbox (and of the
     /// observation drain). Overflow evicts the oldest droppable entry
-    /// and counts it in the `mailbox_drops` metric — the same
-    /// drop-oldest policy the TCP transport applies to its per-peer
-    /// queues, so in-process and networked runs share one backpressure
-    /// story.
+    /// (counted in the `mailbox_drops` metric) or, when every resident
+    /// entry is critical, refuses the new one (counted in
+    /// `mailbox_rejections`) — the same drop-oldest policy the TCP
+    /// transport applies to its per-peer queues, so in-process and
+    /// networked runs share one backpressure story.
     pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
         self.mailbox_capacity = capacity;
         self
     }
 
-    /// How long [`Cluster::submit`] waits for each member's outcome
-    /// before moving to the next member/round (default 5 s). On
-    /// expiry, [`SubmitError::Timeout`] reports the round count and
-    /// the last peer waited on.
+    /// The *total* wall-clock budget for one [`Cluster::submit`] call
+    /// (default 5 s), shared by every retry round and member contact —
+    /// not a per-member wait, so a wedged cluster blocks a submitter
+    /// for at most this long. On expiry, [`SubmitError::Timeout`]
+    /// reports how many rounds ran and the last peer waited on.
     pub fn submit_deadline(mut self, deadline: Duration) -> Self {
         self.submit_deadline = deadline;
         self
@@ -620,8 +935,8 @@ impl ClusterBuilder {
         for (group, members, _) in &self.groups {
             peers.insert(*group, Configuration::new(*group, members.clone()));
         }
-        let mailbox_drops = Arc::new(AtomicU64::new(0));
-        let obs_rx = BoundedQueue::new(self.mailbox_capacity, Arc::clone(&mailbox_drops));
+        let mailbox_drops = DropCounters::new();
+        let obs_rx = BoundedQueue::new(self.mailbox_capacity, mailbox_drops.clone());
         let obs_tx = self.observations.then(|| Arc::clone(&obs_rx));
         let net = self.net_addrs.map(|addrs| {
             // One retry/backoff policy: the transport jitters and caps
@@ -704,9 +1019,10 @@ pub struct Cluster {
     /// Capacity for cohort mailboxes (shared with any spawned endpoint's
     /// per-peer queues via [`NetConfig`]).
     mailbox_capacity: usize,
-    /// Oldest-entry evictions across every mailbox and the observation
-    /// drain; surfaced as `mailbox_drops` in [`metrics`](Cluster::metrics).
-    mailbox_drops: Arc<AtomicU64>,
+    /// Overflow accounting shared by every mailbox and the observation
+    /// drain: evictions surface as `mailbox_drops` and rejected pushes
+    /// as `mailbox_rejections` in [`metrics`](Cluster::metrics).
+    mailbox_drops: DropCounters,
     /// Per-round outcome deadline for [`submit`](Cluster::submit).
     submit_deadline: Duration,
     /// Present when the cluster routes messages over TCP.
@@ -776,7 +1092,7 @@ impl Cluster {
             None => Cohort::new(params),
         };
         self.metrics.lock().records_replayed += cohort.records_replayed();
-        let mailbox = BoundedQueue::new(self.mailbox_capacity, Arc::clone(&self.mailbox_drops));
+        let mailbox = BoundedQueue::new(self.mailbox_capacity, self.mailbox_drops.clone());
         self.router.routes.write().insert(mid, Arc::clone(&mailbox));
         // Networked clusters give every cohort its own transport
         // endpoint before its thread starts; inbound frames land back in
@@ -816,6 +1132,39 @@ impl Cluster {
             self.router.endpoints.write().insert(mid, endpoint);
         }
         let stable = Arc::new(Mutex::new(cohort.stable_viewid()));
+        // Group commit's advisory latency bound lives here: the stores
+        // are wall-clock-free, so the cohort thread owns the deadline
+        // by which appended records must get their covering fsync.
+        let group_max_delay = match &self.durability {
+            Durability::Mem(FsyncPolicy::Group { max_delay_ms, .. })
+            | Durability::Files { policy: FsyncPolicy::Group { max_delay_ms, .. }, .. } => {
+                Duration::from_millis(*max_delay_ms)
+            }
+            Durability::None | Durability::Mem(_) | Durability::Files { .. } => Duration::ZERO,
+        };
+        // Stores that detach sync handles get a flusher thread: the
+        // covering fsync runs there, overlapped with the cohort
+        // appending its next batch. A spawn failure falls back to
+        // inline flushing — slower, equally safe.
+        let flusher_wake = store.as_ref().and_then(|store| {
+            store.lock().sync_handle()?;
+            let (wake_tx, wake_rx) = bounded::<()>(1);
+            let store = Arc::clone(store);
+            let flusher_mailbox = Arc::clone(&mailbox);
+            std::thread::Builder::new()
+                .name(format!("flush-{mid}"))
+                .spawn(move || flusher_loop(&store, &flusher_mailbox, &wake_rx))
+                .ok()
+                .map(|_| wake_tx)
+        });
+        let (appended, synced_upto) = store
+            .as_ref()
+            .map(|s| {
+                let s = s.lock();
+                let appended = s.metrics().appends;
+                (appended, appended.saturating_sub(s.unsynced_records()))
+            })
+            .unwrap_or((0, 0));
         let thread = CohortThread {
             cohort,
             rx: Arc::clone(&mailbox),
@@ -830,6 +1179,14 @@ impl Cluster {
             metrics: self.metrics.clone(),
             progress: self.progress.clone(),
             recorder: self.recorder.clone(),
+            deferred: Vec::new(),
+            appended,
+            synced_upto,
+            releasing: false,
+            flusher_wake,
+            dirty_since: None,
+            group_max_delay,
+            store_failed: false,
         };
         let join = std::thread::Builder::new()
             .name(format!("cohort-{mid}"))
@@ -873,15 +1230,31 @@ impl Cluster {
     }
 
     /// The retry loop behind [`submit`](Cluster::submit): try each
-    /// member until one acts as primary; between rounds, sleep on the
-    /// view-progress condvar so a completing view change wakes the
-    /// submitter immediately instead of costing a full poll interval.
+    /// member until one acts as primary, within one *total* wall-clock
+    /// budget ([`ClusterBuilder::submit_deadline`]). An earlier version
+    /// granted the full deadline to every member of every round, so a
+    /// wedged cluster could block a submitter for `members × 20 ×
+    /// deadline` (minutes); now the budget bounds the whole attempt and
+    /// [`SubmitError::Timeout`] reports how many rounds actually ran.
+    /// Between rounds, sleep on the view-progress condvar so a
+    /// completing view change wakes the submitter immediately instead
+    /// of costing a full poll interval.
     fn submit_rounds(&self, members: &[Mid], ops: &[CallOp]) -> Result<TxnOutcome, SubmitError> {
-        const ROUNDS: u32 = 20;
+        let deadline = Instant::now() + self.submit_deadline;
+        // One member may not monopolize the budget: cap each wait so
+        // several members (and rounds) get a turn even when the first
+        // contact never answers.
+        let slice = (self.submit_deadline / 4).max(Duration::from_millis(50));
+        let mut rounds = 0;
         let mut last_peer = None;
-        for _round in 0..ROUNDS {
+        loop {
             let epoch = self.progress.current();
+            rounds += 1;
             for &mid in members {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(SubmitError::Timeout { rounds, last_peer });
+                }
                 let tx = { self.handles.lock().get(&mid).map(|h| h.tx.clone()) };
                 let Some(tx) = tx else { continue };
                 let req_id = {
@@ -896,23 +1269,26 @@ impl Cluster {
                 {
                     continue; // mailbox closed: the cohort is stopping
                 }
-                match reply_rx.recv_timeout(self.submit_deadline) {
+                match reply_rx.recv_timeout(remaining.min(slice)) {
                     Ok(TxnOutcome::Aborted {
                         reason: vsr_core::cohort::AbortReason::NotPrimary,
                     }) => continue,
                     Ok(outcome) => return Ok(outcome),
                     Err(_) => {
                         // This member accepted the request but produced
-                        // no outcome inside the deadline — remember it
-                        // as the cohort to investigate first.
+                        // no outcome inside its slice — remember it as
+                        // the cohort to investigate first.
                         last_peer = Some(mid);
                         continue;
                     }
                 }
             }
-            self.progress.wait_past(epoch, Duration::from_millis(100));
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(SubmitError::Timeout { rounds, last_peer });
+            }
+            self.progress.wait_past(epoch, remaining.min(Duration::from_millis(100)));
         }
-        Err(SubmitError::Timeout { rounds: ROUNDS, last_peer })
     }
 
     /// A snapshot of the cluster's aggregate metrics — the same counter
@@ -922,7 +1298,8 @@ impl Cluster {
     /// totals of endpoints torn down by earlier crashes.
     pub fn metrics(&self) -> Metrics {
         let mut m = self.metrics.lock().clone();
-        m.mailbox_drops = self.mailbox_drops.load(Ordering::Relaxed);
+        m.mailbox_drops = self.mailbox_drops.evictions();
+        m.mailbox_rejections = self.mailbox_drops.rejections();
         if let Some(net) = &self.net {
             let mut totals = *net.base.lock();
             for endpoint in net.endpoints.lock().values() {
@@ -933,7 +1310,9 @@ impl Cluster {
             m.net_reconnects = totals.reconnects;
             m.net_crc_rejects = totals.crc_rejects;
             m.net_queue_drops = totals.queue_drops;
+            m.net_queue_rejections = totals.queue_rejections;
             m.net_deadline_hits = totals.deadline_hits;
+            m.net_frames_coalesced = totals.frames_coalesced;
         }
         m
     }
@@ -990,6 +1369,18 @@ impl Cluster {
     /// design).
     pub fn store_metrics(&self, mid: Mid) -> Option<StoreMetrics> {
         self.stores.lock().get(&mid).map(|s| s.lock().metrics())
+    }
+
+    /// Fault injection: make the next `n` fsyncs of `mid`'s store fail
+    /// (backends without injection, like [`FileStore`], ignore it).
+    /// The cohort thread treats a failed covering fsync as fatal — it
+    /// stops without acking anything the fsync was meant to cover —
+    /// so after arming this, expect the cohort to need
+    /// [`crash`](Cluster::crash)/[`recover`](Cluster::recover).
+    pub fn fail_next_syncs(&self, mid: Mid, n: u64) {
+        if let Some(store) = self.stores.lock().get(&mid) {
+            store.lock().fail_next_syncs(n);
+        }
     }
 
     /// The stable viewid last recorded by a live cohort.

@@ -325,6 +325,18 @@ impl World {
         }
     }
 
+    /// Run one handler pass on a cohort: the call is wrapped in
+    /// `begin_pass`/`end_pass` so a primary's buffer flush is deferred
+    /// to the end of the pass and its coalesced effects ride the same
+    /// batch — the deterministic twin of the runtime's batched mailbox
+    /// drains, so nemesis sweeps exercise the pipelined paths.
+    fn cohort_pass(cohort: &mut Cohort, f: impl FnOnce(&mut Cohort) -> Vec<Effect>) -> Vec<Effect> {
+        cohort.begin_pass();
+        let mut effects = f(cohort);
+        effects.extend(cohort.end_pass());
+        effects
+    }
+
     /// Process one event. Returns false when no events remain.
     pub fn step(&mut self) -> bool {
         let Some((now, event)) = self.net.pop() else { return false };
@@ -359,7 +371,7 @@ impl World {
                     if matches!(msg, Message::Chunk { .. }) {
                         self.metrics.snapshot_chunks_received += 1;
                     }
-                    let effects = cohort.on_message(now, from, msg);
+                    let effects = Self::cohort_pass(cohort, |c| c.on_message(now, from, msg));
                     self.trace(to, TraceKind::Recv { from, msg: msg_name });
                     self.apply_effects(to, effects);
                 } else if let Some(agent) = self.agents.get_mut(&to) {
@@ -389,7 +401,7 @@ impl World {
                 );
                 let timer_name = timer.name();
                 let effects = if let Some(cohort) = self.cohorts.get_mut(&mid) {
-                    cohort.on_timer(now, timer)
+                    Self::cohort_pass(cohort, |c| c.on_timer(now, timer))
                 } else if let Some(agent) = self.agents.get_mut(&mid) {
                     agent.on_timer(now, timer)
                 } else {
@@ -449,11 +461,13 @@ impl World {
         match target {
             Some(mid) => {
                 let now = self.now();
-                let effects = self
-                    .cohorts
-                    .get_mut(&mid)
-                    .expect("target exists")
-                    .begin_transaction(now, req_id, ops);
+                let cohort = self.cohorts.get_mut(&mid).expect("target exists");
+                let effects = Self::cohort_pass(cohort, |c| c.begin_transaction(now, req_id, ops));
+                // The pipelining depth this submission reached, sampled
+                // exactly as the runtime does when a request joins the
+                // in-flight set.
+                let inflight = cohort.inflight_txns() as u64;
+                self.metrics.inflight_txns.record(inflight);
                 self.apply_effects(mid, effects);
             }
             None => {
@@ -773,11 +787,11 @@ impl World {
                 let target = self.primary_of(group).or_else(|| self.any_live(group));
                 match target {
                     Some(mid) => {
-                        let effects = self
-                            .cohorts
-                            .get_mut(&mid)
-                            .expect("target exists")
-                            .begin_transaction(now, req_id, ops);
+                        let cohort = self.cohorts.get_mut(&mid).expect("target exists");
+                        let effects =
+                            Self::cohort_pass(cohort, |c| c.begin_transaction(now, req_id, ops));
+                        let inflight = cohort.inflight_txns() as u64;
+                        self.metrics.inflight_txns.record(inflight);
                         self.apply_effects(mid, effects);
                     }
                     None => self.record_result(
@@ -833,12 +847,23 @@ impl World {
                     // paper's no-disk design.
                     if let Some(disk) = self.disks.get_mut(&mid) {
                         let before = disk.metrics();
-                        disk.persist(&event);
+                        let pre_unsynced = disk.unsynced_records();
+                        disk.persist(&event).expect(
+                            "invariant: the world never arms sync-failure injection on its disks",
+                        );
                         let delta = disk.metrics().since(&before);
                         self.metrics.disk_appends += delta.appends;
                         self.metrics.disk_fsyncs += delta.fsyncs;
                         self.metrics.disk_bytes_written += delta.bytes_written;
                         self.metrics.checkpoints_taken += delta.checkpoints;
+                        // An fsync that covered previously deferred
+                        // records is a group commit (batch threshold
+                        // reached, or a cut-through event) — the same
+                        // accounting rule the runtime applies.
+                        if delta.fsyncs > 0 && pre_unsynced > 0 {
+                            self.metrics.group_fsyncs += delta.fsyncs;
+                            self.metrics.records_per_fsync.record(pre_unsynced + delta.appends);
+                        }
                         if delta.appends > 0 {
                             self.trace(mid, TraceKind::DiskAppend { bytes: delta.bytes_written });
                         }
@@ -902,6 +927,37 @@ impl World {
                     self.observations.push((self.net.now(), observation));
                 }
             }
+        }
+        // Group commit twin: one covering fsync per handler pass. Any
+        // records this pass appended that the store's policy left
+        // unsynced are synced now, before the next event runs — the
+        // sim's tick-free analogue of the runtime flushing when its
+        // mailbox drains.
+        self.flush_disk(mid);
+    }
+
+    /// Sync a cohort's disk if it holds records awaiting their covering
+    /// fsync, and account the group commit. Only `FsyncPolicy::Group`
+    /// promises records a covering fsync per pass; the lazier barrier
+    /// policies leave their unsynced suffix exposed *by design* (that
+    /// exposure is what A4 and the catastrophe model measure), so the
+    /// twin must not quietly harden them.
+    fn flush_disk(&mut self, mid: Mid) {
+        let Some(disk) = self.disks.get_mut(&mid) else { return };
+        if !matches!(disk.policy(), vsr_store::FsyncPolicy::Group { .. }) {
+            return;
+        }
+        let covered = disk.unsynced_records();
+        if covered == 0 {
+            return;
+        }
+        let before = disk.metrics();
+        disk.flush().expect("invariant: the world never arms sync-failure injection on its disks");
+        let delta = disk.metrics().since(&before);
+        self.metrics.disk_fsyncs += delta.fsyncs;
+        if delta.fsyncs > 0 {
+            self.metrics.group_fsyncs += delta.fsyncs;
+            self.metrics.records_per_fsync.record(covered);
         }
     }
 

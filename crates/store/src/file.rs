@@ -14,7 +14,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use crate::frame::{frame, scan, ScanEnd};
-use crate::{assemble, FsyncPolicy, Store, StoreMetrics};
+use crate::{assemble, FsyncPolicy, Store, StoreError, StoreMetrics, SyncHandle};
 use vsr_core::durable::{DurableEvent, RecoveredState};
 use vsr_core::types::ViewId;
 
@@ -35,7 +35,29 @@ pub struct FileStore {
     written: u64,
     /// Whether the current segment has unsynced appends.
     dirty: bool,
+    /// Frames appended since the last successful sync (spans segment
+    /// rotations only transiently — `rotate` syncs first).
+    unsynced: u64,
     metrics: StoreMetrics,
+}
+
+fn io_err(op: &'static str, err: std::io::Error) -> StoreError {
+    StoreError { op, detail: err.to_string() }
+}
+
+/// A duplicated descriptor of the current segment, handed to the
+/// runtime's flusher thread so the covering fsync runs while the
+/// cohort keeps appending through the store's own handle. `fsync` on a
+/// duplicate flushes the *inode*: every byte written to the segment
+/// before the call — which includes every frame counted as unsynced
+/// when the handle was taken — is covered.
+#[derive(Debug)]
+struct SegmentSyncHandle(File);
+
+impl SyncHandle for SegmentSyncHandle {
+    fn sync(&self) -> Result<(), StoreError> {
+        self.0.sync_data().map_err(|e| io_err("fsync", e))
+    }
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -86,6 +108,7 @@ impl FileStore {
             segment,
             written: 0,
             dirty: false,
+            unsynced: 0,
             metrics: StoreMetrics::default(),
         })
     }
@@ -95,79 +118,120 @@ impl FileStore {
         &self.dir
     }
 
-    fn sync(&mut self) {
+    /// Sync unsynced appends. On failure the store stays dirty: the
+    /// frames may or may not be on the platter, so nothing covered by
+    /// this sync may be acknowledged, and the cohort must crash-recover
+    /// (the WAL scan then reports whatever actually survived).
+    fn sync(&mut self) -> Result<(), StoreError> {
         if self.dirty {
-            self.segment.sync_data().expect("wal fsync");
+            self.segment.sync_data().map_err(|e| io_err("fsync", e))?;
             self.dirty = false;
+            self.unsynced = 0;
             self.metrics.fsyncs += 1;
         }
+        Ok(())
     }
 
     /// Begin a new segment at `index + 1`.
-    fn rotate(&mut self) {
+    fn rotate(&mut self) -> Result<(), StoreError> {
         // Don't let unsynced bytes linger in an abandoned segment where
         // no later sync call would reach them.
-        self.sync();
+        self.sync()?;
         self.index += 1;
         self.segment = OpenOptions::new()
             .create_new(true)
             .append(true)
             .open(segment_path(&self.dir, self.index))
-            .expect("wal segment create");
+            .map_err(|e| io_err("rotate", e))?;
         self.written = 0;
+        Ok(())
     }
 
     /// Delete every segment older than the current one. Called after a
     /// checkpoint frame is durably the first frame of the current
-    /// segment, which makes the older segments redundant.
+    /// segment, which makes the older segments redundant. Best-effort
+    /// throughout: a leftover segment is wasted space, not a
+    /// correctness problem — recovery reads in order and the latest
+    /// checkpoint wins.
     fn gc_older_segments(&mut self) {
-        for idx in segment_indices(&self.dir).expect("wal dir list") {
+        let Ok(indices) = segment_indices(&self.dir) else { return };
+        for idx in indices {
             if idx < self.index {
-                // Best-effort: a leftover segment is wasted space, not
-                // a correctness problem — recovery reads in order and
-                // the latest checkpoint wins.
                 let _ = fs::remove_file(segment_path(&self.dir, idx));
             }
         }
     }
 
-    fn append(&mut self, event: &DurableEvent) {
+    fn append(&mut self, event: &DurableEvent) -> Result<(), StoreError> {
         let bytes = frame(event);
-        self.segment.write_all(&bytes).expect("wal append");
+        self.segment.write_all(&bytes).map_err(|e| io_err("append", e))?;
         self.written += bytes.len() as u64;
         self.dirty = true;
+        self.unsynced += 1;
         self.metrics.appends += 1;
         self.metrics.bytes_written += bytes.len() as u64;
+        Ok(())
     }
 }
 
 impl Store for FileStore {
-    fn persist(&mut self, event: &DurableEvent) {
+    fn persist(&mut self, event: &DurableEvent) -> Result<(), StoreError> {
         match event {
             DurableEvent::Checkpoint(_) => {
                 // Checkpoint: rotate so the checkpoint is the first
                 // frame of its segment, sync it, then GC the history it
                 // supersedes.
                 if self.written > 0 {
-                    self.rotate();
+                    self.rotate()?;
                 }
-                self.append(event);
+                self.append(event)?;
                 self.metrics.checkpoints += 1;
-                self.sync();
+                self.sync()?;
                 self.gc_older_segments();
-                return;
+                return Ok(());
             }
             DurableEvent::Sync => {}
             _ => {
                 if self.written >= self.segment_bytes {
-                    self.rotate();
+                    self.rotate()?;
                 }
-                self.append(event);
+                self.append(event)?;
             }
         }
-        if self.policy.syncs_on(event) {
-            self.sync();
+        if self.policy.syncs_on(event)
+            || self.policy.group_batch().is_some_and(|max| self.unsynced >= max)
+        {
+            self.sync()?;
         }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.sync()
+    }
+
+    fn unsynced_records(&self) -> u64 {
+        self.unsynced
+    }
+
+    fn sync_handle(&mut self) -> Option<Box<dyn SyncHandle>> {
+        // Every unsynced frame lives in the *current* segment —
+        // `rotate` syncs before swapping files — so a duplicate of its
+        // descriptor covers them all. A failed duplicate falls back to
+        // the inline [`flush`](Store::flush) path.
+        self.segment.try_clone().ok().map(|f| Box::new(SegmentSyncHandle(f)) as Box<dyn SyncHandle>)
+    }
+
+    fn note_synced(&mut self, covered: u64) {
+        // Frames appended while the handle's sync was in flight are
+        // *not* retired: the fsync may have raced their writes, so
+        // they wait for the next covering sync. When nothing raced,
+        // the segment is clean and an inline sync becomes a no-op.
+        self.unsynced = self.unsynced.saturating_sub(covered);
+        if self.unsynced == 0 {
+            self.dirty = false;
+        }
+        self.metrics.fsyncs += 1;
     }
 
     fn recover(&mut self, fallback: ViewId) -> RecoveredState {

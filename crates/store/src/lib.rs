@@ -64,17 +64,47 @@ pub enum FsyncPolicy {
     /// unsynced, keeping the disk off the commit path entirely.
     #[default]
     OnStableViewIdOnly,
+    /// Group commit: record appends and force barriers accumulate
+    /// unsynced; one covering sync is issued when `max_batch` frames
+    /// have piled up, when the harness calls [`Store::flush`] (the
+    /// runtime does so when its mailbox drains or `max_delay_ms`
+    /// elapses — the store itself never reads a clock), or when a
+    /// viewid/checkpoint forces immediate durability. Completions for
+    /// the batch must be withheld until the covering sync returns,
+    /// which keeps the acknowledged-implies-durable contract of
+    /// `OnForce` while paying one fsync per batch instead of one per
+    /// force point.
+    Group {
+        /// Sync as soon as this many frames are unsynced.
+        max_batch: u32,
+        /// Advisory upper bound, in milliseconds, on how long a
+        /// completion may wait for its covering sync. Enforced by the
+        /// runtime's flush scheduling, not by the store (store crates
+        /// are wall-clock-free).
+        max_delay_ms: u64,
+    },
 }
 
 impl FsyncPolicy {
-    /// Whether this `event` requires a sync under the policy.
+    /// Whether this `event` requires an *immediate* sync under the
+    /// policy. `Group` defers record and force-barrier syncs to the
+    /// batch machinery ([`Store::flush`] / `max_batch`); only viewids
+    /// and checkpoints cut through.
     fn syncs_on(self, event: &DurableEvent) -> bool {
         match self {
             FsyncPolicy::EveryRecord => true,
             FsyncPolicy::OnForce => !matches!(event, DurableEvent::Record(_)),
-            FsyncPolicy::OnStableViewIdOnly => {
+            FsyncPolicy::OnStableViewIdOnly | FsyncPolicy::Group { .. } => {
                 matches!(event, DurableEvent::StableViewId(_) | DurableEvent::Checkpoint(_))
             }
+        }
+    }
+
+    /// The `max_batch` threshold when this is a group-commit policy.
+    pub(crate) fn group_batch(self) -> Option<u64> {
+        match self {
+            FsyncPolicy::Group { max_batch, .. } => Some(u64::from(max_batch.max(1))),
+            _ => None,
         }
     }
 
@@ -84,9 +114,31 @@ impl FsyncPolicy {
             FsyncPolicy::EveryRecord => "every-record",
             FsyncPolicy::OnForce => "on-force",
             FsyncPolicy::OnStableViewIdOnly => "on-stable-viewid-only",
+            FsyncPolicy::Group { .. } => "group",
         }
     }
 }
+
+/// A failed store operation. I/O failure is fatal to the *cohort* — a
+/// crashed cohort is exactly what the protocol tolerates — but must not
+/// be fatal to the process: the runtime turns this into a clean
+/// crash-and-recover of the affected cohort, and never acknowledges a
+/// batch whose covering sync failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`"append"`, `"fsync"`, `"rotate"`).
+    pub op: &'static str,
+    /// Backend-specific description of the failure.
+    pub detail: String,
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wal {} failed: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Disk-side counters, mirrored into the simulator's metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,6 +168,22 @@ impl StoreMetrics {
     }
 }
 
+/// One covering sync, detachable from the store's lock.
+///
+/// Group commit wants the fsync *off* the cohort thread: while the
+/// device flushes (hundreds of microseconds), the cohort should keep
+/// appending the next batch. A handle taken via
+/// [`Store::sync_handle`] is shipped to a flusher thread and synced
+/// there without holding the store's mutex; the store keeps accepting
+/// appends concurrently.
+pub trait SyncHandle: Send {
+    /// Make every frame appended *before this handle was taken*
+    /// durable. Blocks until the device confirms. Frames appended
+    /// after the handle was taken may or may not ride along; callers
+    /// must not count them as covered.
+    fn sync(&self) -> Result<(), StoreError>;
+}
+
 /// A cohort's stable store: executes `Effect::Persist` and rebuilds a
 /// [`RecoveredState`] after a crash.
 ///
@@ -124,10 +192,51 @@ impl StoreMetrics {
 pub trait Store {
     /// Make `event` durable according to the store's fsync policy.
     ///
-    /// Backends treat I/O failure as fatal to the cohort (a crashed
-    /// cohort is exactly what the protocol already tolerates), so this
-    /// panics rather than returning an error.
-    fn persist(&mut self, event: &DurableEvent);
+    /// Under [`FsyncPolicy::Group`] a record append may return with its
+    /// frame *unsynced*; the caller must withhold the completion until a
+    /// later call (another persist crossing `max_batch`, a viewid or
+    /// checkpoint, or an explicit [`flush`](Store::flush)) reports the
+    /// covering sync succeeded.
+    ///
+    /// An `Err` is fatal to the cohort, not the process: the caller
+    /// must drop every unacknowledged completion and crash-recover the
+    /// cohort (the protocol already tolerates exactly that failure).
+    fn persist(&mut self, event: &DurableEvent) -> Result<(), StoreError>;
+
+    /// Sync any unsynced appends now — the group-commit barrier. A
+    /// no-op when the log is clean. On `Err` the batch is *not*
+    /// durable and must not be acknowledged.
+    fn flush(&mut self) -> Result<(), StoreError>;
+
+    /// Frames appended since the last successful sync. The runtime
+    /// samples this just before [`flush`](Store::flush) to feed the
+    /// `records_per_fsync` histogram and to decide whether a flush is
+    /// needed at all.
+    fn unsynced_records(&self) -> u64;
+
+    /// Take a handle that can issue the next covering sync without
+    /// holding this store's lock, or `None` when syncs are cheap
+    /// enough to stay inline (the default; [`SimDisk`]'s sync is a
+    /// watermark bump). The contract: every frame counted by
+    /// [`unsynced_records`](Store::unsynced_records) under the *same
+    /// lock hold* is covered by the handle's
+    /// [`sync`](SyncHandle::sync); on success the caller reports that
+    /// count back through [`note_synced`](Store::note_synced). A
+    /// failed handle sync is as fatal as a failed [`flush`](Store::flush).
+    fn sync_handle(&mut self) -> Option<Box<dyn SyncHandle>> {
+        None
+    }
+
+    /// A sync issued through [`sync_handle`](Store::sync_handle)
+    /// succeeded for `covered` frames: retire them from the unsynced
+    /// count (frames appended while the sync was in flight stay
+    /// unsynced) and account the fsync. No-op for stores that never
+    /// hand out a handle.
+    fn note_synced(&mut self, _covered: u64) {}
+
+    /// Arm failure injection: the next `n` sync attempts fail. Only
+    /// the simulated backend implements this; real backends ignore it.
+    fn fail_next_syncs(&mut self, _n: u64) {}
 
     /// Rebuild the recovered state from whatever survived. `fallback` is
     /// the viewid to report when the log holds no stable viewid at all
@@ -231,6 +340,7 @@ mod tests {
             (FsyncPolicy::EveryRecord, true),
             (FsyncPolicy::OnForce, false),
             (FsyncPolicy::OnStableViewIdOnly, false),
+            (FsyncPolicy::Group { max_batch: 32, max_delay_ms: 5 }, false),
         ] {
             let rs = assemble(vec![DurableEvent::StableViewId(vid(1))], true, policy, vid(0));
             assert_eq!(rs.complete, complete, "{}", policy.name());

@@ -9,7 +9,7 @@
 //! ([`wipe`](SimDisk::wipe)).
 
 use crate::frame::{frame, scan, ScanEnd};
-use crate::{assemble, FsyncPolicy, Store, StoreMetrics};
+use crate::{assemble, FsyncPolicy, Store, StoreError, StoreMetrics};
 use vsr_core::durable::{DurableEvent, RecoveredState};
 use vsr_core::types::ViewId;
 
@@ -22,19 +22,47 @@ pub struct SimDisk {
     data: Vec<u8>,
     /// Bytes below this offset have been synced and survive a crash.
     synced: usize,
+    /// Frames appended since the last successful sync.
+    unsynced: u64,
+    /// Failure injection: this many upcoming sync attempts fail.
+    fail_syncs: u64,
     metrics: StoreMetrics,
 }
 
 impl SimDisk {
     /// An empty disk with the given fsync policy.
     pub fn new(policy: FsyncPolicy) -> Self {
-        SimDisk { policy, data: Vec::new(), synced: 0, metrics: StoreMetrics::default() }
+        SimDisk {
+            policy,
+            data: Vec::new(),
+            synced: 0,
+            unsynced: 0,
+            fail_syncs: 0,
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Advance the sync watermark, honouring armed failure injection.
+    /// A failed sync leaves the watermark (and the unsynced count)
+    /// where it was: the suffix is still volatile and a crash loses it.
+    fn sync_now(&mut self) -> Result<(), StoreError> {
+        if self.fail_syncs > 0 {
+            self.fail_syncs -= 1;
+            return Err(StoreError { op: "fsync", detail: "injected sync failure".to_string() });
+        }
+        if self.synced < self.data.len() {
+            self.synced = self.data.len();
+            self.metrics.fsyncs += 1;
+        }
+        self.unsynced = 0;
+        Ok(())
     }
 
     /// Crash: the un-fsynced suffix is lost, as a real disk cache would
     /// lose it on power failure.
     pub fn crash(&mut self) {
         self.data.truncate(self.synced);
+        self.unsynced = 0;
     }
 
     /// Crash mid-append: the un-fsynced suffix is lost *except* for up
@@ -59,6 +87,7 @@ impl SimDisk {
     pub fn wipe(&mut self) {
         self.data.clear();
         self.synced = 0;
+        self.unsynced = 0;
     }
 
     /// Bytes currently on the disk (including un-fsynced suffix).
@@ -78,20 +107,38 @@ impl SimDisk {
 }
 
 impl Store for SimDisk {
-    fn persist(&mut self, event: &DurableEvent) {
+    fn persist(&mut self, event: &DurableEvent) -> Result<(), StoreError> {
         if !matches!(event, DurableEvent::Sync) {
             let bytes = frame(event);
             self.data.extend_from_slice(&bytes);
+            self.unsynced += 1;
             self.metrics.appends += 1;
             self.metrics.bytes_written += bytes.len() as u64;
             if matches!(event, DurableEvent::Checkpoint(_)) {
                 self.metrics.checkpoints += 1;
             }
         }
-        if self.policy.syncs_on(event) && self.synced < self.data.len() {
-            self.synced = self.data.len();
-            self.metrics.fsyncs += 1;
+        if (self.policy.syncs_on(event) && self.synced < self.data.len())
+            || self.policy.group_batch().is_some_and(|max| self.unsynced >= max)
+        {
+            self.sync_now()?;
         }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if self.unsynced > 0 || self.synced < self.data.len() {
+            self.sync_now()?;
+        }
+        Ok(())
+    }
+
+    fn unsynced_records(&self) -> u64 {
+        self.unsynced
+    }
+
+    fn fail_next_syncs(&mut self, n: u64) {
+        self.fail_syncs = n;
     }
 
     fn recover(&mut self, fallback: ViewId) -> RecoveredState {
@@ -111,6 +158,7 @@ impl Store for SimDisk {
             self.data.truncate(offset);
         }
         self.synced = self.data.len();
+        self.unsynced = 0;
         assemble(events, clean, self.policy, fallback)
     }
 
@@ -135,9 +183,9 @@ mod tests {
     #[test]
     fn crash_loses_unsynced_suffix() {
         let mut disk = SimDisk::new(FsyncPolicy::OnStableViewIdOnly);
-        disk.persist(&DurableEvent::StableViewId(vid(1))); // synced
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap(); // synced
         let synced_len = disk.len();
-        disk.persist(&DurableEvent::Sync); // no-op under this policy
+        disk.persist(&DurableEvent::Sync).unwrap(); // no-op under this policy
         assert_eq!(disk.synced_len(), synced_len);
         disk.crash();
         let rs = disk.recover(vid(0));
@@ -147,8 +195,8 @@ mod tests {
     #[test]
     fn every_record_survives_crash() {
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
-        disk.persist(&DurableEvent::StableViewId(vid(1)));
-        disk.persist(&DurableEvent::StableViewId(vid(2)));
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+        disk.persist(&DurableEvent::StableViewId(vid(2))).unwrap();
         disk.crash();
         let rs = disk.recover(vid(0));
         assert_eq!(rs.stable_viewid, vid(2));
@@ -158,10 +206,10 @@ mod tests {
     #[test]
     fn torn_tail_truncated_and_not_corrupt() {
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
-        disk.persist(&DurableEvent::StableViewId(vid(1)));
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
         // Append without sync by switching policy mid-flight.
         disk.policy = FsyncPolicy::OnStableViewIdOnly;
-        disk.persist(&DurableEvent::Sync);
+        disk.persist(&DurableEvent::Sync).unwrap();
         let synced = disk.synced_len();
         disk.policy = FsyncPolicy::EveryRecord;
         // Simulate a torn unsynced append: extend raw bytes, then tear.
@@ -178,8 +226,8 @@ mod tests {
     #[test]
     fn bit_flip_fails_safe() {
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
-        disk.persist(&DurableEvent::StableViewId(vid(1)));
-        disk.persist(&DurableEvent::StableViewId(vid(2)));
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+        disk.persist(&DurableEvent::StableViewId(vid(2))).unwrap();
         disk.corrupt_bit(crate::frame::HEADER_BYTES + 2); // payload of frame 1
         let rs = disk.recover(vid(0));
         assert!(!rs.complete, "corruption must fail safe");
@@ -188,18 +236,77 @@ mod tests {
     #[test]
     fn wipe_loses_everything() {
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
-        disk.persist(&DurableEvent::StableViewId(vid(5)));
+        disk.persist(&DurableEvent::StableViewId(vid(5))).unwrap();
         disk.wipe();
         let rs = disk.recover(vid(0));
         assert_eq!(rs.stable_viewid, vid(0));
         assert!(rs.checkpoint.is_none());
     }
 
+    fn record(ts: u64) -> DurableEvent {
+        use vsr_core::event::{EventKind, EventRecord};
+        use vsr_core::types::{Aid, GroupId, Timestamp, Viewstamp};
+        DurableEvent::Record(EventRecord {
+            vs: Viewstamp::new(vid(1), Timestamp(ts)),
+            kind: EventKind::Committed { aid: Aid { group: GroupId(1), view: vid(1), seq: ts } },
+        })
+    }
+
+    #[test]
+    fn group_policy_defers_sync_until_flush() {
+        let mut disk = SimDisk::new(FsyncPolicy::Group { max_batch: 32, max_delay_ms: 5 });
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap(); // viewids cut through
+        assert_eq!(disk.metrics().fsyncs, 1);
+        for ts in 1..=5 {
+            disk.persist(&record(ts)).unwrap();
+            disk.persist(&DurableEvent::Sync).unwrap(); // force barriers ride the batch
+        }
+        assert_eq!(disk.metrics().fsyncs, 1, "records and barriers batch unsynced");
+        assert_eq!(disk.unsynced_records(), 5);
+        disk.flush().unwrap();
+        assert_eq!(disk.metrics().fsyncs, 2, "one covering fsync for the whole batch");
+        assert_eq!(disk.unsynced_records(), 0);
+        disk.flush().unwrap();
+        assert_eq!(disk.metrics().fsyncs, 2, "clean flush is a no-op");
+        // Everything the covering sync reported survives a crash.
+        disk.crash();
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.tail.len(), 5);
+    }
+
+    #[test]
+    fn group_policy_syncs_at_max_batch() {
+        let mut disk = SimDisk::new(FsyncPolicy::Group { max_batch: 3, max_delay_ms: 5 });
+        disk.persist(&record(1)).unwrap();
+        disk.persist(&record(2)).unwrap();
+        assert_eq!(disk.metrics().fsyncs, 0);
+        disk.persist(&record(3)).unwrap();
+        assert_eq!(disk.metrics().fsyncs, 1, "max_batch crossed, sync forced");
+        assert_eq!(disk.unsynced_records(), 0);
+    }
+
+    #[test]
+    fn failed_sync_is_reported_and_suffix_stays_volatile() {
+        let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+        disk.fail_next_syncs(1);
+        let err = disk.persist(&DurableEvent::StableViewId(vid(2))).unwrap_err();
+        assert_eq!(err.op, "fsync");
+        // The unsynced frame must not survive a crash: nothing covered
+        // by the failed sync may be treated as durable.
+        disk.crash();
+        let rs = disk.recover(vid(0));
+        assert_eq!(rs.stable_viewid, vid(1));
+        // After the injected failure drains, syncs work again.
+        disk.persist(&DurableEvent::StableViewId(vid(3))).unwrap();
+        assert_eq!(disk.recover(vid(0)).stable_viewid, vid(3));
+    }
+
     #[test]
     fn metrics_count_appends_and_fsyncs() {
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
-        disk.persist(&DurableEvent::StableViewId(vid(1)));
-        disk.persist(&DurableEvent::Sync); // barrier, no frame, already synced
+        disk.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+        disk.persist(&DurableEvent::Sync).unwrap(); // barrier, no frame, already synced
         let m = disk.metrics();
         assert_eq!(m.appends, 1);
         assert_eq!(m.fsyncs, 1);

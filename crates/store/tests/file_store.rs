@@ -69,9 +69,9 @@ fn segments(dir: &PathBuf) -> Vec<String> {
 fn round_trip_across_reopen() {
     let tmp = TmpDir::new("round-trip");
     let mut store = FileStore::open(&tmp.0, FsyncPolicy::EveryRecord).unwrap();
-    store.persist(&DurableEvent::StableViewId(vid(1)));
-    store.persist(&DurableEvent::Record(record(1)));
-    store.persist(&DurableEvent::Record(record(2)));
+    store.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+    store.persist(&DurableEvent::Record(record(1))).unwrap();
+    store.persist(&DurableEvent::Record(record(2))).unwrap();
     drop(store);
 
     let mut reopened = FileStore::open(&tmp.0, FsyncPolicy::EveryRecord).unwrap();
@@ -86,8 +86,8 @@ fn round_trip_across_reopen() {
 fn torn_final_frame_is_benign_and_truncated() {
     let tmp = TmpDir::new("torn-tail");
     let mut store = FileStore::open(&tmp.0, FsyncPolicy::EveryRecord).unwrap();
-    store.persist(&DurableEvent::StableViewId(vid(1)));
-    store.persist(&DurableEvent::Record(record(1)));
+    store.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+    store.persist(&DurableEvent::Record(record(1))).unwrap();
     let torn_segment = tmp.0.join(segments(&tmp.0).pop().unwrap());
     drop(store);
 
@@ -104,7 +104,7 @@ fn torn_final_frame_is_benign_and_truncated() {
     let rs = second.recover(vid(0));
     assert!(rs.complete, "torn final append is the benign crash case");
     assert_eq!(rs.tail, vec![record(1)]);
-    second.persist(&DurableEvent::Record(record(2)));
+    second.persist(&DurableEvent::Record(record(2))).unwrap();
     drop(second);
 
     // Third life: the tear was truncated away, so the old segment is
@@ -119,9 +119,9 @@ fn torn_final_frame_is_benign_and_truncated() {
 fn corrupt_mid_segment_frame_fails_safe() {
     let tmp = TmpDir::new("corrupt");
     let mut store = FileStore::open(&tmp.0, FsyncPolicy::EveryRecord).unwrap();
-    store.persist(&DurableEvent::Record(record(1)));
-    store.persist(&DurableEvent::Record(record(2)));
-    store.persist(&DurableEvent::Record(record(3)));
+    store.persist(&DurableEvent::Record(record(1))).unwrap();
+    store.persist(&DurableEvent::Record(record(2))).unwrap();
+    store.persist(&DurableEvent::Record(record(3))).unwrap();
     let segment = tmp.0.join(segments(&tmp.0).pop().unwrap());
     drop(store);
 
@@ -147,13 +147,13 @@ fn corrupt_mid_segment_frame_fails_safe() {
 fn checkpoint_rotates_and_gcs_older_segments() {
     let tmp = TmpDir::new("checkpoint-gc");
     let mut store = FileStore::open(&tmp.0, FsyncPolicy::EveryRecord).unwrap();
-    store.persist(&DurableEvent::StableViewId(vid(1)));
+    store.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
     for ts in 1..=5 {
-        store.persist(&DurableEvent::Record(record(ts)));
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
     }
     assert_eq!(segments(&tmp.0).len(), 1);
-    store.persist(&DurableEvent::Checkpoint(checkpoint(2)));
-    store.persist(&DurableEvent::Record(record(6)));
+    store.persist(&DurableEvent::Checkpoint(checkpoint(2))).unwrap();
+    store.persist(&DurableEvent::Record(record(6))).unwrap();
     assert_eq!(
         segments(&tmp.0),
         vec!["wal-000001.seg".to_string()],
@@ -176,7 +176,7 @@ fn segment_size_triggers_rotation() {
     let mut store =
         FileStore::open_with_segment_bytes(&tmp.0, FsyncPolicy::EveryRecord, 64).unwrap();
     for ts in 1..=8 {
-        store.persist(&DurableEvent::Record(record(ts)));
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
     }
     assert!(segments(&tmp.0).len() > 1, "tiny threshold must rotate");
     drop(store);
@@ -193,11 +193,11 @@ fn fsync_policy_governs_sync_count() {
     let run = |name: &str, policy: FsyncPolicy| {
         let dir = tmp.0.join(name);
         let mut store = FileStore::open(&dir, policy).unwrap();
-        store.persist(&DurableEvent::StableViewId(vid(1)));
+        store.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
         for ts in 1..=4 {
-            store.persist(&DurableEvent::Record(record(ts)));
+            store.persist(&DurableEvent::Record(record(ts))).unwrap();
         }
-        store.persist(&DurableEvent::Sync);
+        store.persist(&DurableEvent::Sync).unwrap();
         store.metrics()
     };
     let every = run("every", FsyncPolicy::EveryRecord);
@@ -209,4 +209,43 @@ fn fsync_policy_governs_sync_count() {
     assert_eq!(every.appends, 5);
     assert_eq!(every.appends, force.appends);
     assert_eq!(force.appends, lazy.appends);
+}
+
+#[test]
+fn sync_handle_covers_frames_counted_at_probe_time() {
+    let tmp = TmpDir::new("sync-handle");
+    let policy = FsyncPolicy::Group { max_batch: 64, max_delay_ms: 5 };
+    let mut store = FileStore::open(&tmp.0, policy).unwrap();
+    for ts in 1..=3 {
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
+    }
+    // Probe-then-detach, as the runtime's flusher does under the store
+    // lock: the covered count and the handle are taken together.
+    let covered = store.unsynced_records();
+    assert_eq!(covered, 3);
+    let handle = store.sync_handle().expect("file store detaches a sync handle");
+    // Frames appended after the handle was taken must NOT be retired by
+    // this sync — the fsync may have raced their writes.
+    for ts in 4..=5 {
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
+    }
+    handle.sync().expect("covering fsync");
+    store.note_synced(covered);
+    assert_eq!(store.unsynced_records(), 2, "in-flight appends await the next covering sync");
+    assert_eq!(store.metrics().fsyncs, 1, "the covering sync is accounted");
+    // The remainder is retired by the next probe/sync cycle, after
+    // which an inline flush is a no-op.
+    let covered = store.unsynced_records();
+    let handle = store.sync_handle().unwrap();
+    handle.sync().unwrap();
+    store.note_synced(covered);
+    assert_eq!(store.unsynced_records(), 0);
+    let before = store.metrics().fsyncs;
+    store.flush().unwrap();
+    assert_eq!(store.metrics().fsyncs, before, "clean store: inline flush is a no-op");
+    // Everything synced through handles is on disk for the next life.
+    drop(store);
+    let mut reopened = FileStore::open(&tmp.0, policy).unwrap();
+    let rs = reopened.recover(vid(0));
+    assert_eq!(rs.tail, (1..=5).map(record).collect::<Vec<_>>());
 }

@@ -87,7 +87,7 @@ proptest! {
         let events = events_from(&ops);
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
         for e in &events {
-            disk.persist(e);
+            disk.persist(e).unwrap();
         }
         let rs = disk.recover(vid(0));
         prop_assert!(rs.complete, "clean fsync-per-record log recovers complete");
@@ -106,7 +106,7 @@ proptest! {
         let events = events_from(&ops);
         let mut disk = SimDisk::new(FsyncPolicy::OnStableViewIdOnly);
         for e in &events {
-            disk.persist(e);
+            disk.persist(e).unwrap();
         }
         disk.crash_torn(keep);
         let rs = disk.recover(vid(0));
@@ -131,7 +131,7 @@ proptest! {
         let events = events_from(&ops);
         let mut disk = SimDisk::new(FsyncPolicy::EveryRecord);
         for e in &events {
-            disk.persist(e);
+            disk.persist(e).unwrap();
         }
         prop_assume!(!disk.is_empty());
         disk.corrupt_bit(offset);

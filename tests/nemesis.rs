@@ -101,6 +101,41 @@ fn fifty_durable_plans_pass_both_oracles() {
     }
 }
 
+/// The durable sweep again, with the pipelining configuration: group
+/// commit (`FsyncPolicy::Group`) instead of fsync-per-record. Records
+/// now ride covering fsyncs issued at handler-pass boundaries, so a
+/// crash can land between a record's append and its covering sync —
+/// the durability oracle verifies nothing *acknowledged* is ever in
+/// that window. The liveness and catastrophe bounds match the
+/// fsync-per-record sweep: group commit batches syncs, it must not
+/// change what survives a crash.
+#[test]
+fn fifty_group_commit_plans_pass_both_oracles() {
+    let cfg = NemesisConfig {
+        durability: Some(FsyncPolicy::Group { max_batch: 32, max_delay_ms: 5 }),
+        ..NemesisConfig::default()
+    };
+    match sweep(&cfg, 9_100, 50, 12, 2) {
+        Ok(stats) => {
+            eprintln!(
+                "group-commit sweep: {} recovered, {} catastrophic (disk loss)",
+                stats.passed, stats.catastrophic
+            );
+            assert_eq!(stats.passed + stats.catastrophic, 50);
+            assert!(
+                stats.catastrophic <= 5,
+                "group-commit sweep should only wedge on disk-loss draws, got {}/50 catastrophes",
+                stats.catastrophic
+            );
+        }
+        Err((plan, failure, repro)) => {
+            panic!(
+                "group-commit nemesis sweep failed: {failure}\nminimal plan: {plan:?}\nrepro:\n{repro}"
+            );
+        }
+    }
+}
+
 /// The durable generator actually draws crash-with-disk-loss — the
 /// tightened sweep is vacuous if every crash keeps its disk.
 #[test]

@@ -2,13 +2,19 @@
 //! checking end-to-end application invariants (FIFO order, conservation)
 //! on top of the protocol-level safety checks.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
 use vsr_app::{bank, counter, queue};
 use vsr_core::cohort::TxnOutcome;
 use vsr_core::module::NullModule;
 use vsr_core::types::{GroupId, Mid};
+use vsr_runtime::ClusterBuilder;
 use vsr_sim::fault::FaultPlan;
 use vsr_sim::world::{World, WorldBuilder};
 use vsr_simnet::NetConfig;
+use vsr_store::FsyncPolicy;
 
 const CLIENT: GroupId = GroupId(1);
 const QUEUE: GroupId = GroupId(2);
@@ -208,6 +214,125 @@ fn five_group_world_stays_consistent_for_a_long_run() {
     let m = w.metrics();
     assert!(m.committed >= 100, "most of the workload committed: {}", m.committed);
     assert_eq!(m.unresolved, 0, "everything resolved after the heal");
+}
+
+/// Multi-client concurrent-submit soak on the live thread runtime with
+/// commit pipelining enabled: N writer threads hammer a durable
+/// group-commit cluster while a server cohort is killed and restarted
+/// mid-batch (in-flight transactions parked on a covering fsync when
+/// the crash lands). Two oracles:
+///
+/// * per-object monotonicity — each writer owns one counter object and
+///   every committed increment returns the counter's new value, so the
+///   values a writer observes must be strictly increasing across the
+///   kill/restart; a regression means committed state was lost;
+/// * zero lost commits — after the soak, a committed read of each
+///   object must show at least the last value its writer was told was
+///   committed (a timed-out submit that nevertheless committed may
+///   legitimately push it higher).
+#[test]
+fn concurrent_submits_survive_kill_restart_without_losing_commits() {
+    const CLIENT_MID: Mid = Mid(10);
+    const SERVER: GroupId = GroupId(6);
+    const SERVERS: [Mid; 3] = [Mid(1), Mid(2), Mid(3)];
+    const WRITERS: u64 = 4;
+    const COMMITS_PER_WRITER: usize = 12;
+    let dir = std::env::temp_dir().join(format!("vsr-stress-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = ClusterBuilder::new()
+        .durable_files(&dir, FsyncPolicy::Group { max_batch: 32, max_delay_ms: 5 })
+        .submit_deadline(Duration::from_secs(2))
+        .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
+        .group(SERVER, &SERVERS, || Box::new(counter::CounterModule))
+        .start();
+
+    // Bootstrap: one committed warm-up proves the view formed.
+    let t0 = Instant::now();
+    loop {
+        match cluster.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]) {
+            Ok(TxnOutcome::Committed { .. }) => break,
+            _ => {
+                assert!(t0.elapsed() < Duration::from_secs(60), "bootstrap view never formed");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+
+    let total = AtomicU64::new(0);
+    let finals: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for tid in 0..WRITERS {
+            let (cluster, total, finals) = (&cluster, &total, &finals);
+            s.spawn(move || {
+                // Distinct objects per writer: the pipeline carries the
+                // concurrency, not one object's value chain.
+                let object = tid + 1;
+                let mut values = Vec::with_capacity(COMMITS_PER_WRITER);
+                let t0 = Instant::now();
+                while values.len() < COMMITS_PER_WRITER {
+                    assert!(
+                        t0.elapsed() < Duration::from_secs(300),
+                        "writer {tid} starved: {} commits after 300s (got {values:?})",
+                        values.len()
+                    );
+                    if let Ok(TxnOutcome::Committed { results }) =
+                        cluster.submit(CLIENT, vec![counter::incr(SERVER, object, 1)])
+                    {
+                        values.push(counter::decode_value(&results[0]).expect("counter decodes"));
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                for pair in values.windows(2) {
+                    assert!(
+                        pair[1] > pair[0],
+                        "writer {tid}: committed value regressed {} -> {} — a committed \
+                         transaction was lost (full sequence: {values:?})",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+                finals.lock().unwrap().push((object, *values.last().unwrap()));
+            });
+        }
+        // Nemesis: once the batch is mid-flight, kill a server cohort
+        // (covering fsyncs in progress are abandoned with it), let the
+        // survivors re-form, then restart it from its WAL.
+        let (cluster, total) = (&cluster, &total);
+        s.spawn(move || {
+            let t0 = Instant::now();
+            let half = WRITERS * COMMITS_PER_WRITER as u64 / 2;
+            while total.load(Ordering::Relaxed) < half && t0.elapsed() < Duration::from_secs(120) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            cluster.crash(SERVERS[0]);
+            std::thread::sleep(Duration::from_millis(500));
+            cluster.recover(SERVERS[0]);
+        });
+    });
+
+    // Zero lost commits: the durable state must cover every value a
+    // writer was told was committed.
+    for (object, last) in finals.into_inner().unwrap() {
+        let t0 = Instant::now();
+        loop {
+            match cluster.submit(CLIENT, vec![counter::read(SERVER, object)]) {
+                Ok(TxnOutcome::Committed { results }) => {
+                    let value = counter::decode_value(&results[0]).expect("read decodes");
+                    assert!(
+                        value >= last,
+                        "object {object}: final value {value} below last committed {last}"
+                    );
+                    break;
+                }
+                _ => {
+                    assert!(t0.elapsed() < Duration::from_secs(60), "final audit never committed");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

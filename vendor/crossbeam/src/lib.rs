@@ -6,7 +6,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     enum Tx<T> {
         Unbounded(mpsc::Sender<T>),
@@ -37,6 +37,17 @@ pub mod channel {
             match &self.0 {
                 Tx::Unbounded(s) => s.send(value),
                 Tx::Bounded(s) => s.send(value),
+            }
+        }
+
+        /// Send without blocking: a full bounded channel refuses the
+        /// value instead of waiting for capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => {
+                    s.send(value).map_err(|SendError(v)| TrySendError::Disconnected(v))
+                }
+                Tx::Bounded(s) => s.try_send(value),
             }
         }
     }
@@ -107,5 +118,15 @@ mod tests {
         let (tx, rx) = channel::bounded(1);
         tx.send(7u8).unwrap();
         assert_eq!(rx.try_recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_send_refuses_when_full() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1u8).unwrap();
+        assert!(tx.try_send(2).is_err(), "full bounded channel refuses");
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 3);
     }
 }
