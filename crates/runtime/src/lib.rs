@@ -123,7 +123,10 @@ enum Inbox {
     /// The flusher thread's covering fsync returned: every record
     /// appended up to the `upto` watermark is durable and the effects
     /// parked behind them may go out. `covered` is the frame count the
-    /// sync retired, for the group-commit histograms.
+    /// sync retired, for the group-commit histograms; zero means an
+    /// inline sync superseded the retirement (the frames are durable
+    /// and already accounted, so this completion only advances the
+    /// watermark).
     Synced {
         upto: u64,
         covered: u64,
@@ -548,7 +551,25 @@ impl CohortThread {
                             // (stable viewid, checkpoint) triggered it.
                             if delta.fsyncs > 0 && pre_unsynced > 0 {
                                 m.group_fsyncs += delta.fsyncs;
-                                m.records_per_fsync.record(pre_unsynced + delta.appends);
+                                if delta.fsyncs > 1 {
+                                    // Two fsyncs (a checkpoint: rotate's
+                                    // covering sync, then the checkpoint
+                                    // sync) split the batch between them
+                                    // — rotate retired the pre-existing
+                                    // frames, the second sync this
+                                    // persist's own appends.
+                                    m.records_per_fsync.record(pre_unsynced);
+                                    m.records_per_fsync.record(delta.appends);
+                                } else {
+                                    // One fsync; frames still unsynced
+                                    // after it (an append following a
+                                    // size-triggered rotate) were not
+                                    // covered by it.
+                                    m.records_per_fsync.record(
+                                        (pre_unsynced + delta.appends)
+                                            .saturating_sub(post_unsynced),
+                                    );
+                                }
                             }
                         }
                         self.appended += delta.appends;
@@ -700,8 +721,15 @@ impl CohortThread {
         {
             let mut m = self.metrics.lock();
             m.disk_fsyncs += 1;
-            m.group_fsyncs += 1;
-            m.records_per_fsync.record(covered);
+            // `covered == 0` means an inline cut-through raced the
+            // flusher's fsync and already retired (and accounted)
+            // these frames: the completion still advances the
+            // watermark, but crediting it as a group commit too would
+            // inflate the records/fsync numbers A6 reports.
+            if covered > 0 {
+                m.group_fsyncs += 1;
+                m.records_per_fsync.record(covered);
+            }
         }
         if upto >= self.appended {
             self.dirty_since = None;
@@ -731,9 +759,12 @@ impl CohortThread {
 /// frame count and append watermark), fsyncs *outside* the lock while
 /// the cohort thread keeps appending the next batch, retires the
 /// covered frames, and posts the completion as a critical mailbox
-/// entry (never evicted by backpressure). A failed fsync is posted as
-/// fatal and stops the thread: nothing it was meant to cover may be
-/// acknowledged.
+/// entry (never evicted by backpressure). When the store cannot detach
+/// a handle (a failed descriptor duplicate), the cycle degrades to an
+/// inline sync under the lock — slower, equally safe — rather than
+/// leaving the batch and its parked acks waiting forever. A failed
+/// fsync is posted as fatal and stops the thread: nothing it was meant
+/// to cover may be acknowledged.
 ///
 /// Cadence: the chain is self-driving — after each fsync it re-probes
 /// immediately and only sleeps on the wake channel once the log is
@@ -754,21 +785,48 @@ fn flusher_loop(store: &SharedStore, mailbox: &Mailbox, wake: &Receiver<()>) {
                     break;
                 }
                 let upto = store.metrics().appends;
-                store.sync_handle().map(|handle| (handle, covered, upto))
-            };
-            let Some((handle, covered, upto)) = job else { break };
-            match handle.sync() {
-                Ok(()) => {
-                    store.lock().note_synced(covered);
-                    if !mailbox.push_critical(Inbox::Synced { upto, covered }) {
-                        return; // mailbox closed: the cohort is gone
-                    }
+                match store.sync_handle() {
+                    Some(handle) => Ok((Some(handle), covered, upto)),
+                    // The duplicate failed mid-run (e.g. fd
+                    // exhaustion). The cohort never inline-flushes once
+                    // it has a flusher, so stalling here would park its
+                    // deferred acks forever; degrade to an inline sync
+                    // under the lock instead.
+                    None => store.flush().map(|()| (None, covered, upto)),
                 }
+            };
+            let (handle, covered, upto) = match job {
+                Ok(job) => job,
                 Err(err) => {
                     // vsr-lint: allow(discarded_result, reason = "a closed mailbox means the cohort is already gone; there is nobody left to tell")
                     let _ = mailbox.push_critical(Inbox::SyncFailed { err });
                     return;
                 }
+            };
+            let covered = match handle {
+                // Inline fallback: the lock was held, nothing raced.
+                None => covered,
+                Some(handle) => match handle.sync() {
+                    // An inline sync that ran while this fsync was in
+                    // flight supersedes the retirement: the batch is
+                    // durable either way, but this completion gets no
+                    // group-commit credit (covered = 0).
+                    Ok(()) => {
+                        if store.lock().note_synced(covered) {
+                            covered
+                        } else {
+                            0
+                        }
+                    }
+                    Err(err) => {
+                        // vsr-lint: allow(discarded_result, reason = "a closed mailbox means the cohort is already gone; there is nobody left to tell")
+                        let _ = mailbox.push_critical(Inbox::SyncFailed { err });
+                        return;
+                    }
+                },
+            };
+            if !mailbox.push_critical(Inbox::Synced { upto, covered }) {
+                return; // mailbox closed: the cohort is gone
             }
         }
     }
@@ -1604,6 +1662,58 @@ mod tests {
         }
         assert!(ok);
         c.shutdown();
+    }
+
+    #[test]
+    fn flusher_falls_back_to_inline_flush_when_handle_unavailable() {
+        // Regression: a store whose `sync_handle()` fails mid-run (e.g.
+        // descriptor-duplicate failure under fd exhaustion) must not
+        // strand the batch — cohorts with a flusher never inline-flush
+        // themselves, so the flusher degrades to an inline flush under
+        // the lock and still posts the covering completion.
+        use vsr_core::durable::DurableEvent;
+        #[derive(Debug)]
+        struct NoHandleStore {
+            unsynced: u64,
+            appends: u64,
+        }
+        // `sync_handle` keeps its default `None`: every probe must take
+        // the inline path.
+        impl Store for NoHandleStore {
+            fn persist(&mut self, _event: &DurableEvent) -> Result<(), StoreError> {
+                self.appends += 1;
+                self.unsynced += 1;
+                Ok(())
+            }
+            fn flush(&mut self) -> Result<(), StoreError> {
+                self.unsynced = 0;
+                Ok(())
+            }
+            fn unsynced_records(&self) -> u64 {
+                self.unsynced
+            }
+            fn recover(&mut self, fallback: ViewId) -> RecoveredState {
+                RecoveredState::viewid_only(fallback)
+            }
+            fn policy(&self) -> FsyncPolicy {
+                FsyncPolicy::Group { max_batch: 64, max_delay_ms: 5 }
+            }
+            fn metrics(&self) -> StoreMetrics {
+                StoreMetrics { appends: self.appends, ..StoreMetrics::default() }
+            }
+        }
+        let store: SharedStore =
+            Arc::new(Mutex::new(Box::new(NoHandleStore { unsynced: 7, appends: 7 })));
+        let mailbox: Mailbox = BoundedQueue::new(8, DropCounters::new());
+        let (wake_tx, wake_rx) = bounded::<()>(1);
+        wake_tx.send(()).unwrap();
+        drop(wake_tx); // one wake; the closed channel then stops the loop
+        flusher_loop(&store, &mailbox, &wake_rx);
+        assert_eq!(store.lock().unsynced_records(), 0, "inline fallback flushed the batch");
+        assert!(
+            matches!(mailbox.try_recv(), Some(Inbox::Synced { upto: 7, covered: 7 })),
+            "the inline fallback posts the covering completion"
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub struct FileStore {
     /// Frames appended since the last successful sync (spans segment
     /// rotations only transiently — `rotate` syncs first).
     unsynced: u64,
+    /// Bumped by every inline fsync. A detached sync handle snapshots
+    /// this at take time; a completion whose snapshot is stale was
+    /// superseded by an inline sync and must not retire anything.
+    sync_gen: u64,
+    /// `sync_gen` when the most recent [`sync_handle`](Store::sync_handle)
+    /// was taken (one handle outstanding at a time — the flusher's
+    /// probe/sync/retire cycle).
+    handle_gen: u64,
     metrics: StoreMetrics,
 }
 
@@ -109,6 +117,8 @@ impl FileStore {
             written: 0,
             dirty: false,
             unsynced: 0,
+            sync_gen: 0,
+            handle_gen: 0,
             metrics: StoreMetrics::default(),
         })
     }
@@ -127,6 +137,7 @@ impl FileStore {
             self.segment.sync_data().map_err(|e| io_err("fsync", e))?;
             self.dirty = false;
             self.unsynced = 0;
+            self.sync_gen += 1;
             self.metrics.fsyncs += 1;
         }
         Ok(())
@@ -218,20 +229,37 @@ impl Store for FileStore {
         // Every unsynced frame lives in the *current* segment —
         // `rotate` syncs before swapping files — so a duplicate of its
         // descriptor covers them all. A failed duplicate falls back to
-        // the inline [`flush`](Store::flush) path.
-        self.segment.try_clone().ok().map(|f| Box::new(SegmentSyncHandle(f)) as Box<dyn SyncHandle>)
+        // the inline [`flush`](Store::flush) path (the runtime's
+        // flusher degrades to flushing under the lock).
+        let handle = self.segment.try_clone().ok()?;
+        self.handle_gen = self.sync_gen;
+        Some(Box::new(SegmentSyncHandle(handle)))
     }
 
-    fn note_synced(&mut self, covered: u64) {
-        // Frames appended while the handle's sync was in flight are
-        // *not* retired: the fsync may have raced their writes, so
-        // they wait for the next covering sync. When nothing raced,
-        // the segment is clean and an inline sync becomes a no-op.
+    fn note_synced(&mut self, covered: u64) -> bool {
+        // The physical fsync happened either way.
+        self.metrics.fsyncs += 1;
+        // If an inline sync ran after the handle was taken (max_batch
+        // crossing, viewid/checkpoint cut-through, or rotate's covering
+        // sync), it already retired a superset of the handle's frames
+        // and `unsynced` now counts only *newer* appends this fsync may
+        // have raced. Retiring those against a stale completion would
+        // clear `dirty` for frames that never reached the platter —
+        // and rotate would then abandon them unsynced forever. Ignore
+        // the stale completion instead.
+        if self.handle_gen != self.sync_gen {
+            return false;
+        }
+        // No inline sync intervened: every frame appended since the
+        // handle was taken is still counted here, so retiring exactly
+        // `covered` leaves the in-flight remainder unsynced (the fsync
+        // may have raced their writes) and `unsynced == 0` proves the
+        // segment is genuinely clean.
         self.unsynced = self.unsynced.saturating_sub(covered);
         if self.unsynced == 0 {
             self.dirty = false;
         }
-        self.metrics.fsyncs += 1;
+        true
     }
 
     fn recover(&mut self, fallback: ViewId) -> RecoveredState {

@@ -230,9 +230,15 @@ pub trait Store {
     /// A sync issued through [`sync_handle`](Store::sync_handle)
     /// succeeded for `covered` frames: retire them from the unsynced
     /// count (frames appended while the sync was in flight stay
-    /// unsynced) and account the fsync. No-op for stores that never
-    /// hand out a handle.
-    fn note_synced(&mut self, _covered: u64) {}
+    /// unsynced) and account the fsync. Returns whether the retirement
+    /// applied — `false` means an inline sync ran after the handle was
+    /// taken and already covered (a superset of) these frames, so the
+    /// completion was ignored; the caller must not credit it as a
+    /// group commit of its own. No-op (returning `false`) for stores
+    /// that never hand out a handle.
+    fn note_synced(&mut self, _covered: u64) -> bool {
+        false
+    }
 
     /// Arm failure injection: the next `n` sync attempts fail. Only
     /// the simulated backend implements this; real backends ignore it.

@@ -230,7 +230,7 @@ fn sync_handle_covers_frames_counted_at_probe_time() {
         store.persist(&DurableEvent::Record(record(ts))).unwrap();
     }
     handle.sync().expect("covering fsync");
-    store.note_synced(covered);
+    assert!(store.note_synced(covered), "no inline sync intervened: retirement applies");
     assert_eq!(store.unsynced_records(), 2, "in-flight appends await the next covering sync");
     assert_eq!(store.metrics().fsyncs, 1, "the covering sync is accounted");
     // The remainder is retired by the next probe/sync cycle, after
@@ -238,12 +238,54 @@ fn sync_handle_covers_frames_counted_at_probe_time() {
     let covered = store.unsynced_records();
     let handle = store.sync_handle().unwrap();
     handle.sync().unwrap();
-    store.note_synced(covered);
+    assert!(store.note_synced(covered));
     assert_eq!(store.unsynced_records(), 0);
     let before = store.metrics().fsyncs;
     store.flush().unwrap();
     assert_eq!(store.metrics().fsyncs, before, "clean store: inline flush is a no-op");
     // Everything synced through handles is on disk for the next life.
+    drop(store);
+    let mut reopened = FileStore::open(&tmp.0, policy).unwrap();
+    let rs = reopened.recover(vid(0));
+    assert_eq!(rs.tail, (1..=5).map(record).collect::<Vec<_>>());
+}
+
+#[test]
+fn stale_note_synced_is_superseded_by_inline_sync() {
+    // Regression: the flusher's fsync races an inline sync. The handle
+    // is taken covering N frames; while its fsync is in flight a
+    // cut-through event (here a stable viewid) syncs inline — retiring
+    // everything — and newer frames are appended after it. The stale
+    // completion must NOT retire those newer frames: doing so cleared
+    // `dirty`, made later flushes no-ops, and let `rotate` abandon the
+    // segment with un-fsynced — yet eventually acknowledged — records.
+    let tmp = TmpDir::new("stale-note-synced");
+    let policy = FsyncPolicy::Group { max_batch: 64, max_delay_ms: 5 };
+    let mut store = FileStore::open(&tmp.0, policy).unwrap();
+    for ts in 1..=3 {
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
+    }
+    let covered = store.unsynced_records();
+    assert_eq!(covered, 3);
+    let handle = store.sync_handle().expect("file store detaches a sync handle");
+    // Inline cut-through while the handle's fsync is (notionally) in
+    // flight: syncs the log and resets the unsynced count...
+    store.persist(&DurableEvent::StableViewId(vid(1))).unwrap();
+    assert_eq!(store.unsynced_records(), 0);
+    // ...then newer frames pile up behind it.
+    for ts in 4..=5 {
+        store.persist(&DurableEvent::Record(record(ts))).unwrap();
+    }
+    assert_eq!(store.unsynced_records(), 2);
+    handle.sync().expect("covering fsync");
+    assert!(!store.note_synced(covered), "superseded completion reports itself stale");
+    assert_eq!(store.unsynced_records(), 2, "newer frames are not retired by the stale sync");
+    // The store stayed dirty, so the next covering flush really
+    // reaches the device instead of no-opping.
+    let before = store.metrics().fsyncs;
+    store.flush().unwrap();
+    assert_eq!(store.metrics().fsyncs, before + 1, "store stayed dirty: the flush fsyncs");
+    assert_eq!(store.unsynced_records(), 0);
     drop(store);
     let mut reopened = FileStore::open(&tmp.0, policy).unwrap();
     let rs = reopened.recover(vid(0));
