@@ -1,0 +1,13 @@
+//! Run experiment A7 and print its table; with a path argument, also
+//! write the points as the `BENCH_leases.json` trajectory.
+use std::time::Duration;
+
+fn main() {
+    let points = vsr_bench::experiments::a7::measure_all(Duration::from_millis(1_000));
+    print!("{}", vsr_bench::experiments::a7::render(&points));
+    if let Some(path) = std::env::args().nth(1) {
+        let json = vsr_bench::experiments::a7::to_json(&points);
+        std::fs::write(&path, json).expect("write trajectory json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -92,10 +92,11 @@ pub struct LoadPoint {
     pub elapsed_ms: u64,
     /// Committed transactions per second.
     pub throughput: u64,
-    /// Median commit latency in milliseconds.
-    pub p50_ms: u64,
-    /// 99th-percentile commit latency in milliseconds.
-    pub p99_ms: u64,
+    /// Median commit latency in milliseconds (µs-resolution samples).
+    pub p50_ms: f64,
+    /// 99th-percentile commit latency in milliseconds (µs-resolution
+    /// samples).
+    pub p99_ms: f64,
     /// Covering group-commit fsyncs (durable setups; zero otherwise).
     pub group_fsyncs: u64,
     /// Mean records made durable per covering fsync.
@@ -111,8 +112,18 @@ fn unique_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("vsr-a6-{}-{}-{}", std::process::id(), tag, n))
 }
 
-fn build(setup: Setup, dir: &std::path::Path) -> Cluster {
-    let mut cfg = vsr_core::config::CohortConfig::new();
+pub(crate) fn build(setup: Setup, dir: &std::path::Path) -> Cluster {
+    build_with(setup, dir, vsr_core::config::CohortConfig::new())
+}
+
+/// Build a cluster for `setup` with a caller-adjusted cohort config
+/// (A7 turns leases on through this).
+pub(crate) fn build_with(
+    setup: Setup,
+    dir: &std::path::Path,
+    cfg: vsr_core::config::CohortConfig,
+) -> Cluster {
+    let mut cfg = cfg;
     // Decouple snapshot cost from the pipelining claim: the library
     // default (64, sized for the simulator's fault-injection coverage)
     // would materialize a full state snapshot hundreds of times per
@@ -197,8 +208,9 @@ pub fn measure(setup: Setup, clients: u32, window: Duration) -> LoadPoint {
         committed,
         elapsed_ms,
         throughput: committed * 1_000 / elapsed_ms,
-        p50_ms: m.latency_percentile(0.50).unwrap_or(0),
-        p99_ms: m.latency_percentile(0.99).unwrap_or(0),
+        // Samples are recorded in microseconds; report milliseconds.
+        p50_ms: m.latency_percentile(0.50).unwrap_or(0) as f64 / 1_000.0,
+        p99_ms: m.latency_percentile(0.99).unwrap_or(0) as f64 / 1_000.0,
         group_fsyncs: m.group_fsyncs,
         records_per_fsync: m.records_per_fsync.mean().unwrap_or(0.0),
         frames_coalesced: m.net_frames_coalesced,
@@ -234,8 +246,8 @@ pub fn render(points: &[LoadPoint]) -> String {
             p.setup.to_string(),
             p.clients.to_string(),
             p.throughput.to_string(),
-            p.p50_ms.to_string(),
-            p.p99_ms.to_string(),
+            format!("{:.3}", p.p50_ms),
+            format!("{:.3}", p.p99_ms),
             p.group_fsyncs.to_string(),
             format!("{:.1}", p.records_per_fsync),
             p.frames_coalesced.to_string(),
@@ -262,7 +274,7 @@ pub fn to_json(points: &[LoadPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"setup\": \"{}\", \"clients\": {}, \"committed\": {}, \
-             \"elapsed_ms\": {}, \"throughput\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"elapsed_ms\": {}, \"throughput\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"group_fsyncs\": {}, \"records_per_fsync\": {:.2}, \
              \"frames_coalesced\": {}}}{}\n",
             p.setup,

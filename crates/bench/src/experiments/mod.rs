@@ -12,6 +12,7 @@ pub mod a3;
 pub mod a4;
 pub mod a5;
 pub mod a6;
+pub mod a7;
 pub mod e1;
 pub mod e10;
 pub mod e11;
@@ -46,5 +47,6 @@ pub fn run_all() -> String {
     out.push_str(&a4::run());
     out.push_str(&a5::run());
     out.push_str(&a6::run());
+    out.push_str(&a7::run());
     out
 }

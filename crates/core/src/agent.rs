@@ -260,7 +260,9 @@ impl ClientAgent {
             | Message::AcceptCrashed { .. }
             | Message::InitView { .. }
             | Message::GetChunk { .. }
-            | Message::Chunk { .. } => {}
+            | Message::Chunk { .. }
+            | Message::LeaseGrant { .. }
+            | Message::LeaseRevoke { .. } => {}
         }
         out
     }

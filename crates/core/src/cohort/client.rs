@@ -11,7 +11,9 @@
 
 use super::{retry_kind, Cohort, Effect, ForceReason, Observation, Status, Timer};
 use crate::event::EventKind;
+use crate::gstate::{LockMode, ObjectAccess};
 use crate::messages::{CallOutcome, CallRefusal, Message};
+use crate::module::TxnCtx;
 use crate::pset::PSet;
 use crate::types::{Aid, CallId, GroupId, Mid, Tick, ViewId};
 use crate::view::View;
@@ -156,6 +158,41 @@ impl Cohort {
             });
             return out;
         }
+        // Leased-read fast path: while this primary holds lease grants
+        // from a sub-majority of its backups (a majority of the view
+        // counting itself), no other view can commit a write, so a
+        // transaction whose every call targets this very group and only
+        // reads can be answered from local committed state — no event
+        // records, no communication buffer, no force, no disk. Any write
+        // access, lock conflict, or application error falls back to the
+        // normal coordinated path below.
+        if self.holds_lease() && !ops.is_empty() && ops.iter().all(|op| op.group == self.group) {
+            let aid = Aid { group: self.group, view: self.cur_viewid, seq: self.next_txn_seq };
+            match self.execute_leased_read(aid, &ops) {
+                Ok((results, accesses)) => {
+                    self.next_txn_seq += 1;
+                    out.push(Effect::Observe(Observation::LeasedRead {
+                        group: self.group,
+                        mid: self.mid,
+                        aid,
+                        req_id,
+                        accesses,
+                    }));
+                    out.push(Effect::TxnResult {
+                        req_id,
+                        aid: Some(aid),
+                        outcome: TxnOutcome::Committed { results },
+                    });
+                    return out;
+                }
+                Err(()) => {
+                    out.push(Effect::Observe(Observation::LeaseReadRejected {
+                        group: self.group,
+                        mid: self.mid,
+                    }));
+                }
+            }
+        }
         // "When a transaction is created, it receives a unique transaction
         // identifier aid and an empty pset. (We make the aid unique across
         // view changes by including mygroupid and cur-viewid in it.)"
@@ -177,6 +214,32 @@ impl Cohort {
         self.coord.insert(aid, txn);
         self.advance_txn(now, aid, &mut out);
         out
+    }
+
+    /// Execute a read-only script against local committed state without
+    /// creating any event records: every call runs through the module with
+    /// a fresh [`TxnCtx`] and its staged effects are discarded. Fails —
+    /// for fallback to the coordinated path — on any write access, lock
+    /// conflict, or application error. Nothing is published on failure:
+    /// the trial aid is only consumed by the caller on success.
+    fn execute_leased_read(
+        &self,
+        aid: Aid,
+        ops: &[CallOp],
+    ) -> Result<(Vec<Vec<u8>>, Vec<ObjectAccess>), ()> {
+        let mut results = Vec::with_capacity(ops.len());
+        let mut accesses = Vec::new();
+        for op in ops {
+            let mut ctx = TxnCtx::new(&self.gstate, &self.locks, aid);
+            let result = self.module.execute(&op.proc, &op.args, &mut ctx).map_err(|_| ())?;
+            let step = ctx.into_accesses();
+            if step.iter().any(|a| a.mode != LockMode::Read) {
+                return Err(());
+            }
+            accesses.extend(step);
+            results.push(result.0);
+        }
+        Ok((results, accesses))
     }
 
     /// Run the next call of the script, or move to two-phase commit when

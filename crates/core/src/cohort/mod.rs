@@ -28,6 +28,7 @@ use crate::durable::{Checkpoint, DurableEvent, RecoveredState};
 use crate::event::{EventKind, EventRecord};
 use crate::gstate::{GroupState, ObjectAccess};
 use crate::history::History;
+use crate::lease::LeaseHolder;
 use crate::locks::LockTable;
 use crate::messages::Message;
 use crate::module::Module;
@@ -168,6 +169,22 @@ pub enum Timer {
         /// firings are recognized by a counter mismatch).
         attempt: u32,
     },
+    /// Leaseholding primary: a backup's grant reaches the end of its
+    /// `lease_ticks` validity. Stale firings (the grant was renewed in
+    /// the meantime) are recognized by a sequence mismatch.
+    LeaseExpiry {
+        /// The granting backup.
+        backup: Mid,
+        /// The grant's sequence number when the timer was armed.
+        seq: u64,
+    },
+    /// New primary: the skew-adjusted maximum outstanding lease of the
+    /// previous primary has been waited out; deferred prepare/commit
+    /// traffic can now be processed.
+    LeaseWait {
+        /// The view whose start was gated on the wait.
+        viewid: ViewId,
+    },
 }
 
 impl Timer {
@@ -191,6 +208,8 @@ impl Timer {
             Timer::AgentCallRetry { .. } => "agent-call-retry",
             Timer::AgentCommitRetry { .. } => "agent-commit-retry",
             Timer::ChunkRetry { .. } => "chunk-retry",
+            Timer::LeaseExpiry { .. } => "lease-expiry",
+            Timer::LeaseWait { .. } => "lease-wait",
         }
     }
 }
@@ -387,6 +406,53 @@ pub enum Observation {
         /// Entries removed.
         n: u64,
     },
+    /// A read-only transaction was served locally by a leaseholding
+    /// primary: no event record, no persist, no force. The accesses
+    /// (with the versions read) are what the stale-read oracle checks
+    /// against the committed version chain at this observation's
+    /// position in the stream.
+    LeasedRead {
+        /// The group.
+        group: GroupId,
+        /// The serving primary.
+        mid: Mid,
+        /// The transaction id assigned to the read.
+        aid: Aid,
+        /// The submitter's request id (for latency accounting).
+        req_id: u64,
+        /// The read accesses, with the versions observed.
+        accesses: Vec<ObjectAccess>,
+    },
+    /// A backup renewed the primary's read lease (the primary already
+    /// held a live grant from it).
+    LeaseRenewed {
+        /// The group.
+        group: GroupId,
+        /// The renewing primary (the grant receiver).
+        mid: Mid,
+    },
+    /// A read-only submission could not take the leased fast path (no
+    /// sub-majority of live grants, a lease wait in progress, or a lock
+    /// conflict) and fell back to the replicated path.
+    LeaseReadRejected {
+        /// The group.
+        group: GroupId,
+        /// The rejecting primary.
+        mid: Mid,
+    },
+    /// A new primary began waiting out the previous primary's maximum
+    /// possible lease (skew-adjusted) before accepting prepares and
+    /// commits.
+    LeaseWaitStarted {
+        /// The group.
+        group: GroupId,
+        /// The waiting new primary.
+        mid: Mid,
+        /// The view whose start is gated.
+        viewid: ViewId,
+        /// The wait in ticks (`lease_wait_ticks`).
+        wait: Tick,
+    },
 }
 
 /// An output of the state machine for its runtime to execute.
@@ -490,6 +556,11 @@ const MAX_CHUNK_ATTEMPTS: u32 = 10;
 /// ones are dropped; a peer fetching a dropped snapshot falls back to
 /// the view-change timeouts and catches the next newview).
 const SNAP_RETAIN: usize = 2;
+
+/// Bound on the lease-wait deferral queue; the wait is short (a few
+/// lease durations) so overflow means a retry storm — dropping is safe,
+/// the senders' retry timers re-deliver.
+const MAX_LEASE_DEFERRED: usize = 256;
 
 /// A call parked on a lock conflict, retried when locks are released.
 #[derive(Debug, Clone)]
@@ -607,6 +678,38 @@ pub struct Cohort {
     /// Consecutive failed view formations; drives the manager-retry
     /// backoff. Reset whenever the cohort rejoins an active view.
     pub(crate) manager_attempts: u32,
+
+    // --- read leases ---
+    /// Primary-side table of live lease grants (empty unless this cohort
+    /// is an active primary with `lease_ticks > 0`).
+    pub(crate) lease: LeaseHolder,
+    /// Highest viewid each peer has explicitly revoked its leases for
+    /// (from `LeaseRevoke` broadcasts). Lets a new primary skip the
+    /// skew-adjusted wait when the old primary relinquished gracefully.
+    pub(crate) lease_revokes: BTreeMap<Mid, ViewId>,
+    /// When `Some`, this new primary is waiting out the previous
+    /// primary's maximum possible lease before processing commit-point
+    /// traffic (see [`LeaseWaitState`]).
+    pub(crate) lease_wait: Option<LeaseWaitState>,
+    /// Prepare/commit/query-reply messages queued during a lease wait,
+    /// replayed in arrival order when the wait ends. Bounded; overflow
+    /// is dropped (senders retry).
+    pub(crate) lease_deferred: Vec<Message>,
+}
+
+/// A new primary's wait on the previous primary's outstanding lease:
+/// commit-point traffic (prepares, commits, outcome replies) is deferred
+/// until either `Timer::LeaseWait` fires or the previous primary's
+/// explicit `LeaseRevoke` arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LeaseWaitState {
+    /// The view whose start is gated.
+    pub(crate) viewid: ViewId,
+    /// The primary of the latest previous active view — the only cohort
+    /// that could still hold a lease.
+    pub(crate) prev_primary: Mid,
+    /// That previous view's id; a revocation covering it ends the wait.
+    pub(crate) prev_viewid: ViewId,
 }
 
 impl std::fmt::Debug for Cohort {
@@ -683,6 +786,10 @@ impl Cohort {
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
+            lease: LeaseHolder::new(),
+            lease_revokes: BTreeMap::new(),
+            lease_wait: None,
+            lease_deferred: Vec::new(),
         }
     }
 
@@ -788,6 +895,10 @@ impl Cohort {
             vc: VcState::None,
             manager_deferrals: 0,
             manager_attempts: 0,
+            lease: LeaseHolder::new(),
+            lease_revokes: BTreeMap::new(),
+            lease_wait: None,
+            lease_deferred: Vec::new(),
         }
     }
 
@@ -811,7 +922,15 @@ impl Cohort {
         if self.is_active_primary() {
             self.arm_flush(&mut out);
         }
-        for m in self.cur_view.members() {
+        // Seed the failure detector for every *configuration* member,
+        // not just the current view's: a recovered cohort restarts with
+        // a placeholder view of itself alone, and without this grace a
+        // view change it manages writes off every peer it has not heard
+        // from since the restart — forming a bare-majority view that
+        // excludes healthy cohorts (which then need a whole second view
+        // change to rejoin, and in the meantime cannot grant leases).
+        // Everyone gets one suspect_timeout to prove themselves.
+        for &m in self.configuration.members() {
             if m != self.mid {
                 self.last_heard.insert(m, now);
             }
@@ -987,6 +1106,20 @@ impl Cohort {
         if from != self.mid {
             self.last_heard.insert(from, now);
         }
+        // A new primary waiting out the previous primary's lease defers
+        // all commit-point traffic: nothing may install a new version
+        // while the old leaseholder could still be serving reads.
+        if self.lease_wait.is_some()
+            && matches!(
+                msg,
+                Message::Prepare { .. } | Message::Commit { .. } | Message::QueryReply { .. }
+            )
+        {
+            if self.lease_deferred.len() < MAX_LEASE_DEFERRED {
+                self.lease_deferred.push(msg);
+            }
+            return out;
+        }
         match msg {
             // transaction processing — server side
             Message::Call { viewid, call_id, proc, args } => {
@@ -1051,6 +1184,12 @@ impl Cohort {
                 self.on_chunk(now, digest, index, total, crc, &payload, &mut out)
             }
 
+            // read leases
+            Message::LeaseGrant { viewid, from } => self.on_lease_grant(viewid, from, &mut out),
+            Message::LeaseRevoke { viewid, from } => {
+                self.on_lease_revoke(now, viewid, from, &mut out)
+            }
+
             // failure detection
             Message::ImAlive { viewid, .. } => {
                 // last_heard was already updated; additionally, a
@@ -1064,6 +1203,12 @@ impl Cohort {
                 // stay stuck outside the group for a long time.
                 if viewid > self.max_viewid {
                     self.max_viewid = viewid;
+                }
+                // Lease renewal rides the heartbeat: an active,
+                // up-to-date backup answers its current primary's
+                // "I'm alive" with a fresh grant.
+                if from == self.cur_view.primary() && viewid == self.cur_viewid {
+                    self.maybe_grant_lease(&mut out);
                 }
             }
 
@@ -1110,6 +1255,17 @@ impl Cohort {
             Timer::ClientPingTimeout { aid } => self.on_client_ping_timeout(aid, &mut out),
             Timer::ChunkRetry { digest, index, attempt } => {
                 self.on_chunk_retry(digest, index, attempt, &mut out)
+            }
+            Timer::LeaseExpiry { backup, seq } => {
+                // A stale firing (the grant was renewed) is a no-op.
+                self.lease.expire(backup, seq);
+            }
+            Timer::LeaseWait { viewid } => {
+                if self.cur_viewid == viewid
+                    && self.lease_wait.as_ref().is_some_and(|w| w.viewid == viewid)
+                {
+                    self.end_lease_wait(now, &mut out);
+                }
             }
             // Agent timers never reach a cohort.
             Timer::AgentBeginRetry { .. }
@@ -1445,6 +1601,9 @@ impl Cohort {
             to: from,
             msg: Message::BufferAck { viewid: self.cur_viewid, from: self.mid, upto: known },
         });
+        // Lease renewal rides the ack: the backup just processed its
+        // primary's buffer stream, so the primary is alive and current.
+        self.maybe_grant_lease(out);
     }
 
     /// Emit a periodic checkpoint persist effect every
@@ -1967,5 +2126,155 @@ impl Cohort {
     /// primary if the cohort knows them").
     pub(crate) fn known_view(&self) -> Option<(ViewId, View)> {
         (self.status == Status::Active).then(|| (self.cur_viewid, self.cur_view.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // read leases
+    // ------------------------------------------------------------------
+
+    /// Whether this cohort may serve a leased read right now: an active
+    /// primary with leases enabled, no lease wait in progress, and live
+    /// grants from a sub-majority of the configuration (so the primary
+    /// plus its grantors form a majority — no view can form without a
+    /// granting backup).
+    pub fn holds_lease(&self) -> bool {
+        self.cfg.lease_ticks > 0
+            && self.lease_wait.is_none()
+            && self.is_active_primary()
+            && self.lease.holds(self.configuration.sub_majority())
+    }
+
+    /// Number of backups currently extending a live lease grant to this
+    /// cohort (0 unless it is a leaseholding primary). For harness
+    /// assertions.
+    pub fn live_lease_grants(&self) -> usize {
+        self.lease.live_grants()
+    }
+
+    /// Whether this new primary is still waiting out the previous
+    /// primary's maximum outstanding lease. For harness assertions.
+    pub fn lease_wait_in_progress(&self) -> bool {
+        self.lease_wait.is_some()
+    }
+
+    /// Send a lease grant to the current primary if this cohort is in a
+    /// position to promise: an active, up-to-date backup of the current
+    /// view with no state transfer in progress. A fetching or stale
+    /// cohort must not grant — its promise would let the primary serve
+    /// reads the backup cannot vouch for (§14 interaction: a rejoining
+    /// backup grants only after its chunked fetch completes and it is
+    /// active again).
+    pub(crate) fn maybe_grant_lease(&mut self, out: &mut Vec<Effect>) {
+        if self.cfg.lease_ticks == 0
+            || self.status != Status::Active
+            || self.cur_view.primary() == self.mid
+            || !self.up_to_date
+            || self.fetch.is_some()
+        {
+            return;
+        }
+        out.push(Effect::Send {
+            to: self.cur_view.primary(),
+            msg: Message::LeaseGrant { viewid: self.cur_viewid, from: self.mid },
+        });
+    }
+
+    /// A backup granted (or renewed) this primary's lease.
+    fn on_lease_grant(&mut self, viewid: ViewId, from: Mid, out: &mut Vec<Effect>) {
+        if self.cfg.lease_ticks == 0
+            || !self.is_active_primary()
+            || viewid != self.cur_viewid
+            || !self.cur_view.contains(from)
+            || from == self.mid
+        {
+            return;
+        }
+        let (seq, renewal) = self.lease.grant(from);
+        if renewal {
+            out.push(Effect::Observe(Observation::LeaseRenewed {
+                group: self.group,
+                mid: self.mid,
+            }));
+        }
+        out.push(Effect::SetTimer {
+            after: self.cfg.lease_ticks,
+            timer: Timer::LeaseExpiry { backup: from, seq },
+        });
+    }
+
+    /// The old primary of `viewid` voided every lease it held. Record it
+    /// (a later `start_view` consults the map) and, if this cohort is a
+    /// new primary currently waiting on exactly that lease, end the wait
+    /// immediately.
+    fn on_lease_revoke(&mut self, now: Tick, viewid: ViewId, from: Mid, out: &mut Vec<Effect>) {
+        if self.cfg.lease_ticks == 0 {
+            return;
+        }
+        let entry = self.lease_revokes.entry(from).or_insert(viewid);
+        if viewid > *entry {
+            *entry = viewid;
+        }
+        if let Some(w) = &self.lease_wait {
+            if w.prev_primary == from && viewid >= w.prev_viewid && self.cur_viewid == w.viewid {
+                self.end_lease_wait(now, out);
+            }
+        }
+    }
+
+    /// Relinquish any leases this cohort holds as it leaves active
+    /// primaryship (view change started, invitation accepted, or a new
+    /// view installed). If grants were live, broadcast the revocation so
+    /// the next primary can skip the skew-adjusted wait. Must run while
+    /// `cur_viewid` still names the view the grants were made in.
+    pub(crate) fn relinquish_lease(&mut self, out: &mut Vec<Effect>) {
+        if self.cfg.lease_ticks == 0 {
+            return;
+        }
+        if self.lease.relinquish() {
+            for &m in self.configuration.members() {
+                if m != self.mid {
+                    out.push(Effect::Send {
+                        to: m,
+                        msg: Message::LeaseRevoke { viewid: self.cur_viewid, from: self.mid },
+                    });
+                }
+            }
+            // Record our own revocation too: if this cohort becomes the
+            // next primary it must not wait on itself.
+            let entry = self.lease_revokes.entry(self.mid).or_insert(self.cur_viewid);
+            if self.cur_viewid > *entry {
+                *entry = self.cur_viewid;
+            }
+        }
+        // Any deferred commit-point traffic belongs to a view start that
+        // is now obsolete; drop it (the senders retry).
+        self.lease_wait = None;
+        self.lease_deferred.clear();
+    }
+
+    /// Whether an explicit revocation covering the previous view's
+    /// primary has been seen — the graceful-handover escape from the
+    /// skew-adjusted wait.
+    pub(crate) fn lease_revoke_covers(&self, prev_primary: Mid, prev_viewid: ViewId) -> bool {
+        self.lease_revokes.get(&prev_primary).is_some_and(|&v| v >= prev_viewid)
+    }
+
+    /// The lease wait is over (timer fired or revocation arrived):
+    /// replay the deferred commit-point messages in arrival order.
+    fn end_lease_wait(&mut self, now: Tick, out: &mut Vec<Effect>) {
+        self.lease_wait = None;
+        for msg in std::mem::take(&mut self.lease_deferred) {
+            match msg {
+                Message::Prepare { aid, pset, coordinator } => {
+                    self.on_prepare(now, aid, pset, coordinator, out)
+                }
+                Message::Commit { aid, coordinator } => {
+                    self.on_commit(now, aid, Some(coordinator), out)
+                }
+                Message::QueryReply { aid, outcome } => self.on_query_reply(now, aid, outcome, out),
+                // vsr-lint: allow(wildcard_match, reason = "the deferral filter in on_message queues exactly these three commit-point variants; anything else here is a bug the debug_assert catches")
+                _ => debug_assert!(false, "only commit-point messages are deferred"),
+            }
+        }
     }
 }

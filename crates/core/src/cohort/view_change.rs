@@ -12,7 +12,7 @@
 //! carrying the view, history, and group state — as the first event of
 //! the new view's communication buffer.
 
-use super::{Cohort, Effect, Observation, Status, Timer, TxnOutcome};
+use super::{Cohort, Effect, LeaseWaitState, Observation, Status, Timer, TxnOutcome};
 use crate::buffer::CommBuffer;
 use crate::durable::{Checkpoint, DurableEvent};
 use crate::event::{EventKind, EventRecord};
@@ -157,6 +157,11 @@ impl Cohort {
     /// Start (or restart) a view change with this cohort as manager:
     /// `make_invitations` of Figure 5.
     pub(crate) fn start_view_change(&mut self, _now: Tick, out: &mut Vec<Effect>) {
+        // Any read lease this cohort holds was granted for the view it is
+        // now abandoning; revoke it (and drop a stale lease wait) while
+        // cur_viewid still names that view, so successor primaries can
+        // skip the skew wait.
+        self.relinquish_lease(out);
         self.set_status(Status::ViewManager, out);
         // A manager abandons any in-flight state transfer: the pending
         // newview it was fetching against is stale once max_viewid
@@ -235,7 +240,10 @@ impl Cohort {
             return;
         }
         // do_accept: record the new viewid and send an acceptance; become
-        // an underling.
+        // an underling. Accepting stops this cohort acking the old view's
+        // buffer, so any lease it holds as that view's primary can no
+        // longer renew — revoke it explicitly first.
+        self.relinquish_lease(out);
         self.max_viewid = viewid;
         self.send_acceptance(viewid, manager, out);
         self.set_status(Status::Underling, out);
@@ -398,6 +406,17 @@ impl Cohort {
         debug_assert_eq!(view.primary(), self.mid);
         let viewid = self.max_viewid;
         self.fetch = None;
+        // Lease bookkeeping, before any view identifier changes. The
+        // previous active view this cohort knows is its own cur_view
+        // (the new primary is up to date, so that is *the* latest view);
+        // its primary is the only cohort that could still be serving
+        // leased reads.
+        let prev_viewid = self.cur_viewid;
+        let prev_primary = self.cur_view.primary();
+        // Grants this cohort holds were made for the previous view; void
+        // them (broadcasting a revocation, so later primaries skip the
+        // skew wait) while cur_viewid still names that view.
+        self.relinquish_lease(out);
         // Resolve the snapshot base the newview record will reference —
         // before any view mutation, so an ad-hoc snapshot captures the
         // state the new view starts from. If the last boundary snapshot
@@ -437,6 +456,27 @@ impl Cohort {
         self.set_status(Status::Active, out);
         self.vc = VcState::None;
         self.manager_attempts = 0;
+        // A new primary must not let the new view install writes while
+        // the previous primary could still be serving leased reads of the
+        // old versions: unless this cohort *was* that primary, or holds
+        // its explicit revocation covering the previous view, defer the
+        // write pipeline (prepares, commits, query replies) until the
+        // skew-adjusted maximum lease has provably drained. See
+        // `CohortConfig::lease_wait_ticks` and DESIGN.md §16.
+        if self.cfg.lease_ticks > 0
+            && prev_primary != self.mid
+            && !self.lease_revoke_covers(prev_primary, prev_viewid)
+        {
+            let wait = self.cfg.lease_wait_ticks();
+            self.lease_wait = Some(LeaseWaitState { viewid, prev_primary, prev_viewid });
+            out.push(Effect::SetTimer { after: wait, timer: Timer::LeaseWait { viewid } });
+            out.push(Effect::Observe(Observation::LeaseWaitStarted {
+                group: self.group,
+                mid: self.mid,
+                viewid,
+                wait,
+            }));
+        }
         for m in view.members() {
             if m != self.mid {
                 self.last_heard.insert(m, now);
@@ -633,6 +673,9 @@ impl Cohort {
         debug_assert_eq!(viewid, self.max_viewid);
         let is_primary = view.primary() == self.mid;
         debug_assert!(!is_primary, "the primary starts its view via start_view");
+        // An old primary installing a view it lost revokes any lease it
+        // still holds — while cur_viewid still names the granted view.
+        self.relinquish_lease(out);
         self.cur_viewid = viewid;
         self.cur_view = view.clone();
         self.history = history;

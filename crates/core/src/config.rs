@@ -133,6 +133,23 @@ pub struct CohortConfig {
     /// State transfer: how long a fetching cohort waits for a requested
     /// chunk before re-requesting it (with the standard retry backoff).
     pub chunk_retry_interval: u64,
+    /// Read leases: how long a backup's lease grant is valid, measured
+    /// on the *primary's* clock from grant receipt. While the primary
+    /// holds live grants from a sub-majority of backups it serves
+    /// read-only transactions locally — no communication-buffer record,
+    /// no persist, no force. `0` (the default) disables leases entirely;
+    /// the protocol behaves exactly as before.
+    pub lease_ticks: u64,
+    /// Read leases: the worst-case clock-rate ratio between any two
+    /// cohorts the deployment tolerates (the sim injects skews via
+    /// `set_timer_skew` with factors up to 2). A new primary that cannot
+    /// produce an explicit revocation from the previous primary must
+    /// wait `lease_ticks * lease_skew_bound^2` on its own clock before
+    /// accepting prepares/commits: the holder's clock may run
+    /// `lease_skew_bound`× slow (stretching its lease in real time) and
+    /// the waiter's may run `lease_skew_bound`× fast (shrinking its
+    /// wait), so the bound appears squared.
+    pub lease_skew_bound: u64,
 }
 
 impl CohortConfig {
@@ -166,7 +183,17 @@ impl CohortConfig {
             snapshot_interval: 64,
             snapshot_chunk_bytes: vsr_snap::DEFAULT_CHUNK_BYTES,
             chunk_retry_interval: 40,
+            lease_ticks: 0,
+            lease_skew_bound: 2,
         }
+    }
+
+    /// How long a new primary that lacks an explicit revocation must
+    /// wait before accepting work: the maximum outstanding lease under
+    /// the worst tolerated clock skew (see
+    /// [`lease_skew_bound`](CohortConfig::lease_skew_bound)).
+    pub fn lease_wait_ticks(&self) -> u64 {
+        self.lease_ticks.saturating_mul(self.lease_skew_bound).saturating_mul(self.lease_skew_bound)
     }
 
     /// The delay before retry number `attempt` (1-based: the first arm
@@ -221,7 +248,19 @@ mod tests {
         assert!(!c.eager_force_calls, "paper default is background mode");
         assert!(c.snapshot_chunk_bytes > 0, "zero chunk size would stall transfers");
         assert!(c.snapshot_interval >= 2, "a newview record (ts 1) must never be a boundary");
+        assert_eq!(c.lease_ticks, 0, "leases are an opt-in fast path");
+        assert!(c.lease_skew_bound >= 2, "sim skews run up to 2x");
         assert_eq!(c, CohortConfig::default());
+    }
+
+    #[test]
+    fn lease_wait_covers_skewed_lease() {
+        let c = CohortConfig { lease_ticks: 50, ..CohortConfig::new() };
+        // Holder clock 2x slow => lease lasts 100 real ticks; waiter
+        // clock 2x fast => a 200-tick timer fires after 100 real ticks.
+        // The wait must still cover the stretched lease.
+        assert_eq!(c.lease_wait_ticks(), 200);
+        assert!(c.lease_wait_ticks() / c.lease_skew_bound >= c.lease_ticks * c.lease_skew_bound);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Read-lease holder state machine (sans-I/O).
+//!
+//! Backups grant the primary a read lease by sending
+//! [`Message::LeaseGrant`](crate::messages::Message::LeaseGrant),
+//! piggybacked on the traffic the primary already generates (buffer
+//! sends and heartbeats). The primary tracks live grants here; while it
+//! holds grants from a **sub-majority** of backups (so, together with
+//! itself, a majority of the view), no new view can form without at
+//! least one cohort that granted — and a new primary must either wait
+//! out the skew-adjusted maximum lease or obtain the old primary's
+//! explicit revocation before accepting work (see
+//! [`CohortConfig::lease_wait_ticks`](crate::config::CohortConfig::lease_wait_ticks)).
+//!
+//! The machine is pure: grants carry a monotone sequence number, and the
+//! caller arms a `Timer::LeaseExpiry { backup, seq }` for each grant.
+//! When the timer fires, the grant is dropped only if its sequence still
+//! matches — a renewal in the meantime supersedes the old timer, whose
+//! late firing then becomes a no-op. This makes the machine safe against
+//! arbitrary timer reordering and makes every transition testable in
+//! isolation (see `tests/lease_props.rs`).
+
+use crate::types::Mid;
+use std::collections::BTreeMap;
+
+/// The primary-side lease table: which backups currently extend a live
+/// grant, keyed by the sequence number of their latest grant.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseHolder {
+    grants: BTreeMap<Mid, u64>,
+    next_seq: u64,
+}
+
+impl LeaseHolder {
+    /// An empty table: no grants, `holds(k)` false for any `k > 0`.
+    pub fn new() -> Self {
+        LeaseHolder::default()
+    }
+
+    /// Record a grant (or renewal) from `backup`. Returns the sequence
+    /// number to arm the expiry timer with, and whether this renewed an
+    /// already-live grant.
+    pub fn grant(&mut self, backup: Mid) -> (u64, bool) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let renewal = self.grants.insert(backup, seq).is_some();
+        (seq, renewal)
+    }
+
+    /// An expiry timer fired. The grant lapses only if `seq` still names
+    /// the backup's latest grant; a stale timer (superseded by a
+    /// renewal) is ignored. Returns whether a live grant lapsed.
+    pub fn expire(&mut self, backup: Mid, seq: u64) -> bool {
+        if self.grants.get(&backup) == Some(&seq) {
+            self.grants.remove(&backup);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Void every grant (the holder is relinquishing: it observed a view
+    /// change or stopped being the active primary). Returns whether any
+    /// grant was live — callers broadcast a revocation only then.
+    pub fn relinquish(&mut self) -> bool {
+        let had = !self.grants.is_empty();
+        self.grants.clear();
+        had
+    }
+
+    /// Number of distinct backups with a live grant.
+    pub fn live_grants(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether the holder may serve leased reads: live grants from at
+    /// least `sub_majority` distinct backups. With the holder itself
+    /// that is a majority of the view, so any new view must include a
+    /// granting backup.
+    pub fn holds(&self, sub_majority: usize) -> bool {
+        self.grants.len() >= sub_majority
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_accumulate_and_expire() {
+        let mut h = LeaseHolder::new();
+        assert!(h.holds(0), "sub-majority 0 (single-cohort view) always holds");
+        assert!(!h.holds(1));
+        let (s1, renewed) = h.grant(Mid(2));
+        assert!(!renewed);
+        let (s2, _) = h.grant(Mid(3));
+        assert_eq!(h.live_grants(), 2);
+        assert!(h.holds(2));
+        assert!(h.expire(Mid(2), s1));
+        assert!(!h.holds(2));
+        assert!(h.holds(1));
+        assert!(h.expire(Mid(3), s2));
+        assert_eq!(h.live_grants(), 0);
+    }
+
+    #[test]
+    fn renewal_supersedes_old_timer() {
+        let mut h = LeaseHolder::new();
+        let (s1, _) = h.grant(Mid(2));
+        let (s2, renewed) = h.grant(Mid(2));
+        assert!(renewed);
+        assert_ne!(s1, s2);
+        // The first timer fires late: must not kill the renewed grant.
+        assert!(!h.expire(Mid(2), s1));
+        assert_eq!(h.live_grants(), 1);
+        assert!(h.expire(Mid(2), s2));
+        assert_eq!(h.live_grants(), 0);
+    }
+
+    #[test]
+    fn relinquish_voids_everything() {
+        let mut h = LeaseHolder::new();
+        assert!(!h.relinquish(), "nothing to revoke when empty");
+        let (s1, _) = h.grant(Mid(2));
+        h.grant(Mid(3));
+        assert!(h.relinquish());
+        assert_eq!(h.live_grants(), 0);
+        // Timers for the voided grants are no-ops.
+        assert!(!h.expire(Mid(2), s1));
+    }
+
+    #[test]
+    fn expiry_for_unknown_backup_is_noop() {
+        let mut h = LeaseHolder::new();
+        assert!(!h.expire(Mid(9), 1));
+    }
+}

@@ -31,6 +31,9 @@
 //! * [`module`] — the application interface: deterministic procedures
 //!   over atomic objects.
 //! * [`messages`] — the wire protocol.
+//! * [`lease`] — the primary-side read-lease table backing the leased
+//!   read fast path (grants from a sub-majority of backups let the
+//!   primary answer read-only transactions locally).
 //! * [`cohort`] — the replica state machine: transaction processing
 //!   (Figures 2 and 3), the view change algorithm (Figure 5), queries,
 //!   and failure detection. Sans-I/O: drive it with
@@ -76,6 +79,7 @@ pub mod durable;
 pub mod event;
 pub mod gstate;
 pub mod history;
+pub mod lease;
 pub mod locks;
 pub mod messages;
 pub mod module;

@@ -358,6 +358,31 @@ pub enum Message {
         /// The chunk's bytes (at most the group's configured chunk size).
         payload: Vec<u8>,
     },
+
+    // ------------------------------------------------------- read leases
+    /// Backup → primary: grant (or renew) a read lease of
+    /// `CohortConfig::lease_ticks`, piggybacked on existing traffic —
+    /// sent whenever an active, up-to-date backup processes a
+    /// `BufferSend` or a heartbeat from its current primary. The primary
+    /// serves read-only transactions locally while it holds live grants
+    /// from a sub-majority of backups.
+    LeaseGrant {
+        /// The view the grant is valid in; the primary discards grants
+        /// for any other view.
+        viewid: ViewId,
+        /// The granting backup.
+        from: Mid,
+    },
+    /// Relinquishing primary → all view members: every lease it held for
+    /// `viewid` is void. Broadcast when a leaseholder joins a view
+    /// change; a new primary that has seen the old primary's revocation
+    /// can skip the skew-adjusted lease wait.
+    LeaseRevoke {
+        /// The view whose leases are revoked.
+        viewid: ViewId,
+        /// The relinquishing (old) primary.
+        from: Mid,
+    },
 }
 
 impl Message {
@@ -394,6 +419,8 @@ impl Message {
             Message::InitView { .. } => "init-view",
             Message::GetChunk { .. } => "get-chunk",
             Message::Chunk { .. } => "chunk",
+            Message::LeaseGrant { .. } => "lease-grant",
+            Message::LeaseRevoke { .. } => "lease-revoke",
         }
     }
 
@@ -419,6 +446,8 @@ impl Message {
                 | Message::ImAlive { .. }
                 | Message::GetChunk { .. }
                 | Message::Chunk { .. }
+                | Message::LeaseGrant { .. }
+                | Message::LeaseRevoke { .. }
         )
     }
 
@@ -471,6 +500,7 @@ impl Message {
             Message::InitView { view, .. } => HDR + VIEWID + 8 * view.len(),
             Message::GetChunk { .. } => HDR + 16 + ID + ID,
             Message::Chunk { payload, .. } => HDR + 16 + 3 * ID + payload.len(),
+            Message::LeaseGrant { .. } | Message::LeaseRevoke { .. } => HDR + VIEWID + ID,
         }
     }
 }
@@ -497,6 +527,8 @@ mod tests {
             Message::Query { aid: aid(), reply_to: Mid(0) },
             Message::ImAlive { from: Mid(0), viewid: ViewId::initial(Mid(0)) },
             Message::Invite { viewid: ViewId::initial(Mid(0)), manager: Mid(0) },
+            Message::LeaseGrant { viewid: ViewId::initial(Mid(0)), from: Mid(1) },
+            Message::LeaseRevoke { viewid: ViewId::initial(Mid(0)), from: Mid(0) },
         ];
         let names: std::collections::BTreeSet<_> = msgs.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), msgs.len());
@@ -516,6 +548,12 @@ mod tests {
         let chunk = Message::GetChunk { digest: SnapDigest::of(b"s"), index: 0, reply_to: Mid(1) };
         assert!(chunk.is_background());
         assert!(!chunk.is_view_change());
+        let grant = Message::LeaseGrant { viewid: ViewId::initial(Mid(0)), from: Mid(1) };
+        assert!(grant.is_background());
+        assert!(!grant.is_view_change());
+        let revoke = Message::LeaseRevoke { viewid: ViewId::initial(Mid(0)), from: Mid(0) };
+        assert!(revoke.is_background());
+        assert!(!revoke.is_view_change());
     }
 
     #[test]

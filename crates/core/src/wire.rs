@@ -873,6 +873,16 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             e.u64(u64::from(*crc));
             e.bytes(payload);
         }
+        Message::LeaseGrant { viewid, from } => {
+            e.u64(30);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+        }
+        Message::LeaseRevoke { viewid, from } => {
+            e.u64(31);
+            enc_viewid(&mut e, *viewid);
+            e.u64(from.0);
+        }
     }
     e.buf
 }
@@ -1005,6 +1015,14 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, DecodeError> {
             total: dec_u32(&mut d, "chunk.total")?,
             crc: dec_u32(&mut d, "chunk.crc")?,
             payload: d.bytes("chunk.payload")?.to_vec(),
+        },
+        30 => Message::LeaseGrant {
+            viewid: dec_viewid(&mut d)?,
+            from: Mid(d.u64("lease_grant.from")?),
+        },
+        31 => Message::LeaseRevoke {
+            viewid: dec_viewid(&mut d)?,
+            from: Mid(d.u64("lease_revoke.from")?),
         },
         _ => return Err(DecodeError { context: "message.tag" }),
     };
@@ -1292,6 +1310,8 @@ mod tests {
                 crc: 0xdead_beef,
                 payload: vec![1, 2, 3, 4, 5],
             },
+            Message::LeaseGrant { viewid: vid(2), from: Mid(1) },
+            Message::LeaseRevoke { viewid: vid(2), from: Mid(0) },
         ]
     }
 

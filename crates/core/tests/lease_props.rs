@@ -1,0 +1,176 @@
+//! Property tests for the lease state machine in isolation.
+//!
+//! Two invariant families:
+//!
+//! 1. **Machine correctness** — [`LeaseHolder`] under arbitrary
+//!    grant/renew/expire/relinquish interleavings (including stale
+//!    expiry timers firing late and out of order) always agrees with a
+//!    reference model of "which backups' *latest* grant is still live".
+//! 2. **No overlapping holders** — with timer skews inside the
+//!    configured [`lease_skew_bound`](CohortConfig::lease_skew_bound),
+//!    a deposed primary's last live grant (stretched by its slow clock)
+//!    always lapses in real time before a new primary's
+//!    [`lease_wait_ticks`](CohortConfig::lease_wait_ticks) wait
+//!    (shrunk by its fast clock) completes — so `holds_lease()` can
+//!    never be true on two cohorts whose skewed clocks straddle a view
+//!    change.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vsr_core::config::CohortConfig;
+use vsr_core::lease::LeaseHolder;
+use vsr_core::types::Mid;
+
+/// One step of an adversarial schedule against the holder.
+#[derive(Debug, Clone)]
+enum Step {
+    /// A backup grants (or renews).
+    Grant(u64),
+    /// The expiry timer for the backup's `n`-th most recent grant
+    /// fires (0 = latest, larger = staler). Timers fire late and out
+    /// of order in a real run; the machine must only lapse a grant
+    /// whose sequence is still current.
+    Expire(u64, usize),
+    /// The holder relinquishes (view change observed).
+    Relinquish,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u64..5).prop_map(Step::Grant),
+        4 => (0u64..5, 0usize..3).prop_map(|(b, n)| Step::Expire(b, n)),
+        1 => Just(Step::Relinquish),
+    ]
+}
+
+/// The timer-skew pool the nemesis draws from: 1.5x slow, 2x slow, 2x
+/// fast, and no skew — all within the default `lease_skew_bound` of 2.
+/// A timer armed for `d` ticks fires after `d * num / den` real ticks.
+const SKEWS: &[(u64, u64)] = &[(3, 2), (2, 1), (1, 2), (1, 1)];
+
+fn case_budget(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(case_budget(256)))]
+
+    /// The holder agrees with a reference model under arbitrary
+    /// interleavings, and stale expiry timers (superseded by renewals
+    /// or voided by a relinquish) never lapse a live grant.
+    #[test]
+    fn holder_matches_reference_model(steps in prop::collection::vec(step_strategy(), 0..60)) {
+        let mut holder = LeaseHolder::new();
+        // Reference: backup -> seq of its latest grant, if still live.
+        let mut live: BTreeMap<Mid, u64> = BTreeMap::new();
+        // Every (backup, seq) pair ever issued, newest first per backup.
+        let mut issued: BTreeMap<Mid, Vec<u64>> = BTreeMap::new();
+        for step in steps {
+            match step {
+                Step::Grant(b) => {
+                    let backup = Mid(b);
+                    let (seq, renewed) = holder.grant(backup);
+                    prop_assert_eq!(renewed, live.contains_key(&backup));
+                    live.insert(backup, seq);
+                    issued.entry(backup).or_default().insert(0, seq);
+                }
+                Step::Expire(b, n) => {
+                    let backup = Mid(b);
+                    let Some(&seq) = issued.get(&backup).and_then(|v| v.get(n)) else {
+                        // No such grant was ever issued; an unknown
+                        // timer must be a no-op.
+                        prop_assert!(!holder.expire(backup, u64::MAX));
+                        continue;
+                    };
+                    let was_current = live.get(&backup) == Some(&seq);
+                    prop_assert_eq!(holder.expire(backup, seq), was_current);
+                    if was_current {
+                        live.remove(&backup);
+                    }
+                }
+                Step::Relinquish => {
+                    prop_assert_eq!(holder.relinquish(), !live.is_empty());
+                    live.clear();
+                }
+            }
+            prop_assert_eq!(holder.live_grants(), live.len());
+            for k in 0..6 {
+                prop_assert_eq!(holder.holds(k), live.len() >= k);
+            }
+        }
+    }
+
+    /// A deposed holder's leased-read window never overlaps a new
+    /// primary's post-wait write window, for any grant schedule and any
+    /// pair of clock skews within the bound.
+    ///
+    /// Real-time model: every grant the old primary received was sent
+    /// by a backup *before* that backup accepted the new view, so the
+    /// view-change start `v` is at or after the last grant time. The
+    /// old primary serves reads until its last live grant's expiry
+    /// timer fires — armed for `lease_ticks` but stretched by its slow
+    /// clock. The new primary arms `lease_wait_ticks()` at `v` —
+    /// shrunk by its fast clock. The wait must cover the stretch.
+    #[test]
+    fn skewed_holder_never_outlives_the_view_change_wait(
+        lease_ticks in 1u64..500,
+        grants in prop::collection::vec((0u64..2, 0u64..10_000), 1..12),
+        holder_skew in 0usize..SKEWS.len(),
+        waiter_skew in 0usize..SKEWS.len(),
+        view_change_delay in 0u64..1_000,
+    ) {
+        let (hn, hd) = SKEWS[holder_skew];
+        let (wn, wd) = SKEWS[waiter_skew];
+        let cfg = CohortConfig { lease_ticks, ..CohortConfig::new() };
+        let mut holder = LeaseHolder::new();
+        // Latest grant time per backup; renewals re-anchor the expiry.
+        let mut anchored: BTreeMap<Mid, u64> = BTreeMap::new();
+        let mut last_grant = 0u64;
+        for (b, t) in grants {
+            holder.grant(Mid(b));
+            anchored.insert(Mid(b), t);
+            last_grant = last_grant.max(t);
+        }
+        prop_assert!(holder.holds(anchored.len()));
+        // The view change begins no earlier than the last grant left
+        // its backup.
+        let v = last_grant + view_change_delay;
+        // Old holder's clock is skewed by hn/hd: its lease_ticks timer
+        // fires at anchor + lease_ticks * hn / hd real ticks. Work in
+        // units of hd*wd to stay in integers.
+        let scale = hd * wd;
+        let holder_quiet = anchored
+            .values()
+            .map(|&t| t * scale + lease_ticks * hn * wd)
+            .max()
+            .expect("at least one grant");
+        // New primary's wait timer, armed at v, shrunk by wn/wd.
+        let waiter_writes = v * scale + cfg.lease_wait_ticks() * wn * hd;
+        prop_assert!(
+            holder_quiet <= waiter_writes,
+            "old holder still serving at {holder_quiet} when the new primary \
+             starts writing at {waiter_writes} (lease {lease_ticks}, holder skew \
+             {hn}/{hd}, waiter skew {wn}/{wd})"
+        );
+    }
+
+    /// The wait bound is tight: a waiter clock even slightly faster
+    /// than the bound breaks the invariant, so the `bound^2` factor in
+    /// `lease_wait_ticks` is load-bearing, not slack.
+    #[test]
+    fn wait_bound_is_tight(lease_ticks in 1u64..500) {
+        let cfg = CohortConfig { lease_ticks, ..CohortConfig::new() };
+        let bound = cfg.lease_skew_bound;
+        // Worst legal case: holder `bound`x slow, waiter `bound`x fast.
+        let holder_quiet = lease_ticks * bound;
+        let waiter_writes = cfg.lease_wait_ticks() / bound;
+        prop_assert!(holder_quiet <= waiter_writes);
+        // One notch past the bound on the waiter side overlaps: the
+        // wait ends strictly before the stretched lease lapses.
+        let too_fast = cfg.lease_wait_ticks() / (bound + 1);
+        prop_assert!(
+            too_fast < holder_quiet,
+            "a waiter faster than the bound must overlap the stretched lease"
+        );
+    }
+}

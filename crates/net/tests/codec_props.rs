@@ -37,7 +37,7 @@ fn aid(seq: u64) -> Aid {
 
 /// The number of `Message` variants `message_from` can produce; tags
 /// are taken modulo this, so `0..VARIANTS` enumerates all of them.
-const VARIANTS: u64 = 30;
+const VARIANTS: u64 = 32;
 
 /// Decode a sampled `(tag, a, b, data, flag)` tuple into a `Message`,
 /// covering every variant with payloads that vary with the sample.
@@ -120,13 +120,15 @@ fn message_from(tag: u64, a: u64, b: u64, data: &[u8], flag: bool) -> Message {
             index: (a % 1000) as u32,
             reply_to: Mid(b),
         },
-        _ => Message::Chunk {
+        29 => Message::Chunk {
             digest: vsr_core::snapshot::SnapDigest::of(data),
             index: (a % 1000) as u32,
             total: (1 + b % 1000) as u32,
             crc: vsr_core::snapshot::crc32c(data),
             payload: data.to_vec(),
         },
+        30 => Message::LeaseGrant { viewid: vid(a), from: Mid(b) },
+        _ => Message::LeaseRevoke { viewid: vid(a), from: Mid(b) },
     }
 }
 

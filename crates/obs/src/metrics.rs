@@ -134,6 +134,23 @@ pub struct Metrics {
     /// Coordinator transactions in flight on the primary, sampled at
     /// each handler pass, log-bucketed (pipelining depth distribution).
     pub inflight_txns: Histogram,
+    /// Read-only transactions served from the primary's local state
+    /// under a read lease (no event records, no force, no disk).
+    pub leased_reads: u64,
+    /// Lease grants that renewed an already-live grant (steady-state
+    /// piggybacked renewals; first-time grants are not counted).
+    pub lease_renewals: u64,
+    /// Read-only submissions that reached a leased primary but fell back
+    /// to the coordinated path (write access, lock conflict, or
+    /// application error).
+    pub lease_read_rejected: u64,
+    /// View changes whose new primary had to sit out the skew-adjusted
+    /// maximum lease before accepting writes (no explicit revocation
+    /// from the previous primary covered the previous view).
+    pub lease_waits_on_view_change: u64,
+    /// Leased-read latencies (submission → local reply), log-bucketed.
+    /// Ticks in the simulator, microseconds in the thread runtime.
+    pub lease_read_ticks: Histogram,
 }
 
 impl Metrics {
@@ -229,6 +246,11 @@ impl Metrics {
             ("group_fsyncs", self.group_fsyncs),
             ("records_per_fsync_count", self.records_per_fsync.count()),
             ("inflight_txns_count", self.inflight_txns.count()),
+            ("leased_reads", self.leased_reads),
+            ("lease_renewals", self.lease_renewals),
+            ("lease_read_rejected", self.lease_read_rejected),
+            ("lease_waits_on_view_change", self.lease_waits_on_view_change),
+            ("lease_read_count", self.lease_read_ticks.count()),
         ]
     }
 }

@@ -254,6 +254,10 @@ struct CohortThread {
     timers: BinaryHeap<TimerEntry>,
     timer_seq: u64,
     replies: BTreeMap<u64, Sender<TxnOutcome>>,
+    /// Wall-clock submission instants of in-flight requests, for the
+    /// leased-read latency histogram (microsecond resolution; the
+    /// coarse `now_ticks` millisecond clock would read mostly zero).
+    req_t0: BTreeMap<u64, Instant>,
     stable: Arc<Mutex<ViewId>>,
     store: Option<SharedStore>,
     observations: Option<Arc<BoundedQueue<(Mid, Observation)>>>,
@@ -368,6 +372,7 @@ impl CohortThread {
                         }
                         Inbox::Request { req_id, ops, reply } => {
                             self.replies.insert(req_id, reply);
+                            self.req_t0.insert(req_id, Instant::now());
                             let now = self.now_ticks();
                             let effects = self.cohort.begin_transaction(now, req_id, ops);
                             // The pipelining depth clients actually
@@ -404,11 +409,18 @@ impl CohortThread {
             while self.timers.peek().is_some_and(|t| t.due <= now_instant) {
                 let entry = self.timers.pop().expect("invariant: peek returned Some");
                 let now = self.now_ticks();
-                // Same accounting rules as the simulator: heartbeats and
-                // buffer flushes are steady-state background ticks, not
-                // timeouts; a retry timer's resulting sends are
-                // retransmissions.
-                if !matches!(entry.timer, Timer::Heartbeat | Timer::BufferFlush) {
+                // Same accounting rules as the simulator: heartbeats,
+                // buffer flushes, and lease housekeeping (the normal end
+                // of a grant's life, the scheduled view-change safety
+                // pause) are not protocol timeouts; a retry timer's
+                // resulting sends are retransmissions.
+                if !matches!(
+                    entry.timer,
+                    Timer::Heartbeat
+                        | Timer::BufferFlush
+                        | Timer::LeaseExpiry { .. }
+                        | Timer::LeaseWait { .. }
+                ) {
                     self.metrics.lock().timeouts_fired += 1;
                 }
                 let is_retry = matches!(
@@ -521,6 +533,7 @@ impl CohortThread {
                     });
                 }
                 Effect::TxnResult { req_id, outcome, .. } => {
+                    self.req_t0.remove(&req_id);
                     if let Some(reply) = self.replies.remove(&req_id) {
                         // vsr-lint: allow(discarded_result, reason = "the submitter may have timed out and dropped its receiver")
                         let _ = reply.send(outcome);
@@ -641,6 +654,22 @@ impl CohortThread {
                         Observation::StatusesGced { n, .. } => {
                             self.metrics.lock().statuses_gced += *n;
                         }
+                        Observation::LeasedRead { req_id, .. } => {
+                            let mut m = self.metrics.lock();
+                            m.leased_reads += 1;
+                            if let Some(t0) = self.req_t0.get(req_id) {
+                                m.lease_read_ticks.record(t0.elapsed().as_micros() as u64);
+                            }
+                        }
+                        Observation::LeaseRenewed { .. } => {
+                            self.metrics.lock().lease_renewals += 1;
+                        }
+                        Observation::LeaseReadRejected { .. } => {
+                            self.metrics.lock().lease_read_rejected += 1;
+                        }
+                        Observation::LeaseWaitStarted { .. } => {
+                            self.metrics.lock().lease_waits_on_view_change += 1;
+                        }
                         Observation::TxnCommitted { .. } | Observation::TxnAborted { .. } => {
                             // Client-visible outcomes are counted once,
                             // in `Cluster::submit`, matching the sim's
@@ -748,6 +777,7 @@ impl CohortThread {
         self.deferred.clear();
         self.releasing = false;
         self.replies.clear();
+        self.req_t0.clear();
         self.dirty_since = None;
         self.store_failed = true;
     }
@@ -1068,7 +1098,7 @@ pub struct Cluster {
     /// The same counter set the simulator's `World` collects, populated
     /// by cohort threads (traffic, observations, disk) and by
     /// [`submit`](Cluster::submit) (client-visible outcomes, latency in
-    /// milliseconds).
+    /// microseconds).
     metrics: Arc<Mutex<Metrics>>,
     /// View-progress condvar submitters sleep on between retry rounds.
     progress: Arc<Progress>,
@@ -1231,6 +1261,7 @@ impl Cluster {
             timers: BinaryHeap::new(),
             timer_seq: 0,
             replies: BTreeMap::new(),
+            req_t0: BTreeMap::new(),
             stable: stable.clone(),
             store,
             observations: self.obs_tx.clone(),
@@ -1278,7 +1309,10 @@ impl Cluster {
             match &result {
                 Ok(TxnOutcome::Committed { .. }) => {
                     m.committed += 1;
-                    m.commit_latency.record(t0.elapsed().as_millis() as u64);
+                    // Microseconds, not milliseconds: in-memory commits
+                    // finish well under 1 ms, and whole-ms samples made
+                    // every A6 percentile table read 0.
+                    m.commit_latency.record(t0.elapsed().as_micros() as u64);
                 }
                 Ok(TxnOutcome::Aborted { .. }) => m.aborted += 1,
                 Ok(TxnOutcome::Unresolved) | Err(_) => m.unresolved += 1,
@@ -1351,7 +1385,7 @@ impl Cluster {
 
     /// A snapshot of the cluster's aggregate metrics — the same counter
     /// set the simulator's `World::metrics` reports, with commit
-    /// latencies in milliseconds instead of ticks. Transport counters
+    /// latencies in microseconds instead of ticks. Transport counters
     /// (networked clusters) fold in live endpoints plus the accumulated
     /// totals of endpoints torn down by earlier crashes.
     pub fn metrics(&self) -> Metrics {

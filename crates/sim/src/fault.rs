@@ -438,6 +438,121 @@ impl FaultPlan {
         plan
     }
 
+    /// Generate a seeded *lease-targeted* nemesis plan over `mids` in
+    /// the window `[start, end)`.
+    ///
+    /// Where [`random_nemesis`](FaultPlan::random_nemesis) spreads its
+    /// draws across the whole fault vocabulary, this generator
+    /// concentrates on the scenarios that can break the read-lease
+    /// safety argument:
+    ///
+    /// * **timer skew** on a sub-cohort (fast or slow by up to the
+    ///   configured `lease_skew_bound`), so a leaseholder's clock and
+    ///   the new primary's wait timer disagree;
+    /// * **crashing the primary mid-lease** (the current leaseholder is
+    ///   usually `Mid(1)`, the initial primary, or whoever took over),
+    ///   forcing a view change while grants are live;
+    /// * **one-way partitions** right after a crash, so `LeaseRevoke`
+    ///   and view-change traffic is lost in one direction during the
+    ///   reorganization.
+    ///
+    /// Like the generic generator, the plan carries no cleanup tail:
+    /// the nemesis driver heals the world before the oracles fire, so
+    /// shrunk subsequences stay valid runs.
+    pub fn random_lease_nemesis(
+        seed: u64,
+        mids: &[Mid],
+        start: u64,
+        end: u64,
+        events: usize,
+    ) -> Self {
+        assert!(start < end, "empty fault window");
+        assert!(mids.len() >= 2, "nemesis needs at least two cohorts");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let mut crashed: Option<Mid> = None;
+        let mut skewed: Vec<Mid> = Vec::new();
+        let mut one_way = false;
+        let mut times: Vec<u64> = (0..events).map(|_| rng.gen_range(start..end)).collect();
+        times.sort();
+        for time in times {
+            let mut moves: Vec<u8> = Vec::new();
+            if skewed.is_empty() {
+                moves.push(0); // skew a sub-cohort's timers
+                moves.push(0); // (weighted: skew is the point of the plan)
+            } else {
+                moves.push(1); // clear the skew
+            }
+            if crashed.is_none() {
+                moves.push(2); // crash the (likely) leaseholder
+            } else {
+                moves.push(3); // recover it
+                if !one_way {
+                    moves.push(4); // one-way partition during the view change
+                }
+            }
+            if one_way {
+                moves.push(5); // heal the one-way blocks
+            }
+            match moves[rng.gen_range(0..moves.len())] {
+                0 => {
+                    let mut members = mids.to_vec();
+                    for i in (1..members.len()).rev() {
+                        members.swap(i, rng.gen_range(0..=i));
+                    }
+                    members.truncate(1 + rng.gen_range(0..2usize));
+                    // The same skew pool the generic generator draws
+                    // from: 1.5x slow, 2x slow, 2x fast — all within
+                    // the default `lease_skew_bound` of 2, so the
+                    // lease wait must still cover them.
+                    let (num, den) = *[(3u64, 2u64), (2, 1), (1, 2)]
+                        .get(rng.gen_range(0..3usize))
+                        .expect("in range");
+                    skewed = members.clone();
+                    plan.events.push((time, FaultEvent::SkewTimers { mids: members, num, den }));
+                }
+                1 => {
+                    let members = std::mem::take(&mut skewed);
+                    plan.events
+                        .push((time, FaultEvent::SkewTimers { mids: members, num: 1, den: 1 }));
+                }
+                2 => {
+                    // Crash the initial primary (or, later in the run,
+                    // a random cohort that may have taken over) while
+                    // its lease grants are still live.
+                    let victim = if rng.gen_bool(0.7) {
+                        mids[0]
+                    } else {
+                        mids[rng.gen_range(0..mids.len())]
+                    };
+                    crashed = Some(victim);
+                    plan.events.push((time, FaultEvent::Crash(victim)));
+                }
+                3 => {
+                    let back = crashed.take().expect("move 3 requires a crash");
+                    plan.events.push((time, FaultEvent::Recover(back)));
+                }
+                4 => {
+                    // Silence one surviving cohort's outbound links
+                    // while the view change runs: its LeaseRevoke and
+                    // accept messages vanish, the reverse direction
+                    // keeps delivering.
+                    let down = crashed.expect("move 4 requires a crash");
+                    let alive: Vec<Mid> = mids.iter().copied().filter(|m| *m != down).collect();
+                    let victim = alive[rng.gen_range(0..alive.len())];
+                    let rest: Vec<Mid> = alive.into_iter().filter(|m| *m != victim).collect();
+                    one_way = true;
+                    plan.events.push((time, FaultEvent::OneWay { from: vec![victim], to: rest }));
+                }
+                _ => {
+                    one_way = false;
+                    plan.events.push((time, FaultEvent::HealOneWay));
+                }
+            }
+        }
+        plan
+    }
+
     /// Number of events in the plan.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -583,6 +698,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lease_nemesis_is_deterministic_and_targets_lease_scenarios() {
+        let a = FaultPlan::random_lease_nemesis(7, &mids(5), 100, 4000, 20);
+        let b = FaultPlan::random_lease_nemesis(7, &mids(5), 100, 4000, 20);
+        assert_eq!(a, b);
+
+        // Across a seed sweep, every lease-targeted fault class shows
+        // up, crashes are bounded to one at a time, and the skew draws
+        // stay within the default lease_skew_bound of 2.
+        let (mut skew, mut primary_crash, mut one_way) = (false, false, false);
+        for seed in 0..30 {
+            let plan = FaultPlan::random_lease_nemesis(seed, &mids(5), 0, 4000, 20);
+            let mut down = 0usize;
+            for (_, ev) in &plan.events {
+                match ev {
+                    FaultEvent::SkewTimers { num, den, .. } if num != den => {
+                        skew = true;
+                        assert!(
+                            *num <= 2 * *den && *den <= 2 * *num,
+                            "seed {seed}: skew {num}/{den} exceeds bound 2"
+                        );
+                    }
+                    FaultEvent::Crash(m) => {
+                        down += 1;
+                        assert!(down <= 1, "seed {seed}: concurrent crashes");
+                        if *m == Mid(0) {
+                            primary_crash = true;
+                        }
+                    }
+                    FaultEvent::Recover(_) => down -= 1,
+                    FaultEvent::OneWay { .. } => one_way = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(skew, "no timer skew generated");
+        assert!(primary_crash, "no initial-primary crash generated");
+        assert!(one_way, "no one-way partition generated");
     }
 
     #[test]

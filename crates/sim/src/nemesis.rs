@@ -19,6 +19,7 @@
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::world::{World, WorldBuilder};
 use vsr_app::counter::{self, CounterModule};
+use vsr_core::config::CohortConfig;
 use vsr_core::module::NullModule;
 use vsr_core::types::{GroupId, Mid};
 use vsr_store::FsyncPolicy;
@@ -55,6 +56,15 @@ pub struct NemesisConfig {
     /// catastrophe. `None` (the default) runs the paper's no-disk
     /// design.
     pub durability: Option<FsyncPolicy>,
+    /// Enable primary read leases with this duration in ticks (0, the
+    /// default, leaves them off). When set, [`sweep`] draws plans from
+    /// the lease-targeted generator
+    /// ([`FaultPlan::random_lease_nemesis`]), the workload turns
+    /// read-heavy (read-only transactions submitted straight to the
+    /// server group, which self-coordinates them onto the leased fast
+    /// path), and the stale-read oracle in [`World::verify`] checks
+    /// every leased read against the committed version chain.
+    pub lease_ticks: u64,
 }
 
 impl Default for NemesisConfig {
@@ -67,6 +77,7 @@ impl Default for NemesisConfig {
             quiesce: 12_000,
             heal_before_check: true,
             durability: None,
+            lease_ticks: 0,
         }
     }
 }
@@ -109,6 +120,7 @@ impl std::fmt::Display for NemesisFailure {
 fn build_world(cfg: &NemesisConfig) -> World {
     let mids = cfg.server_mids();
     let mut builder = WorldBuilder::new(cfg.seed)
+        .cohorts(CohortConfig { lease_ticks: cfg.lease_ticks, ..CohortConfig::new() })
         .group(CLIENT, &[CLIENT_MID], || Box::new(NullModule))
         .group(SERVER, &mids, || Box::new(CounterModule));
     if let Some(policy) = cfg.durability {
@@ -130,6 +142,21 @@ fn drive(cfg: &NemesisConfig, plan: &FaultPlan, world: &mut World) {
             CLIENT,
             vec![counter::incr(SERVER, i as u64 % 4, 1)],
         );
+        if cfg.lease_ticks > 0 {
+            // Read-heavy lease workload: each write is chased by a
+            // burst of read-only transactions submitted straight to
+            // the server group, which self-coordinates them — exactly
+            // the shape the leased-read fast path serves, and the
+            // shape that goes stale if a deposed leaseholder keeps
+            // answering after a view change.
+            for r in 1..=4u64 {
+                world.schedule_submit(
+                    start + i as u64 * interval + r * interval / 8,
+                    SERVER,
+                    vec![counter::read(SERVER, (i as u64 + r) % 4)],
+                );
+            }
+        }
     }
     world.run_until(end);
     if cfg.heal_before_check {
@@ -194,15 +221,19 @@ pub fn sweep(
     let (start, end) = cfg.window;
     let mut stats = SweepStats { passed: 0, catastrophic: 0 };
     for seed in base_seed..base_seed + count as u64 {
-        let plan = FaultPlan::random_nemesis_durable(
-            seed,
-            &mids,
-            start,
-            end,
-            events_per_plan,
-            max_concurrent_crashes,
-            cfg.durability.is_some(),
-        );
+        let plan = if cfg.lease_ticks > 0 {
+            FaultPlan::random_lease_nemesis(seed, &mids, start, end, events_per_plan)
+        } else {
+            FaultPlan::random_nemesis_durable(
+                seed,
+                &mids,
+                start,
+                end,
+                events_per_plan,
+                max_concurrent_crashes,
+                cfg.durability.is_some(),
+            )
+        };
         let cfg = NemesisConfig { seed, ..cfg.clone() };
         match run_plan(&cfg, &plan) {
             Ok(()) => stats.passed += 1,
@@ -441,7 +472,7 @@ pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFai
     out.push_str(&format!("// {failure}\n"));
     out.push_str(&format!(
         "let cfg = NemesisConfig {{ seed: {}, cohorts: {}, window: ({}, {}), \
-         txns: {}, quiesce: {}, heal_before_check: {}, durability: {} }};\n",
+         txns: {}, quiesce: {}, heal_before_check: {}, durability: {}, lease_ticks: {} }};\n",
         cfg.seed,
         cfg.cohorts,
         cfg.window.0,
@@ -453,6 +484,7 @@ pub fn repro_snippet(cfg: &NemesisConfig, plan: &FaultPlan, failure: &NemesisFai
             None => "None".to_string(),
             Some(p) => format!("Some(FsyncPolicy::{p:?})"),
         },
+        cfg.lease_ticks,
     ));
     out.push_str("let plan = FaultPlan::new()");
     for (time, event) in &plan.events {

@@ -42,6 +42,22 @@ pub enum Violation {
         /// The group where reports diverge.
         group: GroupId,
     },
+    /// A leased read observed an object version older than the latest
+    /// committed version at its linearization point — the read-lease
+    /// protocol let a deposed primary serve state the new view had
+    /// already overwritten.
+    StaleRead {
+        /// The leased read-only transaction.
+        reader: Aid,
+        /// The group whose lease failed.
+        group: GroupId,
+        /// The object read stale.
+        oid: ObjectId,
+        /// The version the read observed.
+        version: u64,
+        /// The latest version committed before the read executed.
+        latest: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -65,6 +81,11 @@ impl std::fmt::Display for Violation {
             Violation::DivergentCommit { aid, group } => {
                 write!(f, "cohorts disagree on the effects of {aid} at {group}")
             }
+            Violation::StaleRead { reader, group, oid, version, latest } => write!(
+                f,
+                "leased read {reader} observed version {version} of {group}/{oid} after version \
+                 {latest} had committed"
+            ),
         }
     }
 }
@@ -105,6 +126,49 @@ fn build_commit_log(observations: &[(u64, Observation)]) -> Result<Vec<CommitEnt
     Ok(log)
 }
 
+/// The stale-read oracle: leased reads promise *linearizable* reads, a
+/// stronger contract than the serializability the conflict graph checks.
+/// Replay the observation stream in order, bumping per-(group, object)
+/// version counters at each commit's first observation (the
+/// then-primary's install, which precedes any leased read of the new
+/// version in the stream); a leased read whose recorded `read_version`
+/// is older than the counter at its linearization point — its position
+/// in the stream — observed state the system had already overwritten.
+fn check_leased_reads(observations: &[(u64, Observation)]) -> Result<(), Violation> {
+    let mut seen: BTreeSet<(GroupId, Aid)> = BTreeSet::new();
+    let mut latest: BTreeMap<(GroupId, ObjectId), u64> = BTreeMap::new();
+    for (_, obs) in observations {
+        match obs {
+            Observation::TxnCommitted { group, aid, accesses, .. }
+                if seen.insert((*group, *aid)) =>
+            {
+                for access in accesses {
+                    if access.written.is_some() {
+                        *latest.entry((*group, access.oid)).or_insert(0) += 1;
+                    }
+                }
+            }
+            Observation::LeasedRead { group, aid, accesses, .. } => {
+                for access in accesses {
+                    let Some(read_v) = access.read_version else { continue };
+                    let cur = latest.get(&(*group, access.oid)).copied().unwrap_or(0);
+                    if read_v < cur {
+                        return Err(Violation::StaleRead {
+                            reader: *aid,
+                            group: *group,
+                            oid: access.oid,
+                            version: read_v,
+                            latest: cur,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 /// Check one-copy serializability of the committed transactions recorded
 /// in `observations`.
 ///
@@ -112,6 +176,7 @@ fn build_commit_log(observations: &[(u64, Observation)]) -> Result<Vec<CommitEnt
 ///
 /// Returns the violation found, if any.
 pub fn check(observations: &[(u64, Observation)]) -> Result<(), Violation> {
+    check_leased_reads(observations)?;
     let log = build_commit_log(observations)?;
 
     // Replay: assign version numbers to writes in commit order, per
@@ -357,12 +422,71 @@ mod tests {
         assert_eq!(check(&obs), Ok(()));
     }
 
+    fn leased(aid: Aid, accesses: Vec<ObjectAccess>) -> (u64, Observation) {
+        (0, Observation::LeasedRead { group: G, mid: Mid(0), aid, req_id: aid.seq, accesses })
+    }
+
+    #[test]
+    fn fresh_leased_read_ok() {
+        let obs = vec![
+            committed(aid(1), vec![write(O1)]),
+            leased(aid(2), vec![read(O1, 1)]),
+            committed(aid(3), vec![read(O1, 1), write(O1)]),
+            leased(aid(4), vec![read(O1, 2)]),
+        ];
+        assert_eq!(check(&obs), Ok(()));
+    }
+
+    #[test]
+    fn stale_leased_read_detected() {
+        // Version 2 of O1 commits, then a (deposed) leaseholder serves
+        // version 1: linearizability violated even though the conflict
+        // graph is clean.
+        let obs = vec![
+            committed(aid(1), vec![write(O1)]),
+            committed(aid(2), vec![read(O1, 1), write(O1)]),
+            leased(aid(3), vec![read(O1, 1)]),
+        ];
+        assert!(matches!(
+            check(&obs),
+            Err(Violation::StaleRead { version: 1, latest: 2, oid: O1, .. })
+        ));
+    }
+
+    #[test]
+    fn leased_read_before_commit_not_stale() {
+        // The leased read linearizes before the overwriting commit: fine.
+        let obs = vec![
+            committed(aid(1), vec![write(O1)]),
+            leased(aid(3), vec![read(O1, 1)]),
+            committed(aid(2), vec![read(O1, 1), write(O1)]),
+        ];
+        assert_eq!(check(&obs), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_backup_commits_do_not_double_bump_for_leases() {
+        let primary = committed(aid(1), vec![write(O1)]);
+        let backup = (
+            10,
+            Observation::TxnCommitted {
+                group: G,
+                mid: Mid(1),
+                aid: aid(1),
+                accesses: vec![write(O1)],
+            },
+        );
+        let read_after = leased(aid(2), vec![read(O1, 1)]);
+        assert_eq!(check(&[primary, backup, read_after]), Ok(()));
+    }
+
     #[test]
     fn violation_display_nonempty() {
         for v in [
             Violation::Cycle(vec![aid(1), aid(2)]),
             Violation::PhantomVersion { reader: aid(1), group: G, oid: O1, version: 3 },
             Violation::DivergentCommit { aid: aid(1), group: G },
+            Violation::StaleRead { reader: aid(1), group: G, oid: O1, version: 1, latest: 2 },
         ] {
             assert!(!v.to_string().is_empty());
         }

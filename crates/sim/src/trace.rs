@@ -72,6 +72,18 @@ pub fn timeline(observations: &[(u64, Observation)]) -> String {
             Observation::StatusesGced { group, mid, n } => {
                 format!("{group} {mid} garbage-collected {n} done status entr(y/ies)")
             }
+            Observation::LeasedRead { group, mid, aid, accesses, .. } => {
+                format!("{group} {mid} served leased read {aid} ({} accesses)", accesses.len())
+            }
+            Observation::LeaseRenewed { group, mid } => {
+                format!("{group} {mid} renewed a backup's lease grant")
+            }
+            Observation::LeaseReadRejected { group, mid } => {
+                format!("{group} {mid} rejected a leased read (fell back to coordination)")
+            }
+            Observation::LeaseWaitStarted { group, mid, viewid, wait } => {
+                format!("{group} {mid} waiting out leases ({wait} ticks) before {viewid} writes")
+            }
         };
         out.push_str(&format!("t={t:>8}  {line}\n"));
     }

@@ -146,6 +146,7 @@ impl WorldBuilder {
             disks: BTreeMap::new(),
             crashed: BTreeMap::new(),
             results: BTreeMap::new(),
+            submit_target: BTreeMap::new(),
             scripts: BTreeMap::new(),
             submitted_at: BTreeMap::new(),
             next_req: 0,
@@ -233,6 +234,12 @@ pub struct World {
     /// from their disk and fall back to the bootstrap viewid).
     crashed: BTreeMap<Mid, ViewId>,
     results: BTreeMap<u64, TxnRecord>,
+    /// Which cohort each still-undecided direct submission was handed
+    /// to. A submission dies with its coordinator: if that cohort
+    /// crashes first, the world (playing the client whose connection
+    /// just broke) records an abort rather than leaving the request
+    /// pending forever.
+    submit_target: BTreeMap<u64, Mid>,
     /// Scripts by request id (for the durability checker).
     scripts: BTreeMap<u64, Vec<CallOp>>,
     submitted_at: BTreeMap<u64, u64>,
@@ -385,7 +392,17 @@ impl World {
                 if self.crashed.contains_key(&mid) {
                     return true;
                 }
-                if !matches!(timer, Timer::Heartbeat | Timer::BufferFlush) {
+                // Periodic ticks and lease housekeeping are not protocol
+                // timeouts: a lease expiry is the *normal* end of a
+                // grant's life, and the lease wait is a scheduled safety
+                // pause, not a lost-message detection.
+                if !matches!(
+                    timer,
+                    Timer::Heartbeat
+                        | Timer::BufferFlush
+                        | Timer::LeaseExpiry { .. }
+                        | Timer::LeaseWait { .. }
+                ) {
                     self.metrics.timeouts_fired += 1;
                 }
                 let is_retry = matches!(
@@ -460,6 +477,7 @@ impl World {
         let target = self.primary_of(client_group).or_else(|| self.any_live(client_group));
         match target {
             Some(mid) => {
+                self.submit_target.insert(req_id, mid);
                 let now = self.now();
                 let cohort = self.cohorts.get_mut(&mid).expect("target exists");
                 let effects = Self::cohort_pass(cohort, |c| c.begin_transaction(now, req_id, ops));
@@ -538,6 +556,7 @@ impl World {
         };
         self.crashed.insert(mid, fallback);
         self.net.crash(mid.0);
+        self.orphan_direct_submissions(mid);
     }
 
     /// Crash a durable cohort *and* destroy its disk: nothing survives,
@@ -553,6 +572,7 @@ impl World {
         }
         self.crashed.insert(mid, self.bootstrap_viewid(mid));
         self.net.crash(mid.0);
+        self.orphan_direct_submissions(mid);
     }
 
     /// Recover a crashed cohort from whatever its stable store hands
@@ -787,6 +807,7 @@ impl World {
                 let target = self.primary_of(group).or_else(|| self.any_live(group));
                 match target {
                     Some(mid) => {
+                        self.submit_target.insert(req_id, mid);
                         let cohort = self.cohorts.get_mut(&mid).expect("target exists");
                         let effects =
                             Self::cohort_pass(cohort, |c| c.begin_transaction(now, req_id, ops));
@@ -922,6 +943,21 @@ impl World {
                         Observation::StatusesGced { n, .. } => {
                             self.metrics.statuses_gced += n;
                         }
+                        Observation::LeasedRead { req_id, .. } => {
+                            self.metrics.leased_reads += 1;
+                            if let Some(&t0) = self.submitted_at.get(req_id) {
+                                self.metrics.lease_read_ticks.record(self.net.now() - t0);
+                            }
+                        }
+                        Observation::LeaseRenewed { .. } => {
+                            self.metrics.lease_renewals += 1;
+                        }
+                        Observation::LeaseReadRejected { .. } => {
+                            self.metrics.lease_read_rejected += 1;
+                        }
+                        Observation::LeaseWaitStarted { .. } => {
+                            self.metrics.lease_waits_on_view_change += 1;
+                        }
                         _ => {}
                     }
                     self.observations.push((self.net.now(), observation));
@@ -973,8 +1009,29 @@ impl World {
             TxnOutcome::Unresolved => self.metrics.unresolved += 1,
         }
         let submitted_at = self.submitted_at.get(&req_id).copied().unwrap_or(0);
+        self.submit_target.remove(&req_id);
         self.results
             .insert(req_id, TxnRecord { outcome, aid, submitted_at, completed_at: self.net.now() });
+    }
+
+    /// The coordinator a direct submission was handed to just crashed:
+    /// its volatile coordination state — including the pending reply —
+    /// died with it. Abort every still-undecided request it held, as a
+    /// real client whose connection broke would.
+    fn orphan_direct_submissions(&mut self, mid: Mid) {
+        let orphaned: Vec<u64> = self
+            .submit_target
+            .iter()
+            .filter(|&(req, target)| *target == mid && !self.results.contains_key(req))
+            .map(|(&req, _)| req)
+            .collect();
+        for req_id in orphaned {
+            self.record_result(
+                req_id,
+                None,
+                TxnOutcome::Aborted { reason: vsr_core::cohort::AbortReason::ViewChanged },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1130,14 +1187,28 @@ impl World {
     /// Returns a description of the first lost commit found.
     pub fn check_no_lost_commits(&self) -> Result<(), String> {
         let mut observed: BTreeSet<(GroupId, Aid)> = BTreeSet::new();
+        let mut leased: BTreeSet<Aid> = BTreeSet::new();
         for (_, obs) in &self.observations {
-            if let Observation::TxnCommitted { group, aid, .. } = obs {
-                observed.insert((*group, *aid));
+            match obs {
+                Observation::TxnCommitted { group, aid, .. } => {
+                    observed.insert((*group, *aid));
+                }
+                Observation::LeasedRead { aid, .. } => {
+                    leased.insert(*aid);
+                }
+                _ => {}
             }
         }
         for (req_id, record) in &self.results {
             let TxnOutcome::Committed { .. } = record.outcome else { continue };
             let Some(aid) = record.aid else { continue };
+            // Leased reads commit without touching the WAL or the
+            // communication buffer — no durable trace is the *point* of
+            // the fast path. Their correctness is checked by the
+            // stale-read oracle in `serializability::check` instead.
+            if leased.contains(&aid) {
+                continue;
+            }
             let script = self.scripts.get(req_id).map(|v| v.as_slice()).unwrap_or(&[]);
             let groups: BTreeSet<GroupId> = script.iter().map(|op| op.group).collect();
             for group in groups {

@@ -1,0 +1,249 @@
+//! Acceptance tests for the primary read-lease fast path: leased reads
+//! bypass the disk and the communication buffer entirely, backups only
+//! grant while they can vouch for the state they replicate, view
+//! changes wait out (or revoke) outstanding leases before accepting
+//! write work, and the stale-read oracle stays clean throughout.
+
+use vsr_app::counter;
+use vsr_core::cohort::TxnOutcome;
+use vsr_core::config::CohortConfig;
+use vsr_core::module::NullModule;
+use vsr_core::types::{GroupId, Mid};
+use vsr_sim::world::{World, WorldBuilder};
+use vsr_store::FsyncPolicy;
+
+const CLIENT: GroupId = GroupId(1);
+const SERVER: GroupId = GroupId(2);
+
+fn lease_cfg(lease_ticks: u64) -> CohortConfig {
+    CohortConfig { lease_ticks, ..CohortConfig::new() }
+}
+
+/// A 3-cohort leased server group plus a client group, with `extra`
+/// applied to the cohort config before building.
+fn lease_world(seed: u64, cfg: CohortConfig, durable: Option<FsyncPolicy>) -> World {
+    let mut builder = WorldBuilder::new(seed)
+        .cohorts(cfg)
+        .group(CLIENT, &[Mid(10)], || Box::new(NullModule))
+        .group(SERVER, &[Mid(1), Mid(2), Mid(3)], || Box::new(counter::CounterModule));
+    if let Some(policy) = durable {
+        builder = builder.durable(policy);
+    }
+    builder.build()
+}
+
+fn expect_committed(w: &World, req: u64) -> Vec<Vec<u8>> {
+    match &w.result(req).expect("decided").outcome {
+        TxnOutcome::Committed { results } => results.clone(),
+        other => panic!("req {req} did not commit: {other:?}"),
+    }
+}
+
+/// Leased reads never touch the WAL: in a durable world, a burst of
+/// read-only transactions served from the lease leaves `disk_appends`
+/// exactly where the write workload left it, while every read still
+/// returns the committed value.
+#[test]
+fn leased_reads_bypass_the_disk_entirely() {
+    let mut w = lease_world(11, lease_cfg(200), Some(FsyncPolicy::EveryRecord));
+    // Establish state and let the first grants arrive.
+    for i in 0..4u64 {
+        let req = w.submit(CLIENT, vec![counter::incr(SERVER, i, i + 1)]);
+        w.run_for(300);
+        expect_committed(&w, req);
+    }
+    w.run_for(500);
+    assert!(w.cohort(Mid(1)).holds_lease(), "primary must hold grants from its backups");
+    let appends_before = w.metrics().disk_appends;
+    let leased_before = w.metrics().leased_reads;
+    let mut reads = Vec::new();
+    for i in 0..8u64 {
+        reads.push((i % 4, w.submit(SERVER, vec![counter::read(SERVER, i % 4)])));
+        w.run_for(5);
+    }
+    w.run_for(200);
+    for (oid, req) in reads {
+        let results = expect_committed(&w, req);
+        assert_eq!(
+            counter::decode_value(&results[0]).unwrap(),
+            oid + 1,
+            "leased read must return the committed value of counter {oid}"
+        );
+    }
+    let m = w.metrics();
+    assert_eq!(m.leased_reads, leased_before + 8, "all eight reads must take the fast path");
+    assert_eq!(m.disk_appends, appends_before, "read-only transactions must not append to any WAL");
+    assert!(m.lease_renewals > 0, "grants must be renewed by ongoing traffic");
+    w.verify().expect("oracles clean after leased reads");
+}
+
+/// With leases disabled (the default config) the same read-only
+/// submission goes through the full replicated path: it still commits,
+/// but no leased read is recorded.
+#[test]
+fn reads_fall_back_without_leases() {
+    let mut w = lease_world(12, CohortConfig::new(), None);
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 7)]);
+    w.run_for(400);
+    expect_committed(&w, req);
+    let read = w.submit(SERVER, vec![counter::read(SERVER, 0)]);
+    w.run_for(400);
+    let results = expect_committed(&w, read);
+    assert_eq!(counter::decode_value(&results[0]).unwrap(), 7);
+    assert_eq!(w.metrics().leased_reads, 0, "no lease, no fast path");
+    w.verify().expect("oracles clean");
+}
+
+/// Crashing the primary mid-lease forces the next primary to wait out
+/// the skew-adjusted maximum lease before accepting write work — the
+/// crash took the revocation with it. After the wait the group serves
+/// writes and leased reads again.
+#[test]
+fn primary_crash_mid_lease_forces_the_wait() {
+    let mut w = lease_world(13, lease_cfg(200), None);
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    w.run_for(400);
+    expect_committed(&w, req);
+    assert!(w.cohort(Mid(1)).holds_lease());
+    w.crash(Mid(1));
+    // Suspect timeout (100) + view change + the 200 * 4 = 800-tick wait.
+    w.run_for(3_000);
+    assert!(
+        w.metrics().lease_waits_on_view_change >= 1,
+        "the new primary must wait out the crashed holder's lease"
+    );
+    let new_primary = w.primary_of(SERVER).expect("view re-formed");
+    assert_ne!(new_primary, Mid(1));
+    assert!(!w.cohort(new_primary).lease_wait_in_progress(), "wait must have ended");
+    // The survivor serves writes and leased reads again.
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    w.run_for(600);
+    expect_committed(&w, req);
+    let leased_before = w.metrics().leased_reads;
+    let read = w.submit(SERVER, vec![counter::read(SERVER, 0)]);
+    w.run_for(300);
+    let results = expect_committed(&w, read);
+    assert_eq!(counter::decode_value(&results[0]).unwrap(), 2);
+    assert!(w.metrics().leased_reads > leased_before, "leases must re-form in the new view");
+    w.recover(Mid(1));
+    w.run_for(2_000);
+    w.verify().expect("oracles clean after crash mid-lease");
+    w.check_liveness().expect("group live after crash mid-lease");
+}
+
+/// A deposed primary that is still connected revokes its leases as it
+/// joins the new view, sparing the new primary the full skew-adjusted
+/// wait: the old holder is partitioned away just long enough for a new
+/// view to form, and once healed its revocation ends the wait early —
+/// long before the 4_000-tick timer would have.
+#[test]
+fn revocation_ends_the_wait_early() {
+    // A long lease so the full wait (4 * 1_000 ticks) is unmistakable.
+    let mut w = lease_world(14, lease_cfg(1_000), None);
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 5)]);
+    w.run_for(400);
+    expect_committed(&w, req);
+    assert!(w.cohort(Mid(1)).holds_lease());
+    // Cut the leaseholder off; the backups elect a new primary, which
+    // must start the lease wait (no revocation can reach it).
+    let cut_at = w.now();
+    w.partition(&[vec![Mid(1)], vec![Mid(2), Mid(3), Mid(10)]]);
+    let mut waited = 0u64;
+    while w.metrics().lease_waits_on_view_change == 0 && waited < 6_000 {
+        w.run_for(10);
+        waited += 10;
+    }
+    assert!(w.metrics().lease_waits_on_view_change >= 1, "new primary must start the wait");
+    let new_primary = w.primary_of(SERVER).expect("new view formed");
+    assert_ne!(new_primary, Mid(1));
+    assert!(w.cohort(new_primary).lease_wait_in_progress());
+    // Heal well before the wait's timer could fire: the old primary
+    // learns of the new view, relinquishes, and its broadcast revocation
+    // ends the wait immediately.
+    w.heal();
+    let mut settled = 0u64;
+    while w.cohort(new_primary).lease_wait_in_progress() && settled < 1_000 {
+        w.run_for(10);
+        settled += 10;
+    }
+    let wait_ended_at = w.now();
+    assert!(!w.cohort(new_primary).lease_wait_in_progress(), "revocation must end the wait");
+    assert!(
+        wait_ended_at - cut_at < 4_000,
+        "the wait ended by revocation at {wait_ended_at}, not by the full \
+         4_000-tick timer armed after {cut_at}"
+    );
+    // Write work flows in the new view.
+    let req = w.submit(CLIENT, vec![counter::incr(SERVER, 0, 1)]);
+    w.run_for(600);
+    expect_committed(&w, req);
+    w.run_for(2_000);
+    w.verify().expect("oracles clean after revoked handover");
+    w.check_liveness().expect("group live after revoked handover");
+}
+
+/// A rejoining backup that is fetching a snapshot must not grant: its
+/// promise would vouch for state it does not yet hold (the §14/§16
+/// interaction). While the fetch runs the primary's grant count stays
+/// at the one remaining healthy backup — and recovers once the fetch
+/// completes and the rejoiner is active and up to date again.
+#[test]
+fn fetching_backup_never_grants() {
+    let mut cfg = lease_cfg(100);
+    // Tiny chunks and frequent boundaries so the fetch spans many round
+    // trips (same shape as the chunked-transfer nemesis test).
+    cfg.snapshot_interval = 8;
+    cfg.snapshot_chunk_bytes = 64;
+    cfg.underling_timeout = 2_000;
+    let mut w = lease_world(15, cfg, Some(FsyncPolicy::EveryRecord));
+    for i in 0..40u64 {
+        w.submit(CLIENT, vec![counter::incr(SERVER, i, 1)]);
+        w.run_for(60);
+    }
+    w.run_for(1_000);
+    assert!(w.metrics().snapshots_taken >= 1, "boundary snapshots must have fired");
+    assert!(w.cohort(Mid(1)).holds_lease());
+    // Blank a backup; its stale grant expires within lease_ticks of the
+    // crash, long before the 1_500-tick outage ends.
+    w.crash_disk_loss(Mid(3));
+    w.run_for(1_500);
+    assert_eq!(w.cohort(Mid(1)).live_lease_grants(), 1, "only the healthy backup may grant");
+    w.recover(Mid(3));
+    let mut waited = 0u64;
+    while !w.cohort(Mid(3)).fetch_in_progress() && waited < 20_000 {
+        w.run_for(10);
+        waited += 10;
+    }
+    assert!(w.cohort(Mid(3)).fetch_in_progress(), "blank rejoiner must fetch");
+    // Throughout the fetch the rejoiner never grants — and the primary,
+    // still holding the healthy backup's grant (sub-majority of 1),
+    // keeps serving leased reads.
+    let mut served_during_fetch = false;
+    while w.cohort(Mid(3)).fetch_in_progress() {
+        assert!(
+            w.cohort(Mid(1)).live_lease_grants() <= 1,
+            "a fetching backup must not extend a grant"
+        );
+        if w.cohort(Mid(1)).holds_lease() {
+            let before = w.metrics().leased_reads;
+            let read = w.submit(SERVER, vec![counter::read(SERVER, 7)]);
+            w.run_for(10);
+            if w.metrics().leased_reads > before {
+                served_during_fetch = true;
+                let results = expect_committed(&w, read);
+                assert_eq!(counter::decode_value(&results[0]).unwrap(), 1);
+            }
+        } else {
+            w.run_for(10);
+        }
+    }
+    assert!(served_during_fetch, "the lease must keep serving during the fetch");
+    // Once caught up and active, the rejoiner grants again.
+    let mut regrant = 0u64;
+    while w.cohort(Mid(1)).live_lease_grants() < 2 && regrant < 4_000 {
+        w.run_for(10);
+        regrant += 10;
+    }
+    assert_eq!(w.cohort(Mid(1)).live_lease_grants(), 2, "the rejoiner must grant once caught up");
+    w.verify().expect("oracles clean after fetch-while-leased");
+}

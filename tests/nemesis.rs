@@ -136,6 +136,59 @@ fn fifty_group_commit_plans_pass_both_oracles() {
     }
 }
 
+/// Fixed-seed sweep of 50 *lease-targeted* plans with primary read
+/// leases enabled: timer skew on sub-cohorts (within the configured
+/// `lease_skew_bound`), crashes of the leaseholder mid-lease, and
+/// one-way partitions during the ensuing view change — the three
+/// ingredients of a stale read. The workload is read-heavy
+/// (read-only transactions submitted straight to the server group, so
+/// they ride the leased fast path), and [`World::verify`] runs the
+/// stale-read oracle over every leased read. Any stale read shrinks to
+/// a minimal repro and fails here; surviving counterexamples become
+/// pinned regressions in this file.
+#[test]
+fn fifty_lease_plans_produce_no_stale_reads() {
+    let cfg = NemesisConfig { lease_ticks: 400, ..NemesisConfig::default() };
+    match sweep(&cfg, 9_200, 50, 12, 2) {
+        Ok(stats) => {
+            assert_eq!(stats.passed + stats.catastrophic, 50);
+            // Lease plans crash at most one cohort at a time, which can
+            // never wipe every holder of forced information in a
+            // 5-cohort group — a catastrophe here means the generator
+            // regressed.
+            assert_eq!(stats.catastrophic, 0, "lease plans cannot wipe a majority");
+        }
+        Err((plan, failure, repro)) => {
+            panic!(
+                "lease nemesis sweep failed: {failure}\nminimal plan: {plan:?}\nrepro:\n{repro}"
+            );
+        }
+    }
+}
+
+/// The 50 lease-sweep plans genuinely combine skewed clocks,
+/// leaseholder crashes, and one-way partitions — the stale-read sweep
+/// is vacuous if the generator never draws its target scenarios.
+#[test]
+fn lease_sweep_seeds_cover_lease_scenarios() {
+    let mids: Vec<Mid> = (1..=5).map(Mid).collect();
+    let (mut skew, mut crash, mut one_way) = (false, false, false);
+    for seed in 9_200..9_250u64 {
+        let plan = FaultPlan::random_lease_nemesis(seed, &mids, 200, 8_000, 12);
+        for (_, event) in &plan.events {
+            match event {
+                FaultEvent::SkewTimers { num, den, .. } if num != den => skew = true,
+                FaultEvent::Crash(_) => crash = true,
+                FaultEvent::OneWay { .. } => one_way = true,
+                _ => {}
+            }
+        }
+    }
+    assert!(skew, "no timer skew in 50 lease plans");
+    assert!(crash, "no leaseholder crash in 50 lease plans");
+    assert!(one_way, "no one-way partition in 50 lease plans");
+}
+
 /// The durable generator actually draws crash-with-disk-loss — the
 /// tightened sweep is vacuous if every crash keeps its disk.
 #[test]
